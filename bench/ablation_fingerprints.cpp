@@ -1,0 +1,64 @@
+// Ablation bench for DeltaSherlock's fingerprint composition (paper §II-C
+// discusses histogram / filetree / neighbor elemental fingerprints; the
+// authors primarily used histogram + filetree and dropped "neighbor" for
+// overhead reasons). Each row retrains DeltaSherlock with one combination
+// and reports accuracy and feature-reduction cost.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/strings.hpp"
+#include "eval/harness.hpp"
+#include "eval/table.hpp"
+#include "pkg/dataset.hpp"
+
+using namespace praxi;
+
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
+
+  const auto catalog = pkg::Catalog::standard(args.seed);
+  pkg::DatasetBuilder builder(catalog, args.seed);
+  pkg::CollectOptions options;
+  options.samples_per_app = args.scaled(30, 5);
+  const pkg::Dataset dirty = builder.collect_dirty(options);
+
+  std::cout << "== Ablation: DeltaSherlock fingerprint composition ==\n"
+            << "scale=" << args.scale << "  " << dirty.size()
+            << " dirty changesets, 3-fold\n\n";
+
+  const auto chunks = eval::chunked(dirty, 3, args.seed);
+  const std::vector<const fs::Changeset*> no_extra;
+
+  eval::TextTable table(
+      {"fingerprint", "F1", "feature-reduction s/fold", "train s/fold"});
+
+  struct Variant {
+    const char* name;
+    ds::FingerprintParts parts;
+  };
+  const Variant variants[] = {
+      {"histogram only", {true, false, false}},
+      {"filetree only", {false, true, false}},
+      {"neighbor only", {false, false, true}},
+      {"histogram + filetree (paper default)", {true, true, false}},
+      {"histogram + filetree + neighbor", {true, true, true}},
+  };
+
+  for (const Variant& variant : variants) {
+    ds::DeltaSherlockConfig config;
+    config.parts = variant.parts;
+    eval::DeltaSherlockMethod method(config);
+    const auto out = eval::run_experiment(method, chunks, 2, no_extra);
+    // Feature-reduction time = dictionary + fingerprinting of the last fold.
+    const auto& overhead = method.model().overhead();
+    table.add_row({variant.name, eval::fmt_percent(out.mean_weighted_f1()),
+                   eval::fmt_double(overhead.dictionary_s +
+                                    overhead.fingerprint_s),
+                   eval::fmt_double(out.mean_train_s())});
+    std::cout << "done: " << variant.name << "\n";
+  }
+
+  std::cout << "\n";
+  table.print(std::cout);
+  return 0;
+}

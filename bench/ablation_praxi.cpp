@@ -1,0 +1,74 @@
+// Ablation bench for Praxi's design knobs (DESIGN.md §5):
+//   * Columbus top-k — how many ranked tags per trie feed the learner;
+//   * hashed feature-space width (learner bits) — collision trade-off;
+//   * Columbus min-frequency — the >1-occurrence noise filter of §III-B.
+// Each row retrains Praxi on the same corpus with one knob changed and
+// reports accuracy and model size.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/strings.hpp"
+#include "eval/harness.hpp"
+#include "eval/table.hpp"
+#include "pkg/dataset.hpp"
+
+using namespace praxi;
+
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
+
+  const auto catalog = pkg::Catalog::standard(args.seed);
+  pkg::DatasetBuilder builder(catalog, args.seed);
+  pkg::CollectOptions options;
+  options.samples_per_app = args.scaled(30, 5);
+  const pkg::Dataset dirty = builder.collect_dirty(options);
+
+  std::cout << "== Ablation: Praxi design choices ==\n"
+            << "scale=" << args.scale << "  " << dirty.size()
+            << " dirty changesets, 3-fold\n\n";
+
+  const auto chunks = eval::chunked(dirty, 3, args.seed);
+  const std::vector<const fs::Changeset*> no_extra;
+
+  auto run = [&](const core::PraxiConfig& config) {
+    eval::PraxiMethod method(config);
+    return eval::run_experiment(method, chunks, 2, no_extra);
+  };
+
+  eval::TextTable table({"variant", "F1", "train s/fold", "model size"});
+  auto add = [&](const std::string& name, const core::PraxiConfig& config) {
+    const auto out = run(config);
+    table.add_row({name, eval::fmt_percent(out.mean_weighted_f1()),
+                   eval::fmt_double(out.mean_train_s()),
+                   format_bytes(out.folds.back().model_bytes)});
+    std::cout << "done: " << name << "\n";
+  };
+
+  core::PraxiConfig base;
+  add("baseline (top_k=25, bits=18, min_freq=2)", base);
+
+  for (std::size_t top_k : {5, 10, 50, 100}) {
+    core::PraxiConfig config = base;
+    config.columbus.top_k = top_k;
+    add("top_k=" + std::to_string(top_k), config);
+  }
+  for (unsigned bits : {12u, 16u, 22u}) {
+    core::PraxiConfig config = base;
+    config.learner.bits = bits;
+    add("bits=" + std::to_string(bits), config);
+  }
+  {
+    core::PraxiConfig config = base;
+    config.columbus.min_frequency = 1;
+    add("min_freq=1 (no noise filter)", config);
+  }
+  {
+    core::PraxiConfig config = base;
+    config.columbus.min_frequency = 4;
+    add("min_freq=4", config);
+  }
+
+  std::cout << "\n";
+  table.print(std::cout);
+  return 0;
+}

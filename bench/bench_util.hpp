@@ -1,0 +1,62 @@
+// Shared command-line handling for the paper-reproduction bench binaries.
+//
+// Every bench runs a scaled-down version of its experiment by default so the
+// whole suite finishes in minutes; `--full` switches to the paper's sample
+// counts, and `--scale=<f>` picks anything in between (fraction of the
+// paper's counts, e.g. --scale=0.25).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace praxi::bench {
+
+struct BenchArgs {
+  double scale = 0.1;        ///< fraction of paper-scale sample counts
+  std::uint64_t seed = 42;   ///< catalog/dataset seed
+  bool dirtier = false;      ///< Fig. 4 noise-overlay variant (§V-A)
+
+  /// Scales a paper-scale count, keeping at least `minimum`.
+  std::size_t scaled(std::size_t paper_count, std::size_t minimum = 1) const {
+    const auto value = static_cast<std::size_t>(paper_count * scale + 0.5);
+    return value < minimum ? minimum : value;
+  }
+};
+
+inline BenchArgs parse_bench_args(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--full") {
+      args.scale = 1.0;
+    } else if (arg.rfind("--scale=", 0) == 0) {
+      args.scale = std::strtod(arg.c_str() + 8, nullptr);
+      if (args.scale <= 0.0 || args.scale > 1.0) {
+        std::fprintf(stderr, "--scale must be in (0, 1]\n");
+        std::exit(2);
+      }
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      args.seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+    } else if (arg == "--dirtier") {
+      args.dirtier = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: %s [--full] [--scale=F] [--seed=N] [--dirtier]\n"
+          "  --full     run at the paper's sample counts\n"
+          "  --scale=F  fraction of paper-scale counts (default 0.1)\n"
+          "  --seed=N   dataset/catalog seed (default 42)\n"
+          "  --dirtier  overlay extra system noise (Fig. 4 variant)\n",
+          argv[0]);
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      std::exit(2);
+    }
+  }
+  return args;
+}
+
+}  // namespace praxi::bench

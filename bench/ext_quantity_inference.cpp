@@ -1,0 +1,118 @@
+// Extension experiment: application-quantity prediction (paper §V-B / §VI).
+//
+// The paper's multi-label evaluation supplies the ground-truth application
+// count because synthesized changesets lack continuous timestamps; for
+// real, organically recorded changesets the count is inferred by counting
+// change bursts, and prior work reports <1.6% error up to 10 applications
+// per changeset. Here we record ORGANIC multi-install changesets (k
+// installations with quiet gaps inside one window, background noise on) and
+// measure the burst detector's count error, then the end-to-end multi-label
+// accuracy when the inferred (not given) count drives prediction.
+#include <cmath>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/discovery_service.hpp"
+#include "core/praxi.hpp"
+#include "eval/harness.hpp"
+#include "eval/metrics.hpp"
+#include "eval/table.hpp"
+#include "fs/recorder.hpp"
+#include "pkg/dataset.hpp"
+#include "pkg/installer.hpp"
+#include "pkg/noise.hpp"
+
+using namespace praxi;
+
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
+
+  const auto catalog = pkg::Catalog::standard(args.seed);
+  const auto apps = catalog.application_names();
+
+  std::cout << "== Extension: quantity prediction from change bursts ==\n"
+            << "scale=" << args.scale << "\n\n";
+
+  // Train a multi-label Praxi model on dirty singles + synthesized multis.
+  pkg::DatasetBuilder builder(catalog, args.seed);
+  pkg::CollectOptions options;
+  options.samples_per_app = args.scaled(40, 5);
+  const pkg::Dataset dirty = builder.collect_dirty(options);
+  const pkg::Dataset multi = pkg::DatasetBuilder::synthesize_multi(
+      dirty, args.scaled(2000, 150), 2, 5, args.seed);
+
+  core::PraxiConfig config;
+  config.mode = core::LabelMode::kMultiLabel;
+  core::Praxi model(config);
+  auto train = eval::pointers(multi);
+  const auto singles = eval::pointers(dirty);
+  train.insert(train.end(), singles.begin(), singles.end());
+  model.train_changesets(train);
+
+  // Record organic k-install changesets and measure.
+  const std::size_t trials_per_k = args.scaled(100, 10);
+  core::DiscoveryServiceConfig service_config;
+  Rng rng(args.seed, "quantity");
+
+  eval::TextTable table({"k (true installs)", "mean |count error|",
+                         "exact-count rate", "multi-label F1 (inferred n)"});
+
+  for (std::size_t k = 1; k <= 10; ++k) {
+    double total_error = 0.0;
+    std::size_t exact = 0;
+    std::vector<std::vector<std::string>> truths, predictions;
+
+    for (std::size_t trial = 0; trial < trials_per_k; ++trial) {
+      auto clock = fs::make_clock();
+      fs::InMemoryFilesystem instance(clock);
+      pkg::provision_base_image(instance);
+      pkg::Installer installer(instance, catalog, Rng(rng.next()));
+      pkg::NoiseMix noise = pkg::NoiseMix::baseline(Rng(rng.next()));
+      fs::ChangesetRecorder recorder(instance);
+
+      std::vector<std::string> chosen;
+      while (chosen.size() < k) {
+        const std::string& app = apps[rng.below(apps.size())];
+        if (std::find(chosen.begin(), chosen.end(), app) == chosen.end()) {
+          chosen.push_back(app);
+        }
+      }
+      for (const auto& app : chosen) {
+        // Quiet gap with background noise, then the installation burst.
+        double wait = rng.uniform(15.0, 40.0);
+        while (wait > 0.0) {
+          clock->advance_s(1.0);
+          noise.tick(instance, 1.0);
+          wait -= 1.0;
+        }
+        installer.install(app);
+      }
+      fs::Changeset cs = recorder.eject();
+
+      const std::size_t inferred =
+          core::DiscoveryService::infer_quantity(cs, service_config);
+      total_error += std::abs(double(inferred) - double(k));
+      exact += inferred == k;
+
+      std::sort(chosen.begin(), chosen.end());
+      truths.push_back(chosen);
+      predictions.push_back(
+          model.predict(cs, std::max<std::size_t>(inferred, 1)));
+    }
+
+    table.add_row({std::to_string(k),
+                   eval::fmt_double(total_error / trials_per_k),
+                   eval::fmt_percent(double(exact) / trials_per_k),
+                   eval::fmt_percent(
+                       eval::evaluate(truths, predictions).weighted_f1())});
+    std::cout << "done: k=" << k << "\n";
+  }
+
+  std::cout << "\n";
+  table.print(std::cout);
+  std::cout << "\nPaper reference: the quantity-prediction algorithm handles "
+               "up to 10 applications\nper changeset with <1.6% error when "
+               "timestamps are available (§V-B), and overall\naccuracy "
+               "degrades slowly per additional application.\n";
+  return 0;
+}

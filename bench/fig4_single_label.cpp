@@ -1,0 +1,100 @@
+// Reproduces paper Fig. 4 (single-label classification) and the §V-A
+// "dirtier" variant (--dirtier).
+//
+// Protocol (§V-A): the test pool is 3,000 dirty changesets; modified 3-fold
+// cross validation swaps which 2,000 are tested while the remaining 1,000
+// dirty changesets train, together with n in {0, 2500, 5000, 7500, 10000}
+// clean changesets. Methods: automated rule-based, DeltaSherlock, Praxi.
+// Outputs: (a) support-weighted F1, (b) time per fold.
+//
+// Sample counts scale with --scale (default 0.1); --full uses the paper's.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "eval/harness.hpp"
+#include "eval/table.hpp"
+#include "pkg/dataset.hpp"
+
+using namespace praxi;
+
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
+
+  const auto catalog = pkg::Catalog::standard(args.seed);
+  const std::size_t apps = catalog.application_count();
+
+  const std::size_t pool_size = args.scaled(3000, 3 * apps);
+  const std::size_t clean_step = args.scaled(2500, 50);
+  const std::size_t clean_max = 4 * clean_step;
+
+  std::cout << "== Fig. 4: single-label classification"
+            << (args.dirtier ? " (dirtier variant, §V-A)" : "") << " ==\n"
+            << "scale=" << args.scale << " seed=" << args.seed
+            << "  pool=" << pool_size << " dirty changesets, clean increments of "
+            << clean_step << " up to " << clean_max << "\n\n";
+
+  // ---- Dataset generation --------------------------------------------------
+  pkg::DatasetBuilder builder(catalog, args.seed);
+
+  pkg::CollectOptions dirty_options;
+  dirty_options.samples_per_app = (pool_size + apps - 1) / apps;
+  pkg::Dataset dirty = builder.collect_dirty(dirty_options);
+
+  pkg::CollectOptions clean_options;
+  clean_options.samples_per_app = (clean_max + apps - 1) / apps;
+  pkg::Dataset clean = builder.collect_clean(clean_options);
+
+  if (args.dirtier) {
+    dirty = pkg::DatasetBuilder::overlay_dirtier_noise(dirty, args.seed + 1);
+  }
+  std::cout << "collected: " << dirty.size() << " dirty (avg "
+            << dirty.total_bytes() / std::max<std::size_t>(dirty.size(), 1)
+            << " B), " << clean.size() << " clean changesets\n\n";
+
+  // Shuffle+chunk the dirty pool into 3 parts; each fold trains on 1 chunk
+  // and tests on the other 2 (the paper's "swap which 2,000 of 3,000").
+  dirty.changesets.resize(std::min(dirty.changesets.size(), pool_size));
+  const auto chunks = eval::chunked(dirty, 3, args.seed);
+
+  eval::TextTable accuracy(
+      {"training set", "Rule-based F1", "DeltaSherlock F1", "Praxi F1"});
+  eval::TextTable runtime(
+      {"training set", "Rule-based s/fold", "DeltaSherlock s/fold",
+       "Praxi s/fold"});
+
+  const auto clean_all = eval::pointers(clean);
+  for (std::size_t n_clean = 0; n_clean <= clean_max; n_clean += clean_step) {
+    std::vector<const fs::Changeset*> extra(
+        clean_all.begin(),
+        clean_all.begin() +
+            std::ptrdiff_t(std::min(n_clean, clean_all.size())));
+
+    eval::RuleBasedMethod rule_method;
+    eval::PraxiMethod praxi_method;
+    ds::DeltaSherlockConfig ds_config;
+    eval::DeltaSherlockMethod ds_method(ds_config);
+
+    const auto rule = eval::run_experiment(rule_method, chunks, 1, extra);
+    const auto ds = eval::run_experiment(ds_method, chunks, 1, extra);
+    const auto praxi_out = eval::run_experiment(praxi_method, chunks, 1, extra);
+
+    const std::string label = std::to_string(chunks[0].size()) + " D + " +
+                              std::to_string(extra.size()) + " C";
+    accuracy.add_row({label, eval::fmt_percent(rule.mean_weighted_f1()),
+                      eval::fmt_percent(ds.mean_weighted_f1()),
+                      eval::fmt_percent(praxi_out.mean_weighted_f1())});
+    runtime.add_row({label, eval::fmt_double(rule.mean_fold_time_s()),
+                     eval::fmt_double(ds.mean_fold_time_s()),
+                     eval::fmt_double(praxi_out.mean_fold_time_s())});
+    std::cout << "done: " << label << "\n";
+  }
+
+  std::cout << "\n(a) accuracy (support-weighted F1, Eqns. 1-2)\n";
+  accuracy.print(std::cout);
+  std::cout << "\n(b) runtime (train+test seconds per fold)\n";
+  runtime.print(std::cout);
+  std::cout << "\nPaper reference (full scale): Praxi 98.7%->100%, "
+               "DeltaSherlock 100% flat, Rule-based <=91% bell curve; Praxi "
+               "runtime well below DeltaSherlock, Rule-based lowest.\n";
+  return 0;
+}

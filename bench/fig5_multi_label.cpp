@@ -1,0 +1,99 @@
+// Reproduces paper Fig. 5 (multi-label classification).
+//
+// Protocol (§V-B): the pool is 3,000 synthesized multi-application changesets
+// (2-5 applications each, built from dirty single-label changesets); 3-fold
+// cross validation rotates which 1,000 test while the other 2,000 train,
+// together with n in {0, 1000, 2000, 3000} dirty single-label changesets.
+// The ground-truth application count is provided at prediction time. The
+// rule-based method cannot train on multi-label samples, so it trains on the
+// single-label additions only (and is skipped in the n=0 column).
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "eval/harness.hpp"
+#include "eval/table.hpp"
+#include "pkg/dataset.hpp"
+
+using namespace praxi;
+
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
+
+  const auto catalog = pkg::Catalog::standard(args.seed);
+  const std::size_t apps = catalog.application_count();
+
+  const std::size_t multi_pool = args.scaled(3000, 2 * apps);
+  const std::size_t single_step = args.scaled(1000, apps);
+  const std::size_t single_max = 3 * single_step;
+
+  std::cout << "== Fig. 5: multi-label classification ==\n"
+            << "scale=" << args.scale << " seed=" << args.seed << "  pool="
+            << multi_pool << " multi-app changesets (2-5 apps each), "
+            << "single-label increments of " << single_step << " up to "
+            << single_max << "\n\n";
+
+  pkg::DatasetBuilder builder(catalog, args.seed);
+  pkg::CollectOptions dirty_options;
+  dirty_options.samples_per_app =
+      (std::max(single_max, multi_pool) + apps - 1) / apps + 1;
+  const pkg::Dataset dirty = builder.collect_dirty(dirty_options);
+
+  const pkg::Dataset multi = pkg::DatasetBuilder::synthesize_multi(
+      dirty, multi_pool, 2, 5, args.seed);
+
+  std::cout << "collected: " << dirty.size() << " dirty single-label, "
+            << multi.size() << " synthesized multi-label changesets\n\n";
+
+  const auto chunks = eval::chunked(multi, 3, args.seed);
+  const auto singles_all = eval::pointers(dirty);
+
+  eval::TextTable accuracy(
+      {"training set", "Rule-based F1", "DeltaSherlock F1", "Praxi F1"});
+  eval::TextTable runtime(
+      {"training set", "DeltaSherlock s/fold", "Praxi s/fold"});
+
+  for (std::size_t n_single = 0; n_single <= single_max;
+       n_single += single_step) {
+    std::vector<const fs::Changeset*> extra(
+        singles_all.begin(),
+        singles_all.begin() +
+            std::ptrdiff_t(std::min(n_single, singles_all.size())));
+
+    core::PraxiConfig praxi_config;
+    praxi_config.mode = core::LabelMode::kMultiLabel;
+    eval::PraxiMethod praxi_method(praxi_config);
+    eval::DeltaSherlockMethod ds_method;
+
+    const auto ds = eval::run_experiment(ds_method, chunks, 2, extra);
+    const auto praxi_out =
+        eval::run_experiment(praxi_method, chunks, 2, extra);
+
+    // The rule-based method trains on the single-label samples only; with
+    // none available it cannot run at all (paper Fig. 5 starts it at 1000).
+    std::string rule_cell = "n/a";
+    if (!extra.empty()) {
+      eval::RuleBasedMethod rule_method;
+      const auto rule = eval::run_experiment(rule_method, chunks, 2, extra);
+      rule_cell = eval::fmt_percent(rule.mean_weighted_f1());
+    }
+
+    const std::string label = std::to_string(chunks[0].size() * 2) + " ML + " +
+                              std::to_string(extra.size()) + " SL";
+    accuracy.add_row({label, rule_cell,
+                      eval::fmt_percent(ds.mean_weighted_f1()),
+                      eval::fmt_percent(praxi_out.mean_weighted_f1())});
+    runtime.add_row({label, eval::fmt_double(ds.mean_fold_time_s()),
+                     eval::fmt_double(praxi_out.mean_fold_time_s())});
+    std::cout << "done: " << label << "\n";
+  }
+
+  std::cout << "\n(a) accuracy (support-weighted F1)\n";
+  accuracy.print(std::cout);
+  std::cout << "\n(b) runtime (train+test seconds per fold)\n";
+  runtime.print(std::cout);
+  std::cout << "\nPaper reference (full scale): Praxi 95% -> 98% after the "
+               "first single-label increment (flat after), DeltaSherlock "
+               "~100% but much slower, Rule-based ~91% once single-label "
+               "samples exist.\n";
+  return 0;
+}

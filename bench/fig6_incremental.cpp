@@ -1,0 +1,164 @@
+// Reproduces paper Fig. 6 (scalability / incremental training).
+//
+// Protocol (§V-D): the corpus grows from 20 to 80 applications in increments
+// of 20; each increment contributes `train_per_app` dirty single-label
+// changesets to the training set and `test_per_app` to the testing set
+// (paper: 20 and 10). At every increment three models are measured:
+//   * Praxi Incremental — online-updates the existing model with ONLY the
+//     new applications' samples;
+//   * Praxi Scratch     — full retrain on everything seen so far;
+//   * DeltaSherlock     — full retrain (no incremental mode exists).
+// Results are 3-fold cross-validated by rotating which samples test.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/stopwatch.hpp"
+#include "eval/harness.hpp"
+#include "eval/metrics.hpp"
+#include "eval/table.hpp"
+#include "pkg/dataset.hpp"
+
+using namespace praxi;
+
+namespace {
+
+struct SeriesPoint {
+  double f1 = 0.0;
+  double train_s = 0.0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
+
+  constexpr std::size_t kAppStep = 20;
+  constexpr std::size_t kAppMax = 80;
+  constexpr std::size_t kFolds = 3;
+  const std::size_t train_per_app = args.scaled(20, 6);
+  const std::size_t test_per_app = args.scaled(10, 3);
+  const std::size_t per_app = train_per_app + test_per_app;
+
+  std::cout << "== Fig. 6: incremental training & scalability ==\n"
+            << "scale=" << args.scale << "  apps 20..80 step 20, "
+            << train_per_app << " train + " << test_per_app
+            << " test changesets per app, " << kFolds << "-fold\n\n";
+
+  const auto catalog = pkg::Catalog::standard(args.seed);
+  const auto all_apps = catalog.application_names();
+
+  pkg::DatasetBuilder builder(catalog, args.seed);
+  pkg::CollectOptions options;
+  options.samples_per_app = per_app;
+  options.app_filter.assign(all_apps.begin(), all_apps.begin() + kAppMax);
+  const pkg::Dataset dirty = builder.collect_dirty(options);
+
+  // Index samples per application.
+  std::map<std::string, std::vector<const fs::Changeset*>> by_app;
+  for (const auto& cs : dirty.changesets) {
+    by_app[cs.labels().front()].push_back(&cs);
+  }
+
+  // accumulate[method][increment] over folds.
+  std::map<std::string, std::vector<SeriesPoint>> series;
+  for (const char* m : {"Praxi Incremental", "Praxi Scratch", "DeltaSherlock"})
+    series[m].resize(kAppMax / kAppStep);
+
+  for (std::size_t fold = 0; fold < kFolds; ++fold) {
+    eval::PraxiMethod praxi_incremental;
+    bool incremental_started = false;
+
+    std::vector<const fs::Changeset*> cumulative_train;
+    std::vector<const fs::Changeset*> cumulative_test;
+
+    for (std::size_t step = 0; step < kAppMax / kAppStep; ++step) {
+      // New applications for this increment, with fold-rotated test windows.
+      std::vector<const fs::Changeset*> new_train;
+      for (std::size_t a = step * kAppStep; a < (step + 1) * kAppStep; ++a) {
+        const auto& samples = by_app.at(all_apps[a]);
+        const std::size_t test_begin = (fold * test_per_app) % samples.size();
+        for (std::size_t i = 0; i < samples.size(); ++i) {
+          const bool is_test =
+              (i + samples.size() - test_begin) % samples.size() <
+              test_per_app;
+          if (is_test) {
+            cumulative_test.push_back(samples[i]);
+          } else {
+            new_train.push_back(samples[i]);
+          }
+        }
+      }
+      cumulative_train.insert(cumulative_train.end(), new_train.begin(),
+                              new_train.end());
+
+      auto evaluate_method = [&](eval::DiscoveryMethod& method) {
+        std::vector<std::vector<std::string>> truths, predictions;
+        for (const fs::Changeset* cs : cumulative_test) {
+          truths.push_back(cs->labels());
+          predictions.push_back(method.predict(*cs, 1));
+        }
+        return eval::evaluate(truths, predictions).weighted_f1();
+      };
+
+      // Praxi Incremental: only the new apps' samples touch the model.
+      {
+        Stopwatch sw;
+        if (!incremental_started) {
+          praxi_incremental.train(new_train);
+          incremental_started = true;
+        } else {
+          praxi_incremental.train_incremental(new_train);
+        }
+        series["Praxi Incremental"][step].train_s += sw.elapsed_s();
+        series["Praxi Incremental"][step].f1 +=
+            evaluate_method(praxi_incremental);
+      }
+      // Praxi Scratch: full retrain on the cumulative corpus.
+      {
+        eval::PraxiMethod praxi_scratch;
+        Stopwatch sw;
+        praxi_scratch.train(cumulative_train);
+        series["Praxi Scratch"][step].train_s += sw.elapsed_s();
+        series["Praxi Scratch"][step].f1 += evaluate_method(praxi_scratch);
+      }
+      // DeltaSherlock: full retrain (dictionaries + fingerprints + SVM).
+      {
+        eval::DeltaSherlockMethod ds_method;
+        Stopwatch sw;
+        ds_method.train(cumulative_train);
+        series["DeltaSherlock"][step].train_s += sw.elapsed_s();
+        series["DeltaSherlock"][step].f1 += evaluate_method(ds_method);
+      }
+      std::cout << "fold " << fold << ": " << (step + 1) * kAppStep
+                << " apps done\n";
+    }
+  }
+
+  eval::TextTable accuracy({"apps", "Praxi Incremental F1", "Praxi Scratch F1",
+                            "DeltaSherlock F1"});
+  eval::TextTable runtime({"apps", "Praxi Incremental s", "Praxi Scratch s",
+                           "DeltaSherlock s"});
+  for (std::size_t step = 0; step < kAppMax / kAppStep; ++step) {
+    const std::string apps = std::to_string((step + 1) * kAppStep);
+    accuracy.add_row(
+        {apps,
+         eval::fmt_percent(series["Praxi Incremental"][step].f1 / kFolds),
+         eval::fmt_percent(series["Praxi Scratch"][step].f1 / kFolds),
+         eval::fmt_percent(series["DeltaSherlock"][step].f1 / kFolds)});
+    runtime.add_row(
+        {apps,
+         eval::fmt_double(series["Praxi Incremental"][step].train_s / kFolds),
+         eval::fmt_double(series["Praxi Scratch"][step].train_s / kFolds),
+         eval::fmt_double(series["DeltaSherlock"][step].train_s / kFolds)});
+  }
+
+  std::cout << "\n(a) accuracy after each corpus increment\n";
+  accuracy.print(std::cout);
+  std::cout << "\n(b) training time per increment\n";
+  runtime.print(std::cout);
+  std::cout << "\nPaper reference: Praxi Incremental dips ~3pp after the "
+               "first increment but stays >= 92%; Praxi Scratch and "
+               "DeltaSherlock stay flat-high; Praxi runs far faster and "
+               "scales better with label count.\n";
+  return 0;
+}

@@ -1,0 +1,141 @@
+// Component micro-benchmarks (google-benchmark): throughput of the building
+// blocks the end-to-end numbers in Figs. 4-6 / Table III decompose into.
+#include <benchmark/benchmark.h>
+
+#include "columbus/columbus.hpp"
+#include "common/hash.hpp"
+#include "common/rng.hpp"
+#include "core/praxi.hpp"
+#include "deltasherlock/fingerprint.hpp"
+#include "fs/recorder.hpp"
+#include "ml/online_learner.hpp"
+#include "ml/word2vec.hpp"
+#include "pkg/dataset.hpp"
+#include "pkg/installer.hpp"
+
+using namespace praxi;
+
+namespace {
+
+/// One shared, lazily-built corpus so every micro-bench measures work, not
+/// dataset generation.
+const pkg::Dataset& corpus() {
+  static const pkg::Dataset dataset = [] {
+    const auto catalog = pkg::Catalog::subset(42, 20, 2);
+    pkg::DatasetBuilder builder(catalog, 7);
+    pkg::CollectOptions options;
+    options.samples_per_app = 5;
+    return builder.collect_dirty(options);
+  }();
+  return dataset;
+}
+
+void BM_Murmur3_32(benchmark::State& state) {
+  const std::string path = "/usr/lib/python3/dist-packages/numpy/core.py";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(murmur3_32(path));
+  }
+}
+BENCHMARK(BM_Murmur3_32);
+
+void BM_FrequencyTrieInsert(benchmark::State& state) {
+  std::vector<std::string> tokens;
+  Rng rng(1);
+  for (int i = 0; i < 256; ++i) {
+    tokens.push_back("token-" + std::to_string(rng.below(64)) + "-suffix");
+  }
+  for (auto _ : state) {
+    columbus::FrequencyTrie trie;
+    for (const auto& token : tokens) trie.insert(token);
+    benchmark::DoNotOptimize(trie.token_count());
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * 256);
+}
+BENCHMARK(BM_FrequencyTrieInsert);
+
+void BM_ColumbusExtract(benchmark::State& state) {
+  const auto& cs = corpus().changesets.front();
+  columbus::Columbus columbus;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(columbus.extract(cs));
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) *
+                          int64_t(cs.records().size()));
+}
+BENCHMARK(BM_ColumbusExtract);
+
+void BM_PraxiLearnOne(benchmark::State& state) {
+  core::Praxi model;
+  const auto tags = model.extract_tags(corpus().changesets.front());
+  for (auto _ : state) {
+    model.learn_one(tags);
+  }
+}
+BENCHMARK(BM_PraxiLearnOne);
+
+void BM_PraxiPredict(benchmark::State& state) {
+  core::Praxi model;
+  std::vector<const fs::Changeset*> train;
+  for (const auto& cs : corpus().changesets) train.push_back(&cs);
+  model.train_changesets(train);
+  const auto tags = model.extract_tags(corpus().changesets.front());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.predict_tags(tags));
+  }
+}
+BENCHMARK(BM_PraxiPredict);
+
+void BM_AsciiHistogram(benchmark::State& state) {
+  const auto& cs = corpus().changesets.front();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ds::ascii_histogram(cs));
+  }
+}
+BENCHMARK(BM_AsciiHistogram);
+
+void BM_Word2VecEpoch(benchmark::State& state) {
+  std::vector<std::vector<std::string>> sentences;
+  for (const auto& cs : corpus().changesets) {
+    auto more = ds::filetree_sentences(cs);
+    sentences.insert(sentences.end(), more.begin(), more.end());
+    if (sentences.size() > 2000) break;
+  }
+  ml::Word2VecConfig config;
+  config.epochs = 1;
+  for (auto _ : state) {
+    ml::Word2Vec w2v(config);
+    w2v.train(sentences);
+    benchmark::DoNotOptimize(w2v.vocab_size());
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) *
+                          int64_t(sentences.size()));
+}
+BENCHMARK(BM_Word2VecEpoch);
+
+void BM_ChangesetSerialize(benchmark::State& state) {
+  const auto& cs = corpus().changesets.front();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cs.to_binary());
+  }
+  state.SetBytesProcessed(int64_t(state.iterations()) *
+                          int64_t(cs.size_bytes()));
+}
+BENCHMARK(BM_ChangesetSerialize);
+
+void BM_InstallerInstall(benchmark::State& state) {
+  const auto catalog = pkg::Catalog::subset(42, 20, 2);
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto clock = fs::make_clock();
+    fs::InMemoryFilesystem filesystem(clock);
+    pkg::provision_base_image(filesystem);
+    pkg::Installer installer(filesystem, catalog, Rng(1));
+    state.ResumeTiming();
+    installer.install("nginx");
+  }
+}
+BENCHMARK(BM_InstallerInstall);
+
+}  // namespace
+
+BENCHMARK_MAIN();

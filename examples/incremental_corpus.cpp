@@ -1,0 +1,99 @@
+// The incremental-corpus workflow the paper motivates (§V-D, §VI): a
+// software repository gains new packages every "day"; Praxi absorbs them
+// with cheap online updates, while a full retrain (DeltaSherlock-style) gets
+// costlier as the corpus grows. After several incremental days the operator
+// runs the recommended weekly full retrain to recover any drift.
+//
+// Run:  ./incremental_corpus [days]
+#include <cstdlib>
+#include <iostream>
+
+#include "common/stopwatch.hpp"
+#include "eval/harness.hpp"
+#include "eval/metrics.hpp"
+#include "eval/table.hpp"
+#include "pkg/dataset.hpp"
+
+int main(int argc, char** argv) {
+  using namespace praxi;
+
+  const int days = argc > 1 ? std::atoi(argv[1]) : 6;
+  const std::size_t apps_per_day = 8;
+  const std::size_t train_per_app = 6;
+  const std::size_t test_per_app = 3;
+
+  const auto catalog = pkg::Catalog::standard(42);
+  const auto all_apps = catalog.application_names();
+  const std::size_t max_apps =
+      std::min(all_apps.size(), apps_per_day * std::size_t(days));
+
+  pkg::DatasetBuilder builder(catalog, 7);
+  pkg::CollectOptions options;
+  options.samples_per_app = train_per_app + test_per_app;
+  options.app_filter.assign(all_apps.begin(), all_apps.begin() + max_apps);
+  const pkg::Dataset dataset = builder.collect_dirty(options);
+
+  std::map<std::string, std::vector<const fs::Changeset*>> by_app;
+  for (const auto& cs : dataset.changesets) {
+    by_app[cs.labels().front()].push_back(&cs);
+  }
+
+  core::Praxi online_model;  // updated incrementally, never reset
+  std::vector<const fs::Changeset*> cumulative_train, cumulative_test;
+  eval::TextTable table({"day", "corpus apps", "update time", "full-retrain time",
+                         "online F1", "retrain F1"});
+
+  for (int day = 0; day < days; ++day) {
+    const std::size_t begin = day * apps_per_day;
+    if (begin >= max_apps) break;
+    const std::size_t end = std::min(begin + apps_per_day, max_apps);
+
+    // Today's new packages arrive.
+    std::vector<const fs::Changeset*> today;
+    for (std::size_t a = begin; a < end; ++a) {
+      const auto& samples = by_app.at(all_apps[a]);
+      for (std::size_t i = 0; i < samples.size(); ++i) {
+        if (i < test_per_app) {
+          cumulative_test.push_back(samples[i]);
+        } else {
+          today.push_back(samples[i]);
+        }
+      }
+    }
+    cumulative_train.insert(cumulative_train.end(), today.begin(),
+                            today.end());
+
+    // Online update: only today's samples touch the model.
+    Stopwatch online_timer;
+    online_model.train_changesets(today);
+    const double online_s = online_timer.elapsed_s();
+
+    // The alternative: retrain from scratch on everything.
+    core::Praxi scratch_model;
+    Stopwatch scratch_timer;
+    scratch_model.train_changesets(cumulative_train);
+    const double scratch_s = scratch_timer.elapsed_s();
+
+    auto f1_of = [&](const core::Praxi& model) {
+      std::vector<std::vector<std::string>> truths, predictions;
+      for (const fs::Changeset* cs : cumulative_test) {
+        truths.push_back(cs->labels());
+        predictions.push_back(model.predict(*cs));
+      }
+      return eval::evaluate(truths, predictions).weighted_f1();
+    };
+
+    table.add_row({"day " + std::to_string(day + 1), std::to_string(end),
+                   eval::fmt_double(online_s * 1e3) + " ms",
+                   eval::fmt_double(scratch_s * 1e3) + " ms",
+                   eval::fmt_percent(f1_of(online_model)),
+                   eval::fmt_percent(f1_of(scratch_model))});
+  }
+
+  table.print(std::cout);
+  std::cout << "\nThe online column is the paper's point: each day costs the "
+               "same small update,\nwhile full retraining grows with the "
+               "corpus. The paper recommends an occasional\nfull retrain "
+               "(e.g. weekly) to claw back the small accuracy drift.\n";
+  return 0;
+}

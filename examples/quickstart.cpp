@@ -1,0 +1,72 @@
+// Quickstart: the complete Praxi loop on a simulated cloud instance.
+//
+//   1. build the synthetic package catalog and collect a small labeled
+//      corpus of dirty changesets (installations observed under noise);
+//   2. train a Praxi model (Columbus tags -> hashed online learner);
+//   3. install a "mystery" package on a fresh instance, record the
+//      changeset, and let Praxi identify it.
+//
+// Run:  ./quickstart [apps-per-sample-count]
+#include <cstdlib>
+#include <iostream>
+
+#include "core/praxi.hpp"
+#include "eval/harness.hpp"
+#include "fs/recorder.hpp"
+#include "pkg/dataset.hpp"
+#include "pkg/installer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace praxi;
+
+  const std::size_t samples_per_app =
+      argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 5;
+
+  // ---- 1. Corpus -----------------------------------------------------------
+  // A reduced catalog keeps the quickstart fast; Catalog::standard(seed)
+  // builds the full 73 + 10 application corpus.
+  const auto catalog = pkg::Catalog::subset(/*seed=*/42, /*repo=*/12,
+                                            /*manual=*/2);
+  std::cout << "Catalog: " << catalog.application_count()
+            << " applications, " << catalog.dependency_names().size()
+            << " dependency packages\n";
+
+  pkg::DatasetBuilder builder(catalog, /*seed=*/7);
+  pkg::CollectOptions options;
+  options.samples_per_app = samples_per_app;
+  const pkg::Dataset corpus = builder.collect_dirty(options);
+  std::cout << "Collected " << corpus.size() << " dirty changesets ("
+            << corpus.total_bytes() / 1024 << " KB of records)\n";
+
+  // ---- 2. Train ------------------------------------------------------------
+  core::Praxi model;  // defaults: single-label, Columbus top-25 tags
+  model.train_changesets(eval::pointers(corpus));
+  std::cout << "Trained on " << corpus.size() << " tagsets in "
+            << model.overhead().train_s << "s; model is "
+            << model.model_bytes() / 1024 << " KB\n\n";
+
+  // ---- 3. Discover ---------------------------------------------------------
+  // A fresh instance: something gets installed while we watch.
+  auto clock = fs::make_clock();
+  fs::InMemoryFilesystem instance(clock);
+  pkg::provision_base_image(instance);
+  pkg::Installer installer(instance, catalog, Rng(99));
+  fs::ChangesetRecorder recorder(instance);
+
+  const std::string mystery = catalog.repository_names()[3];
+  installer.install(mystery);
+  const fs::Changeset observed = recorder.eject();
+
+  const auto tags = model.extract_tags(observed);
+  std::cout << "Observed " << observed.size() << " filesystem changes; "
+            << "Columbus reduced them to " << tags.size() << " tags:\n  ";
+  for (std::size_t i = 0; i < tags.tags.size() && i < 8; ++i) {
+    std::cout << tags.tags[i].text << ":" << tags.tags[i].frequency << " ";
+  }
+  std::cout << "...\n";
+
+  const auto verdict = model.predict(observed);
+  std::cout << "\nPraxi says: " << verdict.front() << "\n";
+  std::cout << "Truth:      " << mystery << "\n";
+  return verdict.front() == mystery ? 0 : 1;
+}

@@ -1,0 +1,217 @@
+#include "cli/cli.hpp"
+
+#include <filesystem>
+#include <map>
+#include <ostream>
+#include <stdexcept>
+
+#include "common/serialize.hpp"
+#include "common/strings.hpp"
+#include "core/praxi.hpp"
+#include "eval/harness.hpp"
+#include "pkg/dataset.hpp"
+
+namespace praxi::cli {
+namespace {
+
+/// Minimal option parser: --key value / --key=value / flags / positionals.
+struct Options {
+  std::map<std::string, std::string> named;
+  std::vector<std::string> positional;
+
+  static Options parse(const std::vector<std::string>& args,
+                       std::size_t start) {
+    Options options;
+    for (std::size_t i = start; i < args.size(); ++i) {
+      const std::string& arg = args[i];
+      if (arg.rfind("--", 0) == 0) {
+        const auto eq = arg.find('=');
+        if (eq != std::string::npos) {
+          options.named[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+        } else if (i + 1 < args.size() && args[i + 1].rfind("--", 0) != 0) {
+          options.named[arg.substr(2)] = args[++i];
+        } else {
+          options.named[arg.substr(2)] = "true";
+        }
+      } else if (arg == "-n" && i + 1 < args.size()) {
+        options.named["n"] = args[++i];
+      } else {
+        options.positional.push_back(arg);
+      }
+    }
+    return options;
+  }
+
+  std::string get(const std::string& key, const std::string& fallback) const {
+    auto it = named.find(key);
+    return it == named.end() ? fallback : it->second;
+  }
+
+  bool has(const std::string& key) const { return named.count(key) > 0; }
+};
+
+int usage(std::ostream& err) {
+  err << "usage: praxi-cli <command> [options]\n"
+         "commands:\n"
+         "  demo-corpus --out DIR [--apps N] [--samples N] [--seed N]\n"
+         "  tags FILE...\n"
+         "  train --model OUT [--multi] [--append] FILE...\n"
+         "  predict --model M [-n N] FILE...\n"
+         "  inspect --model M\n";
+  return 2;
+}
+
+fs::Changeset load_changeset(const std::string& path) {
+  return fs::Changeset::from_text(read_file(path));
+}
+
+int cmd_demo_corpus(const Options& options, std::ostream& out,
+                    std::ostream& err) {
+  if (!options.has("out")) {
+    err << "demo-corpus: --out DIR is required\n";
+    return 2;
+  }
+  const std::string dir = options.get("out", "");
+  const auto apps = std::stoul(options.get("apps", "8"));
+  const auto samples = std::stoul(options.get("samples", "4"));
+  const auto seed = std::stoull(options.get("seed", "42"));
+
+  std::filesystem::create_directories(dir);
+  const auto catalog =
+      pkg::Catalog::subset(seed, apps, std::min<std::size_t>(apps / 4, 10));
+  pkg::DatasetBuilder builder(catalog, seed);
+  pkg::CollectOptions collect;
+  collect.samples_per_app = samples;
+  const pkg::Dataset dataset = builder.collect_dirty(collect);
+
+  std::map<std::string, int> counters;
+  for (const auto& cs : dataset.changesets) {
+    const std::string& label = cs.labels().front();
+    const std::string path = dir + "/" + label + "-" +
+                             std::to_string(counters[label]++) + ".changeset";
+    write_file(path, cs.to_text());
+  }
+  out << "wrote " << dataset.size() << " changesets ("
+      << dataset.labels.size() << " applications) to " << dir << "\n";
+  return 0;
+}
+
+int cmd_tags(const Options& options, std::ostream& out, std::ostream& err) {
+  if (options.positional.empty()) {
+    err << "tags: at least one changeset file required\n";
+    return 2;
+  }
+  columbus::Columbus columbus;
+  for (const auto& path : options.positional) {
+    const auto tagset = columbus.extract(load_changeset(path));
+    out << path << ":\n" << tagset.to_text();
+  }
+  return 0;
+}
+
+int cmd_train(const Options& options, std::ostream& out, std::ostream& err) {
+  if (!options.has("model") || options.positional.empty()) {
+    err << "train: --model OUT and at least one labeled changeset file "
+           "required\n";
+    return 2;
+  }
+  const std::string model_path = options.get("model", "");
+
+  core::Praxi model = [&] {
+    if (options.has("append")) {
+      // Incremental training continues from an existing model.
+      return core::Praxi::from_binary(read_file(model_path));
+    }
+    core::PraxiConfig config;
+    config.mode = options.has("multi") ? core::LabelMode::kMultiLabel
+                                       : core::LabelMode::kSingleLabel;
+    return core::Praxi(config);
+  }();
+
+  std::vector<fs::Changeset> changesets;
+  changesets.reserve(options.positional.size());
+  for (const auto& path : options.positional) {
+    changesets.push_back(load_changeset(path));
+    if (changesets.back().labels().empty()) {
+      err << "train: " << path << " carries no label\n";
+      return 1;
+    }
+  }
+  std::vector<const fs::Changeset*> pointers;
+  for (const auto& cs : changesets) pointers.push_back(&cs);
+  model.train_changesets(pointers);
+
+  write_file(model_path, model.to_binary());
+  out << (options.has("append") ? "updated" : "trained") << " model on "
+      << changesets.size() << " changesets (" << model.labels().size()
+      << " labels) -> " << model_path << "\n";
+  return 0;
+}
+
+int cmd_predict(const Options& options, std::ostream& out,
+                std::ostream& err) {
+  if (!options.has("model") || options.positional.empty()) {
+    err << "predict: --model M and at least one changeset file required\n";
+    return 2;
+  }
+  const core::Praxi model =
+      core::Praxi::from_binary(read_file(options.get("model", "")));
+  const auto n = std::stoul(options.get("n", "1"));
+  for (const auto& path : options.positional) {
+    const auto predicted = model.predict(load_changeset(path), n);
+    out << path << ": " << join(predicted, " ") << "\n";
+  }
+  return 0;
+}
+
+int cmd_inspect(const Options& options, std::ostream& out,
+                std::ostream& err) {
+  if (!options.has("model")) {
+    err << "inspect: --model M required\n";
+    return 2;
+  }
+  const core::Praxi model =
+      core::Praxi::from_binary(read_file(options.get("model", "")));
+  out << "mode: "
+      << (model.mode() == core::LabelMode::kSingleLabel ? "single-label"
+                                                        : "multi-label")
+      << "\nsize: " << format_bytes(model.model_bytes())
+      << "\nlabels (" << model.labels().size() << "):\n";
+  for (const auto& label : model.labels().names()) {
+    out << "  " << label << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int run(const std::vector<std::string>& argv, std::ostream& out,
+        std::ostream& err) {
+  if (argv.empty()) return usage(err);
+  const std::string& command = argv[0];
+  const Options options = Options::parse(argv, 1);
+  try {
+    if (command == "demo-corpus") return cmd_demo_corpus(options, out, err);
+    if (command == "tags") return cmd_tags(options, out, err);
+    if (command == "train") return cmd_train(options, out, err);
+    if (command == "predict") return cmd_predict(options, out, err);
+    if (command == "inspect") return cmd_inspect(options, out, err);
+    if (command == "--help" || command == "help") {
+      usage(out);
+      return 0;
+    }
+  } catch (const std::exception& e) {
+    err << command << ": " << e.what() << "\n";
+    return 1;
+  }
+  err << "unknown command: " << command << "\n";
+  return usage(err);
+}
+
+int run_main(int argc, char** argv, std::ostream& out, std::ostream& err) {
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+  return run(args, out, err);
+}
+
+}  // namespace praxi::cli

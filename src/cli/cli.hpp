@@ -1,0 +1,33 @@
+// praxi-cli: the command-line face of the library, covering the operator
+// workflow end to end:
+//
+//   praxi-cli demo-corpus --out DIR [--apps N] [--samples N] [--seed N]
+//       generate a labeled demo corpus of changeset text files
+//   praxi-cli tags FILE...
+//       run Columbus over changeset files and print their tagsets
+//   praxi-cli train --model OUT [--multi] FILE...
+//       train a Praxi model from labeled changeset files
+//   praxi-cli predict --model M [-n N] FILE...
+//       classify unlabeled changeset files
+//   praxi-cli inspect --model M
+//       show a model's mode, labels, and size
+//
+// The entry point is a pure function over argv and streams so tests can
+// drive every command without spawning processes.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace praxi::cli {
+
+/// Runs one CLI invocation. argv[0] is the command name ("demo-corpus",
+/// "tags", ...), not the program path. Returns a process exit code.
+int run(const std::vector<std::string>& argv, std::ostream& out,
+        std::ostream& err);
+
+/// Convenience for main(): skips argv[0] and forwards.
+int run_main(int argc, char** argv, std::ostream& out, std::ostream& err);
+
+}  // namespace praxi::cli

@@ -1,0 +1,84 @@
+#include "columbus/columbus.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/strings.hpp"
+
+namespace praxi::columbus {
+
+Columbus::Columbus(ColumbusConfig config) : config_(config) {}
+
+TagSet Columbus::extract(const fs::Changeset& changeset) const {
+  std::vector<std::string> paths;
+  std::vector<bool> executable;
+  paths.reserve(changeset.size());
+  executable.reserve(changeset.size());
+  for (const auto& rec : changeset.records()) {
+    paths.push_back(rec.path);
+    executable.push_back(rec.executable());
+  }
+  TagSet ts = extract_from_paths(paths, executable);
+  ts.labels = changeset.labels();
+  return ts;
+}
+
+TagSet Columbus::extract_from_paths(const std::vector<std::string>& paths,
+                                    const std::vector<bool>& executable) const {
+  FrequencyTrie ft_name;  // every segment of every path
+  FrequencyTrie ft_exec;  // basenames of executable files only
+
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    for (const auto& token : tokenizer_.tokenize(paths[i])) {
+      ft_name.insert(token);
+    }
+    if (i < executable.size() && executable[i]) {
+      for (const auto& token : tokenizer_.tokenize(basename(paths[i]))) {
+        ft_exec.insert(token);
+      }
+    }
+  }
+
+  const auto name_tags = ft_name.extract_tags(
+      config_.min_tag_length, config_.min_frequency, config_.top_k);
+  const auto exec_tags = ft_exec.extract_tags(
+      config_.min_tag_length, config_.min_frequency, config_.top_k);
+
+  // Merge the two ranked lists: a tag found in both tries keeps its higher
+  // frequency (the exec trie indexes a subset of the name trie's tokens, so
+  // summing would double-count).
+  std::unordered_map<std::string, std::uint32_t> merged;
+  for (const auto& tag : name_tags) {
+    auto [it, inserted] = merged.emplace(tag.text, tag.frequency);
+    if (!inserted) it->second = std::max(it->second, tag.frequency);
+  }
+  for (const auto& tag : exec_tags) {
+    auto [it, inserted] = merged.emplace(tag.text, tag.frequency);
+    if (!inserted) it->second = std::max(it->second, tag.frequency);
+  }
+
+  TagSet ts;
+  ts.tags.reserve(merged.size());
+  for (auto& [text, frequency] : merged) ts.tags.push_back(Tag{text, frequency});
+  std::sort(ts.tags.begin(), ts.tags.end(), [](const Tag& a, const Tag& b) {
+    if (a.frequency != b.frequency) return a.frequency > b.frequency;
+    return a.text < b.text;
+  });
+  return ts;
+}
+
+TagSet Columbus::extract_from_tree(const fs::InMemoryFilesystem& filesystem,
+                                   std::string_view root) const {
+  std::vector<std::string> paths;
+  std::vector<bool> executable;
+  filesystem.walk(
+      [&](const std::string& path, bool is_dir, std::uint16_t mode,
+          std::uint64_t) {
+        paths.push_back(path);
+        executable.push_back(!is_dir && (mode & 0111) != 0);
+      },
+      root);
+  return extract_from_paths(paths, executable);
+}
+
+}  // namespace praxi::columbus

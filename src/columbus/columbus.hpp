@@ -1,0 +1,56 @@
+// Columbus: practice-based software discovery via filesystem naming
+// conventions (Nadgowda et al., IC2E'17; paper §II-B).
+//
+// Columbus builds two frequency tries over the tokens of a set of filepaths:
+// FT_name indexes every path segment, FT_exec indexes only the basenames of
+// executable files. Tags (most-frequent longest-common-prefixes) are
+// extracted from each trie, ranked by frequency, truncated to the top k, and
+// merged. Praxi applies Columbus not to a whole filesystem scan but to the
+// changed paths inside a changeset (§III-B), so the resulting tagset
+// describes only what happened during the recording window.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "columbus/tagset.hpp"
+#include "columbus/tokenizer.hpp"
+#include "fs/changeset.hpp"
+#include "fs/filesystem.hpp"
+
+namespace praxi::columbus {
+
+struct ColumbusConfig {
+  /// Tags kept per trie after ranking (the paper's heuristic k).
+  std::size_t top_k = 25;
+  /// Tags must occur more than once — this is the noise filter of §III-B.
+  std::uint32_t min_frequency = 2;
+  /// Shorter prefixes are too generic to be informative.
+  std::size_t min_tag_length = 3;
+};
+
+class Columbus {
+ public:
+  explicit Columbus(ColumbusConfig config = {});
+
+  /// Praxi's usage: tags from the changed paths of one changeset. The
+  /// returned tagset inherits the changeset's ground-truth labels.
+  TagSet extract(const fs::Changeset& changeset) const;
+
+  /// Core primitive: tags from an explicit path list. `executable[i]` marks
+  /// paths feeding FT_exec (pass an empty vector when unknown).
+  TagSet extract_from_paths(const std::vector<std::string>& paths,
+                            const std::vector<bool>& executable) const;
+
+  /// The original Columbus use-case: scan an entire filesystem tree.
+  TagSet extract_from_tree(const fs::InMemoryFilesystem& filesystem,
+                           std::string_view root = "/") const;
+
+  const ColumbusConfig& config() const { return config_; }
+
+ private:
+  Tokenizer tokenizer_;
+  ColumbusConfig config_;
+};
+
+}  // namespace praxi::columbus

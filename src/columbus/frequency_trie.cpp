@@ -1,0 +1,93 @@
+#include "columbus/frequency_trie.hpp"
+
+#include <algorithm>
+
+namespace praxi::columbus {
+
+void FrequencyTrie::insert(std::string_view token) {
+  if (token.empty()) return;
+  ++token_count_;
+  Node* node = &root_;
+  node->frequency += 1;
+  for (char c : token) {
+    auto it = node->children.find(c);
+    if (it == node->children.end()) {
+      it = node->children.emplace(c, std::make_unique<Node>()).first;
+    }
+    node = it->second.get();
+    node->frequency += 1;
+  }
+  node->terminal += 1;
+}
+
+std::uint32_t FrequencyTrie::prefix_frequency(std::string_view prefix) const {
+  const Node* node = &root_;
+  for (char c : prefix) {
+    auto it = node->children.find(c);
+    if (it == node->children.end()) return 0;
+    node = it->second.get();
+  }
+  return node == &root_ ? 0 : node->frequency;
+}
+
+std::vector<Tag> FrequencyTrie::extract_tags(std::size_t min_length,
+                                             std::uint32_t min_frequency,
+                                             std::size_t top_k) const {
+  std::vector<Tag> tags;
+
+  // Iterative DFS carrying the prefix string. A node emits a tag when any
+  // outgoing edge drops in frequency — including the implicit drop at a
+  // terminal (tokens ending here make every child strictly rarer).
+  struct Frame {
+    const Node* node;
+    std::string prefix;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({&root_, ""});
+  while (!stack.empty()) {
+    Frame frame = std::move(stack.back());
+    stack.pop_back();
+    const Node& node = *frame.node;
+
+    if (frame.node != &root_) {
+      bool drop = node.terminal > 0;  // token ends here => children are rarer
+      if (!drop) {
+        for (const auto& [c, child] : node.children) {
+          if (child->frequency < node.frequency) {
+            drop = true;
+            break;
+          }
+        }
+      }
+      if (drop && frame.prefix.size() >= min_length &&
+          node.frequency >= min_frequency) {
+        tags.push_back(Tag{frame.prefix, node.frequency});
+      }
+    }
+
+    for (const auto& [c, child] : node.children) {
+      stack.push_back({child.get(), frame.prefix + c});
+    }
+  }
+
+  std::sort(tags.begin(), tags.end(), [](const Tag& a, const Tag& b) {
+    if (a.frequency != b.frequency) return a.frequency > b.frequency;
+    return a.text < b.text;
+  });
+  if (top_k > 0 && tags.size() > top_k) tags.resize(top_k);
+  return tags;
+}
+
+std::size_t FrequencyTrie::memory_bytes() const {
+  std::size_t bytes = 0;
+  std::vector<const Node*> stack{&root_};
+  while (!stack.empty()) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    bytes += sizeof(Node) + node->children.size() * 48;  // map node overhead
+    for (const auto& [c, child] : node->children) stack.push_back(child.get());
+  }
+  return bytes;
+}
+
+}  // namespace praxi::columbus

@@ -1,0 +1,64 @@
+// Character-level frequency trie (FT) — the core Columbus data structure
+// (paper §II-B, Fig. 1).
+//
+// Tokens are indexed character by character, each node counting how many
+// inserted tokens pass through it. A *tag* is the most-frequent
+// longest-common-prefix: whenever the frequency of a child node is smaller
+// than its parent's, the path from the root to the parent is emitted as a
+// tag with the parent's frequency. For the inputs [man, mysqld, mysqldb,
+// mysqldump, mysqladmin] the non-trivial tags are mysql:4 and mysqld:3,
+// exactly as in the paper's Fig. 1.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace praxi::columbus {
+
+struct Tag {
+  std::string text;
+  std::uint32_t frequency = 0;
+
+  friend bool operator==(const Tag&, const Tag&) = default;
+};
+
+class FrequencyTrie {
+ public:
+  FrequencyTrie() = default;
+
+  /// Indexes one token occurrence (duplicates accumulate frequency).
+  void insert(std::string_view token);
+
+  /// Number of tokens inserted so far.
+  std::uint64_t token_count() const { return token_count_; }
+
+  /// Frequency of the exact prefix `prefix` (0 when absent).
+  std::uint32_t prefix_frequency(std::string_view prefix) const;
+
+  /// Extracts all tags satisfying the frequency-drop rule with
+  /// length >= min_length and frequency >= min_frequency, ordered by
+  /// descending frequency (ties: lexicographic), truncated to top_k
+  /// (top_k == 0 means unlimited).
+  std::vector<Tag> extract_tags(std::size_t min_length,
+                                std::uint32_t min_frequency,
+                                std::size_t top_k) const;
+
+  /// Approximate memory footprint in bytes (for overhead accounting).
+  std::size_t memory_bytes() const;
+
+ private:
+  struct Node {
+    std::uint32_t frequency = 0;
+    std::uint32_t terminal = 0;  ///< tokens ending exactly here
+    std::map<char, std::unique_ptr<Node>> children;
+  };
+
+  Node root_;
+  std::uint64_t token_count_ = 0;
+};
+
+}  // namespace praxi::columbus

@@ -1,0 +1,61 @@
+#include "columbus/tagset.hpp"
+
+#include <stdexcept>
+
+#include "common/strings.hpp"
+
+namespace praxi::columbus {
+
+std::uint32_t TagSet::frequency_of(std::string_view text) const {
+  for (const Tag& tag : tags) {
+    if (tag.text == text) return tag.frequency;
+  }
+  return 0;
+}
+
+std::size_t TagSet::size_bytes() const {
+  std::size_t total = 8;  // "labels=" + newline
+  for (const auto& label : labels) total += label.size() + 1;
+  for (const auto& tag : tags) total += tag.text.size() + 12;
+  return total;
+}
+
+std::string TagSet::to_text() const {
+  std::string out = "labels=";
+  out += join(labels, ",");
+  out += '\n';
+  bool first = true;
+  for (const Tag& tag : tags) {
+    if (!first) out += ' ';
+    out += tag.text;
+    out += ':';
+    out += std::to_string(tag.frequency);
+    first = false;
+  }
+  out += '\n';
+  return out;
+}
+
+TagSet TagSet::from_text(std::string_view text) {
+  TagSet ts;
+  const auto lines = split_keep_empty(text, '\n');
+  if (lines.empty() || lines[0].rfind("labels=", 0) != 0)
+    throw std::invalid_argument("tagset text missing labels header");
+  const std::string label_csv = lines[0].substr(7);
+  if (!label_csv.empty()) ts.labels = split(label_csv, ',');
+  if (lines.size() > 1) {
+    for (const auto& field : split(lines[1], ' ')) {
+      const auto colon = field.rfind(':');
+      if (colon == std::string::npos)
+        throw std::invalid_argument("bad tag field: " + field);
+      Tag tag;
+      tag.text = field.substr(0, colon);
+      tag.frequency =
+          static_cast<std::uint32_t>(std::stoul(field.substr(colon + 1)));
+      ts.tags.push_back(std::move(tag));
+    }
+  }
+  return ts;
+}
+
+}  // namespace praxi::columbus

@@ -1,0 +1,38 @@
+// Tagsets: the output of Columbus and the feature representation Praxi
+// learns from (paper §III-B). A tagset is the small set of practice-derived
+// strings (with frequencies) that summarize one changeset — typically under
+// a kilobyte, versus kilobytes-to-megabytes for the changeset itself.
+//
+// The text serialization is the paper's "basic space-separated-value string"
+// format, with a header line carrying the ground-truth labels.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "columbus/frequency_trie.hpp"
+
+namespace praxi::columbus {
+
+struct TagSet {
+  std::vector<Tag> tags;             ///< descending frequency
+  std::vector<std::string> labels;   ///< ground-truth application names
+
+  std::size_t size() const { return tags.size(); }
+  bool empty() const { return tags.empty(); }
+
+  /// Frequency of `text` in this tagset (0 when absent).
+  std::uint32_t frequency_of(std::string_view text) const;
+
+  /// On-disk footprint of the text serialization.
+  std::size_t size_bytes() const;
+
+  /// "labels=a,b\ntag:freq tag:freq ...\n"
+  std::string to_text() const;
+  static TagSet from_text(std::string_view text);
+
+  friend bool operator==(const TagSet&, const TagSet&) = default;
+};
+
+}  // namespace praxi::columbus

@@ -1,0 +1,64 @@
+#include "columbus/tokenizer.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/strings.hpp"
+
+namespace praxi::columbus {
+namespace {
+
+std::vector<std::string> default_system_tokens() {
+  return {
+      // Filesystem Hierarchy Standard directories.
+      "bin",   "boot",  "dev",   "etc",    "home",   "lib",    "lib32",
+      "lib64", "media", "mnt",   "opt",    "proc",   "root",   "run",
+      "sbin",  "srv",   "sys",   "tmp",    "usr",    "var",    "local",
+      "share", "cache", "log",   "spool",  "backups", "state",
+      // Documentation / man trees.
+      "doc",   "docs",  "info",  "man",    "man1",   "man2",   "man3",
+      "man4",  "man5",  "man6",  "man7",   "man8",   "examples",
+      // Packaging boilerplate.
+      "dpkg",  "apt",   "archives", "conf.d", "init.d", "default",
+      "logrotate.d", "systemd", "system", "dist-packages", "site-packages",
+      "x86_64-linux-gnu", "__pycache__", "tests",
+      // Common non-informative names.
+      "ubuntu", "debian", "python3", "src", "include", "plugin", "plugins",
+      "journal", "entries",
+  };
+}
+
+bool all_digits_or_punct(std::string_view token) {
+  for (char c : token) {
+    if (std::isalpha(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Tokenizer::Tokenizer() : Tokenizer(default_system_tokens()) {}
+
+Tokenizer::Tokenizer(std::vector<std::string> system_tokens)
+    : system_tokens_(std::move(system_tokens)) {
+  std::sort(system_tokens_.begin(), system_tokens_.end());
+}
+
+bool Tokenizer::is_system_token(std::string_view token) const {
+  return std::binary_search(system_tokens_.begin(), system_tokens_.end(),
+                            token);
+}
+
+std::vector<std::string> Tokenizer::tokenize(std::string_view path) const {
+  std::vector<std::string> tokens;
+  for (auto& segment : split(path, '/')) {
+    if (segment.size() < 2) continue;           // single chars carry no signal
+    if (all_digits_or_punct(segment)) continue;  // versions, PIDs, hex blobs
+    std::string lowered = to_lower(segment);
+    if (is_system_token(lowered)) continue;
+    tokens.push_back(std::move(lowered));
+  }
+  return tokens;
+}
+
+}  // namespace praxi::columbus

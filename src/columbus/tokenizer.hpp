@@ -1,0 +1,33 @@
+// Path tokenization for Columbus (paper §II-B).
+//
+// Each filepath is tokenized into its directory and file-name segments
+// ("/etc/mysql/conf.d" -> ["etc", "mysql", "conf.d"]); common system tokens
+// (etc, usr, ...) are removed; the surviving tokens feed the frequency trie.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace praxi::columbus {
+
+class Tokenizer {
+ public:
+  /// Constructs with the default system-token filter (standard FHS directory
+  /// names, man sections, packaging boilerplate names, ...).
+  Tokenizer();
+
+  /// Constructs with a caller-provided filter list.
+  explicit Tokenizer(std::vector<std::string> system_tokens);
+
+  /// Splits a path into segments and drops system tokens, pure numbers, and
+  /// single-character segments.
+  std::vector<std::string> tokenize(std::string_view path) const;
+
+  bool is_system_token(std::string_view token) const;
+
+ private:
+  std::vector<std::string> system_tokens_;  // sorted for binary search
+};
+
+}  // namespace praxi::columbus

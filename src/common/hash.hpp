@@ -1,0 +1,27 @@
+// MurmurHash3 — the hash family used by Vowpal Wabbit for input feature
+// hashing (paper §III-C cites Murmurhash v3 [17]). Praxi's online learner
+// uses murmur3_32 to map free-form tag strings into a 2^b weight table.
+//
+// Reference implementation: Austin Appleby, public domain (SMHasher).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace praxi {
+
+/// 32-bit MurmurHash3 (x86 variant) over an arbitrary byte string.
+std::uint32_t murmur3_32(std::string_view data, std::uint32_t seed = 0) noexcept;
+
+/// 128-bit MurmurHash3 (x64 variant); returns the low 64 bits. Used where a
+/// wider hash lowers collision probability (e.g. changeset content digests).
+std::uint64_t murmur3_128_low64(std::string_view data, std::uint64_t seed = 0) noexcept;
+
+/// Stable non-cryptographic combiner for incremental digests.
+constexpr std::uint64_t hash_combine(std::uint64_t h, std::uint64_t v) noexcept {
+  // 64-bit variant of boost::hash_combine with the splitmix64 constant.
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 12) + (h >> 4);
+  return h;
+}
+
+}  // namespace praxi

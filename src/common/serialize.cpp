@@ -1,0 +1,25 @@
+#include "common/serialize.hpp"
+
+#include <fstream>
+
+namespace praxi {
+
+void write_file(const std::string& path, std::string_view bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw SerializeError("cannot open for write: " + path);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!out) throw SerializeError("short write: " + path);
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) throw SerializeError("cannot open for read: " + path);
+  const auto size = in.tellg();
+  in.seekg(0);
+  std::string bytes(static_cast<std::size_t>(size), '\0');
+  in.read(bytes.data(), size);
+  if (!in) throw SerializeError("short read: " + path);
+  return bytes;
+}
+
+}  // namespace praxi

@@ -1,0 +1,109 @@
+// Minimal binary (de)serialization used for model and changeset persistence.
+// Little-endian, length-prefixed; enough for our on-disk artifacts without
+// pulling in a serialization framework. Readers validate lengths and throw
+// SerializeError on malformed input (corrupt files are programming/IO errors,
+// not expected control flow).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+namespace praxi {
+
+class SerializeError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Appends primitives/strings/vectors to an owned byte buffer.
+class BinaryWriter {
+ public:
+  template <typename T>
+  void put(T value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto old = buf_.size();
+    buf_.resize(old + sizeof(T));
+    std::memcpy(buf_.data() + old, &value, sizeof(T));
+  }
+
+  void put_string(std::string_view s) {
+    put<std::uint32_t>(static_cast<std::uint32_t>(s.size()));
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+
+  template <typename T>
+  void put_vector(const std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    put<std::uint64_t>(v.size());
+    const auto old = buf_.size();
+    buf_.resize(old + v.size() * sizeof(T));
+    if (!v.empty()) std::memcpy(buf_.data() + old, v.data(), v.size() * sizeof(T));
+  }
+
+  const std::string& bytes() const { return buf_; }
+  std::string take() { return std::move(buf_); }
+  std::size_t size() const { return buf_.size(); }
+
+ private:
+  std::string buf_;
+};
+
+/// Sequentially decodes a byte buffer written by BinaryWriter.
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::string_view data) : data_(data) {}
+
+  template <typename T>
+  T get() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    require(sizeof(T));
+    T value;
+    std::memcpy(&value, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return value;
+  }
+
+  std::string get_string() {
+    const auto len = get<std::uint32_t>();
+    require(len);
+    std::string s(data_.substr(pos_, len));
+    pos_ += len;
+    return s;
+  }
+
+  template <typename T>
+  std::vector<T> get_vector() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto count = get<std::uint64_t>();
+    if (count > data_.size()) throw SerializeError("vector length out of range");
+    require(count * sizeof(T));
+    std::vector<T> v(count);
+    if (count > 0) std::memcpy(v.data(), data_.data() + pos_, count * sizeof(T));
+    pos_ += count * sizeof(T);
+    return v;
+  }
+
+  bool at_end() const { return pos_ == data_.size(); }
+  std::size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  void require(std::size_t n) const {
+    if (data_.size() - pos_ < n) throw SerializeError("truncated input");
+  }
+
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+/// Writes `bytes` to `path`, replacing any existing file. Throws on IO error.
+void write_file(const std::string& path, std::string_view bytes);
+
+/// Reads the entire file at `path`. Throws on IO error.
+std::string read_file(const std::string& path);
+
+}  // namespace praxi

@@ -1,0 +1,27 @@
+// Wall-clock stopwatch used by the evaluation harness to time training and
+// classification phases (paper Figs. 4(b), 5(b), 6(b) and Table III).
+#pragma once
+
+#include <chrono>
+
+namespace praxi {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double elapsed_s() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double elapsed_ms() const { return elapsed_s() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace praxi

@@ -1,0 +1,124 @@
+#include "common/strings.hpp"
+
+#include <cctype>
+#include <cstdint>
+#include <cstdio>
+
+namespace praxi {
+
+std::vector<std::string> split(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    std::size_t end = s.find(sep, start);
+    if (end == std::string_view::npos) end = s.size();
+    if (end > start) out.emplace_back(s.substr(start, end - start));
+    start = end + 1;
+  }
+  return out;
+}
+
+std::vector<std::string> split_keep_empty(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    std::size_t end = s.find(sep, start);
+    if (end == std::string_view::npos) {
+      out.emplace_back(s.substr(start));
+      break;
+    }
+    out.emplace_back(s.substr(start, end - start));
+    start = end + 1;
+  }
+  return out;
+}
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out.append(sep);
+    out.append(parts[i]);
+  }
+  return out;
+}
+
+std::string to_lower(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    out.push_back(static_cast<char>(
+        std::tolower(static_cast<unsigned char>(c))));
+  }
+  return out;
+}
+
+std::string_view basename(std::string_view path) {
+  const std::size_t pos = path.rfind('/');
+  if (pos == std::string_view::npos) return path;
+  return path.substr(pos + 1);
+}
+
+std::string_view dirname(std::string_view path) {
+  const std::size_t pos = path.rfind('/');
+  if (pos == std::string_view::npos) return {};
+  if (pos == 0) return path.substr(0, 1);
+  return path.substr(0, pos);
+}
+
+std::string normalize_path(std::string_view path) {
+  std::string out;
+  out.reserve(path.size() + 1);
+  out.push_back('/');
+  bool prev_slash = true;
+  for (char c : path) {
+    if (c == '/') {
+      if (!prev_slash) out.push_back('/');
+      prev_slash = true;
+    } else {
+      out.push_back(c);
+      prev_slash = false;
+    }
+  }
+  if (out.size() > 1 && out.back() == '/') out.pop_back();
+  return out;
+}
+
+bool path_has_prefix(std::string_view path, std::string_view prefix) {
+  if (prefix.empty()) return false;
+  if (prefix == "/") return !path.empty() && path.front() == '/';
+  if (path.size() < prefix.size()) return false;
+  if (path.compare(0, prefix.size(), prefix) != 0) return false;
+  return path.size() == prefix.size() || path[prefix.size()] == '/';
+}
+
+std::string format_bytes(std::uint64_t bytes) {
+  static constexpr const char* kUnits[] = {"B", "KB", "MB", "GB", "TB"};
+  double value = static_cast<double>(bytes);
+  int unit = 0;
+  while (value >= 1024.0 && unit < 4) {
+    value /= 1024.0;
+    ++unit;
+  }
+  char buf[64];
+  if (unit == 0) {
+    std::snprintf(buf, sizeof buf, "%llu B",
+                  static_cast<unsigned long long>(bytes));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.1f %s", value, kUnits[unit]);
+  }
+  return buf;
+}
+
+std::string format_duration_s(double seconds) {
+  char buf[64];
+  if (seconds >= 60.0) {
+    const int minutes = static_cast<int>(seconds) / 60;
+    const double rem = seconds - 60.0 * minutes;
+    std::snprintf(buf, sizeof buf, "%dm %.1fs", minutes, rem);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.2fs", seconds);
+  }
+  return buf;
+}
+
+}  // namespace praxi

@@ -1,0 +1,44 @@
+// Small string utilities shared across modules: path-oriented splitting,
+// joining, case folding, and prefix/suffix predicates. All functions take
+// string_view and allocate only for returned owned strings.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace praxi {
+
+/// Splits `s` on `sep`, dropping empty fields (so "/usr//bin/" -> ["usr","bin"]).
+std::vector<std::string> split(std::string_view s, char sep);
+
+/// Splits `s` on `sep`, keeping empty fields.
+std::vector<std::string> split_keep_empty(std::string_view s, char sep);
+
+/// Joins `parts` with `sep`.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// ASCII lower-casing (paths in our corpus are ASCII by construction).
+std::string to_lower(std::string_view s);
+
+/// Last path component ("" for paths ending in '/').
+std::string_view basename(std::string_view path);
+
+/// Everything before the last '/' ("/" for top-level entries).
+std::string_view dirname(std::string_view path);
+
+/// Normalizes a path: collapses duplicate '/', strips trailing '/'
+/// (except for the root itself), and guarantees a leading '/'.
+std::string normalize_path(std::string_view path);
+
+/// True when `path` equals `prefix` or lives strictly underneath it.
+/// Component-aware: "/usr/lib64" is NOT under "/usr/lib".
+bool path_has_prefix(std::string_view path, std::string_view prefix);
+
+/// Formats a byte count as a human-readable string ("12.3 MB").
+std::string format_bytes(std::uint64_t bytes);
+
+/// Formats seconds as "Xm Ys" / "X.XXs" as appropriate.
+std::string format_duration_s(double seconds);
+
+}  // namespace praxi

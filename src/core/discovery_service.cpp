@@ -1,0 +1,126 @@
+#include "core/discovery_service.hpp"
+
+#include <stdexcept>
+
+namespace praxi::core {
+
+DiscoveryService::DiscoveryService(fs::InMemoryFilesystem& filesystem,
+                                   Praxi model, DiscoveryServiceConfig config)
+    : filesystem_(filesystem),
+      model_(std::move(model)),
+      config_(config),
+      recorder_(filesystem),
+      last_sample_ms_(filesystem.clock()->now_ms()) {
+  if (!model_.trained())
+    throw std::invalid_argument("DiscoveryService: model must be trained");
+  filesystem_.subscribe(this);
+}
+
+DiscoveryService::~DiscoveryService() { filesystem_.unsubscribe(this); }
+
+void DiscoveryService::on_fs_event(const fs::FsEvent& event) {
+  recent_events_.push_back(event.time_ms);
+  const auto guard_ms =
+      static_cast<std::int64_t>(config_.boundary_guard_s * 1e3);
+  while (!recent_events_.empty() &&
+         event.time_ms - recent_events_.front() > guard_ms) {
+    recent_events_.pop_front();
+  }
+}
+
+std::size_t DiscoveryService::infer_quantity(
+    const fs::Changeset& changeset, const DiscoveryServiceConfig& config) {
+  // "Counting local maxima in the number of filesystem changes over time"
+  // (§V-B): bucket the record timeline into one-second bins, mark bins that
+  // hold at least hot_bucket_records changes as installation-grade activity,
+  // and count maximal hot runs (tolerating up to burst_gap_s of cold time
+  // inside a run — compiles and unpack pauses). Sparse background noise
+  // never heats a bucket, so it cannot bridge or fake a burst.
+  const auto& records = changeset.records();
+  if (records.empty()) return 0;
+
+  const std::int64_t t0 = records.front().time_ms;
+  const std::size_t buckets =
+      static_cast<std::size_t>((records.back().time_ms - t0) / 1000) + 1;
+  std::vector<std::uint32_t> histogram(buckets, 0);
+  for (const auto& rec : records) {
+    ++histogram[static_cast<std::size_t>((rec.time_ms - t0) / 1000)];
+  }
+
+  const auto max_cold = static_cast<std::size_t>(config.burst_gap_s);
+  std::size_t bursts = 0;
+  std::size_t run_records = 0;  // records in the current hot run
+  std::size_t cold_streak = 0;
+  bool in_run = false;
+  for (std::size_t b = 0; b < buckets; ++b) {
+    if (histogram[b] >= config.hot_bucket_records) {
+      in_run = true;
+      cold_streak = 0;
+      run_records += histogram[b];
+    } else if (in_run) {
+      if (++cold_streak > max_cold) {
+        if (run_records >= config.burst_min_records) ++bursts;
+        in_run = false;
+        run_records = 0;
+      }
+    }
+  }
+  if (in_run && run_records >= config.burst_min_records) ++bursts;
+  return bursts;
+}
+
+DiscoveryEvent DiscoveryService::classify(fs::Changeset changeset) {
+  DiscoveryEvent event;
+  event.open_time_ms = changeset.open_time_ms();
+  event.close_time_ms = changeset.close_time_ms();
+  event.record_count = changeset.size();
+  if (changeset.empty()) return event;
+
+  event.inferred_quantity = infer_quantity(changeset, config_);
+  if (event.inferred_quantity == 0) {
+    // Background noise only: nothing install-shaped happened this interval.
+    return event;
+  }
+  const std::size_t n = model_.mode() == LabelMode::kSingleLabel
+                            ? 1
+                            : event.inferred_quantity;
+  event.applications = model_.predict(changeset, n);
+  return event;
+}
+
+std::vector<DiscoveryEvent> DiscoveryService::poll() {
+  std::vector<DiscoveryEvent> events;
+  const std::int64_t now = filesystem_.clock()->now_ms();
+  const auto interval_ms = static_cast<std::int64_t>(config_.interval_s * 1e3);
+  if (now - last_sample_ms_ < interval_ms) return events;
+
+  // Partial-changeset guard (§VI): dense change activity near the boundary
+  // suggests an installation in flight; extend the window rather than split
+  // its footprint across two changesets — up to max_window_extension_s.
+  // A sparse background trickle must not hold the window open, so the guard
+  // arms only on installation-grade density.
+  const auto guard_ms =
+      static_cast<std::int64_t>(config_.boundary_guard_s * 1e3);
+  const auto max_extension_ms =
+      static_cast<std::int64_t>(config_.max_window_extension_s * 1e3);
+  std::size_t events_in_guard_window = 0;
+  for (auto it = recent_events_.rbegin(); it != recent_events_.rend(); ++it) {
+    if (now - *it >= guard_ms) break;
+    ++events_in_guard_window;
+  }
+  const bool activity_in_flight =
+      guard_ms > 0 && recorder_.pending_records() > 0 &&
+      events_in_guard_window >= config_.hot_bucket_records;
+  const bool can_extend = now - last_sample_ms_ < interval_ms + max_extension_ms;
+  if (activity_in_flight && can_extend) return events;
+
+  events.push_back(sample_now());
+  return events;
+}
+
+DiscoveryEvent DiscoveryService::sample_now() {
+  last_sample_ms_ = filesystem_.clock()->now_ms();
+  return classify(recorder_.eject());
+}
+
+}  // namespace praxi::core

@@ -1,0 +1,182 @@
+#include "core/praxi.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/serialize.hpp"
+#include "common/stopwatch.hpp"
+
+namespace praxi::core {
+
+Praxi::Praxi(PraxiConfig config)
+    : config_(config),
+      columbus_(config.columbus),
+      hasher_(config.learner.bits),
+      oaa_(config.learner),
+      csoaa_(config.learner) {}
+
+columbus::TagSet Praxi::extract_tags(const fs::Changeset& changeset) const {
+  return columbus_.extract(changeset);
+}
+
+ml::FeatureVector Praxi::features_of(const columbus::TagSet& tagset) const {
+  std::vector<std::pair<std::string, float>> tokens;
+  tokens.reserve(tagset.tags.size());
+  for (const auto& tag : tagset.tags) {
+    // log1p damping: a single huge-frequency tag (e.g. a build tree's
+    // random-named root directory) must not drown the informative tags
+    // after L2 normalization.
+    tokens.emplace_back(tag.text,
+                        std::log1p(static_cast<float>(tag.frequency)));
+  }
+  auto features = hasher_.hash(tokens);
+  ml::l2_normalize(features);
+  return features;
+}
+
+void Praxi::train(const std::vector<columbus::TagSet>& tagsets) {
+  Stopwatch timer;
+  if (config_.mode == LabelMode::kSingleLabel) {
+    std::vector<ml::Example> examples;
+    examples.reserve(tagsets.size());
+    for (const auto& ts : tagsets) {
+      if (ts.labels.size() != 1) {
+        throw std::invalid_argument(
+            "Praxi(kSingleLabel): tagset must carry exactly one label");
+      }
+      examples.push_back(ml::Example{features_of(ts), ts.labels.front()});
+      overhead_.tagset_bytes += ts.size_bytes();
+    }
+    oaa_.train(examples);
+  } else {
+    std::vector<ml::MultiExample> examples;
+    examples.reserve(tagsets.size());
+    for (const auto& ts : tagsets) {
+      if (ts.labels.empty()) {
+        throw std::invalid_argument(
+            "Praxi(kMultiLabel): tagset must carry at least one label");
+      }
+      examples.push_back(ml::MultiExample{features_of(ts), ts.labels});
+      overhead_.tagset_bytes += ts.size_bytes();
+    }
+    csoaa_.train(examples);
+  }
+  overhead_.train_s += timer.elapsed_s();
+  overhead_.model_bytes = model_bytes();
+  trained_ = true;
+}
+
+void Praxi::train_changesets(const std::vector<const fs::Changeset*>& corpus) {
+  Stopwatch timer;
+  std::vector<columbus::TagSet> tagsets;
+  tagsets.reserve(corpus.size());
+  for (const fs::Changeset* cs : corpus) tagsets.push_back(extract_tags(*cs));
+  overhead_.tag_extraction_s += timer.elapsed_s();
+  train(tagsets);
+}
+
+void Praxi::learn_one(const columbus::TagSet& tagset) {
+  if (config_.mode == LabelMode::kSingleLabel) {
+    if (tagset.labels.size() != 1) {
+      throw std::invalid_argument(
+          "Praxi(kSingleLabel): tagset must carry exactly one label");
+    }
+    oaa_.learn_one(features_of(tagset), tagset.labels.front());
+  } else {
+    if (tagset.labels.empty()) {
+      throw std::invalid_argument(
+          "Praxi(kMultiLabel): tagset must carry at least one label");
+    }
+    csoaa_.learn_one(features_of(tagset), tagset.labels);
+  }
+  overhead_.tagset_bytes += tagset.size_bytes();
+  trained_ = true;
+}
+
+std::vector<std::string> Praxi::predict(const fs::Changeset& changeset,
+                                        std::size_t n) const {
+  return predict_tags(extract_tags(changeset), n);
+}
+
+std::vector<std::string> Praxi::predict_tags(const columbus::TagSet& tagset,
+                                             std::size_t n) const {
+  if (!trained_) throw std::logic_error("Praxi: predict before train");
+  const auto features = features_of(tagset);
+  if (config_.mode == LabelMode::kSingleLabel) {
+    return {oaa_.predict(features)};
+  }
+  return csoaa_.predict_top_n(features, n);
+}
+
+std::vector<std::pair<std::string, float>> Praxi::ranked(
+    const columbus::TagSet& tagset) const {
+  if (!trained_) throw std::logic_error("Praxi: ranked before train");
+  const auto features = features_of(tagset);
+  if (config_.mode == LabelMode::kSingleLabel) {
+    return oaa_.scores(features);
+  }
+  // CSOAA costs ascend; flip sign so "higher is more likely" holds.
+  auto costs = csoaa_.costs(features);
+  std::vector<std::pair<std::string, float>> out;
+  out.reserve(costs.size());
+  for (auto& [label, cost] : costs) out.emplace_back(std::move(label), -cost);
+  return out;
+}
+
+void Praxi::reset() {
+  oaa_.reset();
+  csoaa_.reset();
+  overhead_ = PraxiOverhead{};
+  trained_ = false;
+}
+
+const ml::LabelSpace& Praxi::labels() const {
+  return config_.mode == LabelMode::kSingleLabel ? oaa_.labels()
+                                                 : csoaa_.labels();
+}
+
+std::size_t Praxi::model_bytes() const {
+  return config_.mode == LabelMode::kSingleLabel ? oaa_.size_bytes()
+                                                 : csoaa_.size_bytes();
+}
+
+std::string Praxi::to_binary() const {
+  BinaryWriter w;
+  w.put<std::uint32_t>(0x50525831U);  // "PRX1"
+  w.put<std::uint8_t>(static_cast<std::uint8_t>(config_.mode));
+  w.put<std::uint64_t>(config_.columbus.top_k);
+  w.put<std::uint32_t>(config_.columbus.min_frequency);
+  w.put<std::uint64_t>(config_.columbus.min_tag_length);
+  w.put<std::uint32_t>(config_.learner.bits);
+  w.put<std::uint8_t>(trained_ ? 1 : 0);
+  if (config_.mode == LabelMode::kSingleLabel) {
+    w.put_string(oaa_.to_binary());
+  } else {
+    w.put_string(csoaa_.to_binary());
+  }
+  return w.take();
+}
+
+Praxi Praxi::from_binary(std::string_view bytes) {
+  BinaryReader r(bytes);
+  if (r.get<std::uint32_t>() != 0x50525831U)
+    throw SerializeError("bad Praxi model magic");
+  PraxiConfig config;
+  config.mode = static_cast<LabelMode>(r.get<std::uint8_t>());
+  config.columbus.top_k = r.get<std::uint64_t>();
+  config.columbus.min_frequency = r.get<std::uint32_t>();
+  config.columbus.min_tag_length = r.get<std::uint64_t>();
+  config.learner.bits = r.get<std::uint32_t>();
+  const bool trained = r.get<std::uint8_t>() != 0;
+  const std::string inner = r.get_string();
+  Praxi model(config);
+  if (config.mode == LabelMode::kSingleLabel) {
+    model.oaa_ = ml::OaaClassifier::from_binary(inner);
+  } else {
+    model.csoaa_ = ml::CsoaaClassifier::from_binary(inner);
+  }
+  model.trained_ = trained;
+  return model;
+}
+
+}  // namespace praxi::core

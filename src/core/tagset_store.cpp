@@ -1,0 +1,56 @@
+#include "core/tagset_store.hpp"
+
+#include "common/serialize.hpp"
+#include "common/strings.hpp"
+
+namespace praxi::core {
+
+void TagsetStore::add(columbus::TagSet tagset) {
+  tagsets_.push_back(std::move(tagset));
+}
+
+void TagsetStore::add_all(std::vector<columbus::TagSet> tagsets) {
+  for (auto& ts : tagsets) tagsets_.push_back(std::move(ts));
+}
+
+std::size_t TagsetStore::total_bytes() const {
+  std::size_t total = 0;
+  for (const auto& ts : tagsets_) total += ts.size_bytes();
+  return total;
+}
+
+std::string TagsetStore::to_text() const {
+  std::string out;
+  for (const auto& ts : tagsets_) {
+    out += ts.to_text();
+    out += '\n';  // blank-line separator
+  }
+  return out;
+}
+
+TagsetStore TagsetStore::from_text(std::string_view text) {
+  TagsetStore store;
+  // Each tagset is two lines (header + tags) followed by a blank line.
+  const auto lines = split_keep_empty(text, '\n');
+  std::size_t i = 0;
+  while (i + 1 < lines.size()) {
+    if (lines[i].empty()) {
+      ++i;
+      continue;
+    }
+    const std::string block = lines[i] + "\n" + lines[i + 1] + "\n";
+    store.add(columbus::TagSet::from_text(block));
+    i += 2;
+  }
+  return store;
+}
+
+void TagsetStore::save(const std::string& path) const {
+  write_file(path, to_text());
+}
+
+TagsetStore TagsetStore::load(const std::string& path) {
+  return from_text(read_file(path));
+}
+
+}  // namespace praxi::core

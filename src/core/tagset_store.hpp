@@ -1,0 +1,45 @@
+// Tagset store: Praxi's only persistent training-data artifact.
+//
+// DeltaSherlock must retain every raw changeset so dictionaries and
+// fingerprints can be regenerated; Praxi only ever stores tagsets, which are
+// generated once per changeset and never regenerated (paper §V-C). This
+// store models the paper's "flat text file datastore": an append-only
+// collection of tagset texts, saved to one file.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "columbus/tagset.hpp"
+
+namespace praxi::core {
+
+class TagsetStore {
+ public:
+  TagsetStore() = default;
+
+  void add(columbus::TagSet tagset);
+  void add_all(std::vector<columbus::TagSet> tagsets);
+
+  const std::vector<columbus::TagSet>& tagsets() const { return tagsets_; }
+  std::size_t size() const { return tagsets_.size(); }
+  bool empty() const { return tagsets_.empty(); }
+
+  /// Total serialized footprint — the number the paper's Table III compares
+  /// against DeltaSherlock's retained changesets + fingerprints.
+  std::size_t total_bytes() const;
+
+  /// Serializes all tagsets into one flat text blob (blank-line separated).
+  std::string to_text() const;
+  static TagsetStore from_text(std::string_view text);
+
+  /// Convenience file round-trip.
+  void save(const std::string& path) const;
+  static TagsetStore load(const std::string& path);
+
+ private:
+  std::vector<columbus::TagSet> tagsets_;
+};
+
+}  // namespace praxi::core

@@ -1,0 +1,96 @@
+#include "deltasherlock/deltasherlock.hpp"
+
+#include <iterator>
+#include <stdexcept>
+
+#include "common/stopwatch.hpp"
+
+namespace praxi::ds {
+
+DeltaSherlock::DeltaSherlock(DeltaSherlockConfig config)
+    : config_(config),
+      filetree_dictionary_(config.w2v),
+      neighbor_dictionary_(config.w2v),
+      svm_(config.svm) {}
+
+void DeltaSherlock::train(const std::vector<const fs::Changeset*>& corpus) {
+  if (corpus.empty())
+    throw std::invalid_argument("DeltaSherlock: empty training corpus");
+
+  overhead_ = DeltaSherlockOverhead{};
+  labels_ = ml::LabelSpace{};
+  for (const fs::Changeset* cs : corpus) {
+    overhead_.retained_changesets_bytes += cs->size_bytes();
+  }
+
+  // Phase 1: dictionary generation over the entire corpus (w2v training).
+  Stopwatch dictionary_timer;
+  if (config_.parts.filetree) {
+    std::vector<std::vector<std::string>> sentences;
+    for (const fs::Changeset* cs : corpus) {
+      auto more = filetree_sentences(*cs);
+      sentences.insert(sentences.end(), std::make_move_iterator(more.begin()),
+                       std::make_move_iterator(more.end()));
+    }
+    filetree_dictionary_ = ml::Word2Vec(config_.w2v);
+    filetree_dictionary_.train(sentences);
+    overhead_.dictionary_bytes += filetree_dictionary_.size_bytes();
+  }
+  if (config_.parts.neighbor) {
+    std::vector<std::vector<std::string>> sentences;
+    for (const fs::Changeset* cs : corpus) {
+      auto more = neighbor_sentences(*cs);
+      sentences.insert(sentences.end(), std::make_move_iterator(more.begin()),
+                       std::make_move_iterator(more.end()));
+    }
+    neighbor_dictionary_ = ml::Word2Vec(config_.w2v);
+    neighbor_dictionary_.train(sentences);
+    overhead_.dictionary_bytes += neighbor_dictionary_.size_bytes();
+  }
+  overhead_.dictionary_s = dictionary_timer.elapsed_s();
+
+  // Phase 2: fingerprint every training changeset.
+  Stopwatch fingerprint_timer;
+  std::vector<std::vector<float>> X;
+  std::vector<std::vector<std::uint32_t>> label_sets;
+  X.reserve(corpus.size());
+  label_sets.reserve(corpus.size());
+  for (const fs::Changeset* cs : corpus) {
+    X.push_back(fingerprint(*cs));
+    std::vector<std::uint32_t> ids;
+    ids.reserve(cs->labels().size());
+    for (const auto& label : cs->labels()) ids.push_back(labels_.intern(label));
+    label_sets.push_back(std::move(ids));
+    overhead_.fingerprint_bytes += X.back().size() * sizeof(float);
+  }
+  overhead_.fingerprint_s = fingerprint_timer.elapsed_s();
+
+  // Phase 3: RBF model training (always from scratch).
+  Stopwatch train_timer;
+  svm_ = ml::RbfSvmOva(config_.svm);
+  svm_.train(X, label_sets, labels_.size());
+  overhead_.train_s = train_timer.elapsed_s();
+  overhead_.model_bytes = svm_.size_bytes();
+
+  trained_ = true;
+}
+
+std::vector<float> DeltaSherlock::fingerprint(
+    const fs::Changeset& changeset) const {
+  return make_fingerprint(
+      changeset, config_.parts,
+      config_.parts.filetree ? &filetree_dictionary_ : nullptr,
+      config_.parts.neighbor ? &neighbor_dictionary_ : nullptr);
+}
+
+std::vector<std::string> DeltaSherlock::predict(const fs::Changeset& changeset,
+                                                std::size_t n) const {
+  if (!trained_) throw std::logic_error("DeltaSherlock: predict before train");
+  const auto ids = svm_.predict_top_n(fingerprint(changeset), n);
+  std::vector<std::string> out;
+  out.reserve(ids.size());
+  for (std::uint32_t id : ids) out.push_back(labels_.name(id));
+  return out;
+}
+
+}  // namespace praxi::ds

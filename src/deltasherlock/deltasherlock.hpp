@@ -1,0 +1,70 @@
+// DeltaSherlock: the learning-based discovery baseline (paper §II-C).
+//
+// Pipeline: changesets -> word2vec dictionary generation -> fingerprint
+// assembly -> RBF-SVM training. The dictionary and fingerprints depend on
+// the whole corpus, so adding an application requires regenerating both and
+// retraining the classifier from scratch — the overhead story the paper's
+// Table III and Fig. 6 measure against Praxi.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "deltasherlock/fingerprint.hpp"
+#include "fs/changeset.hpp"
+#include "ml/kernel_svm.hpp"
+#include "ml/online_learner.hpp"
+#include "ml/word2vec.hpp"
+
+namespace praxi::ds {
+
+struct DeltaSherlockConfig {
+  FingerprintParts parts;  ///< default: histogram + filetree (paper §II-C)
+  ml::Word2VecConfig w2v;
+  ml::RbfSvmConfig svm;
+};
+
+struct DeltaSherlockOverhead {
+  double dictionary_s = 0.0;    ///< w2v dictionary generation time
+  double fingerprint_s = 0.0;   ///< fingerprint assembly time
+  double train_s = 0.0;         ///< RBF model training time
+  std::size_t dictionary_bytes = 0;
+  std::size_t fingerprint_bytes = 0;
+  std::size_t model_bytes = 0;
+  /// DeltaSherlock must retain every training changeset so dictionaries and
+  /// fingerprints can be regenerated (no incremental training).
+  std::size_t retained_changesets_bytes = 0;
+};
+
+class DeltaSherlock {
+ public:
+  explicit DeltaSherlock(DeltaSherlockConfig config = {});
+
+  /// Full (re)training from scratch: dictionary generation, fingerprinting,
+  /// RBF-SVM fit. Works for single- and multi-label corpora alike.
+  void train(const std::vector<const fs::Changeset*>& corpus);
+
+  /// Top-n application labels for an unlabeled changeset (n = the known or
+  /// inferred application count; 1 for single-label discovery).
+  std::vector<std::string> predict(const fs::Changeset& changeset,
+                                   std::size_t n = 1) const;
+
+  /// The combined fingerprint this model would compute for `changeset`.
+  std::vector<float> fingerprint(const fs::Changeset& changeset) const;
+
+  bool trained() const { return trained_; }
+  const ml::LabelSpace& labels() const { return labels_; }
+  const DeltaSherlockOverhead& overhead() const { return overhead_; }
+
+ private:
+  DeltaSherlockConfig config_;
+  ml::Word2Vec filetree_dictionary_;
+  ml::Word2Vec neighbor_dictionary_;
+  ml::RbfSvmOva svm_;
+  ml::LabelSpace labels_;
+  DeltaSherlockOverhead overhead_;
+  bool trained_ = false;
+};
+
+}  // namespace praxi::ds

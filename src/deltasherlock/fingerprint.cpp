@@ -1,0 +1,133 @@
+#include "deltasherlock/fingerprint.hpp"
+
+#include <cmath>
+#include <map>
+
+#include "common/strings.hpp"
+
+namespace praxi::ds {
+
+std::vector<float> ascii_histogram(const fs::Changeset& changeset) {
+  std::vector<float> bins(kHistogramBins, 0.0f);
+  double total = 0.0;
+  for (const auto& rec : changeset.records()) {
+    for (unsigned char c : basename(rec.path)) {
+      // Printable ASCII starts at 32; clamp the rest into the last bin.
+      const std::size_t bin =
+          std::min<std::size_t>(c >= 32 ? c - 32 : 0, kHistogramBins - 1);
+      bins[bin] += 1.0f;
+      total += 1.0;
+    }
+  }
+  if (total > 0.0) {
+    const float inv = static_cast<float>(1.0 / total);
+    for (float& b : bins) b *= inv;
+  }
+  return bins;
+}
+
+std::vector<std::vector<std::string>> filetree_sentences(
+    const fs::Changeset& changeset) {
+  std::vector<std::vector<std::string>> sentences;
+  sentences.reserve(changeset.size());
+  for (const auto& rec : changeset.records()) {
+    auto tokens = split(rec.path, '/');
+    if (!tokens.empty()) sentences.push_back(std::move(tokens));
+  }
+  return sentences;
+}
+
+std::vector<std::vector<std::string>> neighbor_sentences(
+    const fs::Changeset& changeset) {
+  // Group changed files by containing directory; each directory's changed
+  // files form one "sentence" of neighboring basenames.
+  std::map<std::string, std::vector<std::string>> by_directory;
+  for (const auto& rec : changeset.records()) {
+    by_directory[std::string(dirname(rec.path))].push_back(
+        std::string(basename(rec.path)));
+  }
+  std::vector<std::vector<std::string>> sentences;
+  sentences.reserve(by_directory.size());
+  for (auto& [dir, names] : by_directory) {
+    if (!names.empty()) sentences.push_back(std::move(names));
+  }
+  return sentences;
+}
+
+std::vector<float> mean_embedding(
+    const ml::Word2Vec& dictionary,
+    const std::vector<std::vector<std::string>>& sentences) {
+  // Inverse-frequency weighted average: ubiquitous tokens ("usr", "lib",
+  // dependency names, log files) would otherwise dominate the mean and wash
+  // out the application-specific signal in noisy ("dirty") changesets.
+  std::vector<float> mean(dictionary.dim(), 0.0f);
+  const double total = static_cast<double>(dictionary.total_token_count());
+  double weight_sum = 0.0;
+  for (const auto& sentence : sentences) {
+    for (const auto& word : sentence) {
+      const float* vec = dictionary.vector_of(word);
+      if (vec == nullptr) continue;
+      const double count = static_cast<double>(dictionary.count_of(word));
+      const double weight = std::log1p(total / count);
+      for (unsigned d = 0; d < dictionary.dim(); ++d) {
+        mean[d] += static_cast<float>(weight) * vec[d];
+      }
+      weight_sum += weight;
+    }
+  }
+  if (weight_sum > 0.0) {
+    const float inv = static_cast<float>(1.0 / weight_sum);
+    for (float& v : mean) v *= inv;
+  }
+  return mean;
+}
+
+namespace {
+
+/// Appends `part` to `fingerprint` scaled to unit L2 norm, so no elemental
+/// part dominates the combined distance (zero vectors append unchanged).
+void append_normalized(std::vector<float>& fingerprint,
+                       std::vector<float> part) {
+  double norm_sq = 0.0;
+  for (float v : part) norm_sq += double(v) * v;
+  if (norm_sq > 0.0) {
+    const float inv = static_cast<float>(1.0 / std::sqrt(norm_sq));
+    for (float& v : part) v *= inv;
+  }
+  fingerprint.insert(fingerprint.end(), part.begin(), part.end());
+}
+
+}  // namespace
+
+std::vector<float> make_fingerprint(const fs::Changeset& changeset,
+                                    const FingerprintParts& parts,
+                                    const ml::Word2Vec* filetree_dictionary,
+                                    const ml::Word2Vec* neighbor_dictionary) {
+  std::vector<float> fingerprint;
+
+  if (parts.histogram) {
+    append_normalized(fingerprint, ascii_histogram(changeset));
+  }
+  if (parts.filetree && filetree_dictionary != nullptr) {
+    append_normalized(
+        fingerprint,
+        mean_embedding(*filetree_dictionary, filetree_sentences(changeset)));
+  }
+  if (parts.neighbor && neighbor_dictionary != nullptr) {
+    append_normalized(
+        fingerprint,
+        mean_embedding(*neighbor_dictionary, neighbor_sentences(changeset)));
+  }
+
+  // Final normalization of the combined fingerprint (paper §II-C:
+  // "concatenating and normalizing").
+  double norm_sq = 0.0;
+  for (float v : fingerprint) norm_sq += double(v) * v;
+  if (norm_sq > 0.0) {
+    const float inv = static_cast<float>(1.0 / std::sqrt(norm_sq));
+    for (float& v : fingerprint) v *= inv;
+  }
+  return fingerprint;
+}
+
+}  // namespace praxi::ds

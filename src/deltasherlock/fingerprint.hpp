@@ -1,0 +1,59 @@
+// DeltaSherlock fingerprinting (paper §II-C).
+//
+// A changeset is condensed into a numerical fingerprint with up to three
+// elemental parts:
+//   * histogram — the ASCII codes of every character of every changed file's
+//     basename, binned into 200 buckets and normalized (the first 200
+//     fingerprint elements);
+//   * filetree  — the mean word2vec embedding of the tokens of each changed
+//     file's full absolute path ("sentences" = path segment sequences);
+//   * neighbor  — the mean embedding over sentences made of each changed
+//     file's basename and the basenames of its directory neighbors.
+//
+// Combined fingerprints concatenate and L2-normalize the selected parts.
+// The paper's experiments primarily use histogram + filetree.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fs/changeset.hpp"
+#include "ml/word2vec.hpp"
+
+namespace praxi::ds {
+
+inline constexpr std::size_t kHistogramBins = 200;
+
+/// 200-bin normalized ASCII histogram over changed-file basenames.
+std::vector<float> ascii_histogram(const fs::Changeset& changeset);
+
+/// "Sentences" for the filetree dictionary: one per change record, the
+/// sequence of path segments of the record's absolute path.
+std::vector<std::vector<std::string>> filetree_sentences(
+    const fs::Changeset& changeset);
+
+/// "Sentences" for the neighbor dictionary: one per changed directory, the
+/// basenames of the files changed within it (files residing together).
+std::vector<std::vector<std::string>> neighbor_sentences(
+    const fs::Changeset& changeset);
+
+/// Mean embedding of every in-vocabulary token across `sentences`; returns
+/// a zero vector of dictionary dimension when nothing is in-vocabulary.
+std::vector<float> mean_embedding(
+    const ml::Word2Vec& dictionary,
+    const std::vector<std::vector<std::string>>& sentences);
+
+struct FingerprintParts {
+  bool histogram = true;
+  bool filetree = true;
+  bool neighbor = false;  ///< the paper drops "neighbor" for overhead reasons
+};
+
+/// Assembles the combined, L2-normalized fingerprint for one changeset.
+/// Dictionaries may be null when the corresponding part is disabled.
+std::vector<float> make_fingerprint(const fs::Changeset& changeset,
+                                    const FingerprintParts& parts,
+                                    const ml::Word2Vec* filetree_dictionary,
+                                    const ml::Word2Vec* neighbor_dictionary);
+
+}  // namespace praxi::ds

@@ -1,0 +1,137 @@
+#include "eval/harness.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+#include "common/stopwatch.hpp"
+
+namespace praxi::eval {
+
+double ExperimentOutcome::mean_weighted_f1() const {
+  if (folds.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& fold : folds) sum += fold.metrics.weighted_f1();
+  return sum / double(folds.size());
+}
+
+double ExperimentOutcome::mean_fold_time_s() const {
+  return mean_train_s() + mean_test_s();
+}
+
+double ExperimentOutcome::mean_train_s() const {
+  if (folds.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& fold : folds) sum += fold.train_s;
+  return sum / double(folds.size());
+}
+
+double ExperimentOutcome::mean_test_s() const {
+  if (folds.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& fold : folds) sum += fold.test_s;
+  return sum / double(folds.size());
+}
+
+std::vector<const fs::Changeset*> pointers(const pkg::Dataset& dataset) {
+  std::vector<const fs::Changeset*> out;
+  out.reserve(dataset.changesets.size());
+  for (const auto& cs : dataset.changesets) out.push_back(&cs);
+  return out;
+}
+
+std::vector<const fs::Changeset*> pointers_prefix(const pkg::Dataset& dataset,
+                                                  std::size_t count) {
+  if (dataset.changesets.size() < count)
+    throw std::invalid_argument("pointers_prefix: dataset too small");
+  std::vector<const fs::Changeset*> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i)
+    out.push_back(&dataset.changesets[i]);
+  return out;
+}
+
+std::vector<std::vector<const fs::Changeset*>> chunked(
+    const pkg::Dataset& pool, std::size_t chunks, std::uint64_t seed) {
+  if (chunks == 0) throw std::invalid_argument("chunked: zero chunks");
+  auto all = pointers(pool);
+  Rng rng(seed, "harness/chunk");
+  std::shuffle(all.begin(), all.end(), rng);
+
+  std::vector<std::vector<const fs::Changeset*>> out(chunks);
+  const std::size_t base = all.size() / chunks;
+  std::size_t pos = 0;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t take = base + (c < all.size() % chunks ? 1 : 0);
+    out[c].assign(all.begin() + std::ptrdiff_t(pos),
+                  all.begin() + std::ptrdiff_t(pos + take));
+    pos += take;
+  }
+  return out;
+}
+
+FoldSpec make_fold(
+    const std::vector<std::vector<const fs::Changeset*>>& chunks,
+    std::size_t fold_index, std::size_t train_chunks,
+    const std::vector<const fs::Changeset*>& extra_train) {
+  if (train_chunks == 0 || train_chunks >= chunks.size())
+    throw std::invalid_argument("make_fold: bad train_chunks");
+  FoldSpec fold;
+  for (std::size_t offset = 0; offset < chunks.size(); ++offset) {
+    const auto& chunk = chunks[(fold_index + offset) % chunks.size()];
+    auto& target = offset < train_chunks ? fold.train : fold.test;
+    target.insert(target.end(), chunk.begin(), chunk.end());
+  }
+  fold.train.insert(fold.train.end(), extra_train.begin(), extra_train.end());
+  return fold;
+}
+
+FoldOutcome run_fold(DiscoveryMethod& method, const FoldSpec& fold) {
+  std::vector<const fs::Changeset*> train = fold.train;
+  if (!method.supports_multilabel_training()) {
+    train.erase(std::remove_if(train.begin(), train.end(),
+                               [](const fs::Changeset* cs) {
+                                 return cs->labels().size() != 1;
+                               }),
+                train.end());
+    if (train.empty()) {
+      throw std::invalid_argument(
+          "run_fold: no single-label training data for " + method.name());
+    }
+  }
+
+  FoldOutcome outcome;
+  Stopwatch train_timer;
+  method.train(train);
+  outcome.train_s = train_timer.elapsed_s();
+  outcome.model_bytes = method.model_bytes();
+
+  std::vector<std::vector<std::string>> truths;
+  std::vector<std::vector<std::string>> predictions;
+  truths.reserve(fold.test.size());
+  predictions.reserve(fold.test.size());
+  Stopwatch test_timer;
+  for (const fs::Changeset* cs : fold.test) {
+    truths.push_back(cs->labels());
+    predictions.push_back(method.predict(*cs, cs->labels().size()));
+  }
+  outcome.test_s = test_timer.elapsed_s();
+  outcome.metrics = evaluate(truths, predictions);
+  return outcome;
+}
+
+ExperimentOutcome run_experiment(
+    DiscoveryMethod& method,
+    const std::vector<std::vector<const fs::Changeset*>>& chunks,
+    std::size_t train_chunks,
+    const std::vector<const fs::Changeset*>& extra_train) {
+  ExperimentOutcome outcome;
+  for (std::size_t fold_index = 0; fold_index < chunks.size(); ++fold_index) {
+    const FoldSpec fold =
+        make_fold(chunks, fold_index, train_chunks, extra_train);
+    outcome.folds.push_back(run_fold(method, fold));
+  }
+  return outcome;
+}
+
+}  // namespace praxi::eval

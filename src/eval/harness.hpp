@@ -1,0 +1,74 @@
+// Experiment harness: the cross-validation fold plans and timed
+// train/evaluate loop shared by every benchmark binary.
+//
+// The paper's protocols (§V-A, §V-B) shuffle a pool of changesets, split it
+// into chunks, and rotate which chunks are used for testing; extra samples
+// (clean changesets in Fig. 4, single-label changesets in Fig. 5) are added
+// to every fold's training set. Ground-truth application counts are provided
+// to each method at test time (§V-B).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "eval/method.hpp"
+#include "eval/metrics.hpp"
+#include "fs/changeset.hpp"
+#include "pkg/dataset.hpp"
+
+namespace praxi::eval {
+
+struct FoldSpec {
+  std::vector<const fs::Changeset*> train;
+  std::vector<const fs::Changeset*> test;
+};
+
+struct FoldOutcome {
+  EvalResult metrics;
+  double train_s = 0.0;
+  double test_s = 0.0;
+  std::size_t model_bytes = 0;
+};
+
+struct ExperimentOutcome {
+  std::vector<FoldOutcome> folds;
+
+  double mean_weighted_f1() const;
+  double mean_fold_time_s() const;  ///< train + test, averaged over folds
+  double mean_train_s() const;
+  double mean_test_s() const;
+};
+
+/// Shuffles `pool` (by `seed`) and splits it into `chunks` equal parts.
+std::vector<std::vector<const fs::Changeset*>> chunked(
+    const pkg::Dataset& pool, std::size_t chunks, std::uint64_t seed);
+
+/// Builds fold `fold_index`: `train_chunks` consecutive chunks (starting at
+/// the fold index, wrapping) train; the remaining chunks test. `extra_train`
+/// is appended to every fold's training set.
+FoldSpec make_fold(const std::vector<std::vector<const fs::Changeset*>>& chunks,
+                   std::size_t fold_index, std::size_t train_chunks,
+                   const std::vector<const fs::Changeset*>& extra_train);
+
+/// Trains `method` on the fold's training set and scores it on the test set.
+/// Multi-label changesets are removed from the training set when the method
+/// cannot consume them (rule-based, §V-B). Prediction is asked for exactly
+/// the ground-truth number of applications per changeset.
+FoldOutcome run_fold(DiscoveryMethod& method, const FoldSpec& fold);
+
+/// Runs every rotation fold of an experiment and aggregates.
+ExperimentOutcome run_experiment(
+    DiscoveryMethod& method,
+    const std::vector<std::vector<const fs::Changeset*>>& chunks,
+    std::size_t train_chunks,
+    const std::vector<const fs::Changeset*>& extra_train);
+
+/// Borrowed pointers over a dataset's changesets.
+std::vector<const fs::Changeset*> pointers(const pkg::Dataset& dataset);
+
+/// First `count` pointers of a dataset (throws if fewer are available).
+std::vector<const fs::Changeset*> pointers_prefix(const pkg::Dataset& dataset,
+                                                  std::size_t count);
+
+}  // namespace praxi::eval

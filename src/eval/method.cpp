@@ -1,0 +1,74 @@
+#include "eval/method.hpp"
+
+#include <stdexcept>
+
+namespace praxi::eval {
+
+void DiscoveryMethod::train_incremental(
+    const std::vector<const fs::Changeset*>&) {
+  throw std::logic_error(name() + " does not support incremental training");
+}
+
+// ---------------------------------------------------------------------------
+// PraxiMethod
+// ---------------------------------------------------------------------------
+
+PraxiMethod::PraxiMethod(core::PraxiConfig config)
+    : config_(config), model_(config) {}
+
+void PraxiMethod::train(const std::vector<const fs::Changeset*>& corpus) {
+  model_.reset();
+  model_.train_changesets(corpus);
+}
+
+void PraxiMethod::train_incremental(
+    const std::vector<const fs::Changeset*>& corpus) {
+  model_.train_changesets(corpus);
+}
+
+std::vector<std::string> PraxiMethod::predict(const fs::Changeset& changeset,
+                                              std::size_t n) const {
+  return model_.predict(changeset, n);
+}
+
+// ---------------------------------------------------------------------------
+// DeltaSherlockMethod
+// ---------------------------------------------------------------------------
+
+DeltaSherlockMethod::DeltaSherlockMethod(ds::DeltaSherlockConfig config)
+    : config_(config), model_(config) {}
+
+void DeltaSherlockMethod::train(
+    const std::vector<const fs::Changeset*>& corpus) {
+  model_ = ds::DeltaSherlock(config_);
+  model_.train(corpus);
+}
+
+std::vector<std::string> DeltaSherlockMethod::predict(
+    const fs::Changeset& changeset, std::size_t n) const {
+  return model_.predict(changeset, n);
+}
+
+std::size_t DeltaSherlockMethod::model_bytes() const {
+  const auto& overhead = model_.overhead();
+  return overhead.model_bytes + overhead.dictionary_bytes;
+}
+
+// ---------------------------------------------------------------------------
+// RuleBasedMethod
+// ---------------------------------------------------------------------------
+
+RuleBasedMethod::RuleBasedMethod(rules::RuleMinerConfig config)
+    : config_(config), engine_(config) {}
+
+void RuleBasedMethod::train(const std::vector<const fs::Changeset*>& corpus) {
+  engine_ = rules::RuleEngine(config_);
+  engine_.train(corpus);
+}
+
+std::vector<std::string> RuleBasedMethod::predict(
+    const fs::Changeset& changeset, std::size_t n) const {
+  return engine_.predict(changeset, n);
+}
+
+}  // namespace praxi::eval

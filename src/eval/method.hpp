@@ -1,0 +1,103 @@
+// Uniform DiscoveryMethod interface over the four approaches the paper
+// compares (Praxi, DeltaSherlock, rule-based; Columbus alone has no
+// automated decision step and is exercised directly in benches), so the
+// experiment harness can train/evaluate them interchangeably.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/praxi.hpp"
+#include "deltasherlock/deltasherlock.hpp"
+#include "fs/changeset.hpp"
+#include "rules/rule_engine.hpp"
+
+namespace praxi::eval {
+
+class DiscoveryMethod {
+ public:
+  virtual ~DiscoveryMethod() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Trains from scratch on `corpus` (any previous model is discarded).
+  virtual void train(const std::vector<const fs::Changeset*>& corpus) = 0;
+
+  /// Top-n labels for an unlabeled changeset (ground-truth n supplied by the
+  /// harness, per §V-B).
+  virtual std::vector<std::string> predict(const fs::Changeset& changeset,
+                                           std::size_t n) const = 0;
+
+  /// Retained-model footprint.
+  virtual std::size_t model_bytes() const = 0;
+
+  /// Rule mining cannot consume multi-label training samples (§V-B).
+  virtual bool supports_multilabel_training() const { return true; }
+
+  /// Only Praxi can extend an existing model with new data (§V-D).
+  virtual bool supports_incremental_training() const { return false; }
+
+  /// Continues training from the current model. Throws std::logic_error
+  /// unless supports_incremental_training().
+  virtual void train_incremental(
+      const std::vector<const fs::Changeset*>& corpus);
+};
+
+/// Praxi wrapper; `mode` selects the OAA or CSOAA reduction.
+class PraxiMethod final : public DiscoveryMethod {
+ public:
+  explicit PraxiMethod(core::PraxiConfig config = {});
+
+  std::string name() const override { return "Praxi"; }
+  void train(const std::vector<const fs::Changeset*>& corpus) override;
+  std::vector<std::string> predict(const fs::Changeset& changeset,
+                                   std::size_t n) const override;
+  std::size_t model_bytes() const override { return model_.model_bytes(); }
+  bool supports_incremental_training() const override { return true; }
+  void train_incremental(
+      const std::vector<const fs::Changeset*>& corpus) override;
+
+  const core::Praxi& model() const { return model_; }
+
+ private:
+  core::PraxiConfig config_;
+  core::Praxi model_;
+};
+
+class DeltaSherlockMethod final : public DiscoveryMethod {
+ public:
+  explicit DeltaSherlockMethod(ds::DeltaSherlockConfig config = {});
+
+  std::string name() const override { return "DeltaSherlock"; }
+  void train(const std::vector<const fs::Changeset*>& corpus) override;
+  std::vector<std::string> predict(const fs::Changeset& changeset,
+                                   std::size_t n) const override;
+  std::size_t model_bytes() const override;
+
+  const ds::DeltaSherlock& model() const { return model_; }
+
+ private:
+  ds::DeltaSherlockConfig config_;
+  ds::DeltaSherlock model_;
+};
+
+class RuleBasedMethod final : public DiscoveryMethod {
+ public:
+  explicit RuleBasedMethod(rules::RuleMinerConfig config = {});
+
+  std::string name() const override { return "Rule-based"; }
+  void train(const std::vector<const fs::Changeset*>& corpus) override;
+  std::vector<std::string> predict(const fs::Changeset& changeset,
+                                   std::size_t n) const override;
+  std::size_t model_bytes() const override { return engine_.size_bytes(); }
+  bool supports_multilabel_training() const override { return false; }
+
+  const rules::RuleEngine& engine() const { return engine_; }
+
+ private:
+  rules::RuleMinerConfig config_;
+  rules::RuleEngine engine_;
+};
+
+}  // namespace praxi::eval

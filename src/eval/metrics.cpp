@@ -1,0 +1,103 @@
+#include "eval/metrics.hpp"
+
+#include <set>
+#include <stdexcept>
+
+namespace praxi::eval {
+
+double LabelStats::precision() const {
+  const std::size_t denom = true_positives + false_positives;
+  return denom == 0 ? 0.0 : double(true_positives) / double(denom);
+}
+
+double LabelStats::recall() const {
+  const std::size_t denom = true_positives + false_negatives;
+  return denom == 0 ? 0.0 : double(true_positives) / double(denom);
+}
+
+double LabelStats::f1() const {
+  const double p = precision();
+  const double r = recall();
+  return p + r == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+}
+
+double EvalResult::weighted_f1() const {
+  if (total_support == 0) return 0.0;
+  double sum = 0.0;
+  for (const auto& [label, stats] : per_label) {
+    sum += stats.f1() * double(stats.support);
+  }
+  return sum / double(total_support);
+}
+
+double EvalResult::weighted_precision() const {
+  if (total_support == 0) return 0.0;
+  double sum = 0.0;
+  for (const auto& [label, stats] : per_label) {
+    sum += stats.precision() * double(stats.support);
+  }
+  return sum / double(total_support);
+}
+
+double EvalResult::weighted_recall() const {
+  if (total_support == 0) return 0.0;
+  double sum = 0.0;
+  for (const auto& [label, stats] : per_label) {
+    sum += stats.recall() * double(stats.support);
+  }
+  return sum / double(total_support);
+}
+
+EvalResult evaluate(const std::vector<std::vector<std::string>>& truths,
+                    const std::vector<std::vector<std::string>>& predictions) {
+  if (truths.size() != predictions.size())
+    throw std::invalid_argument("evaluate: truths/predictions size mismatch");
+
+  EvalResult result;
+  result.samples = truths.size();
+  std::size_t exact = 0;
+
+  for (std::size_t i = 0; i < truths.size(); ++i) {
+    const std::set<std::string> truth_set(truths[i].begin(), truths[i].end());
+    const std::set<std::string> pred_set(predictions[i].begin(),
+                                         predictions[i].end());
+    if (truth_set.size() != truths[i].size())
+      throw std::invalid_argument("evaluate: duplicate truth label in sample");
+    if (pred_set.size() != predictions[i].size())
+      throw std::invalid_argument(
+          "evaluate: duplicate predicted label in sample");
+    if (truth_set == pred_set) ++exact;
+
+    for (const auto& label : truth_set) {
+      LabelStats& stats = result.per_label[label];
+      ++stats.support;
+      ++result.total_support;
+      if (pred_set.count(label) > 0) {
+        ++stats.true_positives;
+      } else {
+        ++stats.false_negatives;
+      }
+    }
+    for (const auto& label : pred_set) {
+      if (truth_set.count(label) == 0) {
+        ++result.per_label[label].false_positives;
+      }
+    }
+  }
+
+  result.exact_match_ratio =
+      truths.empty() ? 0.0 : double(exact) / double(truths.size());
+  return result;
+}
+
+EvalResult evaluate_single(const std::vector<std::string>& truths,
+                           const std::vector<std::string>& predictions) {
+  std::vector<std::vector<std::string>> t, p;
+  t.reserve(truths.size());
+  p.reserve(predictions.size());
+  for (const auto& label : truths) t.push_back({label});
+  for (const auto& label : predictions) p.push_back({label});
+  return evaluate(t, p);
+}
+
+}  // namespace praxi::eval

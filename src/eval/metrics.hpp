@@ -1,0 +1,51 @@
+// Evaluation metrics (paper §IV-D).
+//
+// All experiments report precision, recall, and the support-weighted
+// macro-averaged F1 of Eqns. 1–2: each application's F1 is weighted by its
+// share of ground-truth label instances in the test set, so class imbalance
+// cannot inflate the average. The same computation covers single-label
+// (one truth, one prediction) and multi-label (sets of each) experiments.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace praxi::eval {
+
+struct LabelStats {
+  std::size_t true_positives = 0;
+  std::size_t false_positives = 0;
+  std::size_t false_negatives = 0;
+  std::size_t support = 0;  ///< ground-truth occurrences in the test set
+
+  double precision() const;
+  double recall() const;
+  double f1() const;
+};
+
+struct EvalResult {
+  std::map<std::string, LabelStats> per_label;
+  std::size_t samples = 0;
+  std::size_t total_support = 0;  ///< T in Eqn. 1
+
+  /// Support-weighted macro F1 (Eqns. 1–2): sum over labels of
+  /// f1(label) * support(label) / total_support.
+  double weighted_f1() const;
+  double weighted_precision() const;
+  double weighted_recall() const;
+
+  /// Fraction of samples whose full prediction set equals the truth set.
+  double exact_match_ratio = 0.0;
+};
+
+/// Scores prediction sets against truth sets, sample by sample. Sizes must
+/// match; duplicate labels within one sample's set are not allowed.
+EvalResult evaluate(const std::vector<std::vector<std::string>>& truths,
+                    const std::vector<std::vector<std::string>>& predictions);
+
+/// Single-label convenience wrapper.
+EvalResult evaluate_single(const std::vector<std::string>& truths,
+                           const std::vector<std::string>& predictions);
+
+}  // namespace praxi::eval

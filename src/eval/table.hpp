@@ -1,0 +1,33 @@
+// Plain-text table rendering for benchmark output: every bench binary prints
+// the rows/series of the paper table or figure it regenerates.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace praxi::eval {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with aligned columns, a header separator, and a trailing
+  /// newline.
+  std::string render() const;
+  void print(std::ostream& out) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision percent ("97.6%") and float helpers for table cells.
+std::string fmt_percent(double fraction, int decimals = 1);
+std::string fmt_double(double value, int decimals = 2);
+
+}  // namespace praxi::eval

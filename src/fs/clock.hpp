@@ -1,0 +1,35 @@
+// Simulated wall clock shared by the filesystem, installers, and noise
+// daemons. Time is in integer milliseconds so change records carry UNIX-like
+// timestamps and the DiscoveryService can reason about change bursts, while
+// experiments stay fully deterministic.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+namespace praxi::fs {
+
+class SimClock {
+ public:
+  explicit SimClock(std::int64_t start_ms = 1'600'000'000'000LL)
+      : now_ms_(start_ms) {}
+
+  std::int64_t now_ms() const { return now_ms_; }
+
+  void advance_ms(std::int64_t delta_ms) { now_ms_ += delta_ms; }
+
+  void advance_s(double seconds) {
+    now_ms_ += static_cast<std::int64_t>(seconds * 1e3);
+  }
+
+ private:
+  std::int64_t now_ms_;
+};
+
+using SimClockPtr = std::shared_ptr<SimClock>;
+
+inline SimClockPtr make_clock(std::int64_t start_ms = 1'600'000'000'000LL) {
+  return std::make_shared<SimClock>(start_ms);
+}
+
+}  // namespace praxi::fs

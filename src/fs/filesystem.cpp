@@ -1,0 +1,241 @@
+#include "fs/filesystem.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/strings.hpp"
+
+namespace praxi::fs {
+
+InMemoryFilesystem::InMemoryFilesystem(SimClockPtr clock)
+    : clock_(std::move(clock)) {
+  root_.is_dir = true;
+  root_.mode = 0755;
+}
+
+InMemoryFilesystem::Node* InMemoryFilesystem::find(std::string_view path) {
+  return const_cast<Node*>(
+      static_cast<const InMemoryFilesystem*>(this)->find(path));
+}
+
+const InMemoryFilesystem::Node* InMemoryFilesystem::find(
+    std::string_view path) const {
+  const std::string norm = normalize_path(path);
+  if (norm == "/") return &root_;
+  const Node* node = &root_;
+  for (const auto& part : split(norm, '/')) {
+    if (!node->is_dir) return nullptr;
+    auto it = node->children.find(part);
+    if (it == node->children.end()) return nullptr;
+    node = it->second.get();
+  }
+  return node;
+}
+
+void InMemoryFilesystem::emit(ChangeKind kind, const std::string& path,
+                              std::uint16_t mode) {
+  FsEvent event{kind, path, mode, clock_->now_ms()};
+  for (EventSink* sink : sinks_) sink->on_fs_event(event);
+}
+
+InMemoryFilesystem::Node* InMemoryFilesystem::ensure_dirs(
+    const std::vector<std::string>& components, std::size_t count) {
+  Node* node = &root_;
+  std::string path;
+  for (std::size_t i = 0; i < count; ++i) {
+    path += '/';
+    path += components[i];
+    auto it = node->children.find(components[i]);
+    if (it == node->children.end()) {
+      auto child = std::make_unique<Node>();
+      child->is_dir = true;
+      child->mode = 0755;
+      Node* raw = child.get();
+      node->children.emplace(components[i], std::move(child));
+      emit(ChangeKind::kCreate, path, raw->mode);
+      node = raw;
+    } else {
+      if (!it->second->is_dir)
+        throw std::invalid_argument("path component is a file: " + path);
+      node = it->second.get();
+    }
+  }
+  return node;
+}
+
+void InMemoryFilesystem::mkdirs(std::string_view path) {
+  const auto components = split(normalize_path(path), '/');
+  ensure_dirs(components, components.size());
+}
+
+void InMemoryFilesystem::create_file(std::string_view path, std::uint16_t mode,
+                                     std::uint64_t size) {
+  const std::string norm = normalize_path(path);
+  const auto components = split(norm, '/');
+  if (components.empty())
+    throw std::invalid_argument("cannot create file at /");
+  Node* dir = ensure_dirs(components, components.size() - 1);
+  const std::string& name = components.back();
+  auto it = dir->children.find(name);
+  if (it != dir->children.end()) {
+    if (it->second->is_dir)
+      throw std::invalid_argument("path is a directory: " + norm);
+    it->second->size = size;
+    ++it->second->version;
+    emit(ChangeKind::kModify, norm, it->second->mode);
+    return;
+  }
+  auto node = std::make_unique<Node>();
+  node->is_dir = false;
+  node->mode = mode;
+  node->size = size;
+  dir->children.emplace(name, std::move(node));
+  emit(ChangeKind::kCreate, norm, mode);
+}
+
+void InMemoryFilesystem::write_file(std::string_view path,
+                                    std::uint64_t new_size) {
+  const std::string norm = normalize_path(path);
+  Node* node = find(norm);
+  if (node == nullptr || node->is_dir)
+    throw std::invalid_argument("write_file: not a file: " + norm);
+  node->size = new_size;
+  ++node->version;
+  emit(ChangeKind::kModify, norm, node->mode);
+}
+
+void InMemoryFilesystem::write_file(std::string_view path) {
+  const std::string norm = normalize_path(path);
+  Node* node = find(norm);
+  if (node == nullptr || node->is_dir)
+    throw std::invalid_argument("write_file: not a file: " + norm);
+  ++node->version;
+  emit(ChangeKind::kModify, norm, node->mode);
+}
+
+void InMemoryFilesystem::chmod(std::string_view path, std::uint16_t mode) {
+  const std::string norm = normalize_path(path);
+  Node* node = find(norm);
+  if (node == nullptr)
+    throw std::invalid_argument("chmod: no such path: " + norm);
+  node->mode = mode;
+  emit(ChangeKind::kModify, norm, mode);
+}
+
+void InMemoryFilesystem::remove_subtree(const std::string& path, Node& node) {
+  // Children first, so delete events arrive bottom-up like `rm -r`.
+  for (auto& [name, child] : node.children)
+    remove_subtree(path + "/" + name, *child);
+  node.children.clear();
+  emit(ChangeKind::kDelete, path, node.mode);
+}
+
+bool InMemoryFilesystem::remove(std::string_view path) {
+  const std::string norm = normalize_path(path);
+  if (norm == "/") throw std::invalid_argument("cannot remove /");
+  const auto components = split(norm, '/');
+  Node* dir = &root_;
+  for (std::size_t i = 0; i + 1 < components.size(); ++i) {
+    auto it = dir->children.find(components[i]);
+    if (it == dir->children.end() || !it->second->is_dir) return false;
+    dir = it->second.get();
+  }
+  auto it = dir->children.find(components.back());
+  if (it == dir->children.end()) return false;
+  remove_subtree(norm, *it->second);
+  dir->children.erase(it);
+  return true;
+}
+
+bool InMemoryFilesystem::exists(std::string_view path) const {
+  return find(path) != nullptr;
+}
+
+bool InMemoryFilesystem::is_file(std::string_view path) const {
+  const Node* node = find(path);
+  return node != nullptr && !node->is_dir;
+}
+
+bool InMemoryFilesystem::is_dir(std::string_view path) const {
+  const Node* node = find(path);
+  return node != nullptr && node->is_dir;
+}
+
+std::uint16_t InMemoryFilesystem::mode_of(std::string_view path) const {
+  const Node* node = find(path);
+  if (node == nullptr)
+    throw std::invalid_argument("mode_of: no such path: " +
+                                std::string(path));
+  return node->mode;
+}
+
+std::uint64_t InMemoryFilesystem::size_of(std::string_view path) const {
+  const Node* node = find(path);
+  if (node == nullptr)
+    throw std::invalid_argument("size_of: no such path: " +
+                                std::string(path));
+  return node->size;
+}
+
+std::vector<std::string> InMemoryFilesystem::list_dir(
+    std::string_view path) const {
+  const Node* node = find(path);
+  if (node == nullptr || !node->is_dir)
+    throw std::invalid_argument("list_dir: not a directory: " +
+                                std::string(path));
+  std::vector<std::string> names;
+  names.reserve(node->children.size());
+  for (const auto& [name, child] : node->children) names.push_back(name);
+  return names;  // std::map keeps them sorted
+}
+
+void InMemoryFilesystem::walk(
+    const std::function<void(const std::string&, bool, std::uint16_t,
+                             std::uint64_t)>& visitor,
+    std::string_view root) const {
+  const Node* start = find(root);
+  if (start == nullptr) return;
+  const std::string norm = normalize_path(root);
+
+  // Iterative DFS with an explicit stack to avoid recursion-depth concerns
+  // on pathological trees.
+  struct Frame {
+    const Node* node;
+    std::string path;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({start, norm});
+  while (!stack.empty()) {
+    Frame frame = std::move(stack.back());
+    stack.pop_back();
+    visitor(frame.path, frame.node->is_dir, frame.node->mode,
+            frame.node->size);
+    // Push in reverse so children visit in sorted order.
+    for (auto it = frame.node->children.rbegin();
+         it != frame.node->children.rend(); ++it) {
+      const std::string child_path =
+          (frame.path == "/" ? "/" + it->first : frame.path + "/" + it->first);
+      stack.push_back({it->second.get(), child_path});
+    }
+  }
+}
+
+std::size_t InMemoryFilesystem::file_count() const {
+  std::size_t count = 0;
+  walk([&count](const std::string&, bool is_dir, std::uint16_t,
+                std::uint64_t) {
+    if (!is_dir) ++count;
+  });
+  return count;
+}
+
+void InMemoryFilesystem::subscribe(EventSink* sink) {
+  if (std::find(sinks_.begin(), sinks_.end(), sink) == sinks_.end())
+    sinks_.push_back(sink);
+}
+
+void InMemoryFilesystem::unsubscribe(EventSink* sink) {
+  sinks_.erase(std::remove(sinks_.begin(), sinks_.end(), sink), sinks_.end());
+}
+
+}  // namespace praxi::fs

@@ -1,0 +1,113 @@
+// In-memory filesystem simulator.
+//
+// This is the substitute for the paper's OpenStack VM disks (DESIGN.md §2):
+// a path tree supporting the mutations package installers and noise daemons
+// perform (create/write/chmod/remove), emitting inotify-style events to
+// subscribed sinks. Every discovery method downstream consumes only these
+// events (via changesets), so the simulator reproduces exactly the signal
+// the paper's recording daemon saw.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "fs/changeset.hpp"
+#include "fs/clock.hpp"
+
+namespace praxi::fs {
+
+/// One filesystem notification, mirroring the attributes the paper's daemon
+/// records (§III-A): absolute path, permission octal, change kind, timestamp.
+struct FsEvent {
+  ChangeKind kind = ChangeKind::kCreate;
+  std::string path;
+  std::uint16_t mode = 0;
+  std::int64_t time_ms = 0;
+};
+
+/// Receiver of filesystem notifications (the Watcher implements this).
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+  virtual void on_fs_event(const FsEvent& event) = 0;
+};
+
+class InMemoryFilesystem {
+ public:
+  explicit InMemoryFilesystem(SimClockPtr clock);
+
+  InMemoryFilesystem(const InMemoryFilesystem&) = delete;
+  InMemoryFilesystem& operator=(const InMemoryFilesystem&) = delete;
+
+  /// Creates a directory chain; missing ancestors are created too. Emits a
+  /// kCreate event (mode 0755) per directory actually created.
+  void mkdirs(std::string_view path);
+
+  /// Creates a file (creating parents as needed). If the file already exists
+  /// this degrades to write_file(). Emits kCreate (or kModify).
+  void create_file(std::string_view path, std::uint16_t mode = 0644,
+                   std::uint64_t size = 0);
+
+  /// Overwrites an existing file's contents (optionally resizing). Emits
+  /// kModify. Throws std::invalid_argument if the path is not a file.
+  void write_file(std::string_view path, std::uint64_t new_size);
+  void write_file(std::string_view path);
+
+  /// Changes permission bits on an existing file or directory; emits kModify.
+  void chmod(std::string_view path, std::uint16_t mode);
+
+  /// Removes a file, or a directory subtree recursively. Emits kDelete per
+  /// node removed (children first). No-op with `false` return if absent.
+  bool remove(std::string_view path);
+
+  bool exists(std::string_view path) const;
+  bool is_file(std::string_view path) const;
+  bool is_dir(std::string_view path) const;
+  std::uint16_t mode_of(std::string_view path) const;
+  std::uint64_t size_of(std::string_view path) const;
+
+  /// Names of the immediate children of a directory (sorted).
+  std::vector<std::string> list_dir(std::string_view path) const;
+
+  /// Depth-first pre-order visit of every node under `root` (defaults to /).
+  void walk(const std::function<void(const std::string& path, bool is_dir,
+                                     std::uint16_t mode, std::uint64_t size)>&
+                visitor,
+            std::string_view root = "/") const;
+
+  /// Total number of regular files in the tree.
+  std::size_t file_count() const;
+
+  const SimClockPtr& clock() const { return clock_; }
+
+  void subscribe(EventSink* sink);
+  void unsubscribe(EventSink* sink);
+
+ private:
+  struct Node {
+    bool is_dir = false;
+    std::uint16_t mode = 0644;
+    std::uint64_t size = 0;
+    std::uint64_t version = 0;  // bumped on writes
+    std::map<std::string, std::unique_ptr<Node>> children;
+  };
+
+  Node* find(std::string_view path);
+  const Node* find(std::string_view path) const;
+  /// Ensures the directory chain for `path` exists, emitting creates.
+  Node* ensure_dirs(const std::vector<std::string>& components,
+                    std::size_t count);
+  void emit(ChangeKind kind, const std::string& path, std::uint16_t mode);
+  void remove_subtree(const std::string& path, Node& node);
+
+  SimClockPtr clock_;
+  Node root_;
+  std::vector<EventSink*> sinks_;
+};
+
+}  // namespace praxi::fs

@@ -1,0 +1,38 @@
+#include "fs/recorder.hpp"
+
+#include "common/strings.hpp"
+
+namespace praxi::fs {
+
+ChangesetRecorder::ChangesetRecorder(InMemoryFilesystem& filesystem,
+                                     std::vector<std::string> excluded_prefixes)
+    : filesystem_(filesystem),
+      excluded_prefixes_(std::move(excluded_prefixes)) {
+  open_.set_open_time(filesystem_.clock()->now_ms());
+  filesystem_.subscribe(this);
+}
+
+ChangesetRecorder::~ChangesetRecorder() { filesystem_.unsubscribe(this); }
+
+bool ChangesetRecorder::excluded(const std::string& path) const {
+  for (const auto& prefix : excluded_prefixes_) {
+    if (path_has_prefix(path, prefix)) return true;
+  }
+  return false;
+}
+
+void ChangesetRecorder::on_fs_event(const FsEvent& event) {
+  if (!recording_ || excluded(event.path)) return;
+  open_.add(ChangeRecord{event.path, event.mode, event.kind, event.time_ms});
+}
+
+Changeset ChangesetRecorder::eject(std::vector<std::string> labels) {
+  for (auto& label : labels) open_.add_label(std::move(label));
+  open_.close(filesystem_.clock()->now_ms());
+  Changeset finished = std::move(open_);
+  open_ = Changeset{};
+  open_.set_open_time(filesystem_.clock()->now_ms());
+  return finished;
+}
+
+}  // namespace praxi::fs

@@ -1,0 +1,55 @@
+// Change-recording daemon: the simulator-side equivalent of the paper's
+// inotify watcher + changeset recorder (paper §III-A, Fig. 3).
+//
+// The recorder subscribes to an InMemoryFilesystem, filters out paths the
+// paper excludes (special/device trees like /proc and /dev), and appends
+// each surviving notification to the currently-open changeset. eject()
+// closes the changeset (sort + dedup + close_time) and opens a fresh one.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fs/changeset.hpp"
+#include "fs/filesystem.hpp"
+
+namespace praxi::fs {
+
+class ChangesetRecorder final : public EventSink {
+ public:
+  /// Attaches to `filesystem` and begins recording immediately. The default
+  /// exclusions mirror the paper's setup: no watches on special and device
+  /// files under /proc, /dev, /sys.
+  explicit ChangesetRecorder(
+      InMemoryFilesystem& filesystem,
+      std::vector<std::string> excluded_prefixes = {"/proc", "/dev", "/sys"});
+
+  ~ChangesetRecorder() override;
+
+  ChangesetRecorder(const ChangesetRecorder&) = delete;
+  ChangesetRecorder& operator=(const ChangesetRecorder&) = delete;
+
+  void on_fs_event(const FsEvent& event) override;
+
+  /// Pause/resume recording without ejecting (used between dataset samples).
+  void pause() { recording_ = false; }
+  void resume() { recording_ = true; }
+  bool recording() const { return recording_; }
+
+  /// Closes the open changeset, labels it, and replaces it with a fresh one.
+  Changeset eject(std::vector<std::string> labels = {});
+
+  /// Number of records accumulated so far in the open changeset.
+  std::size_t pending_records() const { return open_.size(); }
+
+ private:
+  bool excluded(const std::string& path) const;
+
+  InMemoryFilesystem& filesystem_;
+  std::vector<std::string> excluded_prefixes_;
+  Changeset open_;
+  bool recording_ = true;
+};
+
+}  // namespace praxi::fs

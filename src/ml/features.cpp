@@ -1,0 +1,45 @@
+#include "ml/features.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace praxi::ml {
+
+FeatureHasher::FeatureHasher(unsigned bits, std::uint32_t seed)
+    : bits_(bits), mask_((1u << bits) - 1u), seed_(seed) {
+  if (bits == 0 || bits > 30)
+    throw std::invalid_argument("FeatureHasher: bits must be in [1, 30]");
+}
+
+FeatureVector FeatureHasher::hash(
+    std::span<const std::pair<std::string, float>> tokens) const {
+  FeatureVector features;
+  features.reserve(tokens.size());
+  for (const auto& [token, weight] : tokens) {
+    features.push_back(Feature{index_of(token), weight});
+  }
+  std::sort(features.begin(), features.end(),
+            [](const Feature& a, const Feature& b) { return a.index < b.index; });
+  // Sum collided indices.
+  FeatureVector out;
+  out.reserve(features.size());
+  for (const Feature& f : features) {
+    if (!out.empty() && out.back().index == f.index) {
+      out.back().value += f.value;
+    } else {
+      out.push_back(f);
+    }
+  }
+  return out;
+}
+
+void l2_normalize(FeatureVector& features) {
+  double norm_sq = 0.0;
+  for (const Feature& f : features) norm_sq += double(f.value) * f.value;
+  if (norm_sq <= 0.0) return;
+  const float inv = static_cast<float>(1.0 / std::sqrt(norm_sq));
+  for (Feature& f : features) f.value *= inv;
+}
+
+}  // namespace praxi::ml

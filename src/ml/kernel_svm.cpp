@@ -1,0 +1,243 @@
+#include "ml/kernel_svm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+#include "common/serialize.hpp"
+
+namespace praxi::ml {
+
+RbfSvmOva::RbfSvmOva(RbfSvmConfig config) : config_(config) {}
+
+namespace {
+
+double distance_sq(const std::vector<float>& a, const std::vector<float>& b) {
+  double dist_sq = 0.0;
+  const std::size_t n = std::min(a.size(), b.size());
+  for (std::size_t d = 0; d < n; ++d) {
+    const double diff = double(a[d]) - double(b[d]);
+    dist_sq += diff * diff;
+  }
+  // Dimension mismatches treat missing entries as zeros.
+  for (std::size_t d = n; d < a.size(); ++d) dist_sq += double(a[d]) * a[d];
+  for (std::size_t d = n; d < b.size(); ++d) dist_sq += double(b[d]) * b[d];
+  return dist_sq;
+}
+
+}  // namespace
+
+double RbfSvmOva::kernel(const std::vector<float>& a,
+                         const std::vector<float>& b) const {
+  return std::exp(-effective_gamma_ * distance_sq(a, b));
+}
+
+void RbfSvmOva::train(const std::vector<std::vector<float>>& X,
+                      const std::vector<std::vector<std::uint32_t>>& label_sets,
+                      std::uint32_t num_classes) {
+  if (X.size() != label_sets.size())
+    throw std::invalid_argument("RbfSvmOva: X / label_sets size mismatch");
+  if (X.empty()) throw std::invalid_argument("RbfSvmOva: empty training set");
+  for (const auto& labels : label_sets) {
+    for (std::uint32_t id : labels) {
+      if (id >= num_classes)
+        throw std::invalid_argument("RbfSvmOva: label id out of range");
+    }
+  }
+
+  const std::size_t n = X.size();
+  num_classes_ = num_classes;
+
+  // Resolve gamma: the median heuristic adapts the kernel width to the
+  // data's own distance scale (fingerprints cluster very tightly, so a
+  // fixed gamma would make the kernel matrix nearly constant).
+  if (config_.gamma > 0.0) {
+    effective_gamma_ = config_.gamma;
+  } else {
+    Rng sample_rng(config_.seed, "gamma");
+    std::vector<double> dists;
+    const std::size_t pairs = std::min<std::size_t>(2000, n * (n - 1) / 2 + 1);
+    for (std::size_t k = 0; k < pairs; ++k) {
+      const std::size_t i = sample_rng.below(n);
+      const std::size_t j = sample_rng.below(n);
+      if (i == j) continue;
+      const double d = distance_sq(X[i], X[j]);
+      if (d > 0.0) dists.push_back(d);
+    }
+    if (dists.empty()) {
+      effective_gamma_ = 1.0;
+    } else {
+      std::nth_element(dists.begin(), dists.begin() + dists.size() / 2,
+                       dists.end());
+      effective_gamma_ = 1.0 / dists[dists.size() / 2];
+    }
+  }
+  support_ = X;
+  beta_.assign(std::size_t(num_classes) * n, 0.0f);
+
+  // Dense +1/-1 membership matrix for fast per-step updates.
+  std::vector<signed char> sign(std::size_t(num_classes) * n, -1);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::uint32_t c : label_sets[i]) sign[std::size_t(c) * n + i] = 1;
+  }
+
+  // Optional Gram cache: K(i, j) for all pairs.
+  const bool cache_gram = n <= config_.gram_cache_limit;
+  std::vector<float> gram;
+  if (cache_gram) {
+    gram.assign(n * n, 0.0f);
+    for (std::size_t i = 0; i < n; ++i) {
+      gram[i * n + i] = 1.0f;  // exp(0)
+      for (std::size_t j = i + 1; j < n; ++j) {
+        const float k = static_cast<float>(kernel(X[i], X[j]));
+        gram[i * n + j] = k;
+        gram[j * n + i] = k;
+      }
+    }
+  }
+  std::vector<float> row_buffer(n);
+
+  Rng rng(config_.seed, "pegasos");
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+
+  std::uint64_t t = 0;
+  for (unsigned epoch = 0; epoch < config_.epochs; ++epoch) {
+    std::shuffle(order.begin(), order.end(), rng);
+    for (std::size_t i : order) {
+      ++t;
+      const float* krow;
+      if (cache_gram) {
+        krow = &gram[i * n];
+      } else {
+        for (std::size_t j = 0; j < n; ++j) {
+          row_buffer[j] = static_cast<float>(kernel(X[i], X[j]));
+        }
+        krow = row_buffer.data();
+      }
+      const double inv_lt = 1.0 / (config_.lambda * double(t));
+      for (std::uint32_t c = 0; c < num_classes; ++c) {
+        const float* beta_c = &beta_[std::size_t(c) * n];
+        double f = 0.0;
+        for (std::size_t j = 0; j < n; ++j) f += double(beta_c[j]) * krow[j];
+        const double y = sign[std::size_t(c) * n + i];
+        if (y * f * inv_lt < 1.0) {
+          beta_[std::size_t(c) * n + i] += static_cast<float>(y);
+        }
+      }
+    }
+  }
+  scale_ = 1.0 / (config_.lambda * double(std::max<std::uint64_t>(t, 1)));
+
+  // Drop non-support vectors (rows whose beta is zero in every class) to
+  // shrink the retained model, like an SVM keeping only its SVs.
+  std::vector<std::size_t> keep;
+  keep.reserve(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    bool used = false;
+    for (std::uint32_t c = 0; c < num_classes && !used; ++c) {
+      used = beta_[std::size_t(c) * n + j] != 0.0f;
+    }
+    if (used) keep.push_back(j);
+  }
+  if (keep.size() < n) {
+    std::vector<std::vector<float>> new_support;
+    new_support.reserve(keep.size());
+    std::vector<float> new_beta(std::size_t(num_classes) * keep.size());
+    for (std::size_t jj = 0; jj < keep.size(); ++jj) {
+      new_support.push_back(std::move(support_[keep[jj]]));
+      for (std::uint32_t c = 0; c < num_classes; ++c) {
+        new_beta[std::size_t(c) * keep.size() + jj] =
+            beta_[std::size_t(c) * n + keep[jj]];
+      }
+    }
+    support_ = std::move(new_support);
+    beta_ = std::move(new_beta);
+  }
+}
+
+std::vector<double> RbfSvmOva::decision(const std::vector<float>& x) const {
+  const std::size_t n = support_.size();
+  std::vector<float> krow(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    krow[j] = static_cast<float>(kernel(x, support_[j]));
+  }
+  std::vector<double> scores(num_classes_, 0.0);
+  for (std::uint32_t c = 0; c < num_classes_; ++c) {
+    const float* beta_c = &beta_[std::size_t(c) * n];
+    double f = 0.0;
+    for (std::size_t j = 0; j < n; ++j) f += double(beta_c[j]) * krow[j];
+    scores[c] = f * scale_;
+  }
+  return scores;
+}
+
+std::uint32_t RbfSvmOva::predict(const std::vector<float>& x) const {
+  const auto scores = decision(x);
+  if (scores.empty()) throw std::logic_error("RbfSvmOva: untrained model");
+  return static_cast<std::uint32_t>(
+      std::max_element(scores.begin(), scores.end()) - scores.begin());
+}
+
+std::vector<std::uint32_t> RbfSvmOva::predict_top_n(const std::vector<float>& x,
+                                                    std::size_t n) const {
+  const auto scores = decision(x);
+  std::vector<std::uint32_t> ids(scores.size());
+  std::iota(ids.begin(), ids.end(), 0u);
+  std::sort(ids.begin(), ids.end(), [&scores](std::uint32_t a, std::uint32_t b) {
+    return scores[a] > scores[b];
+  });
+  if (ids.size() > n) ids.resize(n);
+  return ids;
+}
+
+std::size_t RbfSvmOva::size_bytes() const {
+  std::size_t bytes = beta_.size() * sizeof(float);
+  for (const auto& sv : support_) bytes += sv.size() * sizeof(float) + 24;
+  return bytes;
+}
+
+std::string RbfSvmOva::to_binary() const {
+  BinaryWriter w;
+  w.put<std::uint32_t>(0x50535631U);  // "PSV1"
+  w.put<double>(config_.gamma);
+  w.put<double>(effective_gamma_);
+  w.put<double>(config_.lambda);
+  w.put<std::uint32_t>(config_.epochs);
+  w.put<std::uint64_t>(config_.seed);
+  w.put<std::uint32_t>(num_classes_);
+  w.put<double>(scale_);
+  w.put<std::uint64_t>(support_.size());
+  for (const auto& sv : support_) w.put_vector(sv);
+  w.put_vector(beta_);
+  return w.take();
+}
+
+RbfSvmOva RbfSvmOva::from_binary(std::string_view bytes) {
+  BinaryReader r(bytes);
+  if (r.get<std::uint32_t>() != 0x50535631U)
+    throw SerializeError("bad RBF-SVM magic");
+  RbfSvmConfig config;
+  config.gamma = r.get<double>();
+  const double effective_gamma = r.get<double>();
+  config.lambda = r.get<double>();
+  config.epochs = r.get<std::uint32_t>();
+  config.seed = r.get<std::uint64_t>();
+  RbfSvmOva model(config);
+  model.effective_gamma_ = effective_gamma;
+  model.num_classes_ = r.get<std::uint32_t>();
+  model.scale_ = r.get<double>();
+  const auto nsv = r.get<std::uint64_t>();
+  model.support_.reserve(nsv);
+  for (std::uint64_t i = 0; i < nsv; ++i) {
+    model.support_.push_back(r.get_vector<float>());
+  }
+  model.beta_ = r.get_vector<float>();
+  if (model.beta_.size() != model.num_classes_ * model.support_.size())
+    throw SerializeError("RBF-SVM beta size mismatch");
+  return model;
+}
+
+}  // namespace praxi::ml

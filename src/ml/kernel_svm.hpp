@@ -1,0 +1,79 @@
+// RBF-kernel SVM, one-vs-all, trained with kernelized Pegasos.
+//
+// DeltaSherlock classifies fingerprints with an SVM-RBF model (paper §II-C,
+// Table III "RBF Model Training"). We train the same decision function —
+//   f_c(x) = (1 / (lambda * T)) * sum_j beta_cj * K(x, x_j),
+//   K(a, b) = exp(-gamma * ||a - b||^2)
+// — via the Pegasos stochastic subgradient method in its kernelized form
+// (Shalev-Shwartz et al.), which converges to the SVM objective. The model
+// must retain (a subset of) the training vectors, which is what makes it
+// large and slow next to Praxi's hashed linear model: the contrast the
+// paper's Table III quantifies.
+//
+// Multi-label data trains the same way (several positive classes per
+// sample); predict_top_n returns the n highest-margin classes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace praxi::ml {
+
+struct RbfSvmConfig {
+  /// RBF width. Non-positive selects the median heuristic: gamma is set to
+  /// 1 / median(||x_i - x_j||^2) over a training-sample subset, so the
+  /// kernel resolves structure at the data's own scale.
+  double gamma = -1.0;
+  double lambda = 3e-4;   ///< Pegasos regularization.
+  unsigned epochs = 16;   ///< passes over the training set.
+  std::uint64_t seed = 1;
+  /// Precompute the full Gram matrix when the training set has at most this
+  /// many rows (quadratic memory); above it, kernel rows are recomputed.
+  std::size_t gram_cache_limit = 6000;
+};
+
+class RbfSvmOva {
+ public:
+  explicit RbfSvmOva(RbfSvmConfig config = {});
+
+  /// Trains from scratch. `label_sets[i]` holds the class ids present in
+  /// sample i (exactly one for single-label problems). `num_classes` must
+  /// exceed every id. No incremental mode exists — retraining from scratch
+  /// is DeltaSherlock's documented limitation.
+  void train(const std::vector<std::vector<float>>& X,
+             const std::vector<std::vector<std::uint32_t>>& label_sets,
+             std::uint32_t num_classes);
+
+  /// Per-class decision values for one sample.
+  std::vector<double> decision(const std::vector<float>& x) const;
+
+  std::uint32_t predict(const std::vector<float>& x) const;
+  std::vector<std::uint32_t> predict_top_n(const std::vector<float>& x,
+                                           std::size_t n) const;
+
+  std::uint32_t num_classes() const { return num_classes_; }
+  /// gamma actually in use (resolved by the median heuristic at train time).
+  double effective_gamma() const { return effective_gamma_; }
+  std::size_t support_vector_count() const { return support_.size(); }
+
+  /// Retained-model footprint: support vectors + coefficient matrix.
+  std::size_t size_bytes() const;
+
+  std::string to_binary() const;
+  static RbfSvmOva from_binary(std::string_view bytes);
+
+ private:
+  double kernel(const std::vector<float>& a, const std::vector<float>& b) const;
+
+  RbfSvmConfig config_;
+  double effective_gamma_ = 1.0;
+  std::uint32_t num_classes_ = 0;
+  double scale_ = 1.0;  ///< 1 / (lambda * T) from the final Pegasos step.
+  std::vector<std::vector<float>> support_;  ///< retained training vectors.
+  /// beta_[c * support_.size() + j]: signed update counts per class/vector.
+  std::vector<float> beta_;
+};
+
+}  // namespace praxi::ml

@@ -1,0 +1,302 @@
+#include "ml/online_learner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/serialize.hpp"
+
+namespace praxi::ml {
+
+// ---------------------------------------------------------------------------
+// LabelSpace
+// ---------------------------------------------------------------------------
+
+std::uint32_t LabelSpace::intern(const std::string& label) {
+  auto it = ids_.find(label);
+  if (it != ids_.end()) return it->second;
+  const auto id = static_cast<std::uint32_t>(names_.size());
+  names_.push_back(label);
+  ids_.emplace(label, id);
+  return id;
+}
+
+std::optional<std::uint32_t> LabelSpace::lookup(
+    const std::string& label) const {
+  auto it = ids_.find(label);
+  if (it == ids_.end()) return std::nullopt;
+  return it->second;
+}
+
+// ---------------------------------------------------------------------------
+// WeightTable
+// ---------------------------------------------------------------------------
+
+namespace detail {
+
+WeightTable::WeightTable(unsigned bits)
+    : bits_(bits), mask_((1u << bits) - 1u), weights_(1u << bits, 0.0f) {
+  if (bits == 0 || bits > 30)
+    throw std::invalid_argument("WeightTable: bits must be in [1, 30]");
+}
+
+float WeightTable::score(const FeatureVector& x,
+                         std::uint32_t class_id) const {
+  float s = 0.0f;
+  for (const Feature& f : x) s += weights_[slot(f.index, class_id)] * f.value;
+  return s;
+}
+
+void WeightTable::update(const FeatureVector& x, std::uint32_t class_id,
+                         float step, float l2) {
+  for (const Feature& f : x) {
+    float& w = weights_[slot(f.index, class_id)];
+    w += step * f.value - l2 * w;
+  }
+}
+
+}  // namespace detail
+
+namespace {
+
+/// VW-style decaying step size: lr * (t0 / (t0 + t))^power_t.
+float decayed_learning_rate(float lr, float power_t, std::uint64_t t) {
+  constexpr double t0 = 1000.0;
+  return lr * static_cast<float>(
+                  std::pow(t0 / (t0 + static_cast<double>(t)), power_t));
+}
+
+void write_label_space(BinaryWriter& w, const LabelSpace& labels) {
+  w.put<std::uint32_t>(labels.size());
+  for (const auto& name : labels.names()) w.put_string(name);
+}
+
+void read_label_space(BinaryReader& r, LabelSpace& labels) {
+  const auto count = r.get<std::uint32_t>();
+  for (std::uint32_t i = 0; i < count; ++i) labels.intern(r.get_string());
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// OaaClassifier
+// ---------------------------------------------------------------------------
+
+OaaClassifier::OaaClassifier(OnlineLearnerConfig config)
+    : config_(config), table_(config.bits) {}
+
+float OaaClassifier::next_learning_rate() {
+  return decayed_learning_rate(config_.learning_rate, config_.power_t,
+                               update_count_++);
+}
+
+void OaaClassifier::learn_one(const FeatureVector& features,
+                              const std::string& label) {
+  const std::uint32_t truth = labels_.intern(label);
+  const float lr = next_learning_rate();
+  for (std::uint32_t c = 0; c < labels_.size(); ++c) {
+    const float target = c == truth ? 1.0f : -1.0f;
+    const float margin = target * table_.score(features, c);
+    if (margin < 1.0f) {
+      table_.update(features, c, lr * target, config_.l2);
+    }
+  }
+}
+
+void OaaClassifier::train(const std::vector<Example>& examples) {
+  // Register every label before the first pass so all binary problems see
+  // negatives from the start of training.
+  for (const auto& ex : examples) labels_.intern(ex.label);
+
+  std::vector<std::size_t> order(examples.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  Rng rng(config_.seed, "oaa/shuffle");
+  for (unsigned pass = 0; pass < config_.passes; ++pass) {
+    std::shuffle(order.begin(), order.end(), rng);
+    for (std::size_t idx : order) {
+      learn_one(examples[idx].features, examples[idx].label);
+    }
+  }
+}
+
+std::string OaaClassifier::predict(const FeatureVector& features) const {
+  if (labels_.size() == 0) return {};
+  std::uint32_t best = 0;
+  float best_score = table_.score(features, 0);
+  for (std::uint32_t c = 1; c < labels_.size(); ++c) {
+    const float s = table_.score(features, c);
+    if (s > best_score) {
+      best_score = s;
+      best = c;
+    }
+  }
+  return labels_.name(best);
+}
+
+std::vector<std::pair<std::string, float>> OaaClassifier::scores(
+    const FeatureVector& features) const {
+  std::vector<std::pair<std::string, float>> out;
+  out.reserve(labels_.size());
+  for (std::uint32_t c = 0; c < labels_.size(); ++c) {
+    out.emplace_back(labels_.name(c), table_.score(features, c));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  return out;
+}
+
+void OaaClassifier::reset() {
+  table_ = detail::WeightTable(config_.bits);
+  labels_ = LabelSpace{};
+  update_count_ = 0;
+}
+
+std::string OaaClassifier::to_binary() const {
+  BinaryWriter w;
+  w.put<std::uint32_t>(0x504f4131U);  // "POA1"
+  w.put<std::uint32_t>(config_.bits);
+  w.put<float>(config_.learning_rate);
+  w.put<float>(config_.power_t);
+  w.put<float>(config_.l2);
+  w.put<std::uint32_t>(config_.passes);
+  w.put<std::uint64_t>(config_.seed);
+  w.put<std::uint64_t>(update_count_);
+  write_label_space(w, labels_);
+  w.put_vector(table_.raw());
+  return w.take();
+}
+
+OaaClassifier OaaClassifier::from_binary(std::string_view bytes) {
+  BinaryReader r(bytes);
+  if (r.get<std::uint32_t>() != 0x504f4131U)
+    throw SerializeError("bad OAA model magic");
+  OnlineLearnerConfig config;
+  config.bits = r.get<std::uint32_t>();
+  config.learning_rate = r.get<float>();
+  config.power_t = r.get<float>();
+  config.l2 = r.get<float>();
+  config.passes = r.get<std::uint32_t>();
+  config.seed = r.get<std::uint64_t>();
+  OaaClassifier model(config);
+  model.update_count_ = r.get<std::uint64_t>();
+  read_label_space(r, model.labels_);
+  model.table_.raw() = r.get_vector<float>();
+  if (model.table_.raw().size() != (1u << config.bits))
+    throw SerializeError("OAA weight table size mismatch");
+  return model;
+}
+
+// ---------------------------------------------------------------------------
+// CsoaaClassifier
+// ---------------------------------------------------------------------------
+
+CsoaaClassifier::CsoaaClassifier(OnlineLearnerConfig config)
+    : config_(config), table_(config.bits) {}
+
+float CsoaaClassifier::next_learning_rate() {
+  return decayed_learning_rate(config_.learning_rate, config_.power_t,
+                               update_count_++);
+}
+
+void CsoaaClassifier::learn_one(const FeatureVector& features,
+                                const std::vector<std::string>& labels) {
+  std::vector<std::uint32_t> present;
+  present.reserve(labels.size());
+  for (const auto& label : labels) present.push_back(labels_.intern(label));
+
+  const float lr = next_learning_rate();
+  for (std::uint32_t c = 0; c < labels_.size(); ++c) {
+    const bool is_present =
+        std::find(present.begin(), present.end(), c) != present.end();
+    // Regress the class score toward the example's cost: 0 when the package
+    // is present in the sample, 1 when absent (paper §III-C).
+    const float cost = is_present ? 0.0f : 1.0f;
+    const float prediction = table_.score(features, c);
+    const float gradient = prediction - cost;
+    // Importance-weight the rare "present" side so 2-5 positives are not
+    // drowned out by ~80 negatives.
+    const float importance = is_present ? 4.0f : 1.0f;
+    table_.update(features, c, -lr * importance * gradient, config_.l2);
+  }
+}
+
+void CsoaaClassifier::train(const std::vector<MultiExample>& examples) {
+  for (const auto& ex : examples) {
+    for (const auto& label : ex.labels) labels_.intern(label);
+  }
+  std::vector<std::size_t> order(examples.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  Rng rng(config_.seed, "csoaa/shuffle");
+  for (unsigned pass = 0; pass < config_.passes; ++pass) {
+    std::shuffle(order.begin(), order.end(), rng);
+    for (std::size_t idx : order) {
+      learn_one(examples[idx].features, examples[idx].labels);
+    }
+  }
+}
+
+std::vector<std::pair<std::string, float>> CsoaaClassifier::costs(
+    const FeatureVector& features) const {
+  std::vector<std::pair<std::string, float>> out;
+  out.reserve(labels_.size());
+  for (std::uint32_t c = 0; c < labels_.size(); ++c) {
+    out.emplace_back(labels_.name(c), table_.score(features, c));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.second < b.second; });
+  return out;
+}
+
+std::vector<std::string> CsoaaClassifier::predict_top_n(
+    const FeatureVector& features, std::size_t n) const {
+  auto ranked = costs(features);
+  std::vector<std::string> out;
+  out.reserve(std::min(n, ranked.size()));
+  for (std::size_t i = 0; i < ranked.size() && i < n; ++i) {
+    out.push_back(std::move(ranked[i].first));
+  }
+  return out;
+}
+
+void CsoaaClassifier::reset() {
+  table_ = detail::WeightTable(config_.bits);
+  labels_ = LabelSpace{};
+  update_count_ = 0;
+}
+
+std::string CsoaaClassifier::to_binary() const {
+  BinaryWriter w;
+  w.put<std::uint32_t>(0x50435331U + 1);  // "PCS2"
+  w.put<std::uint32_t>(config_.bits);
+  w.put<float>(config_.learning_rate);
+  w.put<float>(config_.power_t);
+  w.put<float>(config_.l2);
+  w.put<std::uint32_t>(config_.passes);
+  w.put<std::uint64_t>(config_.seed);
+  w.put<std::uint64_t>(update_count_);
+  write_label_space(w, labels_);
+  w.put_vector(table_.raw());
+  return w.take();
+}
+
+CsoaaClassifier CsoaaClassifier::from_binary(std::string_view bytes) {
+  BinaryReader r(bytes);
+  if (r.get<std::uint32_t>() != 0x50435331U + 1)
+    throw SerializeError("bad CSOAA model magic");
+  OnlineLearnerConfig config;
+  config.bits = r.get<std::uint32_t>();
+  config.learning_rate = r.get<float>();
+  config.power_t = r.get<float>();
+  config.l2 = r.get<float>();
+  config.passes = r.get<std::uint32_t>();
+  config.seed = r.get<std::uint64_t>();
+  CsoaaClassifier model(config);
+  model.update_count_ = r.get<std::uint64_t>();
+  read_label_space(r, model.labels_);
+  model.table_.raw() = r.get_vector<float>();
+  if (model.table_.raw().size() != (1u << config.bits))
+    throw SerializeError("CSOAA weight table size mismatch");
+  return model;
+}
+
+}  // namespace praxi::ml

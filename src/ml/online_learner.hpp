@@ -1,0 +1,173 @@
+// Vowpal-Wabbit-style online multiclass learners (paper §III-C).
+//
+// A single shared weight table holds every class's weights: the slot for
+// feature f under class c is a cheap mix of the feature's hashed index and
+// the class id, exactly the trick VW uses for its one-against-all (OAA)
+// reductions. Training is sparse gradient descent on a hinge loss.
+//
+// Two reductions are provided, matching the paper's usage:
+//   * OaaClassifier    — single-label multiclass (VW --oaa);
+//   * CsoaaClassifier  — cost-sensitive one-against-all for multi-label
+//     changesets (VW --csoaa): each class's scorer regresses toward cost 0
+//     (label present) or 1 (absent); prediction returns the n lowest-cost
+//     labels.
+//
+// Both support incremental ("online") training: new labels register classes
+// on the fly and existing models keep learning from new examples without a
+// restart — the capability that distinguishes Praxi from DeltaSherlock.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "ml/features.hpp"
+
+namespace praxi::ml {
+
+struct OnlineLearnerConfig {
+  unsigned bits = 18;          ///< log2 of the shared weight-table size.
+  float learning_rate = 0.5f;  ///< initial step size.
+  float power_t = 0.5f;        ///< lr decay exponent (VW's --power_t).
+  float l2 = 1e-7f;            ///< L2 regularization strength.
+  unsigned passes = 6;         ///< epochs over the training set.
+  std::uint64_t seed = 1;      ///< shuffle seed.
+};
+
+/// Registry mapping label strings <-> dense class ids, growable online.
+class LabelSpace {
+ public:
+  /// Returns the class id for `label`, registering it if new.
+  std::uint32_t intern(const std::string& label);
+  /// Returns the id if known.
+  std::optional<std::uint32_t> lookup(const std::string& label) const;
+  const std::string& name(std::uint32_t id) const { return names_.at(id); }
+  std::uint32_t size() const { return static_cast<std::uint32_t>(names_.size()); }
+  const std::vector<std::string>& names() const { return names_; }
+
+ private:
+  std::unordered_map<std::string, std::uint32_t> ids_;
+  std::vector<std::string> names_;
+};
+
+namespace detail {
+
+/// Shared weight table with per-class slot mixing and SGD updates.
+class WeightTable {
+ public:
+  explicit WeightTable(unsigned bits);
+
+  float score(const FeatureVector& x, std::uint32_t class_id) const;
+  /// w[slot] += step * value for every feature (plus L2 shrinkage).
+  void update(const FeatureVector& x, std::uint32_t class_id, float step,
+              float l2);
+
+  std::size_t size_bytes() const { return weights_.size() * sizeof(float); }
+  const std::vector<float>& raw() const { return weights_; }
+  std::vector<float>& raw() { return weights_; }
+  unsigned bits() const { return bits_; }
+
+ private:
+  std::uint32_t slot(std::uint32_t feature_index,
+                     std::uint32_t class_id) const {
+    // Golden-ratio mixing keeps distinct classes' views of the table
+    // decorrelated without rehashing every feature per class.
+    return (feature_index ^ (class_id * 0x9e3779b9u)) & mask_;
+  }
+
+  unsigned bits_;
+  std::uint32_t mask_;
+  std::vector<float> weights_;
+};
+
+}  // namespace detail
+
+/// Labeled sparse example (single label).
+struct Example {
+  FeatureVector features;
+  std::string label;
+};
+
+/// Labeled sparse example (label set), for CSOAA.
+struct MultiExample {
+  FeatureVector features;
+  std::vector<std::string> labels;
+};
+
+class OaaClassifier {
+ public:
+  explicit OaaClassifier(OnlineLearnerConfig config = {});
+
+  /// Full training run: `passes` shuffled epochs over `examples`.
+  /// Calling this again with more data continues from the current weights
+  /// (incremental training); call reset() first for train-from-scratch.
+  void train(const std::vector<Example>& examples);
+
+  /// Single online update (one example, one step).
+  void learn_one(const FeatureVector& features, const std::string& label);
+
+  /// Highest-scoring label; empty string if no class registered yet.
+  std::string predict(const FeatureVector& features) const;
+
+  /// All (label, raw margin) pairs, descending score.
+  std::vector<std::pair<std::string, float>> scores(
+      const FeatureVector& features) const;
+
+  void reset();
+
+  const LabelSpace& labels() const { return labels_; }
+  std::size_t size_bytes() const { return table_.size_bytes(); }
+
+  std::string to_binary() const;
+  static OaaClassifier from_binary(std::string_view bytes);
+
+ private:
+  float next_learning_rate();
+
+  OnlineLearnerConfig config_;
+  LabelSpace labels_;
+  detail::WeightTable table_;
+  std::uint64_t update_count_ = 0;
+};
+
+class CsoaaClassifier {
+ public:
+  explicit CsoaaClassifier(OnlineLearnerConfig config = {});
+
+  /// Full training run over multi-label examples (continues incrementally
+  /// when called repeatedly, like OaaClassifier::train).
+  void train(const std::vector<MultiExample>& examples);
+
+  void learn_one(const FeatureVector& features,
+                 const std::vector<std::string>& labels);
+
+  /// The n labels with the lowest predicted cost (paper: the ground-truth
+  /// application count is provided at evaluation time, §V-B).
+  std::vector<std::string> predict_top_n(const FeatureVector& features,
+                                         std::size_t n) const;
+
+  /// All (label, predicted cost) pairs, ascending cost.
+  std::vector<std::pair<std::string, float>> costs(
+      const FeatureVector& features) const;
+
+  void reset();
+
+  const LabelSpace& labels() const { return labels_; }
+  std::size_t size_bytes() const { return table_.size_bytes(); }
+
+  std::string to_binary() const;
+  static CsoaaClassifier from_binary(std::string_view bytes);
+
+ private:
+  float next_learning_rate();
+
+  OnlineLearnerConfig config_;
+  LabelSpace labels_;
+  detail::WeightTable table_;
+  std::uint64_t update_count_ = 0;
+};
+
+}  // namespace praxi::ml

@@ -1,0 +1,223 @@
+#include "ml/word2vec.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+#include "common/serialize.hpp"
+
+namespace praxi::ml {
+namespace {
+
+constexpr std::size_t kNegativeTableSize = 1 << 20;
+
+inline float sigmoid(float x) {
+  if (x > 8.0f) return 1.0f;
+  if (x < -8.0f) return 0.0f;
+  return 1.0f / (1.0f + std::exp(-x));
+}
+
+}  // namespace
+
+Word2Vec::Word2Vec(Word2VecConfig config) : config_(config) {
+  if (config_.dim == 0) throw std::invalid_argument("Word2Vec: dim == 0");
+}
+
+void Word2Vec::build_vocab(
+    const std::vector<std::vector<std::string>>& sentences) {
+  std::unordered_map<std::string, std::uint64_t> counts;
+  total_tokens_ = 0;
+  for (const auto& sentence : sentences) {
+    for (const auto& word : sentence) ++counts[word];
+    total_tokens_ += sentence.size();
+  }
+  vocab_.clear();
+  vocab_words_.clear();
+  vocab_counts_.clear();
+  // Deterministic ordering: by descending count, then lexicographic.
+  std::vector<std::pair<std::string, std::uint64_t>> sorted(counts.begin(),
+                                                            counts.end());
+  std::sort(sorted.begin(), sorted.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  for (auto& [word, count] : sorted) {
+    if (count < config_.min_count) break;
+    vocab_.emplace(word, static_cast<std::uint32_t>(vocab_words_.size()));
+    vocab_words_.push_back(word);
+    vocab_counts_.push_back(count);
+  }
+}
+
+void Word2Vec::build_negative_table() {
+  negative_table_.clear();
+  if (vocab_words_.empty()) return;
+  negative_table_.reserve(kNegativeTableSize);
+  double total = 0.0;
+  for (std::uint64_t c : vocab_counts_) total += std::pow(double(c), 0.75);
+  std::size_t word = 0;
+  double cumulative = std::pow(double(vocab_counts_[0]), 0.75) / total;
+  for (std::size_t i = 0; i < kNegativeTableSize; ++i) {
+    negative_table_.push_back(static_cast<std::uint32_t>(word));
+    if (double(i) / kNegativeTableSize > cumulative &&
+        word + 1 < vocab_words_.size()) {
+      ++word;
+      cumulative += std::pow(double(vocab_counts_[word]), 0.75) / total;
+    }
+  }
+}
+
+void Word2Vec::train(const std::vector<std::vector<std::string>>& sentences) {
+  build_vocab(sentences);
+  build_negative_table();
+  const std::size_t vocab_size = vocab_words_.size();
+  const unsigned dim = config_.dim;
+
+  Rng rng(config_.seed, "w2v");
+  input_vectors_.assign(vocab_size * dim, 0.0f);
+  output_vectors_.assign(vocab_size * dim, 0.0f);
+  for (float& v : input_vectors_) {
+    v = static_cast<float>((rng.uniform() - 0.5) / dim);
+  }
+  if (vocab_size == 0) return;
+
+  // Sentences mapped to vocab ids once, up front.
+  std::vector<std::vector<std::uint32_t>> encoded;
+  encoded.reserve(sentences.size());
+  std::uint64_t total_tokens = 0;
+  for (const auto& sentence : sentences) {
+    std::vector<std::uint32_t> ids;
+    ids.reserve(sentence.size());
+    for (const auto& word : sentence) {
+      auto it = vocab_.find(word);
+      if (it != vocab_.end()) ids.push_back(it->second);
+    }
+    total_tokens += ids.size();
+    if (ids.size() >= 2) encoded.push_back(std::move(ids));
+  }
+  if (encoded.empty()) return;
+
+  const std::uint64_t total_steps =
+      std::max<std::uint64_t>(1, config_.epochs * total_tokens);
+  std::uint64_t step = 0;
+  std::vector<float> grad(dim);
+
+  for (unsigned epoch = 0; epoch < config_.epochs; ++epoch) {
+    std::shuffle(encoded.begin(), encoded.end(), rng);
+    for (const auto& sentence : encoded) {
+      for (std::size_t center = 0; center < sentence.size(); ++center) {
+        // Linear learning-rate decay to 10% of the initial rate.
+        const float progress =
+            static_cast<float>(step) / static_cast<float>(total_steps);
+        const float lr =
+            config_.learning_rate * std::max(0.1f, 1.0f - progress);
+        ++step;
+
+        const std::uint32_t center_id = sentence[center];
+        float* center_vec = &input_vectors_[std::size_t(center_id) * dim];
+        const std::size_t reach = 1 + rng.below(config_.window);
+        const std::size_t lo = center >= reach ? center - reach : 0;
+        const std::size_t hi =
+            std::min(sentence.size() - 1, center + reach);
+        for (std::size_t pos = lo; pos <= hi; ++pos) {
+          if (pos == center) continue;
+          const std::uint32_t context_id = sentence[pos];
+          std::fill(grad.begin(), grad.end(), 0.0f);
+
+          // Positive pair + `negatives` sampled negatives.
+          for (unsigned n = 0; n <= config_.negatives; ++n) {
+            std::uint32_t target;
+            float label;
+            if (n == 0) {
+              target = context_id;
+              label = 1.0f;
+            } else {
+              target = negative_table_[rng.below(negative_table_.size())];
+              if (target == context_id) continue;
+              label = 0.0f;
+            }
+            float* out_vec = &output_vectors_[std::size_t(target) * dim];
+            float dot = 0.0f;
+            for (unsigned d = 0; d < dim; ++d)
+              dot += center_vec[d] * out_vec[d];
+            const float g = (label - sigmoid(dot)) * lr;
+            for (unsigned d = 0; d < dim; ++d) {
+              grad[d] += g * out_vec[d];
+              out_vec[d] += g * center_vec[d];
+            }
+          }
+          for (unsigned d = 0; d < dim; ++d) center_vec[d] += grad[d];
+        }
+      }
+    }
+  }
+}
+
+const float* Word2Vec::vector_of(std::string_view word) const {
+  auto it = vocab_.find(std::string(word));
+  if (it == vocab_.end()) return nullptr;
+  return &input_vectors_[std::size_t(it->second) * config_.dim];
+}
+
+std::uint64_t Word2Vec::count_of(std::string_view word) const {
+  auto it = vocab_.find(std::string(word));
+  return it == vocab_.end() ? 0 : vocab_counts_[it->second];
+}
+
+std::size_t Word2Vec::size_bytes() const {
+  std::size_t bytes =
+      (input_vectors_.size() + output_vectors_.size()) * sizeof(float);
+  for (const auto& word : vocab_words_) bytes += word.size() + 16;
+  return bytes;
+}
+
+std::string Word2Vec::to_binary() const {
+  BinaryWriter w;
+  w.put<std::uint32_t>(0x50573256U);  // "PW2V"
+  w.put<std::uint32_t>(config_.dim);
+  w.put<std::uint32_t>(config_.window);
+  w.put<std::uint32_t>(config_.negatives);
+  w.put<std::uint32_t>(config_.epochs);
+  w.put<float>(config_.learning_rate);
+  w.put<std::uint32_t>(config_.min_count);
+  w.put<std::uint64_t>(config_.seed);
+  w.put<std::uint64_t>(total_tokens_);
+  w.put<std::uint32_t>(static_cast<std::uint32_t>(vocab_words_.size()));
+  for (std::size_t i = 0; i < vocab_words_.size(); ++i) {
+    w.put_string(vocab_words_[i]);
+    w.put<std::uint64_t>(vocab_counts_[i]);
+  }
+  w.put_vector(input_vectors_);
+  return w.take();
+}
+
+Word2Vec Word2Vec::from_binary(std::string_view bytes) {
+  BinaryReader r(bytes);
+  if (r.get<std::uint32_t>() != 0x50573256U)
+    throw SerializeError("bad word2vec magic");
+  Word2VecConfig config;
+  config.dim = r.get<std::uint32_t>();
+  config.window = r.get<std::uint32_t>();
+  config.negatives = r.get<std::uint32_t>();
+  config.epochs = r.get<std::uint32_t>();
+  config.learning_rate = r.get<float>();
+  config.min_count = r.get<std::uint32_t>();
+  config.seed = r.get<std::uint64_t>();
+  Word2Vec model(config);
+  model.total_tokens_ = r.get<std::uint64_t>();
+  const auto vocab_size = r.get<std::uint32_t>();
+  for (std::uint32_t i = 0; i < vocab_size; ++i) {
+    std::string word = r.get_string();
+    model.vocab_.emplace(word, i);
+    model.vocab_words_.push_back(std::move(word));
+    model.vocab_counts_.push_back(r.get<std::uint64_t>());
+  }
+  model.input_vectors_ = r.get_vector<float>();
+  if (model.input_vectors_.size() !=
+      std::size_t(vocab_size) * config.dim)
+    throw SerializeError("word2vec embedding size mismatch");
+  return model;
+}
+
+}  // namespace praxi::ml

@@ -1,0 +1,73 @@
+// word2vec: skip-gram with negative sampling (SGNS).
+//
+// DeltaSherlock's "filetree" and "neighbor" fingerprint elements come from
+// shallow-neural-network embeddings of file and directory names, produced by
+// feeding w2v "sentences" built from changed paths (paper §II-C). This is a
+// from-scratch SGNS implementation: build a vocabulary over the sentence
+// corpus, then learn input/output embeddings by sliding a context window and
+// discriminating true (center, context) pairs from sampled negatives.
+//
+// The trained word->vector mapping is the "dictionary" DeltaSherlock must
+// regenerate whenever the corpus grows — the overhead Praxi eliminates.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace praxi::ml {
+
+struct Word2VecConfig {
+  unsigned dim = 50;            ///< embedding dimensionality.
+  unsigned window = 4;          ///< max context offset.
+  unsigned negatives = 5;       ///< negative samples per pair.
+  unsigned epochs = 3;
+  float learning_rate = 0.025f; ///< linearly decayed to lr/10.
+  std::uint32_t min_count = 2;  ///< words rarer than this are dropped.
+  std::uint64_t seed = 1;
+};
+
+class Word2Vec {
+ public:
+  explicit Word2Vec(Word2VecConfig config = {});
+
+  /// Trains from scratch on `sentences` (token sequences). Replaces any
+  /// previously learned vocabulary — SGNS dictionaries are not incremental,
+  /// which is exactly DeltaSherlock's maintenance burden.
+  void train(const std::vector<std::vector<std::string>>& sentences);
+
+  /// Pointer to the `dim()`-element embedding, or nullptr for OOV words.
+  const float* vector_of(std::string_view word) const;
+
+  /// Corpus count of `word` (0 when out of vocabulary) and the total token
+  /// count, for inverse-frequency weighting of embedding averages.
+  std::uint64_t count_of(std::string_view word) const;
+  std::uint64_t total_token_count() const { return total_tokens_; }
+
+  unsigned dim() const { return config_.dim; }
+  std::size_t vocab_size() const { return vocab_words_.size(); }
+  bool trained() const { return !vocab_words_.empty(); }
+
+  /// In-memory footprint of the dictionary (both embedding matrices).
+  std::size_t size_bytes() const;
+
+  std::string to_binary() const;
+  static Word2Vec from_binary(std::string_view bytes);
+
+ private:
+  void build_vocab(const std::vector<std::vector<std::string>>& sentences);
+  void build_negative_table();
+
+  Word2VecConfig config_;
+  std::unordered_map<std::string, std::uint32_t> vocab_;
+  std::vector<std::string> vocab_words_;
+  std::vector<std::uint64_t> vocab_counts_;
+  std::vector<float> input_vectors_;   ///< vocab x dim (the embeddings).
+  std::vector<float> output_vectors_;  ///< vocab x dim (context weights).
+  std::vector<std::uint32_t> negative_table_;
+  std::uint64_t total_tokens_ = 0;
+};
+
+}  // namespace praxi::ml

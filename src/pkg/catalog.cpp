@@ -1,0 +1,627 @@
+#include "pkg/catalog.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <iterator>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+
+namespace praxi::pkg {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Corpus name lists (73 repository packages, 10 manual installations).
+// ---------------------------------------------------------------------------
+
+constexpr const char* kRepositoryNames[] = {
+    // Databases & storage (10)
+    "mysql-server", "mysql-client", "postgresql", "postgresql-client",
+    "mariadb-server", "sqlite3", "redis-server", "memcached",
+    "mongodb-server", "influxdb",
+    // Web servers & proxies (8)
+    "nginx", "apache2", "haproxy", "varnish", "squid", "tomcat8", "jetty9",
+    "lighttpd",
+    // Languages & runtimes (14)
+    "php", "php-mysql", "python3-numpy", "python3-scipy", "python3-pandas",
+    "python3-flask", "python3-django", "nodejs", "npm", "golang", "ruby",
+    "erlang", "openjdk-8-jdk", "maven",
+    // Developer tools (11)
+    "git", "subversion", "mercurial", "cmake", "gcc", "clang", "gdb",
+    "valgrind", "make", "ant", "autoconf",
+    // Editors & shells (7)
+    "vim", "emacs", "nano", "tmux", "screen", "zsh", "fish",
+    // CLI utilities (8)
+    "curl", "wget", "rsync", "htop", "iotop", "ncdu", "tree", "jq",
+    // Network & security services (10)
+    "openssh-server", "openvpn", "fail2ban", "ufw", "clamav", "bind9",
+    "postfix", "dovecot", "samba", "vsftpd",
+    // Ops & monitoring (5)
+    "rabbitmq-server", "supervisor", "monit", "collectd", "nagios3",
+};
+static_assert(std::size(kRepositoryNames) == 73);
+
+struct ManualEntry {
+  const char* name;
+  bool source_build;
+};
+
+// 7 of the 10 manual installations involve a source-compilation step,
+// matching the paper's §IV-C(b).
+constexpr ManualEntry kManualNames[] = {
+    {"redis-unstable", true},  {"nginx-mainline", true},
+    {"cpython-3.8", true},     {"openssl-1.1.1", true},
+    {"cmake-3.15", true},      {"htop-dev", true},
+    {"tmux-head", true},       {"node-v12", false},
+    {"go1.12", false},         {"anaconda3", false},
+};
+static_assert(std::size(kManualNames) == 10);
+
+constexpr const char* kDependencyNames[] = {
+    "zlib1g",          "libssl1-0",      "libpcre3",      "libxml2",
+    "libxslt1",        "libcurl3",       "libjpeg8",      "libpng12",
+    "libfreetype6",    "libicu55",       "libreadline6",  "libncurses5",
+    "libsqlite3-0",    "libevent2",      "libyaml-0",     "libffi6",
+    "libgmp10",        "libmpfr4",       "libboost-sys",  "libboost-thr",
+    "liblz4-1",        "libzstd1",       "libsnappy1",    "libuv1",
+    "libgeoip1",       "libsasl2",       "libldap2",      "libkrb5-3",
+    "libpq5",          "libmysqlclient", "libaprutil1",   "libexpat1",
+};
+
+constexpr const char* kBinarySuffixes[] = {
+    "",        "d",        "ctl",     "-cli",    "-admin",  "dump",
+    "-config", "-client",  "-server", "-tool",   "-agent",  "-daemon",
+    "-utils",  "-check",   "-bench",  "-top",    "-stat",   "import",
+    "show",    "-restore", "-backup", "-shell",  "-repl",   "-fmt",
+    "-proxy",  "-sync",    "-watch",  "-verify", "-merge",  "-init",
+};
+
+constexpr const char* kWords[] = {
+    "cache",  "main",   "utils",  "net",    "auth",   "core",   "extra",
+    "local",  "remote", "backup", "daemon", "client", "server", "tools",
+    "agent",  "hooks",  "proxy",  "ssl",    "log",    "stats",  "worker",
+    "queue",  "index",  "store",  "shard",  "crypto", "codec",  "parse",
+};
+
+constexpr const char* kDocNames[] = {
+    "README.Debian",      "copyright",        "changelog.Debian.gz",
+    "NEWS.Debian.gz",     "README.gz",        "TODO.Debian",
+    "examples.tar.gz",    "AUTHORS",          "FAQ.gz",
+};
+
+constexpr const char* kDpkgSuffixes[] = {
+    "list", "md5sums", "postinst", "prerm", "postrm", "conffiles", "triggers",
+};
+
+/// Derives the naming-practice stem from a package name: "mysql-server" ->
+/// "mysql", "python3-numpy" -> "numpy" (python module packages are named
+/// after the module), "libboost-sys" -> "libboost".
+std::string stem_of(const std::string& name) {
+  if (name.rfind("python3-", 0) == 0) return name.substr(8);
+  const auto dash = name.find('-');
+  std::string stem = dash == std::string::npos ? name : name.substr(0, dash);
+  // Strip trailing digits from names like "tomcat8", "jetty9", "bind9",
+  // "sqlite3": the practice prefix is the bare product name.
+  while (stem.size() > 3 &&
+         std::isdigit(static_cast<unsigned char>(stem.back()))) {
+    stem.pop_back();
+  }
+  return stem;
+}
+
+std::string make_version(Rng& rng) {
+  return std::to_string(rng.range(1, 9)) + "." +
+         std::to_string(rng.range(0, 19)) + "." +
+         std::to_string(rng.range(0, 29)) + "-" +
+         std::to_string(rng.range(0, 4)) + "ubuntu" +
+         std::to_string(rng.range(1, 9));
+}
+
+/// Tracks globally claimed paths so that no two packages own the same file
+/// (installing one package must never clobber another's payload).
+class PathClaims {
+ public:
+  /// Returns `path` if free, otherwise a deterministic variant ("<path>.2").
+  std::string claim(std::string path) {
+    if (claimed_.insert(path).second) return path;
+    for (int i = 2;; ++i) {
+      std::string alt = path + "." + std::to_string(i);
+      if (claimed_.insert(alt).second) return alt;
+    }
+  }
+
+  bool is_claimed(const std::string& path) const {
+    return claimed_.count(path) > 0;
+  }
+
+ private:
+  std::unordered_set<std::string> claimed_;
+};
+
+void add_file(PackageSpec& spec, PathClaims& claims, std::string path,
+              std::uint16_t mode, std::uint64_t size,
+              double optional_probability = 0.0,
+              std::uint8_t version_variants = 0) {
+  spec.files.push_back(FileSpec{claims.claim(std::move(path)), mode, size,
+                                optional_probability, version_variants});
+}
+
+// ---------------------------------------------------------------------------
+// mysql-server: hand-built to reproduce Table I exactly.
+//   /usr/share/man/man1: 27   /usr/bin: 26   /etc: 24
+//   /var/lib/dpkg/info: 24    /usr/share/doc: 7    elsewhere: 23  -> 131
+// ---------------------------------------------------------------------------
+
+PackageSpec make_mysql_server(PathClaims& claims) {
+  PackageSpec spec;
+  spec.name = "mysql-server";
+  spec.stem = "mysql";
+  spec.version = "5.7.21-0ubuntu1";
+  spec.kind = InstallKind::kRepository;
+
+  static constexpr const char* kTools[] = {
+      "mysql",          "mysqladmin",      "mysqldump",
+      "mysqlimport",    "mysqlshow",       "mysqlslap",
+      "mysqlcheck",     "mysqlbinlog",     "mysqld_safe",
+      "mysqld_multi",   "mysqlrepair",     "mysqlanalyze",
+      "mysqloptimize",  "mysql_upgrade",   "mysql_secure_installation",
+      "mysql_install_db", "mysql_plugin",  "mysql_config_editor",
+      "mysql_ssl_rsa_setup", "mysql_tzinfo_to_sql", "mysqlbug",
+      "mysqldumpslow",  "mysqlhotcopy",    "mysql_convert_table_format",
+      "mysql_fix_extensions", "mysql_setpermission",
+  };
+  static_assert(std::size(kTools) == 26);
+
+  // 26 binaries in /usr/bin; 27 man pages (the tools plus mysqld, which
+  // itself lives in /usr/sbin and is counted under "elsewhere").
+  for (const char* tool : kTools) {
+    add_file(spec, claims, std::string("/usr/bin/") + tool, 0755, 400'000);
+    add_file(spec, claims, std::string("/usr/share/man/man1/") + tool + ".1.gz",
+             0644, 6'000);
+  }
+  add_file(spec, claims, "/usr/share/man/man1/mysqld.1.gz", 0644, 9'000);
+
+  // 24 files under /etc.
+  add_file(spec, claims, "/etc/mysql/mysql.cnf", 0644, 800);
+  add_file(spec, claims, "/etc/mysql/my.cnf", 0644, 700);
+  add_file(spec, claims, "/etc/mysql/debian.cnf", 0600, 333);
+  add_file(spec, claims, "/etc/mysql/debian-start", 0755, 1'500);
+  for (int i = 0; i < 6; ++i) {
+    add_file(spec, claims,
+             "/etc/mysql/conf.d/" + std::string(kWords[i]) + ".cnf", 0644,
+             300);
+  }
+  for (int i = 0; i < 10; ++i) {
+    add_file(spec, claims,
+             "/etc/mysql/mysql.conf.d/" + std::string(kWords[i + 6]) + ".cnf",
+             0644, 400);
+  }
+  add_file(spec, claims, "/etc/init.d/mysql", 0755, 5'500);
+  add_file(spec, claims, "/etc/logrotate.d/mysql-server", 0644, 900);
+  add_file(spec, claims, "/etc/apparmor.d/usr.sbin.mysqld", 0644, 3'000);
+  add_file(spec, claims, "/etc/default/mysql", 0644, 200);
+
+  // 24 dpkg-info files: 4 related package manifests x 6 control files each
+  // (mirrors the paper's /var/lib/dpkg/info/mysql-server-5.7.list sample).
+  static constexpr const char* kDpkgOwners[] = {
+      "mysql-server", "mysql-server-5.7", "mysql-server-core-5.7",
+      "mysql-common"};
+  for (const char* owner : kDpkgOwners) {
+    for (int i = 0; i < 6; ++i) {
+      add_file(spec, claims,
+               std::string("/var/lib/dpkg/info/") + owner + "." +
+                   kDpkgSuffixes[i],
+               0644, 2'000);
+    }
+  }
+
+  // 7 docs.
+  for (int i = 0; i < 7; ++i) {
+    add_file(spec, claims,
+             std::string("/usr/share/doc/mysql-server/") + kDocNames[i], 0644,
+             4'000);
+  }
+
+  // 23 elsewhere: /usr/sbin/mysqld, 12 under /usr/share/mysql,
+  // 6 under /var/lib/mysql, 4 plugins.
+  add_file(spec, claims, "/usr/sbin/mysqld", 0755, 24'000'000);
+  static constexpr const char* kShareFiles[] = {
+      "mysql_system_tables.sql", "mysql_system_tables_data.sql",
+      "mysql_sys_schema.sql",    "fill_help_tables.sql",
+      "errmsg-utf8.txt",         "charsets/Index.xml",
+      "charsets/latin1.xml",     "charsets/utf8.xml",
+      "english/errmsg.sys",      "mysql_security_commands.sql",
+      "innodb_memcached_config.sql", "magic"};
+  static_assert(std::size(kShareFiles) == 12);
+  for (const char* f : kShareFiles) {
+    add_file(spec, claims, std::string("/usr/share/mysql/") + f, 0644, 30'000);
+  }
+  add_file(spec, claims, "/var/lib/mysql/ibdata1", 0640, 12'000'000);
+  add_file(spec, claims, "/var/lib/mysql/ib_logfile0", 0640, 50'000'000);
+  add_file(spec, claims, "/var/lib/mysql/ib_logfile1", 0640, 50'000'000);
+  add_file(spec, claims, "/var/lib/mysql/auto.cnf", 0640, 56);
+  add_file(spec, claims, "/var/lib/mysql/mysql/user.frm", 0640, 11'000);
+  add_file(spec, claims, "/var/lib/mysql/sys/sys_config.frm", 0640, 9'000);
+  static constexpr const char* kPlugins[] = {
+      "auth_socket.so", "validate_password.so", "innodb_engine.so",
+      "semisync_master.so"};
+  for (const char* plugin : kPlugins) {
+    add_file(spec, claims, std::string("/usr/lib/mysql/plugin/") + plugin,
+             0644, 90'000);
+  }
+
+  return spec;
+}
+
+// ---------------------------------------------------------------------------
+// Generic procedural footprints.
+// ---------------------------------------------------------------------------
+
+/// Generates an APT-style repository package footprint following standard
+/// packaging practices.
+PackageSpec make_repo_package(const std::string& name, PathClaims& claims,
+                              Rng& rng) {
+  PackageSpec spec;
+  spec.name = name;
+  spec.stem = stem_of(name);
+  spec.version = make_version(rng);
+  spec.kind = InstallKind::kRepository;
+
+  const bool is_python_module = name.rfind("python3-", 0) == 0;
+  const bool is_service =
+      name.find("server") != std::string::npos || name == "nginx" ||
+      name == "apache2" || name == "haproxy" || name == "varnish" ||
+      name == "squid" || name == "lighttpd" || name == "postfix" ||
+      name == "dovecot" || name == "bind9" || name == "influxdb" ||
+      name == "memcached" || name == "fail2ban" || name == "monit" ||
+      name == "supervisor" || name == "collectd";
+
+  if (is_python_module) {
+    // Module tree under dist-packages; minimal binaries.
+    const std::string base =
+        "/usr/lib/python3/dist-packages/" + spec.stem + "/";
+    add_file(spec, claims, base + "__init__.py", 0644, 3'000);
+    const int nmods = static_cast<int>(4 + rng.below(10));
+    for (int i = 0; i < nmods; ++i) {
+      const std::string word = kWords[rng.below(std::size(kWords))];
+      add_file(spec, claims, base + word + ".py", 0644,
+               2'000 + rng.below(40'000));
+      if (rng.chance(0.4)) {
+        add_file(spec, claims,
+                 base + "_" + word + ".cpython-35m-x86_64-linux-gnu.so", 0644,
+                 100'000 + rng.below(2'000'000), /*optional=*/0.0,
+                 /*version_variants=*/2);
+      }
+      if (rng.chance(0.5)) {
+        add_file(spec, claims,
+                 base + "tests/test_" + word + ".py", 0644,
+                 1'000 + rng.below(10'000), /*optional=*/0.3);
+      }
+    }
+    add_file(spec, claims,
+             "/usr/lib/python3/dist-packages/" + spec.stem + "-" +
+                 spec.version.substr(0, 5) + ".egg-info",
+             0644, 1'200, /*optional=*/0.0, /*version_variants=*/3);
+  } else {
+    // Binaries with the stem-prefix practice; the bare stem always exists.
+    const int nbin = static_cast<int>(2 + rng.below(is_service ? 9 : 6));
+    std::vector<int> suffix_order(std::size(kBinarySuffixes));
+    for (std::size_t i = 0; i < suffix_order.size(); ++i)
+      suffix_order[i] = static_cast<int>(i);
+    // Fisher-Yates with our deterministic rng; keep "" (bare stem) first.
+    for (std::size_t i = suffix_order.size() - 1; i > 1; --i) {
+      std::swap(suffix_order[i], suffix_order[1 + rng.below(i)]);
+    }
+    for (int b = 0; b < nbin; ++b) {
+      const std::string bin =
+          spec.stem + kBinarySuffixes[suffix_order[static_cast<std::size_t>(b)]];
+      add_file(spec, claims, "/usr/bin/" + bin, 0755,
+               20'000 + rng.below(4'000'000));
+      if (rng.chance(0.8)) {
+        add_file(spec, claims, "/usr/share/man/man1/" + bin + ".1.gz", 0644,
+                 1'000 + rng.below(10'000));
+      }
+    }
+    // Shared libraries / plugins in a per-package namespace.
+    const int nlib = static_cast<int>(rng.below(is_service ? 7 : 4));
+    for (int l = 0; l < nlib; ++l) {
+      const std::string word = kWords[rng.below(std::size(kWords))];
+      add_file(spec, claims,
+               "/usr/lib/" + spec.stem + "/lib" + spec.stem + "_" + word +
+                   ".so." + std::to_string(rng.range(0, 5)),
+               0644, 50'000 + rng.below(3'000'000), /*optional=*/0.0,
+               /*version_variants=*/2);
+    }
+  }
+
+  // Configuration namespace under /etc/<stem>/.
+  const int nconf = static_cast<int>(1 + rng.below(5));
+  add_file(spec, claims, "/etc/" + spec.stem + "/" + spec.stem + ".conf", 0644,
+           200 + rng.below(4'000));
+  for (int c = 1; c < nconf; ++c) {
+    const std::string word = kWords[rng.below(std::size(kWords))];
+    add_file(spec, claims,
+             "/etc/" + spec.stem + "/conf.d/" + std::to_string(10 * c) + "-" +
+                 word + ".conf",
+             0644, 100 + rng.below(2'000), /*optional=*/0.2);
+  }
+  if (is_service) {
+    add_file(spec, claims, "/etc/init.d/" + spec.stem, 0755,
+             2'000 + rng.below(6'000));
+    add_file(spec, claims, "/etc/default/" + spec.stem, 0644, 150);
+    add_file(spec, claims, "/etc/logrotate.d/" + name, 0644, 400);
+    // Data & log namespaces.
+    add_file(spec, claims, "/var/lib/" + spec.stem + "/" + spec.stem + ".db",
+             0640, 1'000'000 + rng.below(30'000'000));
+    add_file(spec, claims, "/var/log/" + spec.stem + "/" + spec.stem + ".log",
+             0640, 0);
+  }
+
+  // Documentation.
+  const int ndoc = static_cast<int>(2 + rng.below(5));
+  for (int d = 0; d < ndoc; ++d) {
+    add_file(spec, claims,
+             "/usr/share/doc/" + name + "/" + kDocNames[d], 0644,
+             1'000 + rng.below(20'000), /*optional=*/d < 2 ? 0.0 : 0.25);
+  }
+
+  // dpkg metadata.
+  const int ndpkg = static_cast<int>(2 + rng.below(5));
+  for (int i = 0; i < ndpkg; ++i) {
+    add_file(spec, claims,
+             "/var/lib/dpkg/info/" + name + "." + kDpkgSuffixes[i], 0644,
+             500 + rng.below(8'000));
+  }
+
+  return spec;
+}
+
+/// Dependency (library) packages: lean footprints under /usr/lib and dpkg
+/// metadata; never labels.
+PackageSpec make_dependency_package(const std::string& name,
+                                    PathClaims& claims, Rng& rng) {
+  PackageSpec spec;
+  spec.name = name;
+  spec.stem = stem_of(name);
+  spec.version = make_version(rng);
+  spec.kind = InstallKind::kRepository;
+  spec.is_dependency = true;
+
+  const int nso = static_cast<int>(1 + rng.below(3));
+  for (int i = 0; i < nso; ++i) {
+    add_file(spec, claims,
+             "/usr/lib/x86_64-linux-gnu/" + name + ".so." +
+                 std::to_string(rng.range(0, 9)) + "." +
+                 std::to_string(rng.range(0, 9)),
+             0644, 80'000 + rng.below(4'000'000));
+  }
+  add_file(spec, claims, "/usr/share/doc/" + name + "/copyright", 0644, 2'000);
+  add_file(spec, claims, "/usr/share/doc/" + name + "/changelog.Debian.gz",
+           0644, 3'000);
+  for (int i = 0; i < 2; ++i) {
+    add_file(spec, claims,
+             "/var/lib/dpkg/info/" + name + "." + kDpkgSuffixes[i], 0644,
+             400 + rng.below(2'000));
+  }
+  return spec;
+}
+
+/// Manual installations: payload under /usr/local (source builds) or
+/// /opt|/usr/local/<stem> (tarball & script installs). Build-tree churn in
+/// /tmp is produced by the installer at install time, not stored here.
+PackageSpec make_manual_package(const ManualEntry& entry, PathClaims& claims,
+                                Rng& rng) {
+  PackageSpec spec;
+  spec.name = entry.name;
+  spec.stem = stem_of(entry.name);
+  spec.version = make_version(rng);
+  spec.kind = InstallKind::kManual;
+  spec.source_build = entry.source_build;
+
+  if (entry.source_build) {
+    // `make install` layout under /usr/local.
+    const int nbin = static_cast<int>(1 + rng.below(5));
+    for (int b = 0; b < nbin; ++b) {
+      const std::string bin =
+          spec.stem +
+          kBinarySuffixes[b == 0 ? 0 : rng.below(std::size(kBinarySuffixes))];
+      add_file(spec, claims, "/usr/local/bin/" + bin, 0755,
+               100'000 + rng.below(8'000'000));
+    }
+    const int nlib = static_cast<int>(rng.below(4));
+    for (int l = 0; l < nlib; ++l) {
+      add_file(spec, claims,
+               "/usr/local/lib/lib" + spec.stem +
+                   (l == 0 ? "" : "_" + std::string(kWords[rng.below(
+                                      std::size(kWords))])) +
+                   ".so",
+               0755, 200'000 + rng.below(5'000'000), /*optional=*/0.0,
+               /*version_variants=*/2);
+    }
+    const int ninc = static_cast<int>(rng.below(6));
+    for (int i = 0; i < ninc; ++i) {
+      const std::string word = kWords[rng.below(std::size(kWords))];
+      add_file(spec, claims,
+               "/usr/local/include/" + spec.stem + "/" + word + ".h", 0644,
+               2'000 + rng.below(30'000));
+    }
+    add_file(spec, claims, "/usr/local/share/man/man1/" + spec.stem + ".1",
+             0644, 4'000);
+    add_file(spec, claims,
+             "/usr/local/share/doc/" + spec.stem + "/README", 0644, 3'000,
+             /*optional=*/0.2);
+  } else {
+    // Tarball / vendor-script install into an /opt-style prefix.
+    const std::string prefix = "/opt/" + spec.name + "/";
+    const int nbin = static_cast<int>(2 + rng.below(4));
+    for (int b = 0; b < nbin; ++b) {
+      const std::string bin =
+          spec.stem +
+          kBinarySuffixes[b == 0 ? 0 : rng.below(std::size(kBinarySuffixes))];
+      add_file(spec, claims, prefix + "bin/" + bin, 0755,
+               500'000 + rng.below(20'000'000));
+      // Practice: vendor installers symlink (here: copy) into /usr/local/bin.
+      add_file(spec, claims, "/usr/local/bin/" + bin, 0755, 60);
+    }
+    const int nlib = static_cast<int>(3 + rng.below(8));
+    for (int l = 0; l < nlib; ++l) {
+      const std::string word = kWords[rng.below(std::size(kWords))];
+      add_file(spec, claims,
+               prefix + "lib/" + word + "/lib" + spec.stem + "_" + word +
+                   ".so",
+               0644, 100'000 + rng.below(6'000'000), /*optional=*/0.0,
+               /*version_variants=*/2);
+    }
+    const int nshare = static_cast<int>(2 + rng.below(6));
+    for (int s = 0; s < nshare; ++s) {
+      const std::string word = kWords[rng.below(std::size(kWords))];
+      add_file(spec, claims, prefix + "share/" + word + ".dat", 0644,
+               10'000 + rng.below(1'000'000), /*optional=*/0.15);
+    }
+    add_file(spec, claims, prefix + "LICENSE", 0644, 11'000);
+    add_file(spec, claims, prefix + "VERSION", 0644, 16);
+  }
+  return spec;
+}
+
+void assign_dependencies(PackageSpec& spec,
+                         const std::vector<std::string>& pool, Rng& rng,
+                         std::size_t lo, std::size_t hi) {
+  const std::size_t count = lo + rng.below(hi - lo + 1);
+  std::unordered_set<std::string> chosen;
+  while (chosen.size() < count) {
+    chosen.insert(pool[rng.below(pool.size())]);
+  }
+  spec.deps.assign(chosen.begin(), chosen.end());
+  std::sort(spec.deps.begin(), spec.deps.end());
+}
+
+}  // namespace
+
+void Catalog::add(PackageSpec spec) {
+  const std::string& name = spec.name;
+  if (spec.is_dependency) {
+    deps_.push_back(name);
+  } else if (spec.kind == InstallKind::kRepository) {
+    repo_.push_back(name);
+  } else {
+    manual_.push_back(name);
+  }
+  specs_.emplace(name, std::move(spec));
+}
+
+Catalog Catalog::standard(std::uint64_t seed) {
+  return subset(seed, std::size(kRepositoryNames), std::size(kManualNames));
+}
+
+Catalog Catalog::subset(std::uint64_t seed, std::size_t repo,
+                        std::size_t manual) {
+  repo = std::min(repo, std::size(kRepositoryNames));
+  manual = std::min(manual, std::size(kManualNames));
+
+  Catalog catalog;
+  PathClaims claims;
+
+  // Dependency pool first (always complete), so application footprints never
+  // collide with dependency payload paths.
+  std::vector<std::string> dep_pool;
+  for (const char* name : kDependencyNames) {
+    Rng rng(seed, std::string("dep/") + name);
+    catalog.add(make_dependency_package(name, claims, rng));
+    dep_pool.emplace_back(name);
+  }
+
+  for (std::size_t i = 0; i < repo; ++i) {
+    const std::string name = kRepositoryNames[i];
+    Rng rng(seed, "repo/" + name);
+    PackageSpec spec = name == "mysql-server"
+                           ? make_mysql_server(claims)
+                           : make_repo_package(name, claims, rng);
+    assign_dependencies(spec, dep_pool, rng, 1, 6);
+    catalog.add(std::move(spec));
+  }
+
+  for (std::size_t i = 0; i < manual; ++i) {
+    const ManualEntry& entry = kManualNames[i];
+    Rng rng(seed, std::string("manual/") + entry.name);
+    PackageSpec spec = make_manual_package(entry, claims, rng);
+    // Source builds pull in build dependencies from the same pool.
+    assign_dependencies(spec, dep_pool, rng, entry.source_build ? 2 : 0,
+                        entry.source_build ? 5 : 2);
+    catalog.add(std::move(spec));
+  }
+
+  return catalog;
+}
+
+Catalog Catalog::versioned(std::uint64_t seed, std::size_t apps,
+                           std::size_t versions) {
+  apps = std::min(apps, std::size(kRepositoryNames));
+  if (versions == 0) versions = 1;
+
+  Catalog catalog;
+  PathClaims claims;
+
+  std::vector<std::string> dep_pool;
+  for (const char* name : kDependencyNames) {
+    Rng rng(seed, std::string("dep/") + name);
+    catalog.add(make_dependency_package(name, claims, rng));
+    dep_pool.emplace_back(name);
+  }
+
+  for (std::size_t i = 0; i < apps; ++i) {
+    const std::string name = kRepositoryNames[i];
+    Rng rng(seed, "repo/" + name);
+    PackageSpec base = name == "mysql-server"
+                           ? make_mysql_server(claims)
+                           : make_repo_package(name, claims, rng);
+    assign_dependencies(base, dep_pool, rng, 1, 6);
+
+    for (std::size_t k = 0; k < versions; ++k) {
+      // Releases of one package legitimately share payload paths (they are
+      // never co-installed), so no fresh claims are made here.
+      PackageSpec release = base;
+      release.name = name + "@v" + std::to_string(k + 1);
+      release.version = std::to_string(k + 1) + ".0." +
+                        std::to_string(rng.range(0, 20));
+      Rng release_rng(seed, "release/" + release.name);
+      // A release renames a fraction of the payload (version-embedded
+      // filenames) and ships one release-specific artifact.
+      for (auto& file : release.files) {
+        if (release_rng.chance(0.15)) {
+          file.path += "-r" + std::to_string(k + 1);
+        }
+        file.size = static_cast<std::uint64_t>(
+            double(file.size) * release_rng.uniform(0.9, 1.2));
+      }
+      release.files.push_back(FileSpec{
+          "/usr/share/doc/" + name + "/changelog-v" + std::to_string(k + 1) +
+              ".gz",
+          0644, 2'000 + release_rng.below(8'000), 0.0, 0});
+      catalog.add(std::move(release));
+    }
+  }
+  return catalog;
+}
+
+const PackageSpec& Catalog::get(const std::string& name) const {
+  const PackageSpec* spec = find(name);
+  if (spec == nullptr)
+    throw std::invalid_argument("unknown package: " + name);
+  return *spec;
+}
+
+const PackageSpec* Catalog::find(const std::string& name) const {
+  auto it = specs_.find(name);
+  return it == specs_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> Catalog::application_names() const {
+  std::vector<std::string> names = repo_;
+  names.insert(names.end(), manual_.begin(), manual_.end());
+  return names;
+}
+
+bool is_source_build(const PackageSpec& spec) { return spec.source_build; }
+
+}  // namespace praxi::pkg

@@ -1,0 +1,80 @@
+// The package catalog: a deterministic, procedurally generated software
+// ecosystem mirroring the paper's corpus (§IV-C, Table II):
+//
+//   * 73 repository packages (APT-style), including a hand-built
+//     `mysql-server` whose footprint reproduces Table I exactly
+//     (131 files: 27 man pages, 26 /usr/bin binaries, 24 /etc entries,
+//     24 dpkg-info files, 7 docs, 23 elsewhere);
+//   * 10 manual installations (7 involving source compilation, matching
+//     the paper), landing under /usr/local and /opt;
+//   * a pool of shared library dependency packages (never labels) that
+//     dirty changesets capture when they are installed on demand.
+//
+// All footprints follow the naming practices Columbus exploits: binaries
+// share the package stem as a prefix, configuration/libraries/docs live in
+// per-package namespaces. Generation is fully deterministic given a seed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "pkg/package.hpp"
+
+namespace praxi::pkg {
+
+class Catalog {
+ public:
+  /// Builds the standard 73 + 10 + deps corpus.
+  static Catalog standard(std::uint64_t seed = 42);
+
+  /// Builds a reduced corpus containing the first `repo` repository packages
+  /// and first `manual` manual applications (plus the full dependency pool).
+  /// Used by scaled-down benches and the incremental-learning experiment.
+  static Catalog subset(std::uint64_t seed, std::size_t repo,
+                        std::size_t manual);
+
+  /// Builds a corpus for version-level discovery — the paper's §VIII future
+  /// work ("detecting and differentiating between individual versions of
+  /// software"). Each of the first `apps` repository packages appears in
+  /// `versions` releases labeled "<name>@v<k>". Releases share most of
+  /// their footprint and differ only in release-specific artifacts, so
+  /// separating versions is strictly harder than separating packages.
+  static Catalog versioned(std::uint64_t seed, std::size_t apps,
+                           std::size_t versions);
+
+  const PackageSpec& get(const std::string& name) const;
+  const PackageSpec* find(const std::string& name) const;
+  bool contains(const std::string& name) const {
+    return find(name) != nullptr;
+  }
+
+  /// All discoverable application labels: repository then manual names.
+  std::vector<std::string> application_names() const;
+
+  const std::vector<std::string>& repository_names() const { return repo_; }
+  const std::vector<std::string>& manual_names() const { return manual_; }
+  const std::vector<std::string>& dependency_names() const { return deps_; }
+
+  std::size_t application_count() const {
+    return repo_.size() + manual_.size();
+  }
+
+ private:
+  Catalog() = default;
+
+  void add(PackageSpec spec);
+
+  std::unordered_map<std::string, PackageSpec> specs_;
+  std::vector<std::string> repo_;
+  std::vector<std::string> manual_;
+  std::vector<std::string> deps_;
+};
+
+/// Names of applications whose installation involves a source-compilation
+/// step (subset of manual names; 7 of 10 per the paper).
+bool is_source_build(const PackageSpec& spec);
+
+}  // namespace praxi::pkg

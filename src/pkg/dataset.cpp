@@ -1,0 +1,254 @@
+#include "pkg/dataset.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "common/rng.hpp"
+#include "common/serialize.hpp"
+#include "fs/recorder.hpp"
+#include "pkg/installer.hpp"
+#include "pkg/noise.hpp"
+
+namespace praxi::pkg {
+
+std::size_t Dataset::total_bytes() const {
+  std::size_t total = 0;
+  for (const auto& cs : changesets) total += cs.size_bytes();
+  return total;
+}
+
+void Dataset::refresh_labels() {
+  std::set<std::string> distinct;
+  for (const auto& cs : changesets) {
+    for (const auto& label : cs.labels()) distinct.insert(label);
+  }
+  labels.assign(distinct.begin(), distinct.end());
+}
+
+std::string Dataset::to_binary() const {
+  BinaryWriter w;
+  w.put<std::uint32_t>(0x50445331U);  // "PDS1"
+  w.put<std::uint64_t>(changesets.size());
+  for (const auto& cs : changesets) w.put_string(cs.to_binary());
+  return w.take();
+}
+
+Dataset Dataset::from_binary(std::string_view bytes) {
+  BinaryReader r(bytes);
+  if (r.get<std::uint32_t>() != 0x50445331U)
+    throw SerializeError("bad dataset magic");
+  Dataset dataset;
+  const auto count = r.get<std::uint64_t>();
+  dataset.changesets.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    dataset.changesets.push_back(fs::Changeset::from_binary(r.get_string()));
+  }
+  dataset.refresh_labels();
+  return dataset;
+}
+
+void Dataset::save(const std::string& path) const {
+  write_file(path, to_binary());
+}
+
+Dataset Dataset::load(const std::string& path) {
+  return from_binary(read_file(path));
+}
+
+DatasetBuilder::DatasetBuilder(const Catalog& catalog, std::uint64_t seed)
+    : catalog_(catalog), seed_(seed) {}
+
+namespace {
+
+std::vector<std::string> target_apps(const Catalog& catalog,
+                                     const CollectOptions& options) {
+  if (options.app_filter.empty()) return catalog.application_names();
+  for (const auto& name : options.app_filter) {
+    if (!catalog.contains(name))
+      throw std::invalid_argument("app_filter names unknown package: " + name);
+  }
+  return options.app_filter;
+}
+
+/// Ticks a noise source over a wait interval in ~1s slices so that noise
+/// events interleave with clock progress like a real waiting period.
+void noisy_wait(fs::InMemoryFilesystem& filesystem, NoiseSource& noise,
+                double seconds) {
+  double remaining = seconds;
+  while (remaining > 0.0) {
+    const double slice = std::min(1.0, remaining);
+    filesystem.clock()->advance_s(slice);
+    noise.tick(filesystem, slice);
+    remaining -= slice;
+  }
+}
+
+}  // namespace
+
+Dataset DatasetBuilder::collect_clean(const CollectOptions& options) {
+  const auto apps = target_apps(catalog_, options);
+
+  auto clock = fs::make_clock();
+  fs::InMemoryFilesystem filesystem(clock);
+  provision_base_image(filesystem);
+  Installer installer(filesystem, catalog_, Rng(seed_, "clean/installer"));
+
+  // Pre-run: install-and-remove every application once so dependencies are
+  // resident before any recording starts (paper §IV-B(a)).
+  installer.preinstall_all_dependencies();
+
+  fs::ChangesetRecorder recorder(filesystem);
+  recorder.pause();
+
+  Rng shuffle_rng(seed_, "clean/shuffle");
+  Dataset dataset;
+  dataset.changesets.reserve(apps.size() * options.samples_per_app);
+
+  std::vector<std::string> order = apps;
+  for (std::size_t run = 0; run < options.samples_per_app; ++run) {
+    std::shuffle(order.begin(), order.end(), shuffle_rng);
+    for (const auto& app : order) {
+      recorder.resume();
+      InstallOptions install_options;
+      install_options.install_missing_deps = false;  // pre-run guarantees them
+      installer.install(app, install_options);
+      recorder.pause();
+      dataset.changesets.push_back(recorder.eject({app}));
+      installer.uninstall(app);
+    }
+  }
+
+  dataset.refresh_labels();
+  return dataset;
+}
+
+Dataset DatasetBuilder::collect_dirty(const CollectOptions& options) {
+  const auto apps = target_apps(catalog_, options);
+
+  auto clock = fs::make_clock();
+  fs::InMemoryFilesystem filesystem(clock);
+  provision_base_image(filesystem);
+  Installer installer(filesystem, catalog_, Rng(seed_, "dirty/installer"));
+  NoiseMix noise = NoiseMix::baseline(Rng(seed_, "dirty/noise"));
+
+  fs::ChangesetRecorder recorder(filesystem);
+  recorder.pause();
+
+  Rng shuffle_rng(seed_, "dirty/shuffle");
+  Rng wait_rng(seed_, "dirty/wait");
+  Dataset dataset;
+  dataset.changesets.reserve(apps.size() * options.samples_per_app);
+
+  std::vector<std::string> order = apps;
+  for (std::size_t run = 0; run < options.samples_per_app; ++run) {
+    std::shuffle(order.begin(), order.end(), shuffle_rng);
+    for (const auto& app : order) {
+      recorder.resume();
+      noisy_wait(filesystem, noise,
+                 wait_rng.uniform(options.min_wait_s, options.max_wait_s));
+      installer.install(app);  // missing deps land inside this window
+      noisy_wait(filesystem, noise,
+                 wait_rng.uniform(options.min_wait_s, options.max_wait_s));
+      recorder.pause();
+      dataset.changesets.push_back(recorder.eject({app}));
+      // Applications stay installed until the run ends; dependencies persist
+      // so the next app in this run does not re-capture them (footnote 2).
+    }
+    installer.uninstall_everything();
+  }
+
+  dataset.refresh_labels();
+  return dataset;
+}
+
+Dataset DatasetBuilder::synthesize_multi(const Dataset& singles,
+                                         std::size_t count,
+                                         std::size_t min_apps,
+                                         std::size_t max_apps,
+                                         std::uint64_t seed) {
+  if (singles.changesets.empty())
+    throw std::invalid_argument("synthesize_multi: empty source corpus");
+  if (min_apps < 2 || max_apps < min_apps)
+    throw std::invalid_argument("synthesize_multi: bad app-count bounds");
+
+  Rng rng(seed, "multi/synth");
+  Dataset dataset;
+  dataset.changesets.reserve(count);
+
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t want =
+        min_apps + rng.below(max_apps - min_apps + 1);
+    // Without replacement, and never two changesets of the same application
+    // in one synthesis (paper §IV-B(c) controls).
+    std::unordered_set<std::size_t> chosen_indices;
+    std::unordered_set<std::string> chosen_labels;
+    std::vector<const fs::Changeset*> parts;
+    std::size_t attempts = 0;
+    while (parts.size() < want && attempts < 50 * want) {
+      ++attempts;
+      const std::size_t idx = rng.below(singles.changesets.size());
+      if (chosen_indices.count(idx) > 0) continue;
+      const fs::Changeset& cs = singles.changesets[idx];
+      if (cs.labels().size() != 1)
+        throw std::invalid_argument(
+            "synthesize_multi: source corpus must be single-label");
+      if (chosen_labels.count(cs.labels().front()) > 0) continue;
+      chosen_indices.insert(idx);
+      chosen_labels.insert(cs.labels().front());
+      parts.push_back(&cs);
+    }
+    if (parts.size() < min_apps)
+      throw std::runtime_error("synthesize_multi: not enough distinct labels");
+    dataset.changesets.push_back(fs::synthesize_multi(parts));
+  }
+
+  dataset.refresh_labels();
+  return dataset;
+}
+
+Dataset DatasetBuilder::overlay_dirtier_noise(const Dataset& dataset,
+                                              std::uint64_t seed,
+                                              double intensity) {
+  Rng rng(seed, "dirtier/overlay");
+  Dataset out;
+  out.changesets.reserve(dataset.changesets.size());
+
+  for (const auto& base : dataset.changesets) {
+    // Record what the dirtier environment does over this window on a scratch
+    // filesystem, then merge those records into the changeset.
+    auto clock = fs::make_clock(base.open_time_ms());
+    fs::InMemoryFilesystem scratch(clock);
+    provision_base_image(scratch);
+    NoiseMix noise = NoiseMix::dirtier(Rng(rng.next()));
+    fs::ChangesetRecorder recorder(scratch);
+
+    const double window_s = static_cast<double>(base.close_time_ms() -
+                                                base.open_time_ms()) /
+                            1e3;
+    double remaining = std::max(window_s, 1.0);
+    while (remaining > 0.0) {
+      const double slice = std::min(1.0, remaining);
+      clock->advance_s(slice);
+      // The clock runs in real time but the noise sources emit at a scaled
+      // rate, so the overlay volume is tunable independent of window length.
+      noise.tick(scratch, slice * intensity);
+      remaining -= slice;
+    }
+    const fs::Changeset noise_cs = recorder.eject();
+
+    fs::Changeset merged;
+    merged.set_open_time(base.open_time_ms());
+    for (const auto& rec : base.records()) merged.add(rec);
+    for (const auto& rec : noise_cs.records()) merged.add(rec);
+    for (const auto& label : base.labels()) merged.add_label(label);
+    merged.close(std::max(base.close_time_ms(), noise_cs.close_time_ms()));
+    out.changesets.push_back(std::move(merged));
+  }
+
+  out.labels = dataset.labels;
+  return out;
+}
+
+}  // namespace praxi::pkg

@@ -1,0 +1,88 @@
+// Dataset builder: drives the simulator through the paper's data-collection
+// protocol (§IV-B) to produce labeled changeset corpora.
+//
+//   clean  — a pre-run installs every dependency; each sample's recording
+//            window contains exactly one application installation.
+//   dirty  — no pre-run; dependencies install inside the window of whichever
+//            application needs them first in a run; random 10–30s waits with
+//            background noise surround each installation; the application
+//            list is reshuffled between runs.
+//   multi  — multi-application changesets synthesized by concatenating 2–5
+//            randomly chosen dirty single-application changesets (§IV-B(c)).
+//   dirtier— the §V-A overlay: extra noise from a live web server, MongoDB,
+//            a browser, and a random-noise script merged into each changeset.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fs/changeset.hpp"
+#include "pkg/catalog.hpp"
+
+namespace praxi::pkg {
+
+struct Dataset {
+  std::vector<fs::Changeset> changesets;
+  /// Distinct application labels occurring in `changesets`.
+  std::vector<std::string> labels;
+
+  std::size_t size() const { return changesets.size(); }
+
+  /// Total text-serialized footprint (for storage-overhead accounting).
+  std::size_t total_bytes() const;
+
+  /// Recomputes `labels` from the changesets (sorted, distinct).
+  void refresh_labels();
+
+  /// Binary (de)serialization of the whole corpus — lets expensive generated
+  /// datasets be cached on disk and reloaded across runs.
+  std::string to_binary() const;
+  static Dataset from_binary(std::string_view bytes);
+  void save(const std::string& path) const;
+  static Dataset load(const std::string& path);
+};
+
+struct CollectOptions {
+  std::size_t samples_per_app = 10;  ///< Paper: 150.
+  /// Dirty mode: bounds of the random wait before/after an installation.
+  double min_wait_s = 10.0;
+  double max_wait_s = 30.0;
+  /// Collect samples only for these applications (empty = whole catalog).
+  std::vector<std::string> app_filter;
+};
+
+class DatasetBuilder {
+ public:
+  DatasetBuilder(const Catalog& catalog, std::uint64_t seed);
+
+  /// Clean changesets: dependency pre-run, install→eject→uninstall per app,
+  /// shuffled order, `samples_per_app` runs.
+  Dataset collect_clean(const CollectOptions& options);
+
+  /// Dirty changesets: on-demand dependencies, noisy waits, per-run resets.
+  Dataset collect_dirty(const CollectOptions& options);
+
+  /// Synthesizes `count` multi-application changesets from a single-label
+  /// corpus: each combines min_apps..max_apps changesets with distinct
+  /// labels, chosen without replacement within one synthesis.
+  static Dataset synthesize_multi(const Dataset& singles, std::size_t count,
+                                  std::size_t min_apps, std::size_t max_apps,
+                                  std::uint64_t seed);
+
+  /// Returns a copy of `dataset` with "dirtier" noise (paper §V-A) overlaid
+  /// on every changeset: extra records from the web-server/MongoDB/browser/
+  /// random-script mix are merged into each recording window. `intensity`
+  /// scales the noise volume; the default is calibrated so the average
+  /// changeset grows by a few kilobytes, mirroring the paper's +8.8 KB on
+  /// its (larger) full-scale changesets.
+  static Dataset overlay_dirtier_noise(const Dataset& dataset,
+                                       std::uint64_t seed,
+                                       double intensity = 0.15);
+
+ private:
+  const Catalog& catalog_;
+  std::uint64_t seed_;
+};
+
+}  // namespace praxi::pkg

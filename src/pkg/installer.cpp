@@ -1,0 +1,247 @@
+#include "pkg/installer.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <iterator>
+#include <stdexcept>
+
+#include "common/strings.hpp"
+
+namespace praxi::pkg {
+namespace {
+
+constexpr const char* kBuildWords[] = {
+    "server", "client", "parser", "buffer", "socket", "thread",
+    "config", "logger", "codec",  "crypto", "signal", "table",
+    "string", "memory", "event",  "proto",  "cache",  "index",
+};
+
+}  // namespace
+
+void provision_base_image(fs::InMemoryFilesystem& filesystem) {
+  filesystem.create_file("/var/lib/dpkg/status", 0644, 900'000);
+  filesystem.create_file("/var/log/dpkg.log", 0644, 40'000);
+  filesystem.create_file("/var/log/apt/history.log", 0644, 20'000);
+  filesystem.create_file("/var/log/apt/term.log", 0644, 60'000);
+  filesystem.create_file("/var/cache/apt/pkgcache.bin", 0644, 30'000'000);
+  filesystem.create_file("/var/cache/man/index.db", 0644, 2'000'000);
+  filesystem.create_file("/etc/ld.so.cache", 0644, 100'000);
+  filesystem.create_file("/etc/passwd", 0644, 2'000);
+  filesystem.create_file("/etc/group", 0644, 1'000);
+  filesystem.create_file("/var/log/syslog", 0640, 100'000);
+  filesystem.create_file("/var/log/auth.log", 0640, 30'000);
+  filesystem.mkdirs("/tmp");
+  filesystem.mkdirs("/usr/local/bin");
+  filesystem.mkdirs("/opt");
+  filesystem.mkdirs("/home/ubuntu");
+}
+
+Installer::Installer(fs::InMemoryFilesystem& filesystem,
+                     const Catalog& catalog, Rng rng)
+    : fs_(filesystem), catalog_(catalog), rng_(rng) {}
+
+void Installer::install(const std::string& name,
+                        const InstallOptions& options) {
+  const PackageSpec& spec = catalog_.get(name);
+  if (installed_.count(name) > 0)
+    throw std::logic_error("already installed: " + name);
+
+  // Dependency resolution first, as APT would order it.
+  for (const auto& dep : spec.deps) {
+    if (installed_.count(dep) > 0) continue;
+    if (!options.install_missing_deps)
+      throw std::logic_error("missing dependency " + dep + " for " + name);
+    install(dep, options);
+  }
+
+  // Unpack latency before the payload lands.
+  fs_.clock()->advance_ms(rng_.range(100, 600));
+
+  if (spec.source_build) source_build_churn(spec);
+  apply_payload(spec);
+  if (options.side_effects) apt_side_effects(spec);
+
+  installed_.insert(name);
+}
+
+void Installer::apply_payload(const PackageSpec& spec) {
+  std::vector<std::string> written;
+  written.reserve(spec.files.size());
+  for (const FileSpec& file : spec.files) {
+    if (file.optional_probability > 0.0 &&
+        rng_.chance(file.optional_probability)) {
+      continue;  // this install happens to skip the optional artifact
+    }
+    const auto size = static_cast<std::uint64_t>(
+        static_cast<double>(file.size) * rng_.uniform(0.95, 1.05));
+    std::string path = file.path;
+    if (file.version_variants > 0) {
+      // Per-install build/patch suffix: today's release cadence means the
+      // exact filename drifts between installations.
+      path += "-v" + std::to_string(rng_.below(file.version_variants));
+    }
+    fs_.create_file(path, file.mode, size);
+    written.push_back(std::move(path));
+    fs_.clock()->advance_ms(rng_.range(1, 15));
+  }
+  materialized_[spec.name] = std::move(written);
+}
+
+void Installer::apt_side_effects(const PackageSpec& spec) {
+  if (spec.kind == InstallKind::kRepository) {
+    // Downloaded archive stays in the APT cache; the repository's build
+    // number moves between collection runs, so the archive name drifts.
+    fs_.create_file("/var/cache/apt/archives/" + spec.name + "_" +
+                        spec.version + "+b" + std::to_string(rng_.below(4)) +
+                        "_amd64.deb",
+                    0644, 1'000'000 + rng_.below(40'000'000));
+    fs_.write_file("/var/lib/dpkg/status");
+    fs_.write_file("/var/log/dpkg.log");
+    fs_.write_file("/var/log/apt/history.log");
+    fs_.write_file("/var/log/apt/term.log");
+  } else {
+    // Vendor script/tarball downloads land in /tmp and are cleaned up.
+    const std::string script =
+        "/tmp/" + spec.name + "-install." + (spec.source_build ? "log" : "sh");
+    fs_.create_file(script, 0755, 4'000 + rng_.below(20'000));
+    fs_.remove(script);
+  }
+
+  bool any_so = false;
+  bool any_man = false;
+  bool any_py = false;
+  for (const auto& file : spec.files) {
+    if (file.path.find(".so") != std::string::npos) any_so = true;
+    if (file.path.find("/man/") != std::string::npos) any_man = true;
+    if (file.path.size() > 3 &&
+        file.path.compare(file.path.size() - 3, 3, ".py") == 0)
+      any_py = true;
+  }
+  if (any_so) fs_.write_file("/etc/ld.so.cache");
+  if (any_man) fs_.write_file("/var/cache/man/index.db");
+  if (any_py) {
+    // Byte-compilation artifacts: per-install jitter inside the package's
+    // module tree (pyc files are regenerated, not shipped).
+    for (const auto& file : spec.files) {
+      const auto slash = file.path.rfind('/');
+      if (file.path.size() > 3 &&
+          file.path.compare(file.path.size() - 3, 3, ".py") == 0 &&
+          rng_.chance(0.9)) {
+        const std::string dir = file.path.substr(0, slash);
+        const std::string base =
+            file.path.substr(slash + 1, file.path.size() - slash - 4);
+        fs_.create_file(dir + "/__pycache__/" + base + ".cpython-35.pyc",
+                        0644, 1'000 + rng_.below(20'000));
+      }
+    }
+  }
+  fs_.clock()->advance_ms(rng_.range(20, 200));
+}
+
+void Installer::source_build_churn(const PackageSpec& spec) {
+  // configure && make && make install: a build tree appears in /tmp, object
+  // files accumulate, and the tree is removed after installation. All of it
+  // lands inside the recording window, like the paper's source-compiled
+  // manual installations.
+  const std::string root =
+      "/tmp/build-" + spec.name + "-" + std::to_string(rng_.below(100'000));
+  fs_.create_file(root + "/configure", 0755, 150'000);
+  fs_.create_file(root + "/Makefile.in", 0644, 30'000);
+  fs_.clock()->advance_ms(rng_.range(500, 3'000));  // ./configure
+  fs_.create_file(root + "/config.log", 0644, 80'000);
+  fs_.create_file(root + "/config.status", 0755, 40'000);
+  fs_.create_file(root + "/Makefile", 0644, 35'000);
+
+  const int nunits = static_cast<int>(8 + rng_.below(25));
+  for (int i = 0; i < nunits; ++i) {
+    const std::string unit = std::string(kBuildWords[rng_.below(
+                                 std::size(kBuildWords))]) +
+                             std::to_string(i);
+    fs_.create_file(root + "/src/" + unit + ".c", 0644,
+                    3'000 + rng_.below(60'000));
+    fs_.clock()->advance_ms(rng_.range(50, 800));  // compile time
+    fs_.create_file(root + "/src/" + unit + ".o", 0644,
+                    10'000 + rng_.below(300'000));
+  }
+  fs_.create_file(root + "/" + spec.stem, 0755, 1'000'000 + rng_.below(9'000'000));
+  fs_.clock()->advance_ms(rng_.range(200, 1'500));  // link + make install
+  fs_.remove(root);
+}
+
+void Installer::uninstall(const std::string& name) {
+  auto it = materialized_.find(name);
+  if (it == materialized_.end())
+    throw std::logic_error("not installed: " + name);
+
+  // Remove payload files, then prune namespace directories left empty
+  // (modelling `apt purge` + the postrm scripts cleaning up).
+  for (const auto& path : it->second) {
+    fs_.remove(path);
+  }
+  for (const auto& path : it->second) {
+    std::string dir(dirname(path));
+    while (dir.size() > 1 && fs_.is_dir(dir) && fs_.list_dir(dir).empty()) {
+      fs_.remove(dir);
+      dir = std::string(dirname(dir));
+    }
+  }
+  materialized_.erase(it);
+  installed_.erase(name);
+  fs_.clock()->advance_ms(rng_.range(50, 400));
+}
+
+void Installer::upgrade(const std::string& name) {
+  auto it = materialized_.find(name);
+  if (it == materialized_.end())
+    throw std::logic_error("not installed: " + name);
+  const PackageSpec& spec = catalog_.get(name);
+
+  fs_.clock()->advance_ms(rng_.range(100, 600));
+  std::vector<std::string> written;
+  written.reserve(it->second.size());
+  for (const std::string& path : it->second) {
+    // Version-variant artifacts move to the new release's filename.
+    const auto dash = path.rfind("-v");
+    const bool is_variant =
+        dash != std::string::npos && dash + 3 == path.size() &&
+        std::isdigit(static_cast<unsigned char>(path.back()));
+    if (is_variant && rng_.chance(0.7)) {
+      fs_.remove(path);
+      std::string fresh = path.substr(0, dash + 2) +
+                          std::to_string(rng_.below(4));
+      fs_.create_file(fresh, 0644, 50'000 + rng_.below(3'000'000));
+      written.push_back(std::move(fresh));
+    } else {
+      // In-place rewrite: same path, drifted size (the rule-breaking patch).
+      fs_.write_file(path, 1'000 + rng_.below(4'000'000));
+      written.push_back(path);
+    }
+    fs_.clock()->advance_ms(rng_.range(1, 10));
+  }
+  it->second = std::move(written);
+  if (spec.kind == InstallKind::kRepository) apt_side_effects(spec);
+}
+
+void Installer::preinstall_all_dependencies() {
+  InstallOptions quiet;
+  quiet.side_effects = false;
+  for (const auto& app : catalog_.application_names()) {
+    for (const auto& dep : catalog_.get(app).deps) {
+      if (!installed(dep)) install(dep, quiet);
+    }
+  }
+}
+
+void Installer::uninstall_everything() {
+  // Copy names out: uninstall mutates installed_.
+  const std::vector<std::string> names(installed_.begin(), installed_.end());
+  for (const auto& name : names) uninstall(name);
+}
+
+std::vector<std::string> Installer::installed_packages() const {
+  std::vector<std::string> names(installed_.begin(), installed_.end());
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace praxi::pkg

@@ -1,0 +1,92 @@
+// The installer: applies package payloads to an InMemoryFilesystem the way
+// APT / vendor scripts would, producing the event streams that changesets
+// capture.
+//
+// Two modes mirror the paper's dataset protocol (§IV-B):
+//   * clean  — dependencies are assumed pre-installed (the "pre-run"), so an
+//     installation touches only the package's own payload + system metadata;
+//   * dirty  — missing dependencies are installed on demand *inside* the
+//     recording window, so their footprints leak into whichever app's
+//     changeset triggered them (paper footnote 2).
+//
+// Installation also produces realistic side effects that are not part of any
+// payload: APT archive caches, dpkg/apt log appends, ld.so cache refresh,
+// man-db index updates, and — for source builds — a compile tree in /tmp
+// that is created and then removed within the window.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "fs/filesystem.hpp"
+#include "pkg/catalog.hpp"
+
+namespace praxi::pkg {
+
+struct InstallOptions {
+  /// Install missing dependencies inside the recording window (dirty mode).
+  /// When false, missing dependencies are a precondition violation.
+  bool install_missing_deps = true;
+  /// Emit side-effect noise (apt caches, dpkg logs, ldconfig, man-db).
+  bool side_effects = true;
+};
+
+class Installer {
+ public:
+  Installer(fs::InMemoryFilesystem& filesystem, const Catalog& catalog,
+            Rng rng);
+
+  /// Installs `name` (and, in dirty mode, its missing dependencies).
+  /// Throws std::invalid_argument for unknown packages and std::logic_error
+  /// if the package is already installed.
+  void install(const std::string& name, const InstallOptions& options = {});
+
+  /// Removes the package's payload files (APT keeps config files on `remove`;
+  /// we model `purge`, removing everything). Dependencies stay installed.
+  void uninstall(const std::string& name);
+
+  /// Upgrades an installed package in place, like `apt upgrade`: existing
+  /// payload files are rewritten (modify events, sizes drift — the §II-A
+  /// scenario that silently breaks size- and path-exact rules), version-
+  /// variant files may change their variant (delete + create), and the
+  /// usual APT side effects fire. Throws std::logic_error if not installed.
+  void upgrade(const std::string& name);
+
+  /// Installs every dependency of every application, then uninstalls nothing:
+  /// the paper's clean-mode "pre-run" leaves dependencies resident.
+  void preinstall_all_dependencies();
+
+  /// Uninstalls every currently installed package (apps and deps), restoring
+  /// the base image between dirty runs.
+  void uninstall_everything();
+
+  bool installed(const std::string& name) const {
+    return installed_.count(name) > 0;
+  }
+
+  std::vector<std::string> installed_packages() const;
+
+ private:
+  void apply_payload(const PackageSpec& spec);
+  void remove_payload(const PackageSpec& spec);
+  void apt_side_effects(const PackageSpec& spec);
+  void source_build_churn(const PackageSpec& spec);
+
+  fs::InMemoryFilesystem& fs_;
+  const Catalog& catalog_;
+  Rng rng_;
+  std::unordered_set<std::string> installed_;
+  /// Files actually materialized per install (payload minus skipped optional
+  /// files), so uninstall removes exactly what install created.
+  std::unordered_map<std::string, std::vector<std::string>> materialized_;
+};
+
+/// Creates the handful of always-present system files that installation side
+/// effects append to (dpkg status/logs, ld.so cache, man-db index, apt logs).
+/// Call once on a fresh filesystem before attaching recorders.
+void provision_base_image(fs::InMemoryFilesystem& filesystem);
+
+}  // namespace praxi::pkg

@@ -1,0 +1,206 @@
+#include "pkg/noise.hpp"
+
+#include <cstddef>
+#include <iterator>
+
+namespace praxi::pkg {
+namespace {
+
+/// Expected-count Poisson-ish draw: emits floor(rate) events plus one more
+/// with probability frac(rate). Keeps tick() cheap and deterministic.
+int event_count(Rng& rng, double rate_per_s, double seconds) {
+  const double expected = rate_per_s * seconds;
+  int count = static_cast<int>(expected);
+  if (rng.chance(expected - count)) ++count;
+  return count;
+}
+
+std::string hex_token(Rng& rng, int digits) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string token;
+  token.reserve(digits);
+  for (int i = 0; i < digits; ++i) token.push_back(kHex[rng.below(16)]);
+  return token;
+}
+
+void touch(fs::InMemoryFilesystem& filesystem, const std::string& path,
+           std::uint16_t mode, std::uint64_t size) {
+  if (filesystem.is_file(path)) {
+    filesystem.write_file(path, size);
+  } else {
+    filesystem.create_file(path, mode, size);
+  }
+}
+
+}  // namespace
+
+void LogRotationNoise::tick(fs::InMemoryFilesystem& filesystem,
+                            double seconds) {
+  const int appends = event_count(rng_, 0.4, seconds);
+  static constexpr const char* kLogs[] = {
+      "/var/log/syslog", "/var/log/auth.log", "/var/log/kern.log",
+      "/var/log/cron.log"};
+  for (int i = 0; i < appends; ++i) {
+    touch(filesystem, kLogs[rng_.below(std::size(kLogs))], 0640,
+          10'000 + rng_.below(500'000));
+  }
+  // Occasional rotation: the live log is replaced and a .N.gz appears.
+  if (rng_.chance(0.02 * seconds)) {
+    const std::string log = kLogs[rng_.below(std::size(kLogs))];
+    touch(filesystem, log, 0640, 100);
+    filesystem.create_file(
+        log + "." + std::to_string(++rotation_counter_) + ".gz", 0640,
+        5'000 + rng_.below(100'000));
+  }
+}
+
+void CacheChurnNoise::tick(fs::InMemoryFilesystem& filesystem,
+                           double seconds) {
+  const int events = event_count(rng_, 0.25, seconds);
+  for (int i = 0; i < events; ++i) {
+    switch (rng_.below(3)) {
+      case 0:
+        touch(filesystem, "/var/cache/apt/pkgcache.bin", 0644,
+              30'000'000 + rng_.below(1'000'000));
+        break;
+      case 1:
+        touch(filesystem, "/var/cache/man/index.db", 0644,
+              2'000'000 + rng_.below(100'000));
+        break;
+      default:
+        filesystem.create_file(
+            "/var/cache/fontconfig/" + hex_token(rng_, 32) + ".cache-6", 0644,
+            2'000 + rng_.below(40'000));
+    }
+  }
+}
+
+void WebServerNoise::tick(fs::InMemoryFilesystem& filesystem,
+                          double seconds) {
+  const int hits = event_count(rng_, 1.2, seconds);
+  for (int i = 0; i < hits; ++i) {
+    touch(filesystem,
+          rng_.chance(0.85) ? "/var/log/caddy/access.log"
+                            : "/var/log/caddy/error.log",
+          0640, 50'000 + rng_.below(5'000'000));
+  }
+  const int cache_ops = event_count(rng_, 0.5, seconds);
+  for (int i = 0; i < cache_ops; ++i) {
+    if (!cache_entries_.empty() && rng_.chance(0.35)) {
+      const std::size_t victim = rng_.below(cache_entries_.size());
+      filesystem.remove(cache_entries_[victim]);
+      cache_entries_.erase(cache_entries_.begin() +
+                           static_cast<std::ptrdiff_t>(victim));
+    } else {
+      const std::string token = hex_token(rng_, 16);
+      std::string path = "/var/cache/caddy/proxy/" + token.substr(0, 1) + "/" +
+                         token.substr(1, 2) + "/" + token;
+      filesystem.create_file(path, 0600, 1'000 + rng_.below(200'000));
+      cache_entries_.push_back(std::move(path));
+    }
+  }
+}
+
+void MongoNoise::tick(fs::InMemoryFilesystem& filesystem, double seconds) {
+  const int checkpoints = event_count(rng_, 0.6, seconds);
+  for (int i = 0; i < checkpoints; ++i) {
+    switch (rng_.below(4)) {
+      case 0:
+        touch(filesystem, "/var/lib/couchdb/_dbs.couch", 0600,
+              50'000 + rng_.below(500'000));
+        break;
+      case 1:
+        touch(filesystem,
+              "/var/lib/couchdb/shards/00000000-1fffffff/db-" +
+                  hex_token(rng_, 8) + ".couch",
+              0600, 30'000 + rng_.below(4'000'000));
+        break;
+      case 2:
+        touch(filesystem, "/var/lib/couchdb/_users.couch", 0600,
+              20'000 + rng_.below(60'000));
+        break;
+      default:
+        touch(filesystem, "/var/lib/couchdb/.delete/compact.data", 0600,
+              4'000 + rng_.below(50'000));
+    }
+  }
+  if (rng_.chance(0.05 * seconds)) {
+    // Compaction file cycling.
+    filesystem.create_file(
+        "/var/lib/couchdb/journal/compaction." +
+            std::to_string(1'000'000 + ++journal_counter_),
+        0600, 100'000'000);
+    if (journal_counter_ > 2) {
+      filesystem.remove("/var/lib/couchdb/journal/compaction." +
+                        std::to_string(1'000'000 + journal_counter_ - 2));
+    }
+  }
+}
+
+void BrowserNoise::tick(fs::InMemoryFilesystem& filesystem, double seconds) {
+  static constexpr const char* kProfile =
+      "/home/ubuntu/.mozilla/firefox/x9k2lq0d.default";
+  const int sqlite_ops = event_count(rng_, 0.8, seconds);
+  static constexpr const char* kDbs[] = {
+      "places.sqlite-wal", "cookies.sqlite-wal", "webappsstore.sqlite-wal",
+      "favicons.sqlite-wal"};
+  for (int i = 0; i < sqlite_ops; ++i) {
+    touch(filesystem,
+          std::string(kProfile) + "/" + kDbs[rng_.below(std::size(kDbs))],
+          0600, 30'000 + rng_.below(4'000'000));
+  }
+  const int cache_ops = event_count(rng_, 0.7, seconds);
+  for (int i = 0; i < cache_ops; ++i) {
+    if (!cache_entries_.empty() && rng_.chance(0.3)) {
+      const std::size_t victim = rng_.below(cache_entries_.size());
+      filesystem.remove(cache_entries_[victim]);
+      cache_entries_.erase(cache_entries_.begin() +
+                           static_cast<std::ptrdiff_t>(victim));
+    } else {
+      std::string path = "/home/ubuntu/.cache/mozilla/firefox/entries/" +
+                         hex_token(rng_, 20);
+      filesystem.create_file(path, 0600, 500 + rng_.below(900'000));
+      cache_entries_.push_back(std::move(path));
+    }
+  }
+}
+
+void RandomScriptNoise::tick(fs::InMemoryFilesystem& filesystem,
+                             double seconds) {
+  const int events = event_count(rng_, 0.9, seconds);
+  for (int i = 0; i < events; ++i) {
+    const std::string path = (rng_.chance(0.7) ? "/tmp/noise-"
+                                               : "/home/ubuntu/scratch-") +
+                             hex_token(rng_, 10) + ".dat";
+    filesystem.create_file(path, 0644, rng_.below(100'000));
+    if (rng_.chance(0.5)) filesystem.remove(path);
+  }
+}
+
+NoiseMix NoiseMix::baseline(Rng rng) {
+  NoiseMix mix;
+  mix.add(std::make_unique<LogRotationNoise>(Rng(rng.next())));
+  mix.add(std::make_unique<CacheChurnNoise>(Rng(rng.next())));
+  return mix;
+}
+
+NoiseMix NoiseMix::dirtier(Rng rng) {
+  NoiseMix mix;
+  mix.add(std::make_unique<LogRotationNoise>(Rng(rng.next())));
+  mix.add(std::make_unique<CacheChurnNoise>(Rng(rng.next())));
+  mix.add(std::make_unique<WebServerNoise>(Rng(rng.next())));
+  mix.add(std::make_unique<MongoNoise>(Rng(rng.next())));
+  mix.add(std::make_unique<BrowserNoise>(Rng(rng.next())));
+  mix.add(std::make_unique<RandomScriptNoise>(Rng(rng.next())));
+  return mix;
+}
+
+void NoiseMix::add(std::unique_ptr<NoiseSource> source) {
+  sources_.push_back(std::move(source));
+}
+
+void NoiseMix::tick(fs::InMemoryFilesystem& filesystem, double seconds) {
+  for (auto& source : sources_) source->tick(filesystem, seconds);
+}
+
+}  // namespace praxi::pkg

@@ -1,0 +1,124 @@
+// Background-noise daemons.
+//
+// Dirty changesets in the paper capture "random system noise (log rotations,
+// caching, etc.)" during 10–30s waits around installations (§IV-B(b)), and
+// the "dirtier" single-label experiment overlays additional noise recorded
+// from a live web server, a MongoDB server, a web browser, and a random
+// filesystem-noise script (§V-A). Each generator here models one of those
+// sources: tick(seconds) emits the filesystem activity that source would
+// produce over the elapsed interval.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "fs/filesystem.hpp"
+
+namespace praxi::pkg {
+
+class NoiseSource {
+ public:
+  virtual ~NoiseSource() = default;
+
+  /// Emits the filesystem activity this source produces over `seconds` of
+  /// simulated time. Does NOT advance the clock; the caller owns pacing.
+  virtual void tick(fs::InMemoryFilesystem& filesystem, double seconds) = 0;
+
+  virtual std::string_view name() const = 0;
+};
+
+/// syslog/auth.log appends and logrotate renames under /var/log.
+class LogRotationNoise final : public NoiseSource {
+ public:
+  explicit LogRotationNoise(Rng rng) : rng_(rng) {}
+  void tick(fs::InMemoryFilesystem& filesystem, double seconds) override;
+  std::string_view name() const override { return "logrotate"; }
+
+ private:
+  Rng rng_;
+  int rotation_counter_ = 0;
+};
+
+/// apt/man/fontconfig cache churn under /var/cache.
+class CacheChurnNoise final : public NoiseSource {
+ public:
+  explicit CacheChurnNoise(Rng rng) : rng_(rng) {}
+  void tick(fs::InMemoryFilesystem& filesystem, double seconds) override;
+  std::string_view name() const override { return "cache"; }
+
+ private:
+  Rng rng_;
+};
+
+/// A live web server (caddy-style): access/error log appends, proxy cache
+/// entries appearing and expiring. Deliberately NOT one of the catalog's
+/// discoverable packages, like the paper's background services.
+class WebServerNoise final : public NoiseSource {
+ public:
+  explicit WebServerNoise(Rng rng) : rng_(rng) {}
+  void tick(fs::InMemoryFilesystem& filesystem, double seconds) override;
+  std::string_view name() const override { return "webserver"; }
+
+ private:
+  Rng rng_;
+  std::vector<std::string> cache_entries_;
+};
+
+/// An active document database (couchdb-style): checkpoint writes, shard
+/// churn, compaction-file cycling. Not a catalog package either.
+class MongoNoise final : public NoiseSource {
+ public:
+  explicit MongoNoise(Rng rng) : rng_(rng) {}
+  void tick(fs::InMemoryFilesystem& filesystem, double seconds) override;
+  std::string_view name() const override { return "mongodb"; }
+
+ private:
+  Rng rng_;
+  int journal_counter_ = 0;
+};
+
+/// A user's web browser: profile sqlite WAL churn, disk-cache entries.
+class BrowserNoise final : public NoiseSource {
+ public:
+  explicit BrowserNoise(Rng rng) : rng_(rng) {}
+  void tick(fs::InMemoryFilesystem& filesystem, double seconds) override;
+  std::string_view name() const override { return "browser"; }
+
+ private:
+  Rng rng_;
+  std::vector<std::string> cache_entries_;
+};
+
+/// The paper's "random filesystem noise generation script": short-lived
+/// files with arbitrary names under /tmp and /home.
+class RandomScriptNoise final : public NoiseSource {
+ public:
+  explicit RandomScriptNoise(Rng rng) : rng_(rng) {}
+  void tick(fs::InMemoryFilesystem& filesystem, double seconds) override;
+  std::string_view name() const override { return "random-script"; }
+
+ private:
+  Rng rng_;
+};
+
+/// Composite used by the dataset builder: baseline system noise for dirty
+/// changesets, or the full "dirtier" mix (web server + MongoDB + browser +
+/// random script) for the §V-A overlay experiment.
+class NoiseMix final : public NoiseSource {
+ public:
+  /// Baseline: log rotation + cache churn only (ordinary idle-system noise).
+  static NoiseMix baseline(Rng rng);
+  /// The full "dirtier" environment of §V-A.
+  static NoiseMix dirtier(Rng rng);
+
+  void add(std::unique_ptr<NoiseSource> source);
+  void tick(fs::InMemoryFilesystem& filesystem, double seconds) override;
+  std::string_view name() const override { return "mix"; }
+
+ private:
+  std::vector<std::unique_ptr<NoiseSource>> sources_;
+};
+
+}  // namespace praxi::pkg

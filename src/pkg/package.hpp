@@ -1,0 +1,51 @@
+// Package model for the synthetic software ecosystem.
+//
+// The paper's corpus is 73 Ubuntu repository packages plus 10 manually
+// installed applications (§IV-C, Table II). We reproduce the corpus with
+// procedurally generated packages whose footprints follow the packaging and
+// naming practices the paper's methods exploit (§II-B): name-prefixed
+// binaries, per-package namespaces under /etc, /usr/lib, /usr/share/doc,
+// dpkg metadata under /var/lib/dpkg/info, man pages, and data directories.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace praxi::pkg {
+
+enum class InstallKind : std::uint8_t {
+  kRepository = 0,  ///< APT-style package from the distribution repository.
+  kManual = 1,      ///< Source compilation / vendor install script.
+};
+
+/// One file in a package's payload.
+struct FileSpec {
+  std::string path;
+  std::uint16_t mode = 0644;
+  std::uint64_t size = 0;
+  /// Present in only a fraction of installations (locale data, optional
+  /// plugins); introduces per-sample variety within a label.
+  double optional_probability = 0.0;
+  /// When > 0, the installed filename carries a build/patch suffix chosen
+  /// per install among this many variants ("...so.3-v0" / "...so.3-v1"),
+  /// modelling the version drift that breaks exact-path rules (paper §II-A)
+  /// while leaving prefix-based tags intact.
+  std::uint8_t version_variants = 0;
+};
+
+struct PackageSpec {
+  std::string name;     ///< Label used for discovery ("mysql-server").
+  std::string stem;     ///< Naming-practice prefix ("mysql").
+  std::string version;  ///< e.g. "5.7.21-0ubuntu1".
+  InstallKind kind = InstallKind::kRepository;
+  std::vector<FileSpec> files;      ///< Payload footprint.
+  std::vector<std::string> deps;    ///< Names of dependency packages.
+  bool is_dependency = false;       ///< Library package, never a label.
+  bool source_build = false;        ///< Manual install with a compile step.
+
+  /// Number of payload files (not counting per-install jitter artifacts).
+  std::size_t footprint_size() const { return files.size(); }
+};
+
+}  // namespace praxi::pkg

@@ -1,0 +1,140 @@
+#include "rules/rule_engine.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "common/strings.hpp"
+
+namespace praxi::rules {
+
+RuleEngine::RuleEngine(RuleMinerConfig config) : config_(config) {}
+
+std::unordered_set<std::string> RuleEngine::segments_of(
+    const fs::Changeset& changeset) const {
+  std::unordered_set<std::string> segments;
+  for (const auto& rec : changeset.records()) {
+    segments.insert(rec.path);
+    // Directory prefixes of sufficient depth.
+    std::string_view prefix = rec.path;
+    while (true) {
+      prefix = dirname(prefix);
+      if (prefix.size() <= 1) break;
+      std::size_t depth = 0;
+      for (char c : prefix) depth += c == '/' ? 1 : 0;
+      if (depth < config_.min_prefix_depth) break;
+      segments.insert(std::string(prefix));
+    }
+  }
+  return segments;
+}
+
+void RuleEngine::train(const std::vector<const fs::Changeset*>& corpus) {
+  if (corpus.empty())
+    throw std::invalid_argument("RuleEngine: empty training corpus");
+
+  // Per-label sample counts and per-segment per-label occurrence counts.
+  std::map<std::string, std::size_t> samples_per_label;
+  std::unordered_map<std::string,
+                     std::unordered_map<std::string, std::size_t>>
+      segment_counts;  // segment -> label -> #samples containing it
+
+  for (const fs::Changeset* cs : corpus) {
+    if (cs->labels().size() != 1) {
+      throw std::invalid_argument(
+          "RuleEngine: rule mining requires single-label changesets");
+    }
+    const std::string& label = cs->labels().front();
+    ++samples_per_label[label];
+    for (const auto& segment : segments_of(*cs)) {
+      ++segment_counts[segment][label];
+    }
+  }
+
+  rules_.clear();
+  for (const auto& [label, sample_count] : samples_per_label) {
+    // Candidate segments, ranked by own-label coverage.
+    std::vector<std::pair<double, std::string>> candidates;
+    for (const auto& [segment, by_label] : segment_counts) {
+      auto own_it = by_label.find(label);
+      if (own_it == by_label.end()) continue;
+      const double coverage =
+          double(own_it->second) / double(sample_count);
+      if (coverage < config_.min_coverage) continue;
+
+      bool foreign = false;
+      for (const auto& [other_label, count] : by_label) {
+        if (other_label == label) continue;
+        const double other_fraction =
+            double(count) / double(samples_per_label.at(other_label));
+        if (other_fraction > config_.max_foreign) {
+          foreign = true;
+          break;
+        }
+      }
+      if (foreign) continue;
+      candidates.emplace_back(coverage, segment);
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [](const auto& a, const auto& b) {
+                if (a.first != b.first) return a.first > b.first;
+                return a.second < b.second;
+              });
+    Rule rule;
+    rule.label = label;
+    for (const auto& [coverage, segment] : candidates) {
+      if (rule.segments.size() >= config_.max_segments_per_rule) break;
+      rule.segments.push_back(segment);
+    }
+    rules_.push_back(std::move(rule));
+  }
+}
+
+std::vector<std::pair<std::string, double>> RuleEngine::scores(
+    const fs::Changeset& changeset) const {
+  const auto segments = segments_of(changeset);
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(rules_.size());
+  for (const Rule& rule : rules_) {
+    std::size_t matched = 0;
+    for (const auto& segment : rule.segments) {
+      matched += segments.count(segment);
+    }
+    const double fraction =
+        rule.segments.empty() ? 0.0
+                              : double(matched) / double(rule.segments.size());
+    out.emplace_back(rule.label, fraction);
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  return out;
+}
+
+std::vector<std::string> RuleEngine::predict(const fs::Changeset& changeset,
+                                             std::size_t n) const {
+  if (rules_.empty()) throw std::logic_error("RuleEngine: predict before train");
+  auto ranked = scores(changeset);
+  std::vector<std::string> out;
+  for (std::size_t i = 0; i < ranked.size() && out.size() < n; ++i) {
+    // Rules are binary detectors: a label is only reported when its rule
+    // fires. Samples where no rule clears the threshold go unanswered —
+    // the false negatives behind the method's accuracy ceiling.
+    if (ranked[i].second < config_.match_threshold) break;
+    out.push_back(std::move(ranked[i].first));
+  }
+  return out;
+}
+
+std::size_t RuleEngine::size_bytes() const {
+  std::size_t bytes = 0;
+  for (const Rule& rule : rules_) {
+    bytes += rule.label.size() + 16;
+    for (const auto& segment : rule.segments) bytes += segment.size() + 16;
+  }
+  return bytes;
+}
+
+}  // namespace praxi::rules

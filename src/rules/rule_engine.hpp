@@ -1,0 +1,84 @@
+// Automated rule-based discovery — the systematic baseline of the paper's
+// Appendix A (§II-A).
+//
+// The miner locates file-tree segments (partial or absolute paths) that are
+// (a) reliably present across an application's training changesets and
+// (b) rare across every other application's changesets, and assembles them
+// into one rule per application. A rule fires on a changeset when at least
+// `match_threshold` of its segments appear among the changeset's paths (and
+// their directory prefixes). Classification ranks applications by matched
+// fraction.
+//
+// Like hand-written rules, mined rules are rigid heuristics: they cannot
+// generalize, must be re-mined whenever the corpus changes, and latch onto
+// unreliably-present artifacts (caches, logs) as the training set grows —
+// the over-fitting the paper observes in Fig. 4(a). Multi-label training
+// data is unsupported (paper §V-B), though prediction on multi-label
+// changesets works by taking the top-n scores.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "fs/changeset.hpp"
+
+namespace praxi::rules {
+
+struct RuleMinerConfig {
+  /// A segment must appear in at least this fraction of the application's
+  /// training samples. Deliberately permissive, like the paper's automated
+  /// miner: segments that only *usually* appear (optional artifacts,
+  /// build-variant filenames) do enter rules, which is where the method's
+  /// over-fitting comes from.
+  double min_coverage = 0.5;
+  /// ... and in at most this fraction of any other application's samples.
+  double max_foreign = 0.05;
+  /// Cap on segments per rule (most-covered first).
+  std::size_t max_segments_per_rule = 500;
+  /// Fraction of a rule's segments that must match for the rule to fire.
+  /// A candidate label is only reported when its rule fires.
+  double match_threshold = 0.8;
+  /// Directory prefixes shallower than this many components are ignored
+  /// ("/usr" alone identifies nothing).
+  std::size_t min_prefix_depth = 2;
+};
+
+struct Rule {
+  std::string label;
+  std::vector<std::string> segments;
+};
+
+class RuleEngine {
+ public:
+  explicit RuleEngine(RuleMinerConfig config = {});
+
+  /// Mines one rule per label from a single-label corpus. Throws
+  /// std::invalid_argument if any changeset carries multiple labels.
+  /// Re-mining replaces all previous rules (no incremental mode).
+  void train(const std::vector<const fs::Changeset*>& corpus);
+
+  /// Top-n labels by matched fraction (n=1 for single-label discovery).
+  std::vector<std::string> predict(const fs::Changeset& changeset,
+                                   std::size_t n = 1) const;
+
+  /// Matched fraction per label, descending.
+  std::vector<std::pair<std::string, double>> scores(
+      const fs::Changeset& changeset) const;
+
+  const std::vector<Rule>& rules() const { return rules_; }
+  bool trained() const { return !rules_.empty(); }
+  std::size_t size_bytes() const;
+
+  /// The segment set a changeset exposes to rule matching (paths plus
+  /// directory prefixes of depth >= min_prefix_depth). Exposed for tests.
+  std::unordered_set<std::string> segments_of(
+      const fs::Changeset& changeset) const;
+
+ private:
+  RuleMinerConfig config_;
+  std::vector<Rule> rules_;
+};
+
+}  // namespace praxi::rules

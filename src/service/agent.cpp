@@ -1,0 +1,67 @@
+#include "service/agent.hpp"
+
+namespace praxi::service {
+
+CollectionAgent::CollectionAgent(std::string agent_id,
+                                 fs::InMemoryFilesystem& filesystem,
+                                 MessageBus& bus, AgentConfig config)
+    : agent_id_(std::move(agent_id)),
+      filesystem_(filesystem),
+      bus_(bus),
+      config_(config),
+      recorder_(filesystem),
+      last_sample_ms_(filesystem.clock()->now_ms()) {
+  filesystem_.subscribe(this);
+}
+
+CollectionAgent::~CollectionAgent() { filesystem_.unsubscribe(this); }
+
+void CollectionAgent::on_fs_event(const fs::FsEvent& event) {
+  recent_events_.push_back(event.time_ms);
+  const auto guard_ms =
+      static_cast<std::int64_t>(config_.boundary_guard_s * 1e3);
+  while (!recent_events_.empty() &&
+         event.time_ms - recent_events_.front() > guard_ms) {
+    recent_events_.pop_front();
+  }
+}
+
+bool CollectionAgent::guard_active(std::int64_t now) const {
+  const auto guard_ms =
+      static_cast<std::int64_t>(config_.boundary_guard_s * 1e3);
+  if (guard_ms <= 0 || recorder_.pending_records() == 0) return false;
+  std::size_t recent = 0;
+  for (auto it = recent_events_.rbegin(); it != recent_events_.rend(); ++it) {
+    if (now - *it >= guard_ms) break;
+    ++recent;
+  }
+  return recent >= config_.hot_events_in_guard;
+}
+
+bool CollectionAgent::poll() {
+  const std::int64_t now = filesystem_.clock()->now_ms();
+  const auto interval_ms = static_cast<std::int64_t>(config_.interval_s * 1e3);
+  if (now - last_sample_ms_ < interval_ms) return false;
+  const auto max_extension_ms =
+      static_cast<std::int64_t>(config_.max_window_extension_s * 1e3);
+  if (guard_active(now) &&
+      now - last_sample_ms_ < interval_ms + max_extension_ms) {
+    return false;
+  }
+  return ship_now();
+}
+
+bool CollectionAgent::ship_now() {
+  last_sample_ms_ = filesystem_.clock()->now_ms();
+  fs::Changeset changeset = recorder_.eject();
+  if (changeset.empty() && !config_.ship_empty_windows) return false;
+
+  ChangesetReport report;
+  report.agent_id = agent_id_;
+  report.sequence = ++sequence_;
+  report.changeset = std::move(changeset);
+  bus_.send(report.to_wire());
+  return true;
+}
+
+}  // namespace praxi::service

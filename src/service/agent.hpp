@@ -1,0 +1,64 @@
+// Collection agent: the per-instance half of the distributed service.
+//
+// Runs next to one (simulated) VM or container: records filesystem changes,
+// closes the observation window on an interval — holding it open while
+// install-grade activity straddles the boundary, like DiscoveryService —
+// and ships each non-empty changeset to the central server over the bus.
+// Classification happens centrally, so the agent stays tiny (the paper's
+// recording daemon, Fig. 3).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "fs/recorder.hpp"
+#include "service/transport.hpp"
+
+namespace praxi::service {
+
+struct AgentConfig {
+  double interval_s = 300.0;
+  /// Boundary guard (paper §VI): see DiscoveryServiceConfig. Zero disables.
+  double boundary_guard_s = 10.0;
+  double max_window_extension_s = 120.0;
+  std::size_t hot_events_in_guard = 5;
+  /// Empty windows are not shipped (they carry no discovery signal).
+  bool ship_empty_windows = false;
+};
+
+class CollectionAgent final : public fs::EventSink {
+ public:
+  CollectionAgent(std::string agent_id, fs::InMemoryFilesystem& filesystem,
+                  MessageBus& bus, AgentConfig config = {});
+  ~CollectionAgent() override;
+
+  CollectionAgent(const CollectionAgent&) = delete;
+  CollectionAgent& operator=(const CollectionAgent&) = delete;
+
+  void on_fs_event(const fs::FsEvent& event) override;
+
+  /// Closes and ships the window if the interval elapsed (and no dense
+  /// activity is in flight). Returns true if a report was shipped.
+  bool poll();
+
+  /// Forces an immediate window close + ship.
+  bool ship_now();
+
+  const std::string& agent_id() const { return agent_id_; }
+  std::uint64_t shipped() const { return sequence_; }
+
+ private:
+  bool guard_active(std::int64_t now) const;
+
+  std::string agent_id_;
+  fs::InMemoryFilesystem& filesystem_;
+  MessageBus& bus_;
+  AgentConfig config_;
+  fs::ChangesetRecorder recorder_;
+  std::int64_t last_sample_ms_;
+  std::uint64_t sequence_ = 0;
+  std::deque<std::int64_t> recent_events_;
+};
+
+}  // namespace praxi::service

@@ -1,0 +1,73 @@
+#include "service/server.hpp"
+
+#include <stdexcept>
+
+#include "common/serialize.hpp"
+
+namespace praxi::service {
+
+DiscoveryServer::DiscoveryServer(core::Praxi model, ServerConfig config)
+    : model_(std::move(model)), config_(config) {
+  if (!model_.trained())
+    throw std::invalid_argument("DiscoveryServer: model must be trained");
+}
+
+std::vector<Discovery> DiscoveryServer::process(MessageBus& bus) {
+  std::vector<Discovery> discoveries;
+  for (const std::string& wire : bus.drain()) {
+    ChangesetReport report;
+    try {
+      report = ChangesetReport::from_wire(wire);
+    } catch (const SerializeError&) {
+      ++malformed_;
+      continue;
+    }
+    ++processed_;
+
+    Discovery discovery;
+    discovery.agent_id = report.agent_id;
+    discovery.sequence = report.sequence;
+    discovery.open_time_ms = report.changeset.open_time_ms();
+    discovery.close_time_ms = report.changeset.close_time_ms();
+    discovery.record_count = report.changeset.size();
+    if (report.changeset.empty()) continue;
+
+    discovery.inferred_quantity = core::DiscoveryService::infer_quantity(
+        report.changeset, config_.quantity);
+    if (discovery.inferred_quantity == 0) continue;  // background noise only
+
+    const std::size_t n = model_.mode() == core::LabelMode::kSingleLabel
+                              ? 1
+                              : discovery.inferred_quantity;
+    discovery.applications = model_.predict(report.changeset, n);
+
+    // Retain only the tagset — the changeset itself can be discarded
+    // (Praxi never needs to regenerate features, §V-C).
+    store_.add(model_.extract_tags(report.changeset));
+    for (const auto& app : discovery.applications) {
+      inventory_[report.agent_id].insert(app);
+    }
+    discoveries.push_back(std::move(discovery));
+  }
+  return discoveries;
+}
+
+std::vector<std::string> DiscoveryServer::agents_running(
+    const std::string& application) const {
+  std::vector<std::string> agents;
+  for (const auto& [agent_id, apps] : inventory_) {
+    if (apps.count(application) > 0) agents.push_back(agent_id);
+  }
+  return agents;
+}
+
+void DiscoveryServer::learn_feedback(const fs::Changeset& labeled_changeset) {
+  if (labeled_changeset.labels().empty())
+    throw std::invalid_argument(
+        "DiscoveryServer: feedback changeset must carry labels");
+  const auto tagset = model_.extract_tags(labeled_changeset);
+  model_.learn_one(tagset);
+  store_.add(tagset);
+}
+
+}  // namespace praxi::service

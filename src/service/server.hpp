@@ -1,0 +1,80 @@
+// Discovery server: the central half of the distributed service.
+//
+// Drains agent reports off the bus, classifies each changeset with a Praxi
+// model, and maintains:
+//   * a fleet inventory (agent -> discovered applications, with the window
+//     each discovery came from) — the paper's "searching for a specific
+//     piece of software among a large set of VMs or containers";
+//   * a TagsetStore of every processed window (Praxi's only retained
+//     training artifact, §V-C);
+//   * the model itself, which operators can improve ONLINE by feeding back
+//     confirmed labels — the incremental-training loop of §V-D, impossible
+//     in the DeltaSherlock architecture without a full retrain.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/discovery_service.hpp"
+#include "core/praxi.hpp"
+#include "core/tagset_store.hpp"
+#include "service/transport.hpp"
+
+namespace praxi::service {
+
+struct ServerConfig {
+  /// Quantity inference settings applied to every incoming window.
+  core::DiscoveryServiceConfig quantity;
+};
+
+/// One processed report.
+struct Discovery {
+  std::string agent_id;
+  std::uint64_t sequence = 0;
+  std::int64_t open_time_ms = 0;
+  std::int64_t close_time_ms = 0;
+  std::size_t record_count = 0;
+  std::size_t inferred_quantity = 0;
+  std::vector<std::string> applications;
+};
+
+class DiscoveryServer {
+ public:
+  /// `model` must be trained.
+  explicit DiscoveryServer(core::Praxi model, ServerConfig config = {});
+
+  /// Drains and processes every queued report; returns the discoveries
+  /// made (one per non-noise window). Malformed messages are counted and
+  /// skipped, never fatal.
+  std::vector<Discovery> process(MessageBus& bus);
+
+  /// Fleet inventory: applications discovered per agent so far.
+  const std::map<std::string, std::set<std::string>>& inventory() const {
+    return inventory_;
+  }
+
+  /// Agents on which `application` has been discovered (compliance query).
+  std::vector<std::string> agents_running(const std::string& application) const;
+
+  /// Operator feedback: a labeled changeset improves the model online —
+  /// new applications become discoverable without any retraining.
+  void learn_feedback(const fs::Changeset& labeled_changeset);
+
+  const core::Praxi& model() const { return model_; }
+  const core::TagsetStore& store() const { return store_; }
+  std::uint64_t processed() const { return processed_; }
+  std::uint64_t malformed() const { return malformed_; }
+
+ private:
+  core::Praxi model_;
+  ServerConfig config_;
+  core::TagsetStore store_;
+  std::map<std::string, std::set<std::string>> inventory_;
+  std::uint64_t processed_ = 0;
+  std::uint64_t malformed_ = 0;
+};
+
+}  // namespace praxi::service

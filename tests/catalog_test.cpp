@@ -1,0 +1,220 @@
+// Tests for the synthetic package catalog (pkg/catalog.hpp): corpus shape
+// (Table II), the hand-built mysql-server footprint (Table I), naming
+// practices, and cross-package payload uniqueness.
+#include "pkg/catalog.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/strings.hpp"
+
+namespace praxi::pkg {
+namespace {
+
+TEST(Catalog, StandardCorpusShapeMatchesTableII) {
+  const Catalog catalog = Catalog::standard(42);
+  EXPECT_EQ(catalog.repository_names().size(), 73u);
+  EXPECT_EQ(catalog.manual_names().size(), 10u);
+  EXPECT_EQ(catalog.application_count(), 83u);
+  EXPECT_FALSE(catalog.dependency_names().empty());
+}
+
+TEST(Catalog, SevenOfTenManualInstallsCompileFromSource) {
+  const Catalog catalog = Catalog::standard(42);
+  int compiled = 0;
+  for (const auto& name : catalog.manual_names()) {
+    compiled += is_source_build(catalog.get(name));
+  }
+  EXPECT_EQ(compiled, 7);
+}
+
+TEST(Catalog, MysqlServerFootprintMatchesTableI) {
+  const Catalog catalog = Catalog::standard(42);
+  const PackageSpec& mysql = catalog.get("mysql-server");
+  EXPECT_EQ(mysql.footprint_size(), 131u);
+
+  std::map<std::string, int> counts;
+  int elsewhere = 0;
+  for (const auto& file : mysql.files) {
+    bool matched = false;
+    for (const char* ns :
+         {"/usr/share/man/man1", "/usr/bin", "/etc", "/var/lib/dpkg/info",
+          "/usr/share/doc"}) {
+      if (path_has_prefix(file.path, ns)) {
+        ++counts[ns];
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) ++elsewhere;
+  }
+  EXPECT_EQ(counts["/usr/share/man/man1"], 27);
+  EXPECT_EQ(counts["/usr/bin"], 26);
+  EXPECT_EQ(counts["/etc"], 24);
+  EXPECT_EQ(counts["/var/lib/dpkg/info"], 24);
+  EXPECT_EQ(counts["/usr/share/doc"], 7);
+  EXPECT_EQ(elsewhere, 23);
+}
+
+TEST(Catalog, MysqlServerIsFullyStable) {
+  // Table I reproduction requires a deterministic 131-file installation.
+  const Catalog catalog = Catalog::standard(42);
+  for (const auto& file : catalog.get("mysql-server").files) {
+    EXPECT_EQ(file.optional_probability, 0.0) << file.path;
+    EXPECT_EQ(file.version_variants, 0) << file.path;
+  }
+}
+
+TEST(Catalog, DeterministicForSameSeed) {
+  const Catalog a = Catalog::standard(7);
+  const Catalog b = Catalog::standard(7);
+  for (const auto& name : a.application_names()) {
+    const PackageSpec& sa = a.get(name);
+    const PackageSpec& sb = b.get(name);
+    ASSERT_EQ(sa.files.size(), sb.files.size()) << name;
+    for (std::size_t i = 0; i < sa.files.size(); ++i) {
+      EXPECT_EQ(sa.files[i].path, sb.files[i].path);
+    }
+    EXPECT_EQ(sa.deps, sb.deps);
+    EXPECT_EQ(sa.version, sb.version);
+  }
+}
+
+TEST(Catalog, DifferentSeedsVaryFootprints) {
+  const Catalog a = Catalog::standard(7);
+  const Catalog b = Catalog::standard(8);
+  int differing = 0;
+  for (const auto& name : a.application_names()) {
+    if (name == "mysql-server") continue;  // hand-built, seed-independent
+    if (a.get(name).files.size() != b.get(name).files.size()) ++differing;
+  }
+  EXPECT_GT(differing, 10);
+}
+
+TEST(Catalog, NoPayloadPathSharedBetweenPackages) {
+  const Catalog catalog = Catalog::standard(42);
+  std::set<std::string> seen;
+  auto check = [&](const std::string& name) {
+    for (const auto& file : catalog.get(name).files) {
+      EXPECT_TRUE(seen.insert(file.path).second)
+          << "duplicate payload path " << file.path << " (in " << name << ")";
+    }
+  };
+  for (const auto& name : catalog.application_names()) check(name);
+  for (const auto& name : catalog.dependency_names()) check(name);
+}
+
+TEST(Catalog, StemPrefixPracticeHolds) {
+  // The practice Columbus exploits: every application ships at least one
+  // file whose basename starts with the package stem.
+  const Catalog catalog = Catalog::standard(42);
+  for (const auto& name : catalog.application_names()) {
+    const PackageSpec& spec = catalog.get(name);
+    bool found = false;
+    for (const auto& file : spec.files) {
+      if (std::string(basename(file.path)).rfind(spec.stem, 0) == 0) {
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found) << name << " has no stem-prefixed file";
+  }
+}
+
+TEST(Catalog, DependenciesResolveAndAreDependencyPackages) {
+  const Catalog catalog = Catalog::standard(42);
+  for (const auto& name : catalog.application_names()) {
+    for (const auto& dep : catalog.get(name).deps) {
+      const PackageSpec* spec = catalog.find(dep);
+      ASSERT_NE(spec, nullptr) << name << " depends on unknown " << dep;
+      EXPECT_TRUE(spec->is_dependency);
+    }
+  }
+}
+
+TEST(Catalog, SubsetLimitsApplicationsButKeepsDependencyPool) {
+  const Catalog subset = Catalog::subset(42, 12, 3);
+  EXPECT_EQ(subset.repository_names().size(), 12u);
+  EXPECT_EQ(subset.manual_names().size(), 3u);
+  const Catalog full = Catalog::standard(42);
+  EXPECT_EQ(subset.dependency_names().size(),
+            full.dependency_names().size());
+  // Subset is a prefix of the full catalog.
+  for (std::size_t i = 0; i < 12; ++i) {
+    EXPECT_EQ(subset.repository_names()[i], full.repository_names()[i]);
+  }
+}
+
+TEST(Catalog, SubsetClampsOversizedRequests) {
+  const Catalog catalog = Catalog::subset(42, 1000, 1000);
+  EXPECT_EQ(catalog.repository_names().size(), 73u);
+  EXPECT_EQ(catalog.manual_names().size(), 10u);
+}
+
+TEST(Catalog, GetThrowsOnUnknownFindReturnsNull) {
+  const Catalog catalog = Catalog::subset(42, 2, 0);
+  EXPECT_THROW(catalog.get("no-such-package"), std::invalid_argument);
+  EXPECT_EQ(catalog.find("no-such-package"), nullptr);
+  EXPECT_TRUE(catalog.contains("mysql-server"));
+}
+
+TEST(Catalog, ManualPackagesLandOutsideSystemPrefixes) {
+  const Catalog catalog = Catalog::standard(42);
+  for (const auto& name : catalog.manual_names()) {
+    for (const auto& file : catalog.get(name).files) {
+      EXPECT_TRUE(path_has_prefix(file.path, "/usr/local") ||
+                  path_has_prefix(file.path, "/opt"))
+          << name << " ships " << file.path;
+    }
+  }
+}
+
+TEST(Catalog, RepositoryPackagesCarryDpkgMetadata) {
+  const Catalog catalog = Catalog::standard(42);
+  for (const auto& name : catalog.repository_names()) {
+    bool has_dpkg = false;
+    for (const auto& file : catalog.get(name).files) {
+      has_dpkg |= path_has_prefix(file.path, "/var/lib/dpkg/info");
+    }
+    EXPECT_TRUE(has_dpkg) << name;
+  }
+}
+
+TEST(Catalog, VersionedCorpusShape) {
+  const Catalog catalog = Catalog::versioned(42, 6, 3);
+  EXPECT_EQ(catalog.application_count(), 18u);
+  for (const auto& name : catalog.repository_names()) {
+    EXPECT_NE(name.find("@v"), std::string::npos) << name;
+  }
+  EXPECT_TRUE(catalog.contains("mysql-server@v1"));
+  EXPECT_TRUE(catalog.contains("mysql-server@v3"));
+}
+
+TEST(Catalog, VersionedReleasesShareMostOfTheirFootprint) {
+  const Catalog catalog = Catalog::versioned(42, 6, 2);
+  const PackageSpec& v1 = catalog.get("mysql-server@v1");
+  const PackageSpec& v2 = catalog.get("mysql-server@v2");
+  std::set<std::string> v1_paths, v2_paths;
+  for (const auto& f : v1.files) v1_paths.insert(f.path);
+  for (const auto& f : v2.files) v2_paths.insert(f.path);
+  std::size_t shared = 0;
+  for (const auto& path : v1_paths) shared += v2_paths.count(path);
+  // Most paths shared, but not all (release-specific renames + changelog).
+  EXPECT_GT(shared, v1_paths.size() / 2);
+  EXPECT_LT(shared, v1_paths.size());
+}
+
+TEST(Catalog, VersionedReleasesShipDistinctChangelogs) {
+  const Catalog catalog = Catalog::versioned(42, 3, 2);
+  const PackageSpec& v1 = catalog.get("postgresql@v1");
+  bool found = false;
+  for (const auto& f : v1.files) {
+    found |= f.path.find("changelog-v1") != std::string::npos;
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace praxi::pkg

@@ -1,0 +1,247 @@
+// Tests for changesets (fs/changeset.hpp): close semantics, serialization
+// round-trips, and multi-application synthesis (paper §III-A, §IV-B(c)).
+#include "fs/changeset.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "common/serialize.hpp"
+
+namespace praxi::fs {
+namespace {
+
+ChangeRecord rec(std::string path, std::int64_t t,
+                 ChangeKind kind = ChangeKind::kCreate,
+                 std::uint16_t mode = 0644) {
+  return ChangeRecord{std::move(path), mode, kind, t};
+}
+
+TEST(Changeset, CloseSortsByTimestamp) {
+  Changeset cs;
+  cs.add(rec("/b", 30));
+  cs.add(rec("/a", 10));
+  cs.add(rec("/c", 20));
+  cs.close(100);
+  ASSERT_EQ(cs.size(), 3u);
+  EXPECT_EQ(cs.records()[0].path, "/a");
+  EXPECT_EQ(cs.records()[1].path, "/c");
+  EXPECT_EQ(cs.records()[2].path, "/b");
+  EXPECT_EQ(cs.close_time_ms(), 100);
+  EXPECT_TRUE(cs.closed());
+}
+
+TEST(Changeset, CloseRemovesExactDuplicates) {
+  Changeset cs;
+  cs.add(rec("/a", 10));
+  cs.add(rec("/a", 10));
+  cs.add(rec("/a", 10, ChangeKind::kModify));  // different kind: kept
+  cs.add(rec("/a", 11));                       // different time: kept
+  cs.close(50);
+  EXPECT_EQ(cs.size(), 3u);
+}
+
+TEST(Changeset, AddAfterCloseThrows) {
+  Changeset cs;
+  cs.close(1);
+  EXPECT_THROW(cs.add(rec("/x", 2)), std::logic_error);
+}
+
+TEST(Changeset, DoubleCloseThrows) {
+  Changeset cs;
+  cs.close(1);
+  EXPECT_THROW(cs.close(2), std::logic_error);
+}
+
+TEST(Changeset, ExecutableBit) {
+  EXPECT_TRUE(rec("/usr/bin/x", 0, ChangeKind::kCreate, 0755).executable());
+  EXPECT_FALSE(rec("/etc/x.conf", 0, ChangeKind::kCreate, 0644).executable());
+}
+
+TEST(Changeset, TextRoundTrip) {
+  Changeset cs;
+  cs.set_open_time(1000);
+  cs.add(rec("/usr/bin/mysqld", 1500, ChangeKind::kCreate, 0755));
+  cs.add(rec("/etc/mysql/my.cnf", 1600, ChangeKind::kModify));
+  cs.add(rec("/tmp/scratch", 1700, ChangeKind::kDelete));
+  cs.add_label("mysql-server");
+  cs.close(2000);
+
+  const Changeset parsed = Changeset::from_text(cs.to_text());
+  EXPECT_EQ(parsed, cs);
+}
+
+TEST(Changeset, TextRoundTripMultiLabelAndEmpty) {
+  Changeset cs;
+  cs.set_open_time(5);
+  cs.add_label("nginx");
+  cs.add_label("redis-server");
+  cs.close(9);
+  const Changeset parsed = Changeset::from_text(cs.to_text());
+  EXPECT_EQ(parsed.labels(),
+            (std::vector<std::string>{"nginx", "redis-server"}));
+  EXPECT_TRUE(parsed.empty());
+  EXPECT_EQ(parsed.open_time_ms(), 5);
+  EXPECT_EQ(parsed.close_time_ms(), 9);
+}
+
+TEST(Changeset, FromTextRejectsGarbage) {
+  EXPECT_THROW(Changeset::from_text("no header here\n"),
+               std::invalid_argument);
+  EXPECT_THROW(Changeset::from_text("#changeset open=0 close=1 labels=\n"
+                                    "X 0644 12 /a\n"),
+               std::invalid_argument);
+  EXPECT_THROW(Changeset::from_text("#changeset open=0 close=1 labels=\n"
+                                    "C 0644 /missing-fields\n"),
+               std::invalid_argument);
+}
+
+TEST(Changeset, BinaryRoundTrip) {
+  Changeset cs;
+  cs.set_open_time(123);
+  cs.add(rec("/opt/go1.12/bin/go", 456, ChangeKind::kCreate, 0755));
+  cs.add(rec("/var/log/syslog", 789, ChangeKind::kModify, 0640));
+  cs.add_label("go1.12");
+  cs.close(1000);
+  EXPECT_EQ(Changeset::from_binary(cs.to_binary()), cs);
+}
+
+TEST(Changeset, BinaryRejectsBadMagic) {
+  EXPECT_THROW(Changeset::from_binary("XXXXGARBAGE"), SerializeError);
+}
+
+TEST(Changeset, SizeBytesTracksTextSize) {
+  Changeset cs;
+  for (int i = 0; i < 50; ++i) {
+    cs.add(rec("/usr/lib/pkg/file" + std::to_string(i), 1'600'000'000'000LL + i));
+  }
+  cs.close(100);
+  const auto text_size = cs.to_text().size();
+  // Estimate within 25% of the real serialization.
+  EXPECT_GT(cs.size_bytes(), text_size * 3 / 4);
+  EXPECT_LT(cs.size_bytes(), text_size * 5 / 4);
+}
+
+TEST(SynthesizeMulti, MergesRecordsLabelsAndWindow) {
+  Changeset a;
+  a.set_open_time(100);
+  a.add(rec("/a", 150));
+  a.add_label("app-a");
+  a.close(200);
+
+  Changeset b;
+  b.set_open_time(300);
+  b.add(rec("/b", 350));
+  b.add(rec("/b2", 340));
+  b.add_label("app-b");
+  b.close(400);
+
+  const Changeset* parts[] = {&a, &b};
+  const Changeset multi = synthesize_multi(parts);
+
+  EXPECT_EQ(multi.size(), 3u);
+  EXPECT_EQ(multi.labels(), (std::vector<std::string>{"app-a", "app-b"}));
+  EXPECT_EQ(multi.open_time_ms(), 100);
+  EXPECT_EQ(multi.close_time_ms(), 400);
+  EXPECT_TRUE(multi.closed());
+  // Records are globally time-sorted after synthesis.
+  EXPECT_EQ(multi.records()[0].path, "/a");
+  EXPECT_EQ(multi.records()[1].path, "/b2");
+  EXPECT_EQ(multi.records()[2].path, "/b");
+}
+
+TEST(SplitAt, PartitionsRecordsByTime) {
+  Changeset cs;
+  cs.set_open_time(0);
+  for (int i = 0; i < 10; ++i) {
+    cs.add(rec("/f" + std::to_string(i), i * 100));
+  }
+  cs.add_label("app");
+  cs.close(1000);
+
+  const auto [before, after] = split_at(cs, 500);
+  EXPECT_EQ(before.size(), 5u);
+  EXPECT_EQ(after.size(), 5u);
+  EXPECT_EQ(before.close_time_ms(), 500);
+  EXPECT_EQ(after.open_time_ms(), 500);
+  EXPECT_EQ(after.close_time_ms(), 1000);
+  EXPECT_EQ(before.labels(), cs.labels());
+  EXPECT_EQ(after.labels(), cs.labels());
+  for (const auto& r : before.records()) EXPECT_LT(r.time_ms, 500);
+  for (const auto& r : after.records()) EXPECT_GE(r.time_ms, 500);
+}
+
+TEST(SplitAt, ExtremeCutsLeaveOneSideEmpty) {
+  Changeset cs;
+  cs.add(rec("/only", 100));
+  cs.close(200);
+  const auto [all_before, none_after] = split_at(cs, 1000);
+  EXPECT_EQ(all_before.size(), 1u);
+  EXPECT_TRUE(none_after.empty());
+  const auto [none_before, all_after] = split_at(cs, 0);
+  EXPECT_TRUE(none_before.empty());
+  EXPECT_EQ(all_after.size(), 1u);
+}
+
+TEST(MergeAdjacent, RestoresSplitChangeset) {
+  Changeset cs;
+  cs.set_open_time(0);
+  for (int i = 0; i < 8; ++i) cs.add(rec("/f" + std::to_string(i), i * 10));
+  cs.add_label("app");
+  cs.close(100);
+
+  const auto [before, after] = split_at(cs, 35);
+  const Changeset rejoined = merge_adjacent(before, after);
+  EXPECT_EQ(rejoined.records(), cs.records());
+  EXPECT_EQ(rejoined.labels(), cs.labels());  // label deduplicated
+  EXPECT_EQ(rejoined.open_time_ms(), cs.open_time_ms());
+  EXPECT_EQ(rejoined.close_time_ms(), cs.close_time_ms());
+}
+
+TEST(MergeAdjacent, UnitesDistinctLabels) {
+  Changeset a;
+  a.add(rec("/a", 1));
+  a.add_label("app-a");
+  a.close(10);
+  Changeset b;
+  b.add(rec("/b", 11));
+  b.add_label("app-b");
+  b.add_label("app-a");
+  b.close(20);
+  const Changeset merged = merge_adjacent(a, b);
+  EXPECT_EQ(merged.labels(), (std::vector<std::string>{"app-a", "app-b"}));
+}
+
+// Property sweep: synthesizing k single-label changesets yields k labels and
+// the sum of the record counts, for any k.
+class SynthesizeSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SynthesizeSweep, CountsAddUp) {
+  const int k = GetParam();
+  praxi::Rng rng(99);
+  std::vector<Changeset> owned;
+  owned.reserve(k);
+  std::size_t total_records = 0;
+  for (int i = 0; i < k; ++i) {
+    Changeset cs;
+    cs.set_open_time(i * 1000);
+    const int n = 1 + int(rng.below(20));
+    for (int j = 0; j < n; ++j) {
+      cs.add(rec("/pkg" + std::to_string(i) + "/f" + std::to_string(j),
+                 i * 1000 + j));
+    }
+    total_records += n;
+    cs.add_label("app-" + std::to_string(i));
+    cs.close(i * 1000 + 999);
+    owned.push_back(std::move(cs));
+  }
+  std::vector<const Changeset*> parts;
+  for (const auto& cs : owned) parts.push_back(&cs);
+  const Changeset multi = synthesize_multi(parts);
+  EXPECT_EQ(multi.labels().size(), std::size_t(k));
+  EXPECT_EQ(multi.size(), total_records);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, SynthesizeSweep, ::testing::Values(2, 3, 4, 5, 8));
+
+}  // namespace
+}  // namespace praxi::fs

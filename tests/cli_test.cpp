@@ -1,0 +1,153 @@
+// Tests for the praxi-cli command layer (cli/cli.hpp), driven in-process.
+#include "cli/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <unistd.h>
+
+namespace praxi::cli {
+namespace {
+
+class CliTest : public ::testing::Test {
+ protected:
+  CliTest() {
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("praxi_cli_test_" + std::to_string(::getpid())))
+               .string();
+    std::filesystem::create_directories(dir_);
+  }
+
+  ~CliTest() override { std::filesystem::remove_all(dir_); }
+
+  int run_cli(std::vector<std::string> args) {
+    out_.str("");
+    err_.str("");
+    return run(args, out_, err_);
+  }
+
+  /// Collects the generated changeset files.
+  std::vector<std::string> corpus_files() const {
+    std::vector<std::string> files;
+    for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+      if (entry.path().extension() == ".changeset") {
+        files.push_back(entry.path().string());
+      }
+    }
+    std::sort(files.begin(), files.end());
+    return files;
+  }
+
+  std::string dir_;
+  std::ostringstream out_;
+  std::ostringstream err_;
+};
+
+TEST_F(CliTest, HelpAndUnknownCommand) {
+  EXPECT_EQ(run_cli({"help"}), 0);
+  EXPECT_NE(out_.str().find("commands:"), std::string::npos);
+  EXPECT_EQ(run_cli({"frobnicate"}), 2);
+  EXPECT_NE(err_.str().find("unknown command"), std::string::npos);
+  EXPECT_EQ(run_cli({}), 2);
+}
+
+TEST_F(CliTest, DemoCorpusWritesChangesets) {
+  ASSERT_EQ(run_cli({"demo-corpus", "--out", dir_, "--apps", "4",
+                     "--samples", "2"}),
+            0);
+  const auto files = corpus_files();
+  EXPECT_EQ(files.size(), 4u * 2u + 2u /* one manual app x2 */);
+  EXPECT_NE(out_.str().find("wrote"), std::string::npos);
+}
+
+TEST_F(CliTest, DemoCorpusRequiresOut) {
+  EXPECT_EQ(run_cli({"demo-corpus"}), 2);
+}
+
+TEST_F(CliTest, TagsPrintsTagsets) {
+  ASSERT_EQ(run_cli({"demo-corpus", "--out", dir_, "--apps", "4",
+                     "--samples", "2"}),
+            0);
+  const auto files = corpus_files();
+  ASSERT_FALSE(files.empty());
+  ASSERT_EQ(run_cli({"tags", files[0]}), 0);
+  EXPECT_NE(out_.str().find("labels="), std::string::npos);
+  EXPECT_NE(out_.str().find(':'), std::string::npos);
+}
+
+TEST_F(CliTest, TagsRejectsMissingFile) {
+  EXPECT_EQ(run_cli({"tags", dir_ + "/does-not-exist.changeset"}), 1);
+  EXPECT_FALSE(err_.str().empty());
+}
+
+TEST_F(CliTest, FullTrainPredictInspectWorkflow) {
+  ASSERT_EQ(run_cli({"demo-corpus", "--out", dir_, "--apps", "5",
+                     "--samples", "3"}),
+            0);
+  auto files = corpus_files();
+  ASSERT_GE(files.size(), 10u);
+
+  const std::string model = dir_ + "/model.praxi";
+  std::vector<std::string> train_args{"train", "--model", model};
+  train_args.insert(train_args.end(), files.begin(), files.end());
+  ASSERT_EQ(run_cli(train_args), 0) << err_.str();
+  EXPECT_TRUE(std::filesystem::exists(model));
+
+  // Predict on a training file: the label is encoded in the filename.
+  ASSERT_EQ(run_cli({"predict", "--model", model, files[0]}), 0);
+  const std::string expected_label =
+      std::filesystem::path(files[0]).filename().string().substr(
+          0, std::filesystem::path(files[0]).filename().string().rfind('-'));
+  EXPECT_NE(out_.str().find(expected_label), std::string::npos)
+      << "prediction output: " << out_.str();
+
+  ASSERT_EQ(run_cli({"inspect", "--model", model}), 0);
+  EXPECT_NE(out_.str().find("single-label"), std::string::npos);
+  EXPECT_NE(out_.str().find("labels"), std::string::npos);
+}
+
+TEST_F(CliTest, AppendContinuesTraining) {
+  ASSERT_EQ(run_cli({"demo-corpus", "--out", dir_, "--apps", "4",
+                     "--samples", "2"}),
+            0);
+  const auto files = corpus_files();
+  const std::string model = dir_ + "/model.praxi";
+
+  // Train on the first half, append the second half.
+  const std::size_t half = files.size() / 2;
+  std::vector<std::string> first{"train", "--model", model};
+  first.insert(first.end(), files.begin(), files.begin() + half);
+  ASSERT_EQ(run_cli(first), 0) << err_.str();
+
+  std::vector<std::string> second{"train", "--model", model, "--append"};
+  second.insert(second.end(), files.begin() + half, files.end());
+  ASSERT_EQ(run_cli(second), 0) << err_.str();
+  EXPECT_NE(out_.str().find("updated"), std::string::npos);
+}
+
+TEST_F(CliTest, TrainRejectsMissingModelArgument) {
+  EXPECT_EQ(run_cli({"train", "some-file"}), 2);
+  EXPECT_EQ(run_cli({"predict", "some-file"}), 2);
+  EXPECT_EQ(run_cli({"inspect"}), 2);
+}
+
+TEST_F(CliTest, PredictRejectsCorruptModel) {
+  const std::string bogus = dir_ + "/bogus.praxi";
+  {
+    std::ofstream f(bogus);
+    f << "not a model";
+  }
+  ASSERT_EQ(run_cli({"demo-corpus", "--out", dir_, "--apps", "4",
+                     "--samples", "2"}),
+            0);
+  const auto files = corpus_files();
+  EXPECT_EQ(run_cli({"predict", "--model", bogus, files[0]}), 1);
+  EXPECT_FALSE(err_.str().empty());
+}
+
+}  // namespace
+}  // namespace praxi::cli

@@ -1,0 +1,138 @@
+// Tests for the Columbus extractor (columbus/columbus.hpp): tag discovery
+// from path lists, changesets, and whole filesystem trees.
+#include "columbus/columbus.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fs/clock.hpp"
+
+namespace praxi::columbus {
+namespace {
+
+std::vector<std::string> mysql_paths() {
+  return {
+      "/usr/share/man/man1/mysql.1.gz", "/usr/bin/mysqldump",
+      "/usr/bin/mysqloptimize",         "/usr/bin/mysql",
+      "/etc/mysql/conf.d",              "/etc/mysql/mysql.cnf",
+      "/var/lib/dpkg/info/mysql-server-5.7.list",
+  };
+}
+
+TEST(Columbus, FindsMysqlTagFromPaperSamplePaths) {
+  Columbus columbus;
+  const TagSet ts = columbus.extract_from_paths(mysql_paths(), {});
+  ASSERT_FALSE(ts.empty());
+  EXPECT_EQ(ts.tags[0].text, "mysql");
+  EXPECT_GE(ts.tags[0].frequency, 5u);
+}
+
+TEST(Columbus, TagsSortedByFrequency) {
+  Columbus columbus;
+  const TagSet ts = columbus.extract_from_paths(mysql_paths(), {});
+  for (std::size_t i = 1; i < ts.tags.size(); ++i) {
+    EXPECT_GE(ts.tags[i - 1].frequency, ts.tags[i].frequency);
+  }
+}
+
+TEST(Columbus, SingletonTokensFiltered) {
+  Columbus columbus;
+  const TagSet ts = columbus.extract_from_paths(
+      {"/opt/alpha/one", "/opt/beta/two"}, {});
+  // "alpha", "beta", "one", "two" all occur once -> filtered (min_freq 2);
+  // nothing repeats except nothing.
+  EXPECT_TRUE(ts.empty());
+}
+
+TEST(Columbus, ExecutableBasenamesFeedExecTrie) {
+  Columbus columbus;
+  const std::vector<std::string> paths = {
+      "/usr/bin/redisd", "/usr/bin/rediscli", "/var/lib/redisd/data.db"};
+  // With executables marked, the exec trie sees [redisd, rediscli] and the
+  // name trie additionally sees redisd (dir) + data.db tokens.
+  const TagSet with_exec =
+      columbus.extract_from_paths(paths, {true, true, false});
+  const TagSet without_exec = columbus.extract_from_paths(paths, {});
+  EXPECT_GE(with_exec.frequency_of("redis"), 2u);
+  // Merging never *reduces* information relative to the name trie alone.
+  EXPECT_GE(with_exec.size(), without_exec.size());
+}
+
+TEST(Columbus, TopKLimitsTrieOutput) {
+  ColumbusConfig config;
+  config.top_k = 3;
+  Columbus columbus(config);
+  std::vector<std::string> paths;
+  for (int t = 0; t < 10; ++t) {
+    for (int i = 0; i < 2 + t; ++i) {
+      paths.push_back("/data/family" + std::to_string(t) + "-member" +
+                      std::to_string(i));
+    }
+  }
+  const TagSet ts = columbus.extract_from_paths(paths, {});
+  // Merged from two tries capped at 3 each.
+  EXPECT_LE(ts.size(), 6u);
+}
+
+TEST(Columbus, ExtractFromChangesetCarriesLabels) {
+  auto clock = fs::make_clock();
+  fs::Changeset cs;
+  cs.set_open_time(0);
+  int t = 0;
+  for (const auto& path : mysql_paths()) {
+    cs.add(fs::ChangeRecord{path, 0644, fs::ChangeKind::kCreate, ++t});
+  }
+  cs.add_label("mysql-server");
+  cs.close(100);
+
+  Columbus columbus;
+  const TagSet ts = columbus.extract(cs);
+  EXPECT_EQ(ts.labels, (std::vector<std::string>{"mysql-server"}));
+  EXPECT_EQ(ts.tags[0].text, "mysql");
+}
+
+TEST(Columbus, ExtractFromTreeScansWholeFilesystem) {
+  auto clock = fs::make_clock();
+  fs::InMemoryFilesystem filesystem(clock);
+  for (const auto& path : mysql_paths()) {
+    filesystem.create_file(path, path.rfind("/usr/bin/", 0) == 0 ? 0755 : 0644);
+  }
+  Columbus columbus;
+  const TagSet ts = columbus.extract_from_tree(filesystem);
+  ASSERT_FALSE(ts.empty());
+  EXPECT_EQ(ts.tags[0].text, "mysql");
+}
+
+TEST(Columbus, ExtractFromSubtreeOnly) {
+  auto clock = fs::make_clock();
+  fs::InMemoryFilesystem filesystem(clock);
+  filesystem.create_file("/opt/appa/appa-core");
+  filesystem.create_file("/opt/appa/appa-util");
+  filesystem.create_file("/srv/other/other-one");
+  filesystem.create_file("/srv/other/other-two");
+  Columbus columbus;
+  const TagSet ts = columbus.extract_from_tree(filesystem, "/opt");
+  EXPECT_GT(ts.frequency_of("appa"), 0u);
+  EXPECT_EQ(ts.frequency_of("other"), 0u);
+}
+
+TEST(Columbus, EmptyInputsYieldEmptyTagset) {
+  Columbus columbus;
+  EXPECT_TRUE(columbus.extract_from_paths({}, {}).empty());
+  fs::Changeset cs;
+  cs.close(1);
+  EXPECT_TRUE(columbus.extract(cs).empty());
+}
+
+TEST(Columbus, NoiseFilteringRejectsOneOffLogTouches) {
+  // A single log rotation amid an install leaves singleton tokens that the
+  // min-frequency rule drops (paper §III-B noise filtering).
+  Columbus columbus;
+  std::vector<std::string> paths = mysql_paths();
+  paths.push_back("/var/log/unrelated-rotation.1.gz");
+  const TagSet ts = columbus.extract_from_paths(paths, {});
+  EXPECT_EQ(ts.frequency_of("unrelated-rotation.1.gz"), 0u);
+  EXPECT_EQ(ts.tags[0].text, "mysql");
+}
+
+}  // namespace
+}  // namespace praxi::columbus

@@ -1,0 +1,237 @@
+// Tests for the dataset builder (pkg/dataset.hpp): the paper's clean/dirty
+// collection protocols (§IV-B), multi-label synthesis, and the "dirtier"
+// noise overlay (§V-A).
+#include "pkg/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <map>
+#include <set>
+
+#include "common/serialize.hpp"
+
+#include "pkg/installer.hpp"
+
+namespace praxi::pkg {
+namespace {
+
+class DatasetTest : public ::testing::Test {
+ protected:
+  DatasetTest() : catalog_(Catalog::subset(42, 8, 2)) {}
+
+  Catalog catalog_;
+};
+
+TEST_F(DatasetTest, CleanCollectionCountsAndLabels) {
+  DatasetBuilder builder(catalog_, 7);
+  CollectOptions options;
+  options.samples_per_app = 3;
+  const Dataset dataset = builder.collect_clean(options);
+
+  EXPECT_EQ(dataset.size(), 10u * 3u);
+  EXPECT_EQ(dataset.labels.size(), 10u);
+  std::map<std::string, int> per_label;
+  for (const auto& cs : dataset.changesets) {
+    ASSERT_EQ(cs.labels().size(), 1u);
+    ++per_label[cs.labels().front()];
+    EXPECT_TRUE(cs.closed());
+    EXPECT_FALSE(cs.empty());
+  }
+  for (const auto& [label, count] : per_label) EXPECT_EQ(count, 3);
+}
+
+TEST_F(DatasetTest, CleanChangesetsContainNoDependencyPayload) {
+  DatasetBuilder builder(catalog_, 7);
+  CollectOptions options;
+  options.samples_per_app = 1;
+  const Dataset dataset = builder.collect_clean(options);
+
+  std::set<std::string> dep_paths;
+  for (const auto& dep : catalog_.dependency_names()) {
+    for (const auto& file : catalog_.get(dep).files) {
+      dep_paths.insert(file.path);
+    }
+  }
+  for (const auto& cs : dataset.changesets) {
+    for (const auto& rec : cs.records()) {
+      EXPECT_EQ(dep_paths.count(rec.path), 0u)
+          << "clean changeset for " << cs.labels().front()
+          << " captured dependency file " << rec.path;
+    }
+  }
+}
+
+TEST_F(DatasetTest, DirtyChangesetsCaptureDependenciesSomewhere) {
+  DatasetBuilder builder(catalog_, 7);
+  CollectOptions options;
+  options.samples_per_app = 2;
+  options.min_wait_s = 1.0;
+  options.max_wait_s = 2.0;
+  const Dataset dataset = builder.collect_dirty(options);
+
+  std::set<std::string> dep_paths;
+  for (const auto& dep : catalog_.dependency_names()) {
+    for (const auto& file : catalog_.get(dep).files) {
+      dep_paths.insert(file.path);
+    }
+  }
+  std::size_t with_deps = 0;
+  for (const auto& cs : dataset.changesets) {
+    for (const auto& rec : cs.records()) {
+      if (dep_paths.count(rec.path) > 0) {
+        ++with_deps;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(with_deps, 0u);
+}
+
+TEST_F(DatasetTest, DirtyChangesetsAreBiggerThanClean) {
+  DatasetBuilder builder(catalog_, 7);
+  CollectOptions options;
+  options.samples_per_app = 2;
+  const Dataset clean = builder.collect_clean(options);
+  const Dataset dirty = builder.collect_dirty(options);
+  EXPECT_GT(dirty.total_bytes(), clean.total_bytes());
+}
+
+TEST_F(DatasetTest, AppFilterRestrictsLabels) {
+  DatasetBuilder builder(catalog_, 7);
+  CollectOptions options;
+  options.samples_per_app = 2;
+  options.app_filter = {catalog_.repository_names()[0],
+                        catalog_.repository_names()[1]};
+  const Dataset dataset = builder.collect_dirty(options);
+  EXPECT_EQ(dataset.size(), 4u);
+  EXPECT_EQ(dataset.labels.size(), 2u);
+}
+
+TEST_F(DatasetTest, AppFilterRejectsUnknownNames) {
+  DatasetBuilder builder(catalog_, 7);
+  CollectOptions options;
+  options.app_filter = {"no-such-app"};
+  EXPECT_THROW(builder.collect_clean(options), std::invalid_argument);
+}
+
+TEST_F(DatasetTest, CollectionIsDeterministicPerSeed) {
+  CollectOptions options;
+  options.samples_per_app = 2;
+  const Dataset a = DatasetBuilder(catalog_, 9).collect_dirty(options);
+  const Dataset b = DatasetBuilder(catalog_, 9).collect_dirty(options);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.changesets[i], b.changesets[i]);
+  }
+  const Dataset c = DatasetBuilder(catalog_, 10).collect_dirty(options);
+  EXPECT_NE(a.changesets[0], c.changesets[0]);
+}
+
+TEST_F(DatasetTest, SynthesizeMultiProducesDistinctLabelSets) {
+  DatasetBuilder builder(catalog_, 7);
+  CollectOptions options;
+  options.samples_per_app = 3;
+  const Dataset singles = builder.collect_dirty(options);
+  const Dataset multi =
+      DatasetBuilder::synthesize_multi(singles, 40, 2, 5, 11);
+
+  EXPECT_EQ(multi.size(), 40u);
+  for (const auto& cs : multi.changesets) {
+    EXPECT_GE(cs.labels().size(), 2u);
+    EXPECT_LE(cs.labels().size(), 5u);
+    std::set<std::string> distinct(cs.labels().begin(), cs.labels().end());
+    EXPECT_EQ(distinct.size(), cs.labels().size());
+  }
+}
+
+TEST_F(DatasetTest, SynthesizeMultiValidatesArguments) {
+  Dataset empty;
+  EXPECT_THROW(DatasetBuilder::synthesize_multi(empty, 10, 2, 5, 1),
+               std::invalid_argument);
+
+  DatasetBuilder builder(catalog_, 7);
+  CollectOptions options;
+  options.samples_per_app = 1;
+  const Dataset singles = builder.collect_dirty(options);
+  EXPECT_THROW(DatasetBuilder::synthesize_multi(singles, 10, 1, 5, 1),
+               std::invalid_argument);
+  EXPECT_THROW(DatasetBuilder::synthesize_multi(singles, 10, 3, 2, 1),
+               std::invalid_argument);
+}
+
+TEST_F(DatasetTest, SynthesizeMultiRejectsMultiLabelSource) {
+  DatasetBuilder builder(catalog_, 7);
+  CollectOptions options;
+  options.samples_per_app = 2;
+  const Dataset singles = builder.collect_dirty(options);
+  Dataset multi = DatasetBuilder::synthesize_multi(singles, 10, 2, 3, 1);
+  EXPECT_THROW(DatasetBuilder::synthesize_multi(multi, 5, 2, 3, 1),
+               std::invalid_argument);
+}
+
+TEST_F(DatasetTest, DirtierOverlayAddsRecordsKeepsLabels) {
+  DatasetBuilder builder(catalog_, 7);
+  CollectOptions options;
+  options.samples_per_app = 2;
+  const Dataset dirty = builder.collect_dirty(options);
+  const Dataset dirtier =
+      DatasetBuilder::overlay_dirtier_noise(dirty, 13);
+
+  ASSERT_EQ(dirtier.size(), dirty.size());
+  std::size_t grew = 0;
+  for (std::size_t i = 0; i < dirty.size(); ++i) {
+    EXPECT_EQ(dirtier.changesets[i].labels(), dirty.changesets[i].labels());
+    EXPECT_GE(dirtier.changesets[i].size(), dirty.changesets[i].size());
+    grew += dirtier.changesets[i].size() > dirty.changesets[i].size();
+  }
+  // The overlay must actually add noise to the vast majority of windows.
+  EXPECT_GT(grew, dirty.size() * 8 / 10);
+  EXPECT_GT(dirtier.total_bytes(), dirty.total_bytes());
+}
+
+TEST_F(DatasetTest, RefreshLabelsDeduplicatesAndSorts) {
+  Dataset dataset;
+  fs::Changeset a;
+  a.add_label("zzz");
+  a.close(1);
+  fs::Changeset b;
+  b.add_label("aaa");
+  b.add_label("zzz");
+  b.close(2);
+  dataset.changesets = {a, b};
+  dataset.refresh_labels();
+  EXPECT_EQ(dataset.labels, (std::vector<std::string>{"aaa", "zzz"}));
+}
+
+TEST_F(DatasetTest, BinaryAndFileRoundTrip) {
+  DatasetBuilder builder(catalog_, 7);
+  CollectOptions options;
+  options.samples_per_app = 2;
+  const Dataset original = builder.collect_dirty(options);
+
+  const Dataset parsed = Dataset::from_binary(original.to_binary());
+  ASSERT_EQ(parsed.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(parsed.changesets[i], original.changesets[i]);
+  }
+  EXPECT_EQ(parsed.labels, original.labels);
+
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "praxi_dataset_test.bin")
+          .string();
+  original.save(path);
+  const Dataset loaded = Dataset::load(path);
+  EXPECT_EQ(loaded.size(), original.size());
+  EXPECT_EQ(loaded.total_bytes(), original.total_bytes());
+  std::remove(path.c_str());
+}
+
+TEST_F(DatasetTest, FromBinaryRejectsGarbage) {
+  EXPECT_THROW(Dataset::from_binary("garbage"), SerializeError);
+  EXPECT_THROW(Dataset::from_binary(""), SerializeError);
+}
+
+}  // namespace
+}  // namespace praxi::pkg

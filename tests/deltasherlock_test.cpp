@@ -1,0 +1,111 @@
+// Tests for the DeltaSherlock pipeline (deltasherlock/deltasherlock.hpp).
+#include "deltasherlock/deltasherlock.hpp"
+
+#include <gtest/gtest.h>
+
+#include "eval/harness.hpp"
+#include "pkg/dataset.hpp"
+
+namespace praxi::ds {
+namespace {
+
+class DeltaSherlockTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    const auto catalog = pkg::Catalog::subset(42, 10, 0);
+    pkg::DatasetBuilder builder(catalog, 7);
+    pkg::CollectOptions options;
+    options.samples_per_app = 8;
+    dataset_ = new pkg::Dataset(builder.collect_dirty(options));
+    train_ = new std::vector<const fs::Changeset*>();
+    test_ = new std::vector<const fs::Changeset*>();
+    for (std::size_t i = 0; i < dataset_->changesets.size(); ++i) {
+      ((i % 8 == 0) ? test_ : train_)->push_back(&dataset_->changesets[i]);
+    }
+  }
+
+  static void TearDownTestSuite() {
+    delete dataset_;
+    delete train_;
+    delete test_;
+  }
+
+  static pkg::Dataset* dataset_;
+  static std::vector<const fs::Changeset*>* train_;
+  static std::vector<const fs::Changeset*>* test_;
+};
+
+pkg::Dataset* DeltaSherlockTest::dataset_ = nullptr;
+std::vector<const fs::Changeset*>* DeltaSherlockTest::train_ = nullptr;
+std::vector<const fs::Changeset*>* DeltaSherlockTest::test_ = nullptr;
+
+TEST_F(DeltaSherlockTest, LearnsRealisticCorpus) {
+  DeltaSherlock model;
+  model.train(*train_);
+  EXPECT_TRUE(model.trained());
+  int correct = 0;
+  for (const fs::Changeset* cs : *test_) {
+    correct += model.predict(*cs, 1).front() == cs->labels().front();
+  }
+  EXPECT_GT(double(correct) / test_->size(), 0.8);
+}
+
+TEST_F(DeltaSherlockTest, OverheadAccountingPopulated) {
+  DeltaSherlock model;
+  model.train(*train_);
+  const auto& overhead = model.overhead();
+  EXPECT_GT(overhead.dictionary_s, 0.0);
+  EXPECT_GT(overhead.fingerprint_s, 0.0);
+  EXPECT_GT(overhead.train_s, 0.0);
+  EXPECT_GT(overhead.dictionary_bytes, 0u);
+  EXPECT_GT(overhead.fingerprint_bytes, 0u);
+  EXPECT_GT(overhead.model_bytes, 0u);
+  EXPECT_GT(overhead.retained_changesets_bytes, 0u);
+}
+
+TEST_F(DeltaSherlockTest, FingerprintDimensionMatchesConfig) {
+  DeltaSherlockConfig config;
+  config.w2v.dim = 32;
+  DeltaSherlock model(config);
+  model.train(*train_);
+  const auto fp = model.fingerprint(*test_->front());
+  EXPECT_EQ(fp.size(), kHistogramBins + 32u);
+}
+
+TEST_F(DeltaSherlockTest, HistogramOnlyConfigWorks) {
+  DeltaSherlockConfig config;
+  config.parts = FingerprintParts{true, false, false};
+  DeltaSherlock model(config);
+  model.train(*train_);
+  EXPECT_EQ(model.fingerprint(*test_->front()).size(), kHistogramBins);
+  EXPECT_EQ(model.overhead().dictionary_bytes, 0u);
+  int correct = 0;
+  for (const fs::Changeset* cs : *test_) {
+    correct += model.predict(*cs, 1).front() == cs->labels().front();
+  }
+  EXPECT_GT(double(correct) / test_->size(), 0.6);
+}
+
+TEST_F(DeltaSherlockTest, PredictTopNReturnsNDistinctLabels) {
+  DeltaSherlock model;
+  model.train(*train_);
+  const auto top3 = model.predict(*test_->front(), 3);
+  EXPECT_EQ(top3.size(), 3u);
+  EXPECT_NE(top3[0], top3[1]);
+  EXPECT_NE(top3[1], top3[2]);
+}
+
+TEST(DeltaSherlock, PredictBeforeTrainThrows) {
+  DeltaSherlock model;
+  fs::Changeset cs;
+  cs.close(1);
+  EXPECT_THROW(model.predict(cs, 1), std::logic_error);
+}
+
+TEST(DeltaSherlock, EmptyCorpusThrows) {
+  DeltaSherlock model;
+  EXPECT_THROW(model.train({}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace praxi::ds

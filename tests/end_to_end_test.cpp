@@ -1,0 +1,193 @@
+// Integration tests: the full pipeline from package installation through
+// change recording, tag extraction, learning, and discovery — exercising
+// every module together the way the paper's experiments do.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/discovery_service.hpp"
+#include "core/praxi.hpp"
+#include "core/tagset_store.hpp"
+#include "eval/harness.hpp"
+#include "eval/metrics.hpp"
+#include "fs/recorder.hpp"
+#include "pkg/dataset.hpp"
+#include "pkg/installer.hpp"
+
+namespace praxi {
+namespace {
+
+class EndToEndTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    catalog_ = new pkg::Catalog(pkg::Catalog::subset(42, 14, 2));
+    pkg::DatasetBuilder builder(*catalog_, 7);
+    pkg::CollectOptions options;
+    options.samples_per_app = 6;
+    dirty_ = new pkg::Dataset(builder.collect_dirty(options));
+    clean_ = new pkg::Dataset([&] {
+      pkg::CollectOptions clean_options;
+      clean_options.samples_per_app = 4;
+      return builder.collect_clean(clean_options);
+    }());
+  }
+
+  static void TearDownTestSuite() {
+    delete catalog_;
+    delete dirty_;
+    delete clean_;
+  }
+
+  static pkg::Catalog* catalog_;
+  static pkg::Dataset* dirty_;
+  static pkg::Dataset* clean_;
+};
+
+pkg::Catalog* EndToEndTest::catalog_ = nullptr;
+pkg::Dataset* EndToEndTest::dirty_ = nullptr;
+pkg::Dataset* EndToEndTest::clean_ = nullptr;
+
+TEST_F(EndToEndTest, AllThreeMethodsBeatChanceComfortably) {
+  const auto chunks = eval::chunked(*dirty_, 3, 1);
+  const auto extra = eval::pointers(*clean_);
+
+  eval::PraxiMethod praxi_method;
+  eval::DeltaSherlockMethod ds_method;
+  eval::RuleBasedMethod rule_method;
+
+  const double praxi_f1 =
+      eval::run_fold(praxi_method, eval::make_fold(chunks, 0, 1, extra))
+          .metrics.weighted_f1();
+  const double ds_f1 =
+      eval::run_fold(ds_method, eval::make_fold(chunks, 0, 1, extra))
+          .metrics.weighted_f1();
+  const double rule_f1 =
+      eval::run_fold(rule_method, eval::make_fold(chunks, 0, 1, extra))
+          .metrics.weighted_f1();
+
+  // Chance is ~1/16; all methods must be far above it, Praxi near-perfect.
+  EXPECT_GT(praxi_f1, 0.9);
+  EXPECT_GT(ds_f1, 0.7);
+  EXPECT_GT(rule_f1, 0.7);
+}
+
+TEST_F(EndToEndTest, PraxiFasterThanDeltaSherlock) {
+  const auto chunks = eval::chunked(*dirty_, 3, 2);
+  eval::PraxiMethod praxi_method;
+  eval::DeltaSherlockMethod ds_method;
+  const auto praxi_outcome =
+      eval::run_fold(praxi_method, eval::make_fold(chunks, 0, 2, {}));
+  const auto ds_outcome =
+      eval::run_fold(ds_method, eval::make_fold(chunks, 0, 2, {}));
+  // The paper's headline: Praxi runs well under DeltaSherlock's time.
+  EXPECT_LT(praxi_outcome.train_s + praxi_outcome.test_s,
+            ds_outcome.train_s + ds_outcome.test_s);
+}
+
+TEST_F(EndToEndTest, TagsetStoreIsSmallerThanChangesets) {
+  core::Praxi model;
+  core::TagsetStore store;
+  std::size_t changeset_bytes = 0;
+  for (const auto& cs : dirty_->changesets) {
+    store.add(model.extract_tags(cs));
+    changeset_bytes += cs.size_bytes();
+  }
+  // Paper §III-B: tagsets are a small fraction of raw changesets.
+  EXPECT_LT(store.total_bytes(), changeset_bytes / 4);
+}
+
+TEST_F(EndToEndTest, ModelSurvivesSerializationMidStream) {
+  // Train, save, load, continue training incrementally, predict.
+  std::vector<const fs::Changeset*> first, second;
+  for (std::size_t i = 0; i < dirty_->changesets.size(); ++i) {
+    (i % 2 == 0 ? first : second).push_back(&dirty_->changesets[i]);
+  }
+  core::Praxi model;
+  model.train_changesets(first);
+  core::Praxi loaded = core::Praxi::from_binary(model.to_binary());
+  loaded.train_changesets(second);
+
+  int correct = 0;
+  for (const auto& cs : dirty_->changesets) {
+    correct += loaded.predict(cs).front() == cs.labels().front();
+  }
+  EXPECT_GT(double(correct) / dirty_->size(), 0.9);
+}
+
+TEST_F(EndToEndTest, DiscoveryServiceMonitorsLiveInstance) {
+  // Train Praxi, then watch a fresh instance receive three installations in
+  // separate intervals and name each one.
+  core::Praxi model;
+  model.train_changesets(eval::pointers(*dirty_));
+
+  auto clock = fs::make_clock();
+  fs::InMemoryFilesystem instance(clock);
+  pkg::provision_base_image(instance);
+  pkg::Installer installer(instance, *catalog_, Rng(77));
+  core::DiscoveryService service(instance, std::move(model), {});
+
+  std::vector<std::string> expected;
+  std::vector<std::string> discovered;
+  for (int i = 0; i < 3; ++i) {
+    const std::string target = catalog_->repository_names()[i * 3];
+    expected.push_back(target);
+    installer.install(target);
+    const auto event = service.sample_now();
+    ASSERT_FALSE(event.applications.empty());
+    discovered.push_back(event.applications.front());
+  }
+  EXPECT_EQ(discovered, expected);
+}
+
+TEST_F(EndToEndTest, DirtierNoiseCostsPraxiOnlyALittle) {
+  // §V-A: extra noise drops Praxi's accuracy slightly, not catastrophically.
+  const auto dirtier = pkg::DatasetBuilder::overlay_dirtier_noise(*dirty_, 5);
+  const auto chunks_clean = eval::chunked(*dirty_, 3, 2);
+  const auto chunks_noisy = eval::chunked(dirtier, 3, 2);
+
+  eval::PraxiMethod on_clean, on_noisy;
+  const double f1_clean =
+      eval::run_fold(on_clean, eval::make_fold(chunks_clean, 0, 2, {}))
+          .metrics.weighted_f1();
+  const double f1_noisy =
+      eval::run_fold(on_noisy, eval::make_fold(chunks_noisy, 0, 2, {}))
+          .metrics.weighted_f1();
+  EXPECT_GT(f1_noisy, f1_clean - 0.25);
+  EXPECT_GT(f1_noisy, 0.7);
+}
+
+TEST_F(EndToEndTest, MultiLabelPipeline) {
+  const auto multi =
+      pkg::DatasetBuilder::synthesize_multi(*dirty_, 60, 2, 4, 3);
+  core::PraxiConfig config;
+  config.mode = core::LabelMode::kMultiLabel;
+  core::Praxi model(config);
+
+  std::vector<const fs::Changeset*> train;
+  for (std::size_t i = 0; i < 40; ++i) train.push_back(&multi.changesets[i]);
+  for (const auto& cs : dirty_->changesets) train.push_back(&cs);
+  model.train_changesets(train);
+
+  std::vector<std::vector<std::string>> truths, predictions;
+  for (std::size_t i = 40; i < multi.size(); ++i) {
+    const auto& cs = multi.changesets[i];
+    truths.push_back(cs.labels());
+    predictions.push_back(model.predict(cs, cs.labels().size()));
+  }
+  EXPECT_GT(eval::evaluate(truths, predictions).weighted_f1(), 0.85);
+}
+
+TEST_F(EndToEndTest, CleanTrainingGeneralizesToDirtyTesting) {
+  // The core Fig. 4 phenomenon: cheap-to-collect clean samples teach the
+  // model to recognize installations observed under realistic noise.
+  core::Praxi model;
+  model.train_changesets(eval::pointers(*clean_));
+  int correct = 0;
+  for (const auto& cs : dirty_->changesets) {
+    correct += model.predict(cs).front() == cs.labels().front();
+  }
+  EXPECT_GT(double(correct) / dirty_->size(), 0.8);
+}
+
+}  // namespace
+}  // namespace praxi

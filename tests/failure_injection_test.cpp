@@ -1,0 +1,129 @@
+// Failure-injection tests: every persistent artifact (models, changesets,
+// tagsets) must reject corruption — truncation at arbitrary offsets, bit
+// flips in the header, and hostile length fields — with a typed error, never
+// a crash or a silently wrong model.
+#include <gtest/gtest.h>
+
+#include "common/serialize.hpp"
+#include "core/praxi.hpp"
+#include "core/tagset_store.hpp"
+#include "ml/kernel_svm.hpp"
+#include "ml/online_learner.hpp"
+#include "ml/word2vec.hpp"
+#include "pkg/dataset.hpp"
+
+namespace praxi {
+namespace {
+
+/// A small trained Praxi model serialized once for all corruption tests.
+const std::string& trained_model_bytes() {
+  static const std::string bytes = [] {
+    const auto catalog = pkg::Catalog::subset(42, 5, 0);
+    pkg::DatasetBuilder builder(catalog, 7);
+    pkg::CollectOptions options;
+    options.samples_per_app = 3;
+    const auto dataset = builder.collect_dirty(options);
+    core::Praxi model;
+    std::vector<const fs::Changeset*> train;
+    for (const auto& cs : dataset.changesets) train.push_back(&cs);
+    model.train_changesets(train);
+    return model.to_binary();
+  }();
+  return bytes;
+}
+
+class TruncationSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(TruncationSweep, TruncatedPraxiModelRejected) {
+  const std::string& bytes = trained_model_bytes();
+  const auto keep = static_cast<std::size_t>(bytes.size() * GetParam());
+  EXPECT_THROW(core::Praxi::from_binary(std::string_view(bytes).substr(0, keep)),
+               SerializeError);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fractions, TruncationSweep,
+                         ::testing::Values(0.0, 0.1, 0.25, 0.5, 0.75, 0.99));
+
+TEST(FailureInjection, HeaderBitFlipRejected) {
+  std::string bytes = trained_model_bytes();
+  bytes[0] ^= 0x01;  // corrupt the magic
+  EXPECT_THROW(core::Praxi::from_binary(bytes), SerializeError);
+}
+
+TEST(FailureInjection, EmptyInputRejectedEverywhere) {
+  EXPECT_THROW(core::Praxi::from_binary(""), SerializeError);
+  EXPECT_THROW(ml::OaaClassifier::from_binary(""), SerializeError);
+  EXPECT_THROW(ml::CsoaaClassifier::from_binary(""), SerializeError);
+  EXPECT_THROW(ml::Word2Vec::from_binary(""), SerializeError);
+  EXPECT_THROW(ml::RbfSvmOva::from_binary(""), SerializeError);
+  EXPECT_THROW(fs::Changeset::from_binary(""), SerializeError);
+}
+
+TEST(FailureInjection, HostileVectorLengthRejected) {
+  // A valid OAA header followed by an absurd weight-vector length must not
+  // trigger a giant allocation or a crash.
+  BinaryWriter w;
+  w.put<std::uint32_t>(0x504f4131U);  // OAA magic
+  w.put<std::uint32_t>(18);           // bits
+  w.put<float>(0.5f);
+  w.put<float>(0.5f);
+  w.put<float>(0.0f);
+  w.put<std::uint32_t>(6);
+  w.put<std::uint64_t>(1);
+  w.put<std::uint64_t>(0);
+  w.put<std::uint32_t>(0);               // zero labels
+  w.put<std::uint64_t>(1ull << 62);      // hostile weight count
+  EXPECT_THROW(ml::OaaClassifier::from_binary(w.bytes()), SerializeError);
+}
+
+TEST(FailureInjection, WrongArtifactTypeRejected) {
+  // Feeding one artifact's bytes to another loader must fail on the magic.
+  const std::string& praxi_bytes = trained_model_bytes();
+  EXPECT_THROW(ml::Word2Vec::from_binary(praxi_bytes), SerializeError);
+  EXPECT_THROW(fs::Changeset::from_binary(praxi_bytes), SerializeError);
+}
+
+TEST(FailureInjection, MalformedChangesetTextVariants) {
+  const char* bad_inputs[] = {
+      "",                                        // empty
+      "garbage\n",                               // no header
+      "#changeset open=zzz close=1 labels=\n",   // unparseable number
+      "#changeset open=0 close=1 labels=\nC 99 0 /a\n",    // bad octal digit
+      "#changeset open=0 close=1 labels=\nQ 0644 0 /a\n",  // bad kind
+      "#changeset open=0 close=1 labels=\nC 0644\n",       // missing fields
+  };
+  for (const char* input : bad_inputs) {
+    EXPECT_ANY_THROW(fs::Changeset::from_text(input)) << input;
+  }
+}
+
+TEST(FailureInjection, MalformedTagsetTextVariants) {
+  EXPECT_THROW(columbus::TagSet::from_text(""), std::invalid_argument);
+  EXPECT_THROW(columbus::TagSet::from_text("no-header\n"),
+               std::invalid_argument);
+  EXPECT_THROW(columbus::TagSet::from_text("labels=a\nbadtag\n"),
+               std::invalid_argument);
+}
+
+TEST(FailureInjection, TagsetStoreSkipsNothingOnCleanInput) {
+  core::TagsetStore store;
+  columbus::TagSet ts;
+  ts.tags = {{"nginx", 4}};
+  ts.labels = {"nginx"};
+  store.add(ts);
+  const auto loaded = core::TagsetStore::from_text(store.to_text());
+  EXPECT_EQ(loaded.size(), 1u);
+}
+
+TEST(FailureInjection, RoundTripAfterCorruptionRecovery) {
+  // After a failed load, a fresh load of the intact bytes must still work
+  // (no global state poisoned by the throw).
+  const std::string& bytes = trained_model_bytes();
+  EXPECT_THROW(
+      core::Praxi::from_binary(std::string_view(bytes).substr(0, 16)),
+      SerializeError);
+  EXPECT_NO_THROW(core::Praxi::from_binary(bytes));
+}
+
+}  // namespace
+}  // namespace praxi

@@ -1,0 +1,172 @@
+// Tests for the in-memory filesystem simulator (fs/filesystem.hpp): tree
+// operations, event emission, and traversal.
+#include "fs/filesystem.hpp"
+
+#include <gtest/gtest.h>
+
+namespace praxi::fs {
+namespace {
+
+/// Captures every event for assertion.
+class CapturingSink final : public EventSink {
+ public:
+  void on_fs_event(const FsEvent& event) override { events.push_back(event); }
+  std::vector<FsEvent> events;
+};
+
+class FilesystemTest : public ::testing::Test {
+ protected:
+  FilesystemTest() : clock_(make_clock(1000)), fs_(clock_) {
+    fs_.subscribe(&sink_);
+  }
+
+  SimClockPtr clock_;
+  InMemoryFilesystem fs_;
+  CapturingSink sink_;
+};
+
+TEST_F(FilesystemTest, CreateFileCreatesParentsAndEmitsEvents) {
+  fs_.create_file("/usr/bin/mysqld", 0755, 1234);
+  EXPECT_TRUE(fs_.is_file("/usr/bin/mysqld"));
+  EXPECT_TRUE(fs_.is_dir("/usr"));
+  EXPECT_TRUE(fs_.is_dir("/usr/bin"));
+  EXPECT_EQ(fs_.mode_of("/usr/bin/mysqld"), 0755);
+  EXPECT_EQ(fs_.size_of("/usr/bin/mysqld"), 1234u);
+  // Events: /usr, /usr/bin, /usr/bin/mysqld — all creations.
+  ASSERT_EQ(sink_.events.size(), 3u);
+  EXPECT_EQ(sink_.events[0].path, "/usr");
+  EXPECT_EQ(sink_.events[2].path, "/usr/bin/mysqld");
+  for (const auto& e : sink_.events) EXPECT_EQ(e.kind, ChangeKind::kCreate);
+  EXPECT_EQ(sink_.events[2].time_ms, 1000);
+}
+
+TEST_F(FilesystemTest, CreateExistingFileBecomesModify) {
+  fs_.create_file("/etc/app.conf");
+  sink_.events.clear();
+  fs_.create_file("/etc/app.conf", 0644, 99);
+  ASSERT_EQ(sink_.events.size(), 1u);
+  EXPECT_EQ(sink_.events[0].kind, ChangeKind::kModify);
+  EXPECT_EQ(fs_.size_of("/etc/app.conf"), 99u);
+}
+
+TEST_F(FilesystemTest, WriteFileEmitsModify) {
+  fs_.create_file("/var/log/syslog", 0640, 10);
+  clock_->advance_ms(500);
+  sink_.events.clear();
+  fs_.write_file("/var/log/syslog", 20);
+  ASSERT_EQ(sink_.events.size(), 1u);
+  EXPECT_EQ(sink_.events[0].kind, ChangeKind::kModify);
+  EXPECT_EQ(sink_.events[0].time_ms, 1500);
+  EXPECT_EQ(fs_.size_of("/var/log/syslog"), 20u);
+}
+
+TEST_F(FilesystemTest, WriteMissingFileThrows) {
+  EXPECT_THROW(fs_.write_file("/nope", 1), std::invalid_argument);
+  fs_.mkdirs("/somedir");
+  EXPECT_THROW(fs_.write_file("/somedir", 1), std::invalid_argument);
+}
+
+TEST_F(FilesystemTest, ChmodChangesModeAndEmits) {
+  fs_.create_file("/usr/local/bin/tool", 0644);
+  sink_.events.clear();
+  fs_.chmod("/usr/local/bin/tool", 0755);
+  EXPECT_EQ(fs_.mode_of("/usr/local/bin/tool"), 0755);
+  ASSERT_EQ(sink_.events.size(), 1u);
+  EXPECT_EQ(sink_.events[0].kind, ChangeKind::kModify);
+  EXPECT_EQ(sink_.events[0].mode, 0755);
+}
+
+TEST_F(FilesystemTest, MkdirsIsIdempotent) {
+  fs_.mkdirs("/a/b/c");
+  sink_.events.clear();
+  fs_.mkdirs("/a/b/c");
+  EXPECT_TRUE(sink_.events.empty());  // nothing new created
+}
+
+TEST_F(FilesystemTest, RemoveFileEmitsDelete) {
+  fs_.create_file("/tmp/x");
+  sink_.events.clear();
+  EXPECT_TRUE(fs_.remove("/tmp/x"));
+  ASSERT_EQ(sink_.events.size(), 1u);
+  EXPECT_EQ(sink_.events[0].kind, ChangeKind::kDelete);
+  EXPECT_FALSE(fs_.exists("/tmp/x"));
+}
+
+TEST_F(FilesystemTest, RemoveSubtreeEmitsChildrenFirst) {
+  fs_.create_file("/opt/pkg/bin/a");
+  fs_.create_file("/opt/pkg/bin/b");
+  sink_.events.clear();
+  EXPECT_TRUE(fs_.remove("/opt/pkg"));
+  // Deletes: /opt/pkg/bin/a, /opt/pkg/bin/b, /opt/pkg/bin, /opt/pkg.
+  ASSERT_EQ(sink_.events.size(), 4u);
+  EXPECT_EQ(sink_.events[0].path, "/opt/pkg/bin/a");
+  EXPECT_EQ(sink_.events[3].path, "/opt/pkg");
+  EXPECT_FALSE(fs_.exists("/opt/pkg"));
+  EXPECT_TRUE(fs_.exists("/opt"));
+}
+
+TEST_F(FilesystemTest, RemoveMissingReturnsFalse) {
+  EXPECT_FALSE(fs_.remove("/missing"));
+  EXPECT_THROW(fs_.remove("/"), std::invalid_argument);
+}
+
+TEST_F(FilesystemTest, FileAsDirectoryComponentThrows) {
+  fs_.create_file("/etc/passwd");
+  EXPECT_THROW(fs_.create_file("/etc/passwd/oops"), std::invalid_argument);
+}
+
+TEST_F(FilesystemTest, ListDirSorted) {
+  fs_.create_file("/d/zeta");
+  fs_.create_file("/d/alpha");
+  fs_.mkdirs("/d/mid");
+  EXPECT_EQ(fs_.list_dir("/d"),
+            (std::vector<std::string>{"alpha", "mid", "zeta"}));
+  EXPECT_THROW(fs_.list_dir("/d/alpha"), std::invalid_argument);
+  EXPECT_THROW(fs_.list_dir("/missing"), std::invalid_argument);
+}
+
+TEST_F(FilesystemTest, WalkVisitsEverythingPreOrder) {
+  fs_.create_file("/a/f1", 0644, 1);
+  fs_.create_file("/a/b/f2", 0755, 2);
+  std::vector<std::string> visited;
+  fs_.walk([&](const std::string& path, bool, std::uint16_t, std::uint64_t) {
+    visited.push_back(path);
+  });
+  EXPECT_EQ(visited, (std::vector<std::string>{"/", "/a", "/a/b", "/a/b/f2",
+                                               "/a/f1"}));
+}
+
+TEST_F(FilesystemTest, WalkSubtree) {
+  fs_.create_file("/x/1");
+  fs_.create_file("/y/2");
+  std::vector<std::string> visited;
+  fs_.walk(
+      [&](const std::string& path, bool, std::uint16_t, std::uint64_t) {
+        visited.push_back(path);
+      },
+      "/x");
+  EXPECT_EQ(visited, (std::vector<std::string>{"/x", "/x/1"}));
+}
+
+TEST_F(FilesystemTest, FileCount) {
+  EXPECT_EQ(fs_.file_count(), 0u);
+  fs_.create_file("/a/1");
+  fs_.create_file("/a/2");
+  fs_.mkdirs("/empty/dirs/only");
+  EXPECT_EQ(fs_.file_count(), 2u);
+}
+
+TEST_F(FilesystemTest, UnsubscribeStopsEvents) {
+  fs_.unsubscribe(&sink_);
+  fs_.create_file("/quiet");
+  EXPECT_TRUE(sink_.events.empty());
+}
+
+TEST_F(FilesystemTest, PathNormalizationInQueries) {
+  fs_.create_file("/usr/bin/tool");
+  EXPECT_TRUE(fs_.exists("usr//bin/tool/"));
+  EXPECT_TRUE(fs_.is_dir("//usr//bin//"));
+}
+
+}  // namespace
+}  // namespace praxi::fs

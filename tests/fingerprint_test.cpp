@@ -1,0 +1,182 @@
+// Tests for DeltaSherlock fingerprinting (deltasherlock/fingerprint.hpp):
+// ASCII histogram, sentence builders, IDF-weighted embeddings, and combined
+// fingerprint assembly.
+#include "deltasherlock/fingerprint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+namespace praxi::ds {
+namespace {
+
+fs::Changeset make_changeset(const std::vector<std::string>& paths) {
+  fs::Changeset cs;
+  int t = 0;
+  for (const auto& path : paths) {
+    cs.add(fs::ChangeRecord{path, 0644, fs::ChangeKind::kCreate, ++t});
+  }
+  cs.close(1000);
+  return cs;
+}
+
+TEST(AsciiHistogram, Has200NormalizedBins) {
+  const auto cs = make_changeset({"/usr/bin/mysql", "/etc/mysql/my.cnf"});
+  const auto hist = ascii_histogram(cs);
+  ASSERT_EQ(hist.size(), kHistogramBins);
+  const double sum = std::accumulate(hist.begin(), hist.end(), 0.0);
+  EXPECT_NEAR(sum, 1.0, 1e-5);
+  for (float v : hist) EXPECT_GE(v, 0.0f);
+}
+
+TEST(AsciiHistogram, CountsBasenameCharactersOnly) {
+  // Identical basenames in different directories give identical histograms.
+  const auto a = ascii_histogram(make_changeset({"/usr/bin/tool"}));
+  const auto b = ascii_histogram(make_changeset({"/completely/other/tool"}));
+  EXPECT_EQ(a, b);
+}
+
+TEST(AsciiHistogram, EmptyChangesetAllZero) {
+  fs::Changeset cs;
+  cs.close(1);
+  const auto hist = ascii_histogram(cs);
+  for (float v : hist) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(AsciiHistogram, DifferentNamesDifferentHistograms) {
+  const auto a = ascii_histogram(make_changeset({"/x/aaaa"}));
+  const auto b = ascii_histogram(make_changeset({"/x/zzzz"}));
+  EXPECT_NE(a, b);
+}
+
+TEST(FiletreeSentences, OnePerRecordWithPathSegments) {
+  const auto cs =
+      make_changeset({"/usr/bin/mysqld", "/etc/mysql/my.cnf"});
+  const auto sentences = filetree_sentences(cs);
+  ASSERT_EQ(sentences.size(), 2u);
+  EXPECT_EQ(sentences[0],
+            (std::vector<std::string>{"usr", "bin", "mysqld"}));
+  EXPECT_EQ(sentences[1],
+            (std::vector<std::string>{"etc", "mysql", "my.cnf"}));
+}
+
+TEST(NeighborSentences, GroupsBasenamesByDirectory) {
+  const auto cs = make_changeset(
+      {"/usr/bin/mysql", "/usr/bin/mysqldump", "/etc/mysql/my.cnf"});
+  const auto sentences = neighbor_sentences(cs);
+  ASSERT_EQ(sentences.size(), 2u);  // /usr/bin and /etc/mysql
+  bool found_pair = false;
+  for (const auto& sentence : sentences) {
+    if (sentence.size() == 2) {
+      found_pair = true;
+      EXPECT_TRUE(std::find(sentence.begin(), sentence.end(), "mysql") !=
+                  sentence.end());
+      EXPECT_TRUE(std::find(sentence.begin(), sentence.end(), "mysqldump") !=
+                  sentence.end());
+    }
+  }
+  EXPECT_TRUE(found_pair);
+}
+
+class FingerprintWithDictionary : public ::testing::Test {
+ protected:
+  FingerprintWithDictionary() {
+    std::vector<std::vector<std::string>> sentences;
+    for (int i = 0; i < 50; ++i) {
+      sentences.push_back({"usr", "bin", "mysqld"});
+      sentences.push_back({"etc", "mysql", "my.cnf"});
+      sentences.push_back({"var", "log", "nginx"});
+    }
+    ml::Word2VecConfig config;
+    config.dim = 16;
+    dictionary_ = ml::Word2Vec(config);
+    dictionary_.train(sentences);
+  }
+
+  ml::Word2Vec dictionary_{ml::Word2VecConfig{}};
+};
+
+TEST_F(FingerprintWithDictionary, MeanEmbeddingUsesInVocabTokens) {
+  const auto mean =
+      mean_embedding(dictionary_, {{"mysqld", "totally-oov-token"}});
+  ASSERT_EQ(mean.size(), dictionary_.dim());
+  double norm = 0;
+  for (float v : mean) norm += double(v) * v;
+  EXPECT_GT(norm, 0.0);
+}
+
+TEST_F(FingerprintWithDictionary, AllOovYieldsZeroVector) {
+  const auto mean = mean_embedding(dictionary_, {{"oov1", "oov2"}});
+  for (float v : mean) EXPECT_EQ(v, 0.0f);
+}
+
+TEST_F(FingerprintWithDictionary, IdfDownweightsUbiquitousTokens) {
+  // "usr" (count 50) contributes far less weight than "mysqld" (count 50)?
+  // Both appear 50x here; instead compare a mean dominated by a frequent
+  // token vs the rare one by adding an imbalance.
+  std::vector<std::vector<std::string>> sentences;
+  for (int i = 0; i < 200; ++i) sentences.push_back({"common", "common2"});
+  for (int i = 0; i < 4; ++i) sentences.push_back({"rare", "rare2"});
+  ml::Word2VecConfig config;
+  config.dim = 8;
+  ml::Word2Vec dict(config);
+  dict.train(sentences);
+
+  // Mixed sentence: mean should sit closer to the rare token's vector than
+  // an unweighted average would put it.
+  const auto mixed = mean_embedding(dict, {{"common", "rare"}});
+  const float* rare_vec = dict.vector_of("rare");
+  const float* common_vec = dict.vector_of("common");
+  ASSERT_NE(rare_vec, nullptr);
+  ASSERT_NE(common_vec, nullptr);
+  double to_rare = 0, to_common = 0;
+  for (unsigned d = 0; d < 8; ++d) {
+    to_rare += std::abs(mixed[d] - rare_vec[d]);
+    to_common += std::abs(mixed[d] - common_vec[d]);
+  }
+  EXPECT_LT(to_rare, to_common);
+}
+
+TEST_F(FingerprintWithDictionary, CombinedFingerprintDimensions) {
+  const auto cs = make_changeset({"/usr/bin/mysqld", "/etc/mysql/my.cnf"});
+
+  FingerprintParts hist_only{true, false, false};
+  EXPECT_EQ(make_fingerprint(cs, hist_only, nullptr, nullptr).size(),
+            kHistogramBins);
+
+  FingerprintParts hist_ft{true, true, false};
+  EXPECT_EQ(make_fingerprint(cs, hist_ft, &dictionary_, nullptr).size(),
+            kHistogramBins + dictionary_.dim());
+
+  FingerprintParts all{true, true, true};
+  EXPECT_EQ(make_fingerprint(cs, all, &dictionary_, &dictionary_).size(),
+            kHistogramBins + 2 * dictionary_.dim());
+}
+
+TEST_F(FingerprintWithDictionary, CombinedFingerprintIsUnitNorm) {
+  const auto cs = make_changeset({"/usr/bin/mysqld"});
+  FingerprintParts parts{true, true, false};
+  const auto fp = make_fingerprint(cs, parts, &dictionary_, nullptr);
+  double norm = 0;
+  for (float v : fp) norm += double(v) * v;
+  EXPECT_NEAR(norm, 1.0, 1e-5);
+}
+
+TEST_F(FingerprintWithDictionary, PartsBalancedAfterNormalization) {
+  // Per-part normalization: neither part's raw magnitude may dominate.
+  const auto cs = make_changeset({"/usr/bin/mysqld", "/etc/mysql/my.cnf"});
+  FingerprintParts parts{true, true, false};
+  const auto fp = make_fingerprint(cs, parts, &dictionary_, nullptr);
+  double hist_norm = 0, ft_norm = 0;
+  for (std::size_t i = 0; i < kHistogramBins; ++i) {
+    hist_norm += double(fp[i]) * fp[i];
+  }
+  for (std::size_t i = kHistogramBins; i < fp.size(); ++i) {
+    ft_norm += double(fp[i]) * fp[i];
+  }
+  EXPECT_NEAR(hist_norm, ft_norm, 1e-5);
+}
+
+}  // namespace
+}  // namespace praxi::ds

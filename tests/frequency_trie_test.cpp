@@ -1,0 +1,146 @@
+// Tests for the Columbus frequency trie (columbus/frequency_trie.hpp),
+// including the paper's Fig. 1 worked example.
+#include "columbus/frequency_trie.hpp"
+
+#include <gtest/gtest.h>
+
+namespace praxi::columbus {
+namespace {
+
+TEST(FrequencyTrie, Fig1Example) {
+  FrequencyTrie trie;
+  for (const char* token :
+       {"man", "mysqld", "mysqldb", "mysqldump", "mysqladmin"}) {
+    trie.insert(token);
+  }
+  EXPECT_EQ(trie.token_count(), 5u);
+  EXPECT_EQ(trie.prefix_frequency("m"), 5u);
+  EXPECT_EQ(trie.prefix_frequency("mysql"), 4u);
+  EXPECT_EQ(trie.prefix_frequency("mysqld"), 3u);
+  EXPECT_EQ(trie.prefix_frequency("mysqla"), 1u);
+  EXPECT_EQ(trie.prefix_frequency("zzz"), 0u);
+
+  const auto tags = trie.extract_tags(3, 2, 0);
+  ASSERT_EQ(tags.size(), 2u);
+  EXPECT_EQ(tags[0], (Tag{"mysql", 4}));
+  EXPECT_EQ(tags[1], (Tag{"mysqld", 3}));
+}
+
+TEST(FrequencyTrie, RepeatedTokenBecomesTag) {
+  FrequencyTrie trie;
+  trie.insert("nginx");
+  trie.insert("nginx");
+  trie.insert("nginx");
+  const auto tags = trie.extract_tags(3, 2, 0);
+  ASSERT_EQ(tags.size(), 1u);
+  EXPECT_EQ(tags[0], (Tag{"nginx", 3}));
+}
+
+TEST(FrequencyTrie, MinFrequencyFiltersSingletons) {
+  FrequencyTrie trie;
+  trie.insert("unique-token");
+  trie.insert("repeated");
+  trie.insert("repeated");
+  const auto tags = trie.extract_tags(3, 2, 0);
+  ASSERT_EQ(tags.size(), 1u);
+  EXPECT_EQ(tags[0].text, "repeated");
+  // min_frequency 1 keeps the singleton too.
+  EXPECT_EQ(trie.extract_tags(3, 1, 0).size(), 2u);
+}
+
+TEST(FrequencyTrie, MinLengthFiltersShortPrefixes) {
+  FrequencyTrie trie;
+  trie.insert("abc");
+  trie.insert("abd");  // drop happens at "ab" (length 2)
+  EXPECT_TRUE(trie.extract_tags(3, 2, 0).empty());
+  const auto tags = trie.extract_tags(2, 2, 0);
+  ASSERT_EQ(tags.size(), 1u);
+  EXPECT_EQ(tags[0], (Tag{"ab", 2}));
+}
+
+TEST(FrequencyTrie, TopKTruncates) {
+  FrequencyTrie trie;
+  // Three independent repeated tokens with distinct frequencies.
+  for (int i = 0; i < 5; ++i) trie.insert("alpha");
+  for (int i = 0; i < 4; ++i) trie.insert("bravo");
+  for (int i = 0; i < 3; ++i) trie.insert("charlie");
+  const auto top2 = trie.extract_tags(3, 2, 2);
+  ASSERT_EQ(top2.size(), 2u);
+  EXPECT_EQ(top2[0].text, "alpha");
+  EXPECT_EQ(top2[1].text, "bravo");
+}
+
+TEST(FrequencyTrie, TagsSortedByFrequencyThenText) {
+  FrequencyTrie trie;
+  for (int i = 0; i < 3; ++i) trie.insert("zeta");
+  for (int i = 0; i < 3; ++i) trie.insert("echo");
+  const auto tags = trie.extract_tags(3, 2, 0);
+  ASSERT_EQ(tags.size(), 2u);
+  EXPECT_EQ(tags[0].text, "echo");  // tie broken lexicographically
+  EXPECT_EQ(tags[1].text, "zeta");
+}
+
+TEST(FrequencyTrie, MidChainPrefixesAreNotTags) {
+  FrequencyTrie trie;
+  trie.insert("mysqld");
+  trie.insert("mysqld");
+  const auto tags = trie.extract_tags(3, 2, 0);
+  // Only the full token, never "mys"/"mysq"/... chain interiors.
+  ASSERT_EQ(tags.size(), 1u);
+  EXPECT_EQ(tags[0].text, "mysqld");
+}
+
+TEST(FrequencyTrie, TokenEndingInsideAnotherEmitsBoth) {
+  FrequencyTrie trie;
+  trie.insert("redis");
+  trie.insert("redis");
+  trie.insert("redis-server");
+  trie.insert("redis-server");
+  const auto tags = trie.extract_tags(3, 2, 0);
+  ASSERT_EQ(tags.size(), 2u);
+  EXPECT_EQ(tags[0], (Tag{"redis", 4}));
+  EXPECT_EQ(tags[1], (Tag{"redis-server", 2}));
+}
+
+TEST(FrequencyTrie, EmptyTokenIgnored) {
+  FrequencyTrie trie;
+  trie.insert("");
+  EXPECT_EQ(trie.token_count(), 0u);
+  EXPECT_TRUE(trie.extract_tags(1, 1, 0).empty());
+}
+
+TEST(FrequencyTrie, EmptyTrieExtractsNothing) {
+  FrequencyTrie trie;
+  EXPECT_TRUE(trie.extract_tags(3, 2, 0).empty());
+  EXPECT_GT(trie.memory_bytes(), 0u);  // the root node itself
+}
+
+TEST(FrequencyTrie, MemoryGrowsWithContent) {
+  FrequencyTrie small, big;
+  small.insert("abc");
+  for (int i = 0; i < 100; ++i) big.insert("token" + std::to_string(i));
+  EXPECT_GT(big.memory_bytes(), small.memory_bytes());
+}
+
+// Property sweep: for any set of tokens sharing a common prefix plus one
+// outlier, the shared prefix must be the top tag.
+class SharedPrefixSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SharedPrefixSweep, SharedPrefixWins) {
+  const int n = GetParam();
+  FrequencyTrie trie;
+  for (int i = 0; i < n; ++i) {
+    trie.insert("postgres-tool" + std::to_string(i));
+  }
+  trie.insert("unrelated");
+  const auto tags = trie.extract_tags(3, 2, 0);
+  ASSERT_FALSE(tags.empty());
+  EXPECT_EQ(tags[0].text, "postgres-tool");
+  EXPECT_EQ(tags[0].frequency, std::uint32_t(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SharedPrefixSweep,
+                         ::testing::Values(2, 3, 5, 10, 50));
+
+}  // namespace
+}  // namespace praxi::columbus

@@ -1,0 +1,158 @@
+// Tests for the experiment harness (eval/harness.hpp): chunking, fold
+// assembly, and the timed train/evaluate loop.
+#include "eval/harness.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace praxi::eval {
+namespace {
+
+pkg::Dataset toy_dataset(int per_label) {
+  pkg::Dataset dataset;
+  int t = 0;
+  for (int i = 0; i < per_label; ++i) {
+    for (const char* label : {"alpha", "beta", "gamma"}) {
+      fs::Changeset cs;
+      cs.set_open_time(t);
+      // Repeated stem-prefixed files so Columbus finds tags.
+      for (int j = 0; j < 4; ++j) {
+        cs.add(fs::ChangeRecord{
+            "/usr/bin/" + std::string(label) + "-tool" + std::to_string(j),
+            0755, fs::ChangeKind::kCreate, ++t});
+      }
+      cs.add_label(label);
+      cs.close(++t);
+      dataset.changesets.push_back(std::move(cs));
+    }
+  }
+  dataset.refresh_labels();
+  return dataset;
+}
+
+TEST(Chunked, PartitionsWholePool) {
+  const auto dataset = toy_dataset(4);  // 12 changesets
+  const auto chunks = chunked(dataset, 3, 1);
+  ASSERT_EQ(chunks.size(), 3u);
+  std::size_t total = 0;
+  std::set<const fs::Changeset*> seen;
+  for (const auto& chunk : chunks) {
+    total += chunk.size();
+    for (const auto* cs : chunk) EXPECT_TRUE(seen.insert(cs).second);
+  }
+  EXPECT_EQ(total, dataset.size());
+}
+
+TEST(Chunked, UnevenSizesDifferByAtMostOne) {
+  const auto dataset = toy_dataset(4);  // 12
+  const auto chunks = chunked(dataset, 5, 1);
+  std::size_t lo = dataset.size(), hi = 0;
+  for (const auto& chunk : chunks) {
+    lo = std::min(lo, chunk.size());
+    hi = std::max(hi, chunk.size());
+  }
+  EXPECT_LE(hi - lo, 1u);
+}
+
+TEST(Chunked, DeterministicPerSeed) {
+  const auto dataset = toy_dataset(3);
+  EXPECT_EQ(chunked(dataset, 3, 9), chunked(dataset, 3, 9));
+  EXPECT_NE(chunked(dataset, 3, 9), chunked(dataset, 3, 10));
+}
+
+TEST(Chunked, ZeroChunksThrows) {
+  const auto dataset = toy_dataset(1);
+  EXPECT_THROW(chunked(dataset, 0, 1), std::invalid_argument);
+}
+
+TEST(MakeFold, TrainAndTestPartitionChunks) {
+  const auto dataset = toy_dataset(3);  // 9
+  const auto chunks = chunked(dataset, 3, 1);
+  const FoldSpec fold = make_fold(chunks, 0, 1, {});
+  EXPECT_EQ(fold.train.size(), chunks[0].size());
+  EXPECT_EQ(fold.test.size(), chunks[1].size() + chunks[2].size());
+
+  // Rotation: fold 1 trains on chunk 1.
+  const FoldSpec fold1 = make_fold(chunks, 1, 1, {});
+  EXPECT_EQ(fold1.train, chunks[1]);
+}
+
+TEST(MakeFold, ExtraTrainAppended) {
+  const auto dataset = toy_dataset(3);
+  const auto chunks = chunked(dataset, 3, 1);
+  const auto extra = pointers(dataset);
+  const FoldSpec fold = make_fold(chunks, 0, 1, extra);
+  EXPECT_EQ(fold.train.size(), chunks[0].size() + extra.size());
+}
+
+TEST(MakeFold, BadTrainChunksThrows) {
+  const auto dataset = toy_dataset(3);
+  const auto chunks = chunked(dataset, 3, 1);
+  EXPECT_THROW(make_fold(chunks, 0, 0, {}), std::invalid_argument);
+  EXPECT_THROW(make_fold(chunks, 0, 3, {}), std::invalid_argument);
+}
+
+TEST(Pointers, PrefixAndFull) {
+  const auto dataset = toy_dataset(2);
+  EXPECT_EQ(pointers(dataset).size(), dataset.size());
+  EXPECT_EQ(pointers_prefix(dataset, 3).size(), 3u);
+  EXPECT_THROW(pointers_prefix(dataset, dataset.size() + 1),
+               std::invalid_argument);
+}
+
+TEST(RunFold, TrainsAndScoresPraxi) {
+  const auto dataset = toy_dataset(6);
+  const auto chunks = chunked(dataset, 3, 2);
+  PraxiMethod method;
+  const FoldOutcome outcome = run_fold(method, make_fold(chunks, 0, 2, {}));
+  EXPECT_GT(outcome.metrics.weighted_f1(), 0.9);
+  EXPECT_GT(outcome.train_s, 0.0);
+  EXPECT_GE(outcome.test_s, 0.0);
+  EXPECT_GT(outcome.model_bytes, 0u);
+}
+
+TEST(RunFold, FiltersMultiLabelTrainingForRules) {
+  auto dataset = toy_dataset(6);
+  // Add one multi-label changeset; rules must silently skip it.
+  fs::Changeset multi;
+  multi.add(fs::ChangeRecord{"/usr/bin/alpha-tool0", 0755,
+                             fs::ChangeKind::kCreate, 1});
+  multi.add(fs::ChangeRecord{"/usr/bin/beta-tool0", 0755,
+                             fs::ChangeKind::kCreate, 2});
+  multi.add_label("alpha");
+  multi.add_label("beta");
+  multi.close(10);
+  dataset.changesets.push_back(std::move(multi));
+
+  const auto chunks = chunked(dataset, 3, 2);
+  RuleBasedMethod method;
+  // Must not throw despite the multi-label sample in some chunk.
+  for (std::size_t f = 0; f < 3; ++f) {
+    EXPECT_NO_THROW(run_fold(method, make_fold(chunks, f, 2, {})));
+  }
+}
+
+TEST(RunExperiment, OneFoldPerChunkRotation) {
+  const auto dataset = toy_dataset(6);
+  const auto chunks = chunked(dataset, 3, 2);
+  PraxiMethod method;
+  const ExperimentOutcome outcome = run_experiment(method, chunks, 2, {});
+  EXPECT_EQ(outcome.folds.size(), 3u);
+  EXPECT_GT(outcome.mean_weighted_f1(), 0.9);
+  EXPECT_GE(outcome.mean_fold_time_s(),
+            outcome.mean_train_s());  // fold time includes testing
+}
+
+TEST(DiscoveryMethodInterface, IncrementalDefaultsThrow) {
+  DeltaSherlockMethod ds;
+  EXPECT_FALSE(ds.supports_incremental_training());
+  EXPECT_THROW(ds.train_incremental({}), std::logic_error);
+  RuleBasedMethod rules;
+  EXPECT_FALSE(rules.supports_multilabel_training());
+  PraxiMethod praxi_method;
+  EXPECT_TRUE(praxi_method.supports_incremental_training());
+}
+
+}  // namespace
+}  // namespace praxi::eval

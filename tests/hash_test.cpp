@@ -1,0 +1,96 @@
+// Tests for MurmurHash3 (common/hash.hpp): reference vectors, determinism,
+// tail handling, and distribution sanity for the feature-hashing use case.
+#include "common/hash.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace praxi {
+namespace {
+
+TEST(Murmur3_32, EmptyStringReferenceVectors) {
+  // Canonical vectors from the SMHasher verification suite.
+  EXPECT_EQ(murmur3_32("", 0), 0u);
+  EXPECT_EQ(murmur3_32("", 1), 0x514E28B7u);
+  EXPECT_EQ(murmur3_32("", 0xFFFFFFFFu), 0x81F16F39u);
+}
+
+TEST(Murmur3_32, Deterministic) {
+  const std::string input = "/usr/bin/mysqldump";
+  EXPECT_EQ(murmur3_32(input), murmur3_32(input));
+  EXPECT_EQ(murmur3_32(input, 7), murmur3_32(input, 7));
+}
+
+TEST(Murmur3_32, SeedChangesOutput) {
+  EXPECT_NE(murmur3_32("mysql", 0), murmur3_32("mysql", 1));
+}
+
+TEST(Murmur3_32, SingleCharacterDifferenceChangesOutput) {
+  EXPECT_NE(murmur3_32("mysqld"), murmur3_32("mysqle"));
+  EXPECT_NE(murmur3_32("aaaa"), murmur3_32("aaab"));
+}
+
+TEST(Murmur3_32, AllTailLengthsDistinct) {
+  // Exercise every tail-switch branch: lengths 0..17 of a repeated char
+  // must hash to pairwise distinct values (with overwhelming probability).
+  std::set<std::uint32_t> seen;
+  for (int len = 0; len <= 17; ++len) {
+    seen.insert(murmur3_32(std::string(len, 'x')));
+  }
+  EXPECT_EQ(seen.size(), 18u);
+}
+
+TEST(Murmur3_32, PrefixesDoNotCollideTrivially) {
+  const std::string base = "columbus-frequency-trie";
+  std::set<std::uint32_t> seen;
+  for (std::size_t len = 1; len <= base.size(); ++len) {
+    seen.insert(murmur3_32(base.substr(0, len)));
+  }
+  EXPECT_EQ(seen.size(), base.size());
+}
+
+TEST(Murmur3_128Low64, DeterministicAndSeedSensitive) {
+  EXPECT_EQ(murmur3_128_low64("praxi"), murmur3_128_low64("praxi"));
+  EXPECT_NE(murmur3_128_low64("praxi", 0), murmur3_128_low64("praxi", 1));
+  EXPECT_NE(murmur3_128_low64("praxi"), murmur3_128_low64("praxj"));
+}
+
+TEST(Murmur3_128Low64, LongInputsCoverBlockLoop) {
+  // > 16 bytes exercises the 128-bit block loop, not just the tail.
+  std::string long_a(100, 'a');
+  std::string long_b = long_a;
+  long_b[50] = 'b';
+  EXPECT_NE(murmur3_128_low64(long_a), murmur3_128_low64(long_b));
+}
+
+TEST(HashCombine, OrderSensitive) {
+  const std::uint64_t a = murmur3_128_low64("a");
+  const std::uint64_t b = murmur3_128_low64("b");
+  EXPECT_NE(hash_combine(hash_combine(0, a), b),
+            hash_combine(hash_combine(0, b), a));
+}
+
+// Distribution sanity across a hashed feature space: for the learner's
+// hashing trick, buckets of a realistic token population should spread out.
+class HashDistributionTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(HashDistributionTest, TokensSpreadAcrossBuckets) {
+  const unsigned bits = GetParam();
+  const std::uint32_t mask = (1u << bits) - 1;
+  std::set<std::uint32_t> buckets;
+  const int tokens = 1 << (bits - 2);  // quarter-load the table
+  for (int i = 0; i < tokens; ++i) {
+    buckets.insert(murmur3_32("token-" + std::to_string(i)) & mask);
+  }
+  // With load factor 0.25, expected distinct fraction is ~88.5%; demand 80%.
+  EXPECT_GT(buckets.size(), std::size_t(tokens) * 8 / 10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, HashDistributionTest,
+                         ::testing::Values(10u, 14u, 18u));
+
+}  // namespace
+}  // namespace praxi

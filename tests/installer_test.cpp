@@ -1,0 +1,237 @@
+// Tests for the installer (pkg/installer.hpp): clean/dirty dependency
+// behaviour, side effects, source-build churn, uninstall cleanup, and the
+// version drift that underlies the rule-based method's fragility.
+#include "pkg/installer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/strings.hpp"
+#include "fs/recorder.hpp"
+
+namespace praxi::pkg {
+namespace {
+
+class InstallerTest : public ::testing::Test {
+ protected:
+  InstallerTest()
+      : catalog_(Catalog::subset(42, 12, 3)),
+        clock_(fs::make_clock()),
+        fs_(clock_),
+        installer_(fs_, catalog_, Rng(7)) {
+    provision_base_image(fs_);
+  }
+
+  Catalog catalog_;
+  fs::SimClockPtr clock_;
+  fs::InMemoryFilesystem fs_;
+  Installer installer_;
+};
+
+TEST_F(InstallerTest, InstallMaterializesPayload) {
+  installer_.install("nginx");
+  EXPECT_TRUE(installer_.installed("nginx"));
+  const PackageSpec& spec = catalog_.get("nginx");
+  std::size_t present = 0;
+  for (const auto& file : spec.files) {
+    if (file.version_variants == 0 && file.optional_probability == 0.0) {
+      EXPECT_TRUE(fs_.is_file(file.path)) << file.path;
+    }
+    // Count stable payload actually present.
+    if (fs_.exists(file.path)) ++present;
+  }
+  EXPECT_GT(present, spec.files.size() / 2);
+}
+
+TEST_F(InstallerTest, InstallPullsMissingDependencies) {
+  const auto& deps = catalog_.get("nginx").deps;
+  ASSERT_FALSE(deps.empty());
+  installer_.install("nginx");
+  for (const auto& dep : deps) EXPECT_TRUE(installer_.installed(dep));
+}
+
+TEST_F(InstallerTest, CleanModeRequiresPreinstalledDeps) {
+  InstallOptions options;
+  options.install_missing_deps = false;
+  EXPECT_THROW(installer_.install("nginx", options), std::logic_error);
+
+  installer_.preinstall_all_dependencies();
+  EXPECT_NO_THROW(installer_.install("nginx", options));
+}
+
+TEST_F(InstallerTest, DoubleInstallThrows) {
+  installer_.install("apache2");
+  EXPECT_THROW(installer_.install("apache2"), std::logic_error);
+}
+
+TEST_F(InstallerTest, UnknownPackageThrows) {
+  EXPECT_THROW(installer_.install("not-a-package"), std::invalid_argument);
+}
+
+TEST_F(InstallerTest, UninstallRemovesPayloadAndNamespaces) {
+  installer_.install("nginx");
+  const PackageSpec& spec = catalog_.get("nginx");
+  installer_.uninstall("nginx");
+  EXPECT_FALSE(installer_.installed("nginx"));
+  for (const auto& file : spec.files) {
+    EXPECT_FALSE(fs_.exists(file.path)) << file.path;
+  }
+  // Per-package namespace directory pruned once empty.
+  EXPECT_FALSE(fs_.exists("/etc/" + spec.stem));
+  // Dependencies survive an application uninstall.
+  for (const auto& dep : spec.deps) EXPECT_TRUE(installer_.installed(dep));
+}
+
+TEST_F(InstallerTest, UninstallNotInstalledThrows) {
+  EXPECT_THROW(installer_.uninstall("apache2"), std::logic_error);
+}
+
+TEST_F(InstallerTest, AptSideEffectsTouchSystemMetadata) {
+  fs::ChangesetRecorder recorder(fs_);
+  installer_.install("apache2");
+  const fs::Changeset cs = recorder.eject();
+  std::set<std::string> paths;
+  for (const auto& rec : cs.records()) paths.insert(rec.path);
+  EXPECT_TRUE(paths.count("/var/lib/dpkg/status"));
+  EXPECT_TRUE(paths.count("/var/log/dpkg.log"));
+  bool apt_archive = false;
+  for (const auto& path : paths) {
+    apt_archive |= path.rfind("/var/cache/apt/archives/apache2_", 0) == 0;
+  }
+  EXPECT_TRUE(apt_archive);
+}
+
+TEST_F(InstallerTest, SideEffectsCanBeDisabled) {
+  fs::ChangesetRecorder recorder(fs_);
+  InstallOptions options;
+  options.side_effects = false;
+  installer_.install("apache2", options);
+  const fs::Changeset cs = recorder.eject();
+  for (const auto& rec : cs.records()) {
+    EXPECT_NE(rec.path, "/var/lib/dpkg/status");
+  }
+}
+
+TEST_F(InstallerTest, SourceBuildChurnsTmpAndCleansUp) {
+  fs::ChangesetRecorder recorder(fs_);
+  installer_.install("redis-unstable");
+  const fs::Changeset cs = recorder.eject();
+
+  bool build_create = false, build_delete = false, object_files = false;
+  for (const auto& rec : cs.records()) {
+    if (rec.path.rfind("/tmp/build-redis-unstable", 0) == 0) {
+      build_create |= rec.kind == fs::ChangeKind::kCreate;
+      build_delete |= rec.kind == fs::ChangeKind::kDelete;
+      object_files |= rec.path.size() > 2 &&
+                      rec.path.compare(rec.path.size() - 2, 2, ".o") == 0;
+    }
+  }
+  EXPECT_TRUE(build_create);
+  EXPECT_TRUE(build_delete);
+  EXPECT_TRUE(object_files);
+  // The build tree itself is gone after installation.
+  bool any_left = false;
+  for (const auto& name : fs_.list_dir("/tmp")) {
+    any_left |= name.rfind("build-redis-unstable", 0) == 0;
+  }
+  EXPECT_FALSE(any_left);
+}
+
+TEST_F(InstallerTest, VersionVariantFilenamesDriftAcrossInstalls) {
+  // Find a package with a version-variant file in this subset.
+  std::string target;
+  std::string variant_base;
+  for (const auto& name : catalog_.application_names()) {
+    for (const auto& file : catalog_.get(name).files) {
+      if (file.version_variants >= 2) {
+        target = name;
+        variant_base = file.path;
+        break;
+      }
+    }
+    if (!target.empty()) break;
+  }
+  ASSERT_FALSE(target.empty()) << "catalog subset has no variant files";
+
+  std::set<std::string> observed;
+  for (int i = 0; i < 12; ++i) {
+    fs::ChangesetRecorder recorder(fs_);
+    installer_.install(target);
+    const fs::Changeset cs = recorder.eject();
+    for (const auto& rec : cs.records()) {
+      if (rec.path.rfind(variant_base, 0) == 0) observed.insert(rec.path);
+    }
+    installer_.uninstall(target);
+  }
+  EXPECT_GE(observed.size(), 2u)
+      << "expected " << variant_base << " to drift across installs";
+}
+
+TEST_F(InstallerTest, UninstallEverythingRestoresBase) {
+  installer_.install("nginx");
+  installer_.install("apache2");
+  installer_.uninstall_everything();
+  EXPECT_TRUE(installer_.installed_packages().empty());
+  EXPECT_FALSE(fs_.exists("/usr/bin/nginx"));
+  // Base image files survive.
+  EXPECT_TRUE(fs_.exists("/var/lib/dpkg/status"));
+}
+
+TEST_F(InstallerTest, InstalledPackagesSorted) {
+  installer_.install("nginx");
+  installer_.install("apache2");
+  const auto names = installer_.installed_packages();
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+  EXPECT_TRUE(std::find(names.begin(), names.end(), "nginx") != names.end());
+}
+
+TEST_F(InstallerTest, ClockAdvancesDuringInstall) {
+  const auto before = clock_->now_ms();
+  installer_.install("nginx");
+  EXPECT_GT(clock_->now_ms(), before);
+}
+
+TEST_F(InstallerTest, UpgradeRewritesPayloadInPlace) {
+  installer_.install("nginx");
+  fs::ChangesetRecorder recorder(fs_);
+  installer_.upgrade("nginx");
+  const fs::Changeset cs = recorder.eject();
+
+  ASSERT_FALSE(cs.empty());
+  std::size_t modifies = 0;
+  for (const auto& rec : cs.records()) {
+    modifies += rec.kind == fs::ChangeKind::kModify;
+  }
+  EXPECT_GT(modifies, 5u) << "an upgrade must rewrite existing files";
+  // The package is still installed and still removable afterwards.
+  EXPECT_TRUE(installer_.installed("nginx"));
+  installer_.uninstall("nginx");
+  for (const auto& file : catalog_.get("nginx").files) {
+    EXPECT_FALSE(fs_.exists(file.path)) << file.path;
+  }
+}
+
+TEST_F(InstallerTest, UpgradeNotInstalledThrows) {
+  EXPECT_THROW(installer_.upgrade("nginx"), std::logic_error);
+}
+
+TEST_F(InstallerTest, UpgradeCanRotateVariantFilenames) {
+  // Across enough upgrades, at least one version-variant file must change
+  // its on-disk name — the release drift that defeats exact-path rules.
+  installer_.install("apache2");
+  bool rotated = false;
+  for (int i = 0; i < 10 && !rotated; ++i) {
+    fs::ChangesetRecorder recorder(fs_);
+    installer_.upgrade("apache2");
+    const fs::Changeset cs = recorder.eject();
+    for (const auto& rec : cs.records()) {
+      rotated |= rec.kind == fs::ChangeKind::kDelete &&
+                 rec.path.find("-v") != std::string::npos;
+    }
+  }
+  EXPECT_TRUE(rotated);
+}
+
+}  // namespace
+}  // namespace praxi::pkg

@@ -1,0 +1,173 @@
+// Tests for the RBF-kernel SVM (ml/kernel_svm.hpp): multiclass and
+// multi-label learning, the median-heuristic gamma, and serialization.
+#include "ml/kernel_svm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "common/serialize.hpp"
+
+namespace praxi::ml {
+namespace {
+
+/// Gaussian blob dataset: class c is centered at 2*e_c in `dim` dimensions.
+struct Blobs {
+  std::vector<std::vector<float>> X;
+  std::vector<std::vector<std::uint32_t>> y;
+};
+
+Blobs make_blobs(std::uint32_t classes, int per_class, unsigned dim,
+                 double spread, std::uint64_t seed) {
+  Blobs blobs;
+  Rng rng(seed);
+  for (std::uint32_t c = 0; c < classes; ++c) {
+    for (int i = 0; i < per_class; ++i) {
+      std::vector<float> x(dim);
+      for (unsigned d = 0; d < dim; ++d) {
+        x[d] = float(spread * rng.normal() + (d == c ? 2.0 : 0.0));
+      }
+      blobs.X.push_back(std::move(x));
+      blobs.y.push_back({c});
+    }
+  }
+  return blobs;
+}
+
+TEST(RbfSvmOva, SeparatesGaussianBlobs) {
+  const Blobs train = make_blobs(4, 40, 8, 0.4, 1);
+  RbfSvmOva svm;
+  svm.train(train.X, train.y, 4);
+
+  const Blobs test = make_blobs(4, 10, 8, 0.4, 2);
+  int correct = 0;
+  for (std::size_t i = 0; i < test.X.size(); ++i) {
+    correct += svm.predict(test.X[i]) == test.y[i][0];
+  }
+  EXPECT_GE(correct, 38);  // >= 95%
+}
+
+TEST(RbfSvmOva, MedianHeuristicAdaptsToScale) {
+  // Identical geometry at two very different scales must yield accordingly
+  // different gammas (and both must classify well).
+  const Blobs coarse = make_blobs(3, 30, 6, 0.4, 3);
+  Blobs fine = coarse;
+  for (auto& x : fine.X) {
+    for (auto& v : x) v *= 0.01f;
+  }
+  RbfSvmOva svm_coarse, svm_fine;
+  svm_coarse.train(coarse.X, coarse.y, 3);
+  svm_fine.train(fine.X, fine.y, 3);
+  EXPECT_GT(svm_fine.effective_gamma(), svm_coarse.effective_gamma() * 100);
+
+  int correct = 0;
+  for (std::size_t i = 0; i < fine.X.size(); ++i) {
+    correct += svm_fine.predict(fine.X[i]) == fine.y[i][0];
+  }
+  EXPECT_GT(correct, int(fine.X.size() * 9 / 10));
+}
+
+TEST(RbfSvmOva, ExplicitGammaRespected) {
+  RbfSvmConfig config;
+  config.gamma = 2.5;
+  RbfSvmOva svm(config);
+  const Blobs blobs = make_blobs(2, 10, 4, 0.3, 4);
+  svm.train(blobs.X, blobs.y, 2);
+  EXPECT_DOUBLE_EQ(svm.effective_gamma(), 2.5);
+}
+
+TEST(RbfSvmOva, MultiLabelTopN) {
+  // Samples carry two positive classes; top-2 prediction must recover both.
+  Rng rng(5);
+  std::vector<std::vector<float>> X;
+  std::vector<std::vector<std::uint32_t>> y;
+  for (int i = 0; i < 200; ++i) {
+    const auto a = std::uint32_t(rng.below(5));
+    auto b = std::uint32_t(rng.below(5));
+    while (b == a) b = std::uint32_t(rng.below(5));
+    std::vector<float> x(10, 0.0f);
+    for (std::uint32_t c : {a, b}) {
+      x[c * 2] = 1.0f + float(0.2 * rng.normal());
+      x[c * 2 + 1] = 1.0f + float(0.2 * rng.normal());
+    }
+    X.push_back(std::move(x));
+    y.push_back({a, b});
+  }
+  RbfSvmOva svm;
+  svm.train(X, y, 5);
+
+  int hits = 0, total = 0;
+  for (std::size_t i = 0; i < 50; ++i) {
+    const auto top2 = svm.predict_top_n(X[i], 2);
+    for (std::uint32_t truth : y[i]) {
+      ++total;
+      hits += std::find(top2.begin(), top2.end(), truth) != top2.end();
+    }
+  }
+  EXPECT_GT(double(hits) / total, 0.9);
+}
+
+TEST(RbfSvmOva, DecisionVectorSizedByClasses) {
+  const Blobs blobs = make_blobs(3, 10, 4, 0.3, 6);
+  RbfSvmOva svm;
+  svm.train(blobs.X, blobs.y, 3);
+  EXPECT_EQ(svm.decision(blobs.X[0]).size(), 3u);
+  EXPECT_EQ(svm.num_classes(), 3u);
+}
+
+TEST(RbfSvmOva, InputValidation) {
+  RbfSvmOva svm;
+  EXPECT_THROW(svm.train({}, {}, 2), std::invalid_argument);
+  EXPECT_THROW(svm.train({{1.0f}}, {{0}, {1}}, 2), std::invalid_argument);
+  EXPECT_THROW(svm.train({{1.0f}}, {{5}}, 2), std::invalid_argument);
+  EXPECT_THROW(svm.predict({1.0f}), std::logic_error);
+}
+
+TEST(RbfSvmOva, SupportVectorsBoundedByTrainingSet) {
+  const Blobs blobs = make_blobs(3, 20, 4, 0.3, 7);
+  RbfSvmOva svm;
+  svm.train(blobs.X, blobs.y, 3);
+  EXPECT_LE(svm.support_vector_count(), blobs.X.size());
+  EXPECT_GT(svm.support_vector_count(), 0u);
+  EXPECT_GT(svm.size_bytes(), 0u);
+}
+
+TEST(RbfSvmOva, BinaryRoundTripPredictsIdentically) {
+  const Blobs blobs = make_blobs(3, 20, 4, 0.4, 8);
+  RbfSvmOva svm;
+  svm.train(blobs.X, blobs.y, 3);
+  const RbfSvmOva loaded = RbfSvmOva::from_binary(svm.to_binary());
+  for (const auto& x : blobs.X) {
+    EXPECT_EQ(loaded.predict(x), svm.predict(x));
+  }
+  EXPECT_EQ(loaded.effective_gamma(), svm.effective_gamma());
+}
+
+TEST(RbfSvmOva, FromBinaryRejectsGarbage) {
+  EXPECT_THROW(RbfSvmOva::from_binary("garbage"), SerializeError);
+}
+
+TEST(RbfSvmOva, GramCacheAndOnTheFlyAgree) {
+  const Blobs blobs = make_blobs(2, 15, 4, 0.3, 9);
+  RbfSvmConfig cached_config;
+  cached_config.gram_cache_limit = 1000;
+  RbfSvmConfig uncached_config;
+  uncached_config.gram_cache_limit = 0;  // force on-the-fly kernel rows
+  RbfSvmOva cached(cached_config), uncached(uncached_config);
+  cached.train(blobs.X, blobs.y, 2);
+  uncached.train(blobs.X, blobs.y, 2);
+  for (const auto& x : blobs.X) {
+    EXPECT_EQ(cached.predict(x), uncached.predict(x));
+  }
+}
+
+TEST(RbfSvmOva, DimensionMismatchTreatedAsZeros) {
+  const Blobs blobs = make_blobs(2, 15, 6, 0.3, 10);
+  RbfSvmOva svm;
+  svm.train(blobs.X, blobs.y, 2);
+  // Shorter and longer query vectors are accepted.
+  EXPECT_NO_THROW(svm.predict(std::vector<float>{1.0f, 2.0f}));
+  EXPECT_NO_THROW(svm.predict(std::vector<float>(20, 0.5f)));
+}
+
+}  // namespace
+}  // namespace praxi::ml

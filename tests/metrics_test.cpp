@@ -1,0 +1,110 @@
+// Tests for the evaluation metrics (eval/metrics.hpp): the paper's
+// support-weighted F1 (Eqns. 1-2) against hand-computed values.
+#include "eval/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace praxi::eval {
+namespace {
+
+TEST(LabelStats, PrecisionRecallF1) {
+  LabelStats stats;
+  stats.true_positives = 6;
+  stats.false_positives = 2;
+  stats.false_negatives = 4;
+  EXPECT_DOUBLE_EQ(stats.precision(), 0.75);
+  EXPECT_DOUBLE_EQ(stats.recall(), 0.6);
+  EXPECT_NEAR(stats.f1(), 2 * 0.75 * 0.6 / (0.75 + 0.6), 1e-12);
+}
+
+TEST(LabelStats, ZeroDenominators) {
+  LabelStats stats;
+  EXPECT_EQ(stats.precision(), 0.0);
+  EXPECT_EQ(stats.recall(), 0.0);
+  EXPECT_EQ(stats.f1(), 0.0);
+}
+
+TEST(EvaluateSingle, PerfectPredictions) {
+  const std::vector<std::string> truths{"a", "b", "a", "c"};
+  const EvalResult result = evaluate_single(truths, truths);
+  EXPECT_DOUBLE_EQ(result.weighted_f1(), 1.0);
+  EXPECT_DOUBLE_EQ(result.exact_match_ratio, 1.0);
+  EXPECT_EQ(result.samples, 4u);
+  EXPECT_EQ(result.total_support, 4u);
+}
+
+TEST(EvaluateSingle, HandComputedWeightedF1) {
+  // 3 samples of "a" (2 right), 1 sample of "b" (right), mistake predicts b.
+  const std::vector<std::string> truths{"a", "a", "a", "b"};
+  const std::vector<std::string> preds{"a", "a", "b", "b"};
+  const EvalResult result = evaluate(
+      {{truths[0]}, {truths[1]}, {truths[2]}, {truths[3]}},
+      {{preds[0]}, {preds[1]}, {preds[2]}, {preds[3]}});
+  // a: tp=2 fn=1 fp=0 -> P=1, R=2/3, F1=0.8, support 3/4
+  // b: tp=1 fn=0 fp=1 -> P=1/2, R=1, F1=2/3, support 1/4
+  const double expected = 0.8 * 3.0 / 4.0 + (2.0 / 3.0) * 1.0 / 4.0;
+  EXPECT_NEAR(result.weighted_f1(), expected, 1e-12);
+  EXPECT_NEAR(result.weighted_precision(), 1.0 * 0.75 + 0.5 * 0.25, 1e-12);
+  EXPECT_NEAR(result.weighted_recall(), (2.0 / 3.0) * 0.75 + 1.0 * 0.25,
+              1e-12);
+  EXPECT_DOUBLE_EQ(result.exact_match_ratio, 0.75);
+}
+
+TEST(Evaluate, MultiLabelPartialCredit) {
+  // Truth {a,b}; predicted {a,c}: a hits, b missed, c spurious.
+  const EvalResult result = evaluate({{"a", "b"}}, {{"a", "c"}});
+  EXPECT_EQ(result.per_label.at("a").true_positives, 1u);
+  EXPECT_EQ(result.per_label.at("b").false_negatives, 1u);
+  EXPECT_EQ(result.per_label.at("c").false_positives, 1u);
+  EXPECT_EQ(result.total_support, 2u);
+  // a: F1=1 support 1/2; b: F1=0 support 1/2; c: support 0.
+  EXPECT_NEAR(result.weighted_f1(), 0.5, 1e-12);
+  EXPECT_EQ(result.exact_match_ratio, 0.0);
+}
+
+TEST(Evaluate, EmptyPredictionSetCountsAsMisses) {
+  const EvalResult result = evaluate({{"a"}}, {{}});
+  EXPECT_EQ(result.per_label.at("a").false_negatives, 1u);
+  EXPECT_EQ(result.weighted_f1(), 0.0);
+}
+
+TEST(Evaluate, PredictionOrderIrrelevant) {
+  const EvalResult forward = evaluate({{"a", "b"}}, {{"a", "b"}});
+  const EvalResult backward = evaluate({{"a", "b"}}, {{"b", "a"}});
+  EXPECT_DOUBLE_EQ(forward.weighted_f1(), backward.weighted_f1());
+  EXPECT_DOUBLE_EQ(backward.weighted_f1(), 1.0);
+}
+
+TEST(Evaluate, SizeMismatchThrows) {
+  EXPECT_THROW(evaluate({{"a"}}, {}), std::invalid_argument);
+}
+
+TEST(Evaluate, DuplicateLabelsInSampleThrow) {
+  EXPECT_THROW(evaluate({{"a", "a"}}, {{"a"}}), std::invalid_argument);
+  EXPECT_THROW(evaluate({{"a"}}, {{"b", "b"}}), std::invalid_argument);
+}
+
+TEST(Evaluate, EmptyInputsYieldZeroes) {
+  const EvalResult result = evaluate({}, {});
+  EXPECT_EQ(result.weighted_f1(), 0.0);
+  EXPECT_EQ(result.samples, 0u);
+  EXPECT_EQ(result.exact_match_ratio, 0.0);
+}
+
+TEST(Evaluate, SupportWeightingFavorsFrequentLabels) {
+  // 9 correct samples of "common", 1 wrong sample of "rare": weighted F1
+  // must sit near 0.9 (not 0.5 as an unweighted macro average would).
+  std::vector<std::vector<std::string>> truths, preds;
+  for (int i = 0; i < 9; ++i) {
+    truths.push_back({"common"});
+    preds.push_back({"common"});
+  }
+  truths.push_back({"rare"});
+  preds.push_back({"common"});
+  const EvalResult result = evaluate(truths, preds);
+  EXPECT_GT(result.weighted_f1(), 0.85);
+  EXPECT_LT(result.weighted_f1(), 0.95);
+}
+
+}  // namespace
+}  // namespace praxi::eval

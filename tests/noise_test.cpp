@@ -1,0 +1,130 @@
+// Tests for the background-noise daemons (pkg/noise.hpp).
+#include "pkg/noise.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fs/recorder.hpp"
+#include "pkg/installer.hpp"
+
+namespace praxi::pkg {
+namespace {
+
+class NoiseTest : public ::testing::Test {
+ protected:
+  NoiseTest() : clock_(fs::make_clock()), fs_(clock_) {
+    provision_base_image(fs_);
+  }
+
+  /// Runs `source` for `seconds` of simulated time and returns the records.
+  fs::Changeset run(NoiseSource& source, double seconds) {
+    fs::ChangesetRecorder recorder(fs_);
+    double remaining = seconds;
+    while (remaining > 0.0) {
+      clock_->advance_s(1.0);
+      source.tick(fs_, 1.0);
+      remaining -= 1.0;
+    }
+    return recorder.eject();
+  }
+
+  fs::SimClockPtr clock_;
+  fs::InMemoryFilesystem fs_;
+};
+
+TEST_F(NoiseTest, LogRotationWritesUnderVarLog) {
+  LogRotationNoise noise(Rng(1));
+  const auto cs = run(noise, 120.0);
+  EXPECT_FALSE(cs.empty());
+  for (const auto& rec : cs.records()) {
+    EXPECT_EQ(rec.path.rfind("/var/log", 0), 0u) << rec.path;
+  }
+}
+
+TEST_F(NoiseTest, CacheChurnStaysUnderVarCache) {
+  CacheChurnNoise noise(Rng(2));
+  const auto cs = run(noise, 120.0);
+  EXPECT_FALSE(cs.empty());
+  for (const auto& rec : cs.records()) {
+    EXPECT_EQ(rec.path.rfind("/var/cache", 0), 0u) << rec.path;
+  }
+}
+
+TEST_F(NoiseTest, WebServerProducesLogsAndCacheCycling) {
+  WebServerNoise noise(Rng(3));
+  const auto cs = run(noise, 180.0);
+  bool logs = false, cache_create = false, cache_delete = false;
+  for (const auto& rec : cs.records()) {
+    logs |= rec.path.rfind("/var/log/caddy", 0) == 0;
+    if (rec.path.rfind("/var/cache/caddy", 0) == 0) {
+      cache_create |= rec.kind == fs::ChangeKind::kCreate;
+      cache_delete |= rec.kind == fs::ChangeKind::kDelete;
+    }
+  }
+  EXPECT_TRUE(logs);
+  EXPECT_TRUE(cache_create);
+  EXPECT_TRUE(cache_delete);
+}
+
+TEST_F(NoiseTest, MongoTouchesDatabaseFiles) {
+  MongoNoise noise(Rng(4));
+  const auto cs = run(noise, 120.0);
+  bool db_files = false;
+  for (const auto& rec : cs.records()) {
+    EXPECT_EQ(rec.path.rfind("/var/lib/couchdb", 0), 0u) << rec.path;
+    db_files |= rec.path.find(".couch") != std::string::npos ||
+                rec.path.find("compact") != std::string::npos;
+  }
+  EXPECT_TRUE(db_files);
+}
+
+TEST_F(NoiseTest, BrowserChurnsProfileAndCache) {
+  BrowserNoise noise(Rng(5));
+  const auto cs = run(noise, 120.0);
+  bool profile = false, cache = false;
+  for (const auto& rec : cs.records()) {
+    profile |= rec.path.find(".mozilla") != std::string::npos;
+    cache |= rec.path.find(".cache/mozilla") != std::string::npos;
+  }
+  EXPECT_TRUE(profile);
+  EXPECT_TRUE(cache);
+}
+
+TEST_F(NoiseTest, RandomScriptCreatesShortLivedFiles) {
+  RandomScriptNoise noise(Rng(6));
+  const auto cs = run(noise, 120.0);
+  bool created = false, deleted = false;
+  for (const auto& rec : cs.records()) {
+    created |= rec.kind == fs::ChangeKind::kCreate;
+    deleted |= rec.kind == fs::ChangeKind::kDelete;
+  }
+  EXPECT_TRUE(created);
+  EXPECT_TRUE(deleted);
+}
+
+TEST_F(NoiseTest, MixesAreDeterministicPerSeed) {
+  auto run_mix = [](std::uint64_t seed) {
+    auto clock = fs::make_clock();
+    fs::InMemoryFilesystem filesystem(clock);
+    provision_base_image(filesystem);
+    NoiseMix mix = NoiseMix::dirtier(Rng(seed));
+    fs::ChangesetRecorder recorder(filesystem);
+    for (int i = 0; i < 60; ++i) {
+      clock->advance_s(1.0);
+      mix.tick(filesystem, 1.0);
+    }
+    return recorder.eject();
+  };
+  EXPECT_EQ(run_mix(11), run_mix(11));
+  EXPECT_NE(run_mix(11), run_mix(12));
+}
+
+TEST_F(NoiseTest, DirtierMixIsNoisierThanBaseline) {
+  NoiseMix baseline = NoiseMix::baseline(Rng(7));
+  NoiseMix dirtier = NoiseMix::dirtier(Rng(7));
+  const auto cs_base = run(baseline, 60.0);
+  const auto cs_dirty = run(dirtier, 60.0);
+  EXPECT_GT(cs_dirty.size(), cs_base.size());
+}
+
+}  // namespace
+}  // namespace praxi::pkg

@@ -1,0 +1,109 @@
+// Tests for the changeset recorder daemon (fs/recorder.hpp): recording,
+// exclusion prefixes, pause/resume, and eject semantics (paper §III-A).
+#include "fs/recorder.hpp"
+
+#include <gtest/gtest.h>
+
+namespace praxi::fs {
+namespace {
+
+class RecorderTest : public ::testing::Test {
+ protected:
+  RecorderTest() : clock_(make_clock(10'000)), fs_(clock_) {}
+
+  SimClockPtr clock_;
+  InMemoryFilesystem fs_;
+};
+
+TEST_F(RecorderTest, RecordsAllKindsOfChanges) {
+  ChangesetRecorder recorder(fs_);
+  fs_.create_file("/etc/app/app.conf");
+  fs_.write_file("/etc/app/app.conf", 10);
+  fs_.remove("/etc/app/app.conf");
+  const Changeset cs = recorder.eject({"app"});
+  // create /etc, /etc/app, file; modify; delete.
+  EXPECT_EQ(cs.size(), 5u);
+  EXPECT_EQ(cs.labels(), (std::vector<std::string>{"app"}));
+  EXPECT_TRUE(cs.closed());
+}
+
+TEST_F(RecorderTest, ExcludesSpecialTreesByDefault) {
+  ChangesetRecorder recorder(fs_);
+  fs_.create_file("/proc/1234/status");
+  fs_.create_file("/dev/sda1");
+  fs_.create_file("/sys/kernel/something");
+  fs_.create_file("/usr/bin/real");
+  const Changeset cs = recorder.eject();
+  for (const auto& rec : cs.records()) {
+    EXPECT_EQ(rec.path.find("/proc"), std::string::npos);
+    EXPECT_EQ(rec.path.find("/dev"), std::string::npos);
+    EXPECT_EQ(rec.path.find("/sys"), std::string::npos);
+  }
+  // /usr, /usr/bin, /usr/bin/real survive.
+  EXPECT_EQ(cs.size(), 3u);
+}
+
+TEST_F(RecorderTest, CustomExclusions) {
+  ChangesetRecorder recorder(fs_, {"/var/log"});
+  fs_.create_file("/var/log/syslog");
+  fs_.create_file("/var/lib/data");
+  const Changeset cs = recorder.eject();
+  for (const auto& rec : cs.records()) {
+    EXPECT_FALSE(rec.path.rfind("/var/log", 0) == 0) << rec.path;
+  }
+}
+
+TEST_F(RecorderTest, PauseResumeGatesRecording) {
+  ChangesetRecorder recorder(fs_);
+  recorder.pause();
+  fs_.create_file("/ignored");
+  EXPECT_EQ(recorder.pending_records(), 0u);
+  recorder.resume();
+  fs_.create_file("/captured");
+  EXPECT_EQ(recorder.pending_records(), 1u);
+}
+
+TEST_F(RecorderTest, EjectOpensFreshChangeset) {
+  ChangesetRecorder recorder(fs_);
+  fs_.create_file("/first");
+  clock_->advance_ms(5000);
+  const Changeset first = recorder.eject({"one"});
+  EXPECT_EQ(first.open_time_ms(), 10'000);
+  EXPECT_EQ(first.close_time_ms(), 15'000);
+
+  fs_.create_file("/second");
+  const Changeset second = recorder.eject({"two"});
+  EXPECT_EQ(second.open_time_ms(), 15'000);
+  EXPECT_EQ(second.size(), 1u);
+  EXPECT_EQ(second.records()[0].path, "/second");
+}
+
+TEST_F(RecorderTest, EjectEmptyChangesetIsValid) {
+  ChangesetRecorder recorder(fs_);
+  const Changeset cs = recorder.eject();
+  EXPECT_TRUE(cs.empty());
+  EXPECT_TRUE(cs.closed());
+}
+
+TEST_F(RecorderTest, DestructorUnsubscribes) {
+  {
+    ChangesetRecorder recorder(fs_);
+    fs_.create_file("/during");
+  }
+  // No crash on events after the recorder is gone.
+  fs_.create_file("/after");
+  SUCCEED();
+}
+
+TEST_F(RecorderTest, TwoRecordersCaptureIndependently) {
+  ChangesetRecorder a(fs_);
+  ChangesetRecorder b(fs_, {"/var"});
+  fs_.create_file("/var/lib/x");
+  fs_.create_file("/usr/y");
+  const Changeset cs_a = a.eject();
+  const Changeset cs_b = b.eject();
+  EXPECT_GT(cs_a.size(), cs_b.size());
+}
+
+}  // namespace
+}  // namespace praxi::fs

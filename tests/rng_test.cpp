@@ -1,0 +1,140 @@
+// Tests for the deterministic Rng (common/rng.hpp).
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace praxi {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += a.next() == b.next();
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, StreamTagDecorrelates) {
+  Rng a(42, "installer"), b(42, "noise");
+  EXPECT_NE(a.next(), b.next());
+  // ... but the same tag reproduces.
+  Rng c(42, "installer"), d(42, "installer");
+  EXPECT_EQ(c.next(), d.next());
+}
+
+class RngBoundsTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngBoundsTest, BelowStaysInRange) {
+  const std::uint64_t bound = GetParam();
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.below(bound), bound);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, RngBoundsTest,
+                         ::testing::Values(1ull, 2ull, 3ull, 10ull, 83ull,
+                                           1000ull, 1ull << 40));
+
+TEST(Rng, BelowOneAlwaysZero) {
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BelowCoversAllResidues) {
+  Rng rng(11);
+  std::vector<bool> seen(10, false);
+  for (int i = 0; i < 2000; ++i) seen[rng.below(10)] = true;
+  EXPECT_TRUE(std::all_of(seen.begin(), seen.end(), [](bool b) { return b; }));
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(9);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(2.5, 7.5);
+    EXPECT_GE(u, 2.5);
+    EXPECT_LT(u, 7.5);
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ChanceApproximatesProbability) {
+  Rng rng(19);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.chance(0.3);
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(Rng, NormalMeanAndSpread) {
+  Rng rng(23);
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double z = rng.normal();
+    sum += z;
+    sum_sq += z * z;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, WeightedPickFollowsWeights) {
+  Rng rng(29);
+  std::vector<double> weights{1.0, 0.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 8000; ++i) ++counts[rng.weighted_pick(weights)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(double(counts[2]) / counts[0], 3.0, 0.5);
+}
+
+TEST(Rng, WorksWithStdShuffle) {
+  std::vector<int> v1{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> v2 = v1;
+  Rng a(31), b(31);
+  std::shuffle(v1.begin(), v1.end(), a);
+  std::shuffle(v2.begin(), v2.end(), b);
+  EXPECT_EQ(v1, v2);  // same seed, same permutation
+}
+
+}  // namespace
+}  // namespace praxi

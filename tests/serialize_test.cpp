@@ -1,0 +1,103 @@
+// Tests for the binary serialization helpers (common/serialize.hpp).
+#include "common/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+namespace praxi {
+namespace {
+
+TEST(BinaryRoundTrip, Primitives) {
+  BinaryWriter w;
+  w.put<std::uint32_t>(0xDEADBEEFu);
+  w.put<std::int64_t>(-42);
+  w.put<float>(3.5f);
+  w.put<double>(-2.25);
+  w.put<std::uint8_t>(7);
+
+  BinaryReader r(w.bytes());
+  EXPECT_EQ(r.get<std::uint32_t>(), 0xDEADBEEFu);
+  EXPECT_EQ(r.get<std::int64_t>(), -42);
+  EXPECT_EQ(r.get<float>(), 3.5f);
+  EXPECT_EQ(r.get<double>(), -2.25);
+  EXPECT_EQ(r.get<std::uint8_t>(), 7);
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(BinaryRoundTrip, StringsIncludingEmptyAndBinary) {
+  BinaryWriter w;
+  w.put_string("");
+  w.put_string("mysql-server");
+  w.put_string(std::string("\0\x01\xff", 3));
+
+  BinaryReader r(w.bytes());
+  EXPECT_EQ(r.get_string(), "");
+  EXPECT_EQ(r.get_string(), "mysql-server");
+  EXPECT_EQ(r.get_string(), std::string("\0\x01\xff", 3));
+}
+
+TEST(BinaryRoundTrip, Vectors) {
+  BinaryWriter w;
+  w.put_vector(std::vector<float>{1.0f, -2.0f, 0.5f});
+  w.put_vector(std::vector<std::uint64_t>{});
+
+  BinaryReader r(w.bytes());
+  EXPECT_EQ(r.get_vector<float>(), (std::vector<float>{1.0f, -2.0f, 0.5f}));
+  EXPECT_TRUE(r.get_vector<std::uint64_t>().empty());
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(BinaryReader, ThrowsOnTruncatedPrimitive) {
+  BinaryWriter w;
+  w.put<std::uint32_t>(1);
+  BinaryReader r(std::string_view(w.bytes()).substr(0, 2));
+  EXPECT_THROW(r.get<std::uint32_t>(), SerializeError);
+}
+
+TEST(BinaryReader, ThrowsOnTruncatedString) {
+  BinaryWriter w;
+  w.put_string("long-enough-string");
+  BinaryReader r(std::string_view(w.bytes()).substr(0, 6));
+  EXPECT_THROW(r.get_string(), SerializeError);
+}
+
+TEST(BinaryReader, ThrowsOnAbsurdVectorLength) {
+  BinaryWriter w;
+  w.put<std::uint64_t>(1ull << 60);  // vector "length"
+  BinaryReader r(w.bytes());
+  EXPECT_THROW(r.get_vector<float>(), SerializeError);
+}
+
+TEST(BinaryReader, RemainingTracksPosition) {
+  BinaryWriter w;
+  w.put<std::uint32_t>(5);
+  w.put<std::uint32_t>(6);
+  BinaryReader r(w.bytes());
+  EXPECT_EQ(r.remaining(), 8u);
+  r.get<std::uint32_t>();
+  EXPECT_EQ(r.remaining(), 4u);
+}
+
+TEST(FileIo, RoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "praxi_serialize_test.bin")
+          .string();
+  const std::string payload("binary\0payload", 14);
+  write_file(path, payload);
+  EXPECT_EQ(read_file(path), payload);
+  std::remove(path.c_str());
+}
+
+TEST(FileIo, ReadMissingFileThrows) {
+  EXPECT_THROW(read_file("/nonexistent/praxi/file.bin"), SerializeError);
+}
+
+TEST(FileIo, WriteToBadPathThrows) {
+  EXPECT_THROW(write_file("/nonexistent-dir-xyz/file.bin", "data"),
+               SerializeError);
+}
+
+}  // namespace
+}  // namespace praxi

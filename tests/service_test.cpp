@@ -1,0 +1,266 @@
+// Tests for the distributed discovery service (src/service): wire format,
+// message bus, collection agents, and the central server — including the
+// online feedback loop that makes new packages discoverable without retrain.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/serialize.hpp"
+#include "eval/harness.hpp"
+#include "pkg/dataset.hpp"
+#include "pkg/installer.hpp"
+#include "pkg/noise.hpp"
+#include "service/agent.hpp"
+#include "service/server.hpp"
+#include "service/transport.hpp"
+
+namespace praxi::service {
+namespace {
+
+fs::Changeset sample_changeset(const std::string& label) {
+  fs::Changeset cs;
+  cs.set_open_time(100);
+  for (int i = 0; i < 5; ++i) {
+    cs.add(fs::ChangeRecord{"/usr/bin/" + label + std::to_string(i), 0755,
+                            fs::ChangeKind::kCreate, 100 + i});
+  }
+  if (!label.empty()) cs.add_label(label);
+  cs.close(200);
+  return cs;
+}
+
+TEST(ChangesetReport, WireRoundTrip) {
+  ChangesetReport report;
+  report.agent_id = "vm-042";
+  report.sequence = 7;
+  report.changeset = sample_changeset("nginx");
+  const ChangesetReport parsed = ChangesetReport::from_wire(report.to_wire());
+  EXPECT_EQ(parsed.agent_id, "vm-042");
+  EXPECT_EQ(parsed.sequence, 7u);
+  EXPECT_EQ(parsed.changeset, report.changeset);
+}
+
+TEST(ChangesetReport, RejectsGarbage) {
+  EXPECT_THROW(ChangesetReport::from_wire("not a report"), SerializeError);
+  EXPECT_THROW(ChangesetReport::from_wire(""), SerializeError);
+}
+
+TEST(MessageBus, FifoAndAccounting) {
+  MessageBus bus;
+  bus.send("first");
+  bus.send("second-longer");
+  EXPECT_EQ(bus.pending(), 2u);
+  EXPECT_EQ(bus.total_messages(), 2u);
+  EXPECT_EQ(bus.total_bytes(), 5u + 13u);
+  const auto drained = bus.drain();
+  ASSERT_EQ(drained.size(), 2u);
+  EXPECT_EQ(drained[0], "first");
+  EXPECT_EQ(drained[1], "second-longer");
+  EXPECT_EQ(bus.pending(), 0u);
+  EXPECT_TRUE(bus.drain().empty());
+}
+
+/// Shared trained model + catalog for the integration tests.
+class ServiceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    catalog_ = new pkg::Catalog(pkg::Catalog::subset(42, 10, 0));
+    pkg::DatasetBuilder builder(*catalog_, 7);
+    pkg::CollectOptions options;
+    options.samples_per_app = 5;
+    const auto dataset = builder.collect_dirty(options);
+    model_ = new core::Praxi();
+    model_->train_changesets(eval::pointers(dataset));
+  }
+
+  static void TearDownTestSuite() {
+    delete catalog_;
+    delete model_;
+  }
+
+  static pkg::Catalog* catalog_;
+  static core::Praxi* model_;
+};
+
+pkg::Catalog* ServiceTest::catalog_ = nullptr;
+core::Praxi* ServiceTest::model_ = nullptr;
+
+TEST_F(ServiceTest, ServerRequiresTrainedModel) {
+  EXPECT_THROW(DiscoveryServer(core::Praxi{}), std::invalid_argument);
+}
+
+TEST_F(ServiceTest, AgentShipsWindowsOnInterval) {
+  auto clock = fs::make_clock();
+  fs::InMemoryFilesystem instance(clock);
+  pkg::provision_base_image(instance);
+  MessageBus bus;
+  AgentConfig config;
+  config.interval_s = 60.0;
+  config.boundary_guard_s = 0.0;
+  CollectionAgent agent("vm-1", instance, bus, config);
+
+  instance.create_file("/opt/x/file");
+  clock->advance_s(61.0);
+  EXPECT_TRUE(agent.poll());
+  EXPECT_EQ(bus.pending(), 1u);
+  EXPECT_EQ(agent.shipped(), 1u);
+
+  // Quiet window: nothing shipped.
+  clock->advance_s(61.0);
+  EXPECT_FALSE(agent.poll());
+  EXPECT_EQ(bus.pending(), 1u);
+}
+
+TEST_F(ServiceTest, AgentGuardHoldsDenseActivity) {
+  auto clock = fs::make_clock();
+  fs::InMemoryFilesystem instance(clock);
+  pkg::provision_base_image(instance);
+  MessageBus bus;
+  AgentConfig config;
+  config.interval_s = 30.0;
+  CollectionAgent agent("vm-1", instance, bus, config);
+
+  clock->advance_s(29.0);
+  for (int i = 0; i < 10; ++i) {
+    instance.create_file("/opt/burst/f" + std::to_string(i));
+  }
+  clock->advance_s(2.0);
+  EXPECT_FALSE(agent.poll()) << "dense activity at the boundary must hold";
+  clock->advance_s(11.0);
+  EXPECT_TRUE(agent.poll());
+}
+
+TEST_F(ServiceTest, EndToEndFleetDiscovery) {
+  MessageBus bus;
+  DiscoveryServer server(*model_, {});
+
+  // Three instances, each with its own agent; installs on two of them.
+  struct Instance {
+    fs::SimClockPtr clock;
+    std::unique_ptr<fs::InMemoryFilesystem> filesystem;
+    std::unique_ptr<pkg::Installer> installer;
+    std::unique_ptr<CollectionAgent> agent;
+  };
+  std::vector<Instance> fleet;
+  for (int v = 0; v < 3; ++v) {
+    Instance instance;
+    instance.clock = fs::make_clock();
+    instance.filesystem =
+        std::make_unique<fs::InMemoryFilesystem>(instance.clock);
+    pkg::provision_base_image(*instance.filesystem);
+    instance.installer = std::make_unique<pkg::Installer>(
+        *instance.filesystem, *catalog_, Rng(100 + v));
+    AgentConfig config;
+    config.interval_s = 60.0;
+    instance.agent = std::make_unique<CollectionAgent>(
+        "vm-" + std::to_string(v), *instance.filesystem, bus, config);
+    fleet.push_back(std::move(instance));
+  }
+
+  const std::string app0 = catalog_->repository_names()[0];
+  const std::string app1 = catalog_->repository_names()[6];
+  fleet[0].installer->install(app0);
+  fleet[2].installer->install(app0);
+  for (auto& instance : fleet) {
+    instance.clock->advance_s(120.0);
+    instance.agent->poll();
+  }
+  // A later window on vm-2 sees a second installation.
+  fleet[2].installer->install(app1);
+  for (auto& instance : fleet) {
+    instance.clock->advance_s(120.0);
+    instance.agent->poll();
+  }
+  const auto discoveries = server.process(bus);
+
+  EXPECT_EQ(discoveries.size(), 3u);  // vm-1 stayed quiet throughout
+  const auto agents = server.agents_running(app0);
+  EXPECT_EQ(agents, (std::vector<std::string>{"vm-0", "vm-2"}));
+  ASSERT_EQ(server.inventory().count("vm-2"), 1u);
+  EXPECT_TRUE(server.inventory().at("vm-2").count(app1));
+  EXPECT_EQ(server.processed(), 3u);
+  EXPECT_GT(server.store().size(), 0u);
+}
+
+TEST_F(ServiceTest, MalformedMessagesSkippedNotFatal) {
+  MessageBus bus;
+  DiscoveryServer server(*model_, {});
+  bus.send("garbage bytes");
+  ChangesetReport good;
+  good.agent_id = "vm-9";
+  good.sequence = 1;
+  good.changeset = sample_changeset("whatever");
+  bus.send(good.to_wire());
+
+  EXPECT_NO_THROW(server.process(bus));
+  EXPECT_EQ(server.malformed(), 1u);
+  EXPECT_EQ(server.processed(), 1u);
+}
+
+TEST_F(ServiceTest, NoiseOnlyWindowsProduceNoInventory) {
+  MessageBus bus;
+  DiscoveryServer server(*model_, {});
+
+  auto clock = fs::make_clock();
+  fs::InMemoryFilesystem instance(clock);
+  pkg::provision_base_image(instance);
+  pkg::NoiseMix noise = pkg::NoiseMix::baseline(Rng(5));
+  AgentConfig config;
+  config.interval_s = 60.0;
+  CollectionAgent agent("vm-n", instance, bus, config);
+
+  for (int i = 0; i < 120; ++i) {
+    clock->advance_s(1.0);
+    noise.tick(instance, 1.0);
+  }
+  agent.poll();
+  const auto discoveries = server.process(bus);
+  EXPECT_TRUE(discoveries.empty());
+  EXPECT_EQ(server.inventory().count("vm-n"), 0u);
+}
+
+TEST_F(ServiceTest, FeedbackTeachesNewPackageOnline) {
+  MessageBus bus;
+  DiscoveryServer server(*model_, {});
+
+  // A package OUTSIDE the trained label set appears in the fleet.
+  const pkg::Catalog big = pkg::Catalog::subset(42, 12, 0);
+  const std::string newcomer = big.repository_names()[11];
+  ASSERT_FALSE(catalog_->contains(newcomer));
+
+  auto make_changeset = [&](std::uint64_t seed) {
+    auto clock = fs::make_clock();
+    fs::InMemoryFilesystem instance(clock);
+    pkg::provision_base_image(instance);
+    pkg::Installer installer(instance, big, Rng(seed));
+    fs::ChangesetRecorder recorder(instance);
+    installer.install(newcomer);
+    return recorder.eject({newcomer});
+  };
+
+  // Operator confirms a few labeled samples -> online updates, no retrain.
+  for (std::uint64_t s = 0; s < 6; ++s) {
+    server.learn_feedback(make_changeset(s));
+  }
+
+  // The next sighting is identified.
+  fs::Changeset unseen = make_changeset(99);
+  ChangesetReport report;
+  report.agent_id = "vm-new";
+  report.sequence = 1;
+  report.changeset = unseen;
+  bus.send(report.to_wire());
+  const auto discoveries = server.process(bus);
+  ASSERT_EQ(discoveries.size(), 1u);
+  ASSERT_FALSE(discoveries[0].applications.empty());
+  EXPECT_EQ(discoveries[0].applications.front(), newcomer);
+}
+
+TEST_F(ServiceTest, FeedbackRequiresLabels) {
+  DiscoveryServer server(*model_, {});
+  EXPECT_THROW(server.learn_feedback(sample_changeset("")),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace praxi::service

@@ -1,0 +1,82 @@
+// Tests for the string/path utilities (common/strings.hpp).
+#include "common/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace praxi {
+namespace {
+
+TEST(Split, DropsEmptyFields) {
+  EXPECT_EQ(split("/usr//bin/", '/'),
+            (std::vector<std::string>{"usr", "bin"}));
+  EXPECT_EQ(split("", '/'), (std::vector<std::string>{}));
+  EXPECT_EQ(split("///", '/'), (std::vector<std::string>{}));
+  EXPECT_EQ(split("a,b,,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(SplitKeepEmpty, PreservesEmptyFields) {
+  EXPECT_EQ(split_keep_empty("a,,b", ','),
+            (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(split_keep_empty("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(split_keep_empty("x\n", '\n'),
+            (std::vector<std::string>{"x", ""}));
+}
+
+TEST(Join, RoundTripsWithSplit) {
+  const std::vector<std::string> parts{"etc", "mysql", "conf.d"};
+  EXPECT_EQ(join(parts, "/"), "etc/mysql/conf.d");
+  EXPECT_EQ(split(join(parts, "/"), '/'), parts);
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"solo"}, ","), "solo");
+}
+
+TEST(ToLower, AsciiOnly) {
+  EXPECT_EQ(to_lower("MySQL-Server_5.7"), "mysql-server_5.7");
+  EXPECT_EQ(to_lower(""), "");
+}
+
+TEST(Basename, Cases) {
+  EXPECT_EQ(basename("/usr/bin/mysqld"), "mysqld");
+  EXPECT_EQ(basename("mysqld"), "mysqld");
+  EXPECT_EQ(basename("/usr/bin/"), "");
+  EXPECT_EQ(basename("/"), "");
+}
+
+TEST(Dirname, Cases) {
+  EXPECT_EQ(dirname("/usr/bin/mysqld"), "/usr/bin");
+  EXPECT_EQ(dirname("/mysqld"), "/");
+  EXPECT_EQ(dirname("mysqld"), "");
+}
+
+TEST(NormalizePath, CollapsesAndRoots) {
+  EXPECT_EQ(normalize_path("usr//bin/"), "/usr/bin");
+  EXPECT_EQ(normalize_path("/usr/bin"), "/usr/bin");
+  EXPECT_EQ(normalize_path("/"), "/");
+  EXPECT_EQ(normalize_path(""), "/");
+  EXPECT_EQ(normalize_path("///a///b///"), "/a/b");
+}
+
+TEST(PathHasPrefix, ComponentAware) {
+  EXPECT_TRUE(path_has_prefix("/usr/lib/mysql", "/usr/lib"));
+  EXPECT_TRUE(path_has_prefix("/usr/lib", "/usr/lib"));
+  EXPECT_FALSE(path_has_prefix("/usr/lib64", "/usr/lib"));
+  EXPECT_TRUE(path_has_prefix("/anything", "/"));
+  EXPECT_FALSE(path_has_prefix("/usr", "/usr/lib"));
+  EXPECT_FALSE(path_has_prefix("/usr", ""));
+}
+
+TEST(FormatBytes, Units) {
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(2048), "2.0 KB");
+  EXPECT_EQ(format_bytes(5 * 1024 * 1024), "5.0 MB");
+  EXPECT_EQ(format_bytes(3ull * 1024 * 1024 * 1024), "3.0 GB");
+}
+
+TEST(FormatDuration, SecondsAndMinutes) {
+  EXPECT_EQ(format_duration_s(1.5), "1.50s");
+  EXPECT_EQ(format_duration_s(90.0), "1m 30.0s");
+  EXPECT_EQ(format_duration_s(0.01), "0.01s");
+}
+
+}  // namespace
+}  // namespace praxi

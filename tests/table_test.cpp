@@ -1,0 +1,67 @@
+// Tests for the text-table renderer (eval/table.hpp).
+#include "eval/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace praxi::eval {
+namespace {
+
+TEST(TextTable, RendersHeaderSeparatorAndRows) {
+  TextTable table({"name", "value"});
+  table.add_row({"alpha", "1"});
+  table.add_row({"beta", "22"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("beta"), std::string::npos);
+  EXPECT_EQ(out.back(), '\n');
+}
+
+TEST(TextTable, ColumnsAligned) {
+  TextTable table({"a", "b"});
+  table.add_row({"long-cell-content", "x"});
+  table.add_row({"s", "y"});
+  const std::string out = table.render();
+  // "x" and "y" must start at the same column.
+  std::istringstream lines(out);
+  std::string header, sep, row1, row2;
+  std::getline(lines, header);
+  std::getline(lines, sep);
+  std::getline(lines, row1);
+  std::getline(lines, row2);
+  EXPECT_EQ(row1.find('x'), row2.find('y'));
+}
+
+TEST(TextTable, ShortRowsPadded) {
+  TextTable table({"a", "b", "c"});
+  table.add_row({"only-one"});
+  EXPECT_EQ(table.rows(), 1u);
+  EXPECT_NO_THROW(table.render());
+}
+
+TEST(TextTable, PrintWritesToStream) {
+  TextTable table({"x"});
+  table.add_row({"1"});
+  std::ostringstream out;
+  table.print(out);
+  EXPECT_EQ(out.str(), table.render());
+}
+
+TEST(FmtPercent, Rounding) {
+  EXPECT_EQ(fmt_percent(0.976), "97.6%");
+  EXPECT_EQ(fmt_percent(1.0), "100.0%");
+  EXPECT_EQ(fmt_percent(0.12345, 2), "12.35%");
+  EXPECT_EQ(fmt_percent(0.0), "0.0%");
+}
+
+TEST(FmtDouble, Decimals) {
+  EXPECT_EQ(fmt_double(3.14159), "3.14");
+  EXPECT_EQ(fmt_double(3.14159, 4), "3.1416");
+  EXPECT_EQ(fmt_double(-1.0, 1), "-1.0");
+}
+
+}  // namespace
+}  // namespace praxi::eval

@@ -1,0 +1,83 @@
+// Tests for the tagset store (core/tagset_store.hpp).
+#include "core/tagset_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+namespace praxi::core {
+namespace {
+
+columbus::TagSet make_tagset(const std::string& label, int ntags) {
+  columbus::TagSet ts;
+  for (int i = 0; i < ntags; ++i) {
+    ts.tags.push_back({label + "-tag" + std::to_string(i),
+                       std::uint32_t(ntags - i + 1)});
+  }
+  ts.labels = {label};
+  return ts;
+}
+
+TEST(TagsetStore, AddAndCount) {
+  TagsetStore store;
+  EXPECT_TRUE(store.empty());
+  store.add(make_tagset("mysql-server", 5));
+  store.add(make_tagset("nginx", 3));
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_FALSE(store.empty());
+}
+
+TEST(TagsetStore, AddAllMoves) {
+  TagsetStore store;
+  std::vector<columbus::TagSet> batch{make_tagset("a", 2),
+                                      make_tagset("b", 2)};
+  store.add_all(std::move(batch));
+  EXPECT_EQ(store.size(), 2u);
+}
+
+TEST(TagsetStore, TotalBytesSumsTagsets) {
+  TagsetStore store;
+  const auto ts = make_tagset("x", 4);
+  store.add(ts);
+  store.add(ts);
+  EXPECT_EQ(store.total_bytes(), 2 * ts.size_bytes());
+}
+
+TEST(TagsetStore, TextRoundTrip) {
+  TagsetStore store;
+  store.add(make_tagset("mysql-server", 5));
+  store.add(make_tagset("nginx", 3));
+  const TagsetStore parsed = TagsetStore::from_text(store.to_text());
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed.tagsets()[0], store.tagsets()[0]);
+  EXPECT_EQ(parsed.tagsets()[1], store.tagsets()[1]);
+}
+
+TEST(TagsetStore, EmptyRoundTrip) {
+  const TagsetStore parsed = TagsetStore::from_text(TagsetStore{}.to_text());
+  EXPECT_TRUE(parsed.empty());
+}
+
+TEST(TagsetStore, FileRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "praxi_store_test.txt")
+          .string();
+  TagsetStore store;
+  store.add(make_tagset("redis-server", 7));
+  store.save(path);
+  const TagsetStore loaded = TagsetStore::load(path);
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_EQ(loaded.tagsets()[0], store.tagsets()[0]);
+  std::remove(path.c_str());
+}
+
+TEST(TagsetStore, StorageIsFractionOfChangesets) {
+  // The storage argument of §III-B: tagsets are tiny next to changesets.
+  TagsetStore store;
+  for (int i = 0; i < 100; ++i) store.add(make_tagset("app", 25));
+  EXPECT_LT(store.total_bytes(), 100u * 1024u);
+}
+
+}  // namespace
+}  // namespace praxi::core

@@ -1,0 +1,82 @@
+// Tests for tagsets (columbus/tagset.hpp): the space-separated-value text
+// format and size accounting.
+#include "columbus/tagset.hpp"
+
+#include <gtest/gtest.h>
+
+namespace praxi::columbus {
+namespace {
+
+TagSet sample() {
+  TagSet ts;
+  ts.tags = {{"mysql", 23}, {"mysqld", 7}, {"libmysqlclient", 3}};
+  ts.labels = {"mysql-server"};
+  return ts;
+}
+
+TEST(TagSet, TextRoundTrip) {
+  const TagSet ts = sample();
+  EXPECT_EQ(TagSet::from_text(ts.to_text()), ts);
+}
+
+TEST(TagSet, TextFormatIsSpaceSeparated) {
+  const std::string text = sample().to_text();
+  EXPECT_EQ(text, "labels=mysql-server\nmysql:23 mysqld:7 libmysqlclient:3\n");
+}
+
+TEST(TagSet, MultiLabelRoundTrip) {
+  TagSet ts;
+  ts.tags = {{"nginx", 5}};
+  ts.labels = {"nginx", "redis-server", "curl"};
+  EXPECT_EQ(TagSet::from_text(ts.to_text()).labels, ts.labels);
+}
+
+TEST(TagSet, EmptyTagSetRoundTrip) {
+  TagSet ts;
+  const TagSet parsed = TagSet::from_text(ts.to_text());
+  EXPECT_TRUE(parsed.tags.empty());
+  EXPECT_TRUE(parsed.labels.empty());
+}
+
+TEST(TagSet, TagsWithColonsInText) {
+  // rfind(':') parsing keeps tags that themselves contain colons intact.
+  TagSet ts;
+  ts.tags = {{"weird:tag", 2}};
+  const TagSet parsed = TagSet::from_text(ts.to_text());
+  ASSERT_EQ(parsed.tags.size(), 1u);
+  EXPECT_EQ(parsed.tags[0].text, "weird:tag");
+  EXPECT_EQ(parsed.tags[0].frequency, 2u);
+}
+
+TEST(TagSet, FromTextRejectsMissingHeader) {
+  EXPECT_THROW(TagSet::from_text("mysql:3\n"), std::invalid_argument);
+  EXPECT_THROW(TagSet::from_text("labels=x\nnot-a-tag\n"),
+               std::invalid_argument);
+}
+
+TEST(TagSet, FrequencyOf) {
+  const TagSet ts = sample();
+  EXPECT_EQ(ts.frequency_of("mysql"), 23u);
+  EXPECT_EQ(ts.frequency_of("mysqld"), 7u);
+  EXPECT_EQ(ts.frequency_of("absent"), 0u);
+}
+
+TEST(TagSet, SizeBytesApproximatesText) {
+  const TagSet ts = sample();
+  const auto text_size = ts.to_text().size();
+  EXPECT_GT(ts.size_bytes(), text_size / 2);
+  EXPECT_LT(ts.size_bytes(), text_size * 2);
+}
+
+TEST(TagSet, TypicalTagsetIsSubKilobyte) {
+  // Paper §III-B: tagsets are "typically less than a kilobyte".
+  TagSet ts;
+  for (int i = 0; i < 25; ++i) {
+    ts.tags.push_back({"tag-" + std::to_string(i), std::uint32_t(i + 2)});
+  }
+  ts.labels = {"some-application"};
+  EXPECT_LT(ts.size_bytes(), 1024u);
+}
+
+}  // namespace
+}  // namespace praxi::columbus

@@ -1,0 +1,66 @@
+// Tests for the Columbus path tokenizer (columbus/tokenizer.hpp).
+#include "columbus/tokenizer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace praxi::columbus {
+namespace {
+
+TEST(Tokenizer, SplitsPathIntoSegments) {
+  Tokenizer tokenizer(std::vector<std::string>{});  // no filtering
+  EXPECT_EQ(tokenizer.tokenize("/etc/mysql/conf.d"),
+            (std::vector<std::string>{"etc", "mysql", "conf.d"}));
+}
+
+TEST(Tokenizer, RemovesSystemTokens) {
+  Tokenizer tokenizer;
+  // The paper's example: /etc/mysql/conf.d keeps only "mysql" (etc is a
+  // system token; conf.d is packaging boilerplate).
+  EXPECT_EQ(tokenizer.tokenize("/etc/mysql/conf.d"),
+            (std::vector<std::string>{"mysql"}));
+  EXPECT_EQ(tokenizer.tokenize("/usr/bin/mysqldump"),
+            (std::vector<std::string>{"mysqldump"}));
+}
+
+TEST(Tokenizer, DropsSingleCharactersAndNumbers) {
+  Tokenizer tokenizer(std::vector<std::string>{});
+  // "a" and "5" are single characters; "12345" is pure digits.
+  EXPECT_EQ(tokenizer.tokenize("/a/5/12345/x9/file"),
+            (std::vector<std::string>{"x9", "file"}));
+}
+
+TEST(Tokenizer, DropsPunctuationOnlySegments) {
+  Tokenizer tokenizer(std::vector<std::string>{});
+  EXPECT_EQ(tokenizer.tokenize("/pkg/1.2.3/__/name"),
+            (std::vector<std::string>{"pkg", "name"}));
+}
+
+TEST(Tokenizer, LowercasesTokens) {
+  Tokenizer tokenizer(std::vector<std::string>{});
+  EXPECT_EQ(tokenizer.tokenize("/Apps/MySQL"),
+            (std::vector<std::string>{"apps", "mysql"}));
+}
+
+TEST(Tokenizer, IsSystemTokenMatchesFilterList) {
+  Tokenizer tokenizer;
+  EXPECT_TRUE(tokenizer.is_system_token("etc"));
+  EXPECT_TRUE(tokenizer.is_system_token("usr"));
+  EXPECT_TRUE(tokenizer.is_system_token("man1"));
+  EXPECT_FALSE(tokenizer.is_system_token("mysql"));
+}
+
+TEST(Tokenizer, CustomFilterList) {
+  Tokenizer tokenizer({"banana"});
+  EXPECT_EQ(tokenizer.tokenize("/banana/apple"),
+            (std::vector<std::string>{"apple"}));
+}
+
+TEST(Tokenizer, EmptyAndRootPaths) {
+  Tokenizer tokenizer;
+  EXPECT_TRUE(tokenizer.tokenize("").empty());
+  EXPECT_TRUE(tokenizer.tokenize("/").empty());
+  EXPECT_TRUE(tokenizer.tokenize("/usr/bin").empty());
+}
+
+}  // namespace
+}  // namespace praxi::columbus

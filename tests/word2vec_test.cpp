@@ -1,0 +1,154 @@
+// Tests for the SGNS word2vec implementation (ml/word2vec.hpp).
+#include "common/serialize.hpp"
+#include "ml/word2vec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace praxi::ml {
+namespace {
+
+double cosine(const float* a, const float* b, unsigned dim) {
+  double dot = 0, na = 0, nb = 0;
+  for (unsigned d = 0; d < dim; ++d) {
+    dot += double(a[d]) * b[d];
+    na += double(a[d]) * a[d];
+    nb += double(b[d]) * b[d];
+  }
+  if (na == 0 || nb == 0) return 0;
+  return dot / std::sqrt(na * nb);
+}
+
+/// Synthetic corpus with two topic clusters: words within a cluster always
+/// co-occur; across clusters never.
+std::vector<std::vector<std::string>> clustered_corpus() {
+  std::vector<std::vector<std::string>> sentences;
+  Rng rng(1);
+  for (int i = 0; i < 400; ++i) {
+    if (i % 2 == 0) {
+      sentences.push_back({"usr", "bin", "mysql",
+                           rng.chance(0.5) ? "mysqld" : "mysqldump"});
+    } else {
+      sentences.push_back({"var", "log", "nginx",
+                           rng.chance(0.5) ? "access" : "error"});
+    }
+  }
+  return sentences;
+}
+
+TEST(Word2Vec, BuildsVocabularyWithMinCount) {
+  Word2VecConfig config;
+  config.min_count = 3;
+  Word2Vec model(config);
+  model.train({{"common", "common", "common", "rare"},
+               {"common", "common", "rare2"}});
+  EXPECT_NE(model.vector_of("common"), nullptr);
+  EXPECT_EQ(model.vector_of("rare"), nullptr);
+  EXPECT_EQ(model.vocab_size(), 1u);
+}
+
+TEST(Word2Vec, OovReturnsNull) {
+  Word2Vec model;
+  model.train(clustered_corpus());
+  EXPECT_EQ(model.vector_of("never-seen-token"), nullptr);
+}
+
+TEST(Word2Vec, CooccurringWordsCloserThanNonCooccurring) {
+  Word2VecConfig config;
+  config.dim = 24;
+  config.epochs = 8;
+  config.seed = 3;
+  Word2Vec model(config);
+  model.train(clustered_corpus());
+
+  const float* mysql = model.vector_of("mysql");
+  const float* mysqld = model.vector_of("mysqld");
+  const float* nginx = model.vector_of("nginx");
+  ASSERT_NE(mysql, nullptr);
+  ASSERT_NE(mysqld, nullptr);
+  ASSERT_NE(nginx, nullptr);
+
+  const double same_topic = cosine(mysql, mysqld, config.dim);
+  const double cross_topic = cosine(mysql, nginx, config.dim);
+  EXPECT_GT(same_topic, cross_topic);
+  EXPECT_GT(same_topic, 0.3);
+}
+
+TEST(Word2Vec, DeterministicPerSeed) {
+  Word2VecConfig config;
+  config.seed = 5;
+  Word2Vec a(config), b(config);
+  a.train(clustered_corpus());
+  b.train(clustered_corpus());
+  EXPECT_EQ(a.to_binary(), b.to_binary());
+}
+
+TEST(Word2Vec, CountsTracked) {
+  Word2Vec model;
+  model.train({{"aa", "aa", "bb"}, {"aa", "bb"}});
+  EXPECT_EQ(model.count_of("aa"), 3u);
+  EXPECT_EQ(model.count_of("bb"), 2u);
+  EXPECT_EQ(model.count_of("cc"), 0u);
+  EXPECT_EQ(model.total_token_count(), 5u);
+}
+
+TEST(Word2Vec, BinaryRoundTripPreservesVectors) {
+  Word2VecConfig config;
+  config.dim = 16;
+  Word2Vec model(config);
+  model.train(clustered_corpus());
+  const Word2Vec loaded = Word2Vec::from_binary(model.to_binary());
+  EXPECT_EQ(loaded.vocab_size(), model.vocab_size());
+  EXPECT_EQ(loaded.total_token_count(), model.total_token_count());
+  const float* a = model.vector_of("mysql");
+  const float* b = loaded.vector_of("mysql");
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  for (unsigned d = 0; d < config.dim; ++d) EXPECT_EQ(a[d], b[d]);
+}
+
+TEST(Word2Vec, FromBinaryRejectsGarbage) {
+  EXPECT_THROW(Word2Vec::from_binary("garbage"), SerializeError);
+}
+
+TEST(Word2Vec, EmptyCorpusYieldsEmptyModel) {
+  Word2Vec model;
+  model.train({});
+  EXPECT_EQ(model.vocab_size(), 0u);
+  EXPECT_FALSE(model.trained());
+}
+
+TEST(Word2Vec, ZeroDimThrows) {
+  Word2VecConfig config;
+  config.dim = 0;
+  EXPECT_THROW(Word2Vec{config}, std::invalid_argument);
+}
+
+TEST(Word2Vec, RetrainReplacesVocabulary) {
+  // SGNS dictionaries are not incremental: retraining rebuilds from scratch
+  // (the DeltaSherlock maintenance burden the paper discusses).
+  Word2Vec model;
+  model.train({{"first", "corpus"}, {"first", "corpus"}});
+  EXPECT_NE(model.vector_of("first"), nullptr);
+  model.train({{"second", "corpus"}, {"second", "corpus"}});
+  EXPECT_EQ(model.vector_of("first"), nullptr);
+  EXPECT_NE(model.vector_of("second"), nullptr);
+}
+
+TEST(Word2Vec, SizeBytesGrowsWithVocabAndDim) {
+  Word2VecConfig small_config;
+  small_config.dim = 8;
+  Word2Vec small(small_config);
+  small.train(clustered_corpus());
+  Word2VecConfig big_config;
+  big_config.dim = 64;
+  Word2Vec big(big_config);
+  big.train(clustered_corpus());
+  EXPECT_GT(big.size_bytes(), small.size_bytes());
+}
+
+}  // namespace
+}  // namespace praxi::ml

@@ -1,0 +1,9 @@
+// Entry point for the praxi-cli binary; all logic lives in praxi::cli::run
+// so it can be unit-tested without process spawning.
+#include <iostream>
+
+#include "cli/cli.hpp"
+
+int main(int argc, char** argv) {
+  return praxi::cli::run_main(argc, argv, std::cout, std::cerr);
+}
