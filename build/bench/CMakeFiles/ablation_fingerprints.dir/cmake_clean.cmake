@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_fingerprints.dir/ablation_fingerprints.cpp.o"
+  "CMakeFiles/ablation_fingerprints.dir/ablation_fingerprints.cpp.o.d"
+  "ablation_fingerprints"
+  "ablation_fingerprints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fingerprints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_praxi.dir/ablation_praxi.cpp.o"
+  "CMakeFiles/ablation_praxi.dir/ablation_praxi.cpp.o.d"
+  "ablation_praxi"
+  "ablation_praxi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_praxi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

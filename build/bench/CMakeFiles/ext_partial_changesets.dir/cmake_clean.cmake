@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_partial_changesets.dir/ext_partial_changesets.cpp.o"
+  "CMakeFiles/ext_partial_changesets.dir/ext_partial_changesets.cpp.o.d"
+  "ext_partial_changesets"
+  "ext_partial_changesets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_partial_changesets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_quantity_inference.dir/ext_quantity_inference.cpp.o"
+  "CMakeFiles/ext_quantity_inference.dir/ext_quantity_inference.cpp.o.d"
+  "ext_quantity_inference"
+  "ext_quantity_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_quantity_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_version_discovery.dir/ext_version_discovery.cpp.o"
+  "CMakeFiles/ext_version_discovery.dir/ext_version_discovery.cpp.o.d"
+  "ext_version_discovery"
+  "ext_version_discovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_version_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_trie.dir/fig1_trie.cpp.o"
+  "CMakeFiles/fig1_trie.dir/fig1_trie.cpp.o.d"
+  "fig1_trie"
+  "fig1_trie.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_trie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

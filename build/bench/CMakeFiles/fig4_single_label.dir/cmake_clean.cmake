@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_single_label.dir/fig4_single_label.cpp.o"
+  "CMakeFiles/fig4_single_label.dir/fig4_single_label.cpp.o.d"
+  "fig4_single_label"
+  "fig4_single_label.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_single_label.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

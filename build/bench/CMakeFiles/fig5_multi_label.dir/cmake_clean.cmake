@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_multi_label.dir/fig5_multi_label.cpp.o"
+  "CMakeFiles/fig5_multi_label.dir/fig5_multi_label.cpp.o.d"
+  "fig5_multi_label"
+  "fig5_multi_label.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_multi_label.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_incremental.dir/fig6_incremental.cpp.o"
+  "CMakeFiles/fig6_incremental.dir/fig6_incremental.cpp.o.d"
+  "fig6_incremental"
+  "fig6_incremental.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_incremental.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discovery_service.dir/discovery_service.cpp.o"
+  "CMakeFiles/discovery_service.dir/discovery_service.cpp.o.d"
+  "discovery_service"
+  "discovery_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discovery_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_fleet.dir/distributed_fleet.cpp.o"
+  "CMakeFiles/distributed_fleet.dir/distributed_fleet.cpp.o.d"
+  "distributed_fleet"
+  "distributed_fleet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_fleet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

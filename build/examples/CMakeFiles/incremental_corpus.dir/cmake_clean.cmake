@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incremental_corpus.dir/incremental_corpus.cpp.o"
+  "CMakeFiles/incremental_corpus.dir/incremental_corpus.cpp.o.d"
+  "incremental_corpus"
+  "incremental_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incremental_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/praxi_cli.dir/cli.cpp.o"
+  "CMakeFiles/praxi_cli.dir/cli.cpp.o.d"
+  "libpraxi_cli.a"
+  "libpraxi_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/praxi_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

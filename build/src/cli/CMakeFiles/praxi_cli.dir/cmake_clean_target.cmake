@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpraxi_cli.a"
+)

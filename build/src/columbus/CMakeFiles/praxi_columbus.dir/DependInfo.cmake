@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/columbus/columbus.cpp" "src/columbus/CMakeFiles/praxi_columbus.dir/columbus.cpp.o" "gcc" "src/columbus/CMakeFiles/praxi_columbus.dir/columbus.cpp.o.d"
+  "/root/repo/src/columbus/frequency_trie.cpp" "src/columbus/CMakeFiles/praxi_columbus.dir/frequency_trie.cpp.o" "gcc" "src/columbus/CMakeFiles/praxi_columbus.dir/frequency_trie.cpp.o.d"
+  "/root/repo/src/columbus/tagset.cpp" "src/columbus/CMakeFiles/praxi_columbus.dir/tagset.cpp.o" "gcc" "src/columbus/CMakeFiles/praxi_columbus.dir/tagset.cpp.o.d"
+  "/root/repo/src/columbus/tokenizer.cpp" "src/columbus/CMakeFiles/praxi_columbus.dir/tokenizer.cpp.o" "gcc" "src/columbus/CMakeFiles/praxi_columbus.dir/tokenizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/praxi_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/praxi_fs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/praxi_columbus.dir/columbus.cpp.o"
+  "CMakeFiles/praxi_columbus.dir/columbus.cpp.o.d"
+  "CMakeFiles/praxi_columbus.dir/frequency_trie.cpp.o"
+  "CMakeFiles/praxi_columbus.dir/frequency_trie.cpp.o.d"
+  "CMakeFiles/praxi_columbus.dir/tagset.cpp.o"
+  "CMakeFiles/praxi_columbus.dir/tagset.cpp.o.d"
+  "CMakeFiles/praxi_columbus.dir/tokenizer.cpp.o"
+  "CMakeFiles/praxi_columbus.dir/tokenizer.cpp.o.d"
+  "libpraxi_columbus.a"
+  "libpraxi_columbus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/praxi_columbus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

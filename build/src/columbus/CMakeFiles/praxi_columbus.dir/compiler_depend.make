@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for praxi_columbus.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/praxi_common.dir/hash.cpp.o"
+  "CMakeFiles/praxi_common.dir/hash.cpp.o.d"
+  "CMakeFiles/praxi_common.dir/serialize.cpp.o"
+  "CMakeFiles/praxi_common.dir/serialize.cpp.o.d"
+  "CMakeFiles/praxi_common.dir/strings.cpp.o"
+  "CMakeFiles/praxi_common.dir/strings.cpp.o.d"
+  "libpraxi_common.a"
+  "libpraxi_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/praxi_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/discovery_service.cpp" "src/core/CMakeFiles/praxi_core.dir/discovery_service.cpp.o" "gcc" "src/core/CMakeFiles/praxi_core.dir/discovery_service.cpp.o.d"
+  "/root/repo/src/core/praxi.cpp" "src/core/CMakeFiles/praxi_core.dir/praxi.cpp.o" "gcc" "src/core/CMakeFiles/praxi_core.dir/praxi.cpp.o.d"
+  "/root/repo/src/core/tagset_store.cpp" "src/core/CMakeFiles/praxi_core.dir/tagset_store.cpp.o" "gcc" "src/core/CMakeFiles/praxi_core.dir/tagset_store.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/praxi_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/praxi_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/columbus/CMakeFiles/praxi_columbus.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/praxi_ml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

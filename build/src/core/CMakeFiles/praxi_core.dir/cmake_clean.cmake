@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/praxi_core.dir/discovery_service.cpp.o"
+  "CMakeFiles/praxi_core.dir/discovery_service.cpp.o.d"
+  "CMakeFiles/praxi_core.dir/praxi.cpp.o"
+  "CMakeFiles/praxi_core.dir/praxi.cpp.o.d"
+  "CMakeFiles/praxi_core.dir/tagset_store.cpp.o"
+  "CMakeFiles/praxi_core.dir/tagset_store.cpp.o.d"
+  "libpraxi_core.a"
+  "libpraxi_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/praxi_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

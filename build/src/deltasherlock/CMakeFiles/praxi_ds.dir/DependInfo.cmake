@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/deltasherlock/deltasherlock.cpp" "src/deltasherlock/CMakeFiles/praxi_ds.dir/deltasherlock.cpp.o" "gcc" "src/deltasherlock/CMakeFiles/praxi_ds.dir/deltasherlock.cpp.o.d"
+  "/root/repo/src/deltasherlock/fingerprint.cpp" "src/deltasherlock/CMakeFiles/praxi_ds.dir/fingerprint.cpp.o" "gcc" "src/deltasherlock/CMakeFiles/praxi_ds.dir/fingerprint.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/praxi_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/praxi_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/praxi_ml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

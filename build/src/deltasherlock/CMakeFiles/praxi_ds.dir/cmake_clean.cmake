@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/praxi_ds.dir/deltasherlock.cpp.o"
+  "CMakeFiles/praxi_ds.dir/deltasherlock.cpp.o.d"
+  "CMakeFiles/praxi_ds.dir/fingerprint.cpp.o"
+  "CMakeFiles/praxi_ds.dir/fingerprint.cpp.o.d"
+  "libpraxi_ds.a"
+  "libpraxi_ds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/praxi_ds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

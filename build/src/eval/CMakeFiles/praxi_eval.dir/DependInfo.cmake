@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/harness.cpp" "src/eval/CMakeFiles/praxi_eval.dir/harness.cpp.o" "gcc" "src/eval/CMakeFiles/praxi_eval.dir/harness.cpp.o.d"
+  "/root/repo/src/eval/method.cpp" "src/eval/CMakeFiles/praxi_eval.dir/method.cpp.o" "gcc" "src/eval/CMakeFiles/praxi_eval.dir/method.cpp.o.d"
+  "/root/repo/src/eval/metrics.cpp" "src/eval/CMakeFiles/praxi_eval.dir/metrics.cpp.o" "gcc" "src/eval/CMakeFiles/praxi_eval.dir/metrics.cpp.o.d"
+  "/root/repo/src/eval/table.cpp" "src/eval/CMakeFiles/praxi_eval.dir/table.cpp.o" "gcc" "src/eval/CMakeFiles/praxi_eval.dir/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/praxi_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/praxi_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/pkg/CMakeFiles/praxi_pkg.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/praxi_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/deltasherlock/CMakeFiles/praxi_ds.dir/DependInfo.cmake"
+  "/root/repo/build/src/rules/CMakeFiles/praxi_rules.dir/DependInfo.cmake"
+  "/root/repo/build/src/columbus/CMakeFiles/praxi_columbus.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/praxi_ml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

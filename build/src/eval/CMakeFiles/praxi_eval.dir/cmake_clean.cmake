@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/praxi_eval.dir/harness.cpp.o"
+  "CMakeFiles/praxi_eval.dir/harness.cpp.o.d"
+  "CMakeFiles/praxi_eval.dir/method.cpp.o"
+  "CMakeFiles/praxi_eval.dir/method.cpp.o.d"
+  "CMakeFiles/praxi_eval.dir/metrics.cpp.o"
+  "CMakeFiles/praxi_eval.dir/metrics.cpp.o.d"
+  "CMakeFiles/praxi_eval.dir/table.cpp.o"
+  "CMakeFiles/praxi_eval.dir/table.cpp.o.d"
+  "libpraxi_eval.a"
+  "libpraxi_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/praxi_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

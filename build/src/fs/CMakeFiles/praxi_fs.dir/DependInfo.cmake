@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fs/changeset.cpp" "src/fs/CMakeFiles/praxi_fs.dir/changeset.cpp.o" "gcc" "src/fs/CMakeFiles/praxi_fs.dir/changeset.cpp.o.d"
+  "/root/repo/src/fs/filesystem.cpp" "src/fs/CMakeFiles/praxi_fs.dir/filesystem.cpp.o" "gcc" "src/fs/CMakeFiles/praxi_fs.dir/filesystem.cpp.o.d"
+  "/root/repo/src/fs/recorder.cpp" "src/fs/CMakeFiles/praxi_fs.dir/recorder.cpp.o" "gcc" "src/fs/CMakeFiles/praxi_fs.dir/recorder.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/praxi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/praxi_fs.dir/changeset.cpp.o"
+  "CMakeFiles/praxi_fs.dir/changeset.cpp.o.d"
+  "CMakeFiles/praxi_fs.dir/filesystem.cpp.o"
+  "CMakeFiles/praxi_fs.dir/filesystem.cpp.o.d"
+  "CMakeFiles/praxi_fs.dir/recorder.cpp.o"
+  "CMakeFiles/praxi_fs.dir/recorder.cpp.o.d"
+  "libpraxi_fs.a"
+  "libpraxi_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/praxi_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/features.cpp" "src/ml/CMakeFiles/praxi_ml.dir/features.cpp.o" "gcc" "src/ml/CMakeFiles/praxi_ml.dir/features.cpp.o.d"
+  "/root/repo/src/ml/kernel_svm.cpp" "src/ml/CMakeFiles/praxi_ml.dir/kernel_svm.cpp.o" "gcc" "src/ml/CMakeFiles/praxi_ml.dir/kernel_svm.cpp.o.d"
+  "/root/repo/src/ml/online_learner.cpp" "src/ml/CMakeFiles/praxi_ml.dir/online_learner.cpp.o" "gcc" "src/ml/CMakeFiles/praxi_ml.dir/online_learner.cpp.o.d"
+  "/root/repo/src/ml/word2vec.cpp" "src/ml/CMakeFiles/praxi_ml.dir/word2vec.cpp.o" "gcc" "src/ml/CMakeFiles/praxi_ml.dir/word2vec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/praxi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

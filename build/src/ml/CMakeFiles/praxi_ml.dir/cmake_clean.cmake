@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/praxi_ml.dir/features.cpp.o"
+  "CMakeFiles/praxi_ml.dir/features.cpp.o.d"
+  "CMakeFiles/praxi_ml.dir/kernel_svm.cpp.o"
+  "CMakeFiles/praxi_ml.dir/kernel_svm.cpp.o.d"
+  "CMakeFiles/praxi_ml.dir/online_learner.cpp.o"
+  "CMakeFiles/praxi_ml.dir/online_learner.cpp.o.d"
+  "CMakeFiles/praxi_ml.dir/word2vec.cpp.o"
+  "CMakeFiles/praxi_ml.dir/word2vec.cpp.o.d"
+  "libpraxi_ml.a"
+  "libpraxi_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/praxi_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pkg/catalog.cpp" "src/pkg/CMakeFiles/praxi_pkg.dir/catalog.cpp.o" "gcc" "src/pkg/CMakeFiles/praxi_pkg.dir/catalog.cpp.o.d"
+  "/root/repo/src/pkg/dataset.cpp" "src/pkg/CMakeFiles/praxi_pkg.dir/dataset.cpp.o" "gcc" "src/pkg/CMakeFiles/praxi_pkg.dir/dataset.cpp.o.d"
+  "/root/repo/src/pkg/installer.cpp" "src/pkg/CMakeFiles/praxi_pkg.dir/installer.cpp.o" "gcc" "src/pkg/CMakeFiles/praxi_pkg.dir/installer.cpp.o.d"
+  "/root/repo/src/pkg/noise.cpp" "src/pkg/CMakeFiles/praxi_pkg.dir/noise.cpp.o" "gcc" "src/pkg/CMakeFiles/praxi_pkg.dir/noise.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/praxi_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/praxi_fs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

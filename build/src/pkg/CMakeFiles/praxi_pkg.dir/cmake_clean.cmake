@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/praxi_pkg.dir/catalog.cpp.o"
+  "CMakeFiles/praxi_pkg.dir/catalog.cpp.o.d"
+  "CMakeFiles/praxi_pkg.dir/dataset.cpp.o"
+  "CMakeFiles/praxi_pkg.dir/dataset.cpp.o.d"
+  "CMakeFiles/praxi_pkg.dir/installer.cpp.o"
+  "CMakeFiles/praxi_pkg.dir/installer.cpp.o.d"
+  "CMakeFiles/praxi_pkg.dir/noise.cpp.o"
+  "CMakeFiles/praxi_pkg.dir/noise.cpp.o.d"
+  "libpraxi_pkg.a"
+  "libpraxi_pkg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/praxi_pkg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

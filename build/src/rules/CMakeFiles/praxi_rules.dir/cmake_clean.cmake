@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/praxi_rules.dir/rule_engine.cpp.o"
+  "CMakeFiles/praxi_rules.dir/rule_engine.cpp.o.d"
+  "libpraxi_rules.a"
+  "libpraxi_rules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/praxi_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/service/agent.cpp" "src/service/CMakeFiles/praxi_service.dir/agent.cpp.o" "gcc" "src/service/CMakeFiles/praxi_service.dir/agent.cpp.o.d"
+  "/root/repo/src/service/server.cpp" "src/service/CMakeFiles/praxi_service.dir/server.cpp.o" "gcc" "src/service/CMakeFiles/praxi_service.dir/server.cpp.o.d"
+  "/root/repo/src/service/transport.cpp" "src/service/CMakeFiles/praxi_service.dir/transport.cpp.o" "gcc" "src/service/CMakeFiles/praxi_service.dir/transport.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/praxi_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/praxi_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/columbus/CMakeFiles/praxi_columbus.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/praxi_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/praxi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/praxi_service.dir/agent.cpp.o"
+  "CMakeFiles/praxi_service.dir/agent.cpp.o.d"
+  "CMakeFiles/praxi_service.dir/server.cpp.o"
+  "CMakeFiles/praxi_service.dir/server.cpp.o.d"
+  "CMakeFiles/praxi_service.dir/transport.cpp.o"
+  "CMakeFiles/praxi_service.dir/transport.cpp.o.d"
+  "libpraxi_service.a"
+  "libpraxi_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/praxi_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/catalog_sweep_test.dir/catalog_sweep_test.cpp.o"
+  "CMakeFiles/catalog_sweep_test.dir/catalog_sweep_test.cpp.o.d"
+  "catalog_sweep_test"
+  "catalog_sweep_test.pdb"
+  "catalog_sweep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/catalog_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

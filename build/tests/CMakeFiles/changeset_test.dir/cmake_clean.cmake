@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/changeset_test.dir/changeset_test.cpp.o"
+  "CMakeFiles/changeset_test.dir/changeset_test.cpp.o.d"
+  "changeset_test"
+  "changeset_test.pdb"
+  "changeset_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/changeset_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/columbus_test.dir/columbus_test.cpp.o"
+  "CMakeFiles/columbus_test.dir/columbus_test.cpp.o.d"
+  "columbus_test"
+  "columbus_test.pdb"
+  "columbus_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/columbus_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deltasherlock_test.dir/deltasherlock_test.cpp.o"
+  "CMakeFiles/deltasherlock_test.dir/deltasherlock_test.cpp.o.d"
+  "deltasherlock_test"
+  "deltasherlock_test.pdb"
+  "deltasherlock_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deltasherlock_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

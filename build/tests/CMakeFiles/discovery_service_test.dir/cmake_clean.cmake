@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discovery_service_test.dir/discovery_service_test.cpp.o"
+  "CMakeFiles/discovery_service_test.dir/discovery_service_test.cpp.o.d"
+  "discovery_service_test"
+  "discovery_service_test.pdb"
+  "discovery_service_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discovery_service_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/filesystem_test.dir/filesystem_test.cpp.o"
+  "CMakeFiles/filesystem_test.dir/filesystem_test.cpp.o.d"
+  "filesystem_test"
+  "filesystem_test.pdb"
+  "filesystem_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/filesystem_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frequency_trie_test.dir/frequency_trie_test.cpp.o"
+  "CMakeFiles/frequency_trie_test.dir/frequency_trie_test.cpp.o.d"
+  "frequency_trie_test"
+  "frequency_trie_test.pdb"
+  "frequency_trie_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frequency_trie_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/installer_test.dir/installer_test.cpp.o"
+  "CMakeFiles/installer_test.dir/installer_test.cpp.o.d"
+  "installer_test"
+  "installer_test.pdb"
+  "installer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/installer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

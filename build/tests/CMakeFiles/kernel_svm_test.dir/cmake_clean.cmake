@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_svm_test.dir/kernel_svm_test.cpp.o"
+  "CMakeFiles/kernel_svm_test.dir/kernel_svm_test.cpp.o.d"
+  "kernel_svm_test"
+  "kernel_svm_test.pdb"
+  "kernel_svm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_svm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

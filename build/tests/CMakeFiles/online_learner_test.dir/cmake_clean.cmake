@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/online_learner_test.dir/online_learner_test.cpp.o"
+  "CMakeFiles/online_learner_test.dir/online_learner_test.cpp.o.d"
+  "online_learner_test"
+  "online_learner_test.pdb"
+  "online_learner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/online_learner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/praxi_test.dir/praxi_test.cpp.o"
+  "CMakeFiles/praxi_test.dir/praxi_test.cpp.o.d"
+  "praxi_test"
+  "praxi_test.pdb"
+  "praxi_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/praxi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

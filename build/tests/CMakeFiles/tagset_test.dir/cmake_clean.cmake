@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tagset_test.dir/tagset_test.cpp.o"
+  "CMakeFiles/tagset_test.dir/tagset_test.cpp.o.d"
+  "tagset_test"
+  "tagset_test.pdb"
+  "tagset_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tagset_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

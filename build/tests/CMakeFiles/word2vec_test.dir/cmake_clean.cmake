@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/word2vec_test.dir/word2vec_test.cpp.o"
+  "CMakeFiles/word2vec_test.dir/word2vec_test.cpp.o.d"
+  "word2vec_test"
+  "word2vec_test.pdb"
+  "word2vec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/word2vec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/praxi-cli.dir/praxi_cli_main.cpp.o"
+  "CMakeFiles/praxi-cli.dir/praxi_cli_main.cpp.o.d"
+  "praxi-cli"
+  "praxi-cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/praxi-cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
