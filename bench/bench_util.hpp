@@ -18,6 +18,7 @@ struct BenchArgs {
   double scale = 0.1;        ///< fraction of paper-scale sample counts
   std::uint64_t seed = 42;   ///< catalog/dataset seed
   bool dirtier = false;      ///< Fig. 4 noise-overlay variant (§V-A)
+  std::size_t threads = 1;   ///< Praxi batch-engine workers (0 = all hw)
 
   /// Scales a paper-scale count, keeping at least `minimum`.
   std::size_t scaled(std::size_t paper_count, std::size_t minimum = 1) const {
@@ -40,15 +41,20 @@ inline BenchArgs parse_bench_args(int argc, char** argv) {
       }
     } else if (arg.rfind("--seed=", 0) == 0) {
       args.seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      args.threads = std::strtoull(arg.c_str() + 10, nullptr, 10);
     } else if (arg == "--dirtier") {
       args.dirtier = true;
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
-          "usage: %s [--full] [--scale=F] [--seed=N] [--dirtier]\n"
-          "  --full     run at the paper's sample counts\n"
-          "  --scale=F  fraction of paper-scale counts (default 0.1)\n"
-          "  --seed=N   dataset/catalog seed (default 42)\n"
-          "  --dirtier  overlay extra system noise (Fig. 4 variant)\n",
+          "usage: %s [--full] [--scale=F] [--seed=N] [--threads=N] "
+          "[--dirtier]\n"
+          "  --full       run at the paper's sample counts\n"
+          "  --scale=F    fraction of paper-scale counts (default 0.1)\n"
+          "  --seed=N     dataset/catalog seed (default 42)\n"
+          "  --threads=N  Praxi batch-engine workers (0 = all hardware\n"
+          "               threads, 1 = sequential; default 1)\n"
+          "  --dirtier    overlay extra system noise (Fig. 4 variant)\n",
           argv[0]);
       std::exit(0);
     } else {

@@ -70,7 +70,9 @@ int main(int argc, char** argv) {
             std::ptrdiff_t(std::min(n_clean, clean_all.size())));
 
     eval::RuleBasedMethod rule_method;
-    eval::PraxiMethod praxi_method;
+    core::PraxiConfig praxi_config;
+    praxi_config.num_threads = args.threads;
+    eval::PraxiMethod praxi_method(praxi_config);
     ds::DeltaSherlockConfig ds_config;
     eval::DeltaSherlockMethod ds_method(ds_config);
 

@@ -1,0 +1,81 @@
+// Batch-engine scaling micro-benchmarks (google-benchmark): throughput of
+// the thread-pooled batch APIs at 1/2/4/8 workers over a 1000-changeset
+// corpus. Tag extraction and prediction are per-changeset independent
+// (paper §III), so batch throughput should scale near-linearly until the
+// machine runs out of cores; predictions are identical at every thread
+// count (see batch_determinism_test).
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/praxi.hpp"
+#include "pkg/dataset.hpp"
+
+using namespace praxi;
+
+namespace {
+
+constexpr std::size_t kCorpusSize = 1000;
+
+/// 1000 dirty changesets, built once (dataset generation is not measured).
+const pkg::Dataset& corpus() {
+  static const pkg::Dataset dataset = [] {
+    const auto catalog = pkg::Catalog::subset(42, 25, 5);
+    pkg::DatasetBuilder builder(catalog, 7);
+    pkg::CollectOptions options;
+    options.samples_per_app =
+        (kCorpusSize + catalog.application_count() - 1) /
+        catalog.application_count();
+    return builder.collect_dirty(options);
+  }();
+  return dataset;
+}
+
+std::vector<const fs::Changeset*> corpus_pointers() {
+  std::vector<const fs::Changeset*> out;
+  for (const auto& cs : corpus().changesets) {
+    out.push_back(&cs);
+    if (out.size() == kCorpusSize) break;
+  }
+  return out;
+}
+
+/// One model trained once; each benchmark copies it and retunes the worker
+/// count (training itself is excluded from every measurement).
+const core::Praxi& trained_model() {
+  static const core::Praxi model = [] {
+    core::Praxi m;
+    m.train_changesets(corpus_pointers());
+    return m;
+  }();
+  return model;
+}
+
+void BM_ExtractTagsBatch(benchmark::State& state) {
+  const auto batch = corpus_pointers();
+  core::Praxi model = trained_model();
+  model.set_num_threads(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.extract_tags_batch(batch));
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * int64_t(batch.size()));
+}
+BENCHMARK(BM_ExtractTagsBatch)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_PredictBatch(benchmark::State& state) {
+  const auto batch = corpus_pointers();
+  core::Praxi model = trained_model();
+  model.set_num_threads(static_cast<std::size_t>(state.range(0)));
+  const std::vector<std::size_t> counts(batch.size(), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.predict_batch(batch, counts));
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * int64_t(batch.size()));
+}
+BENCHMARK(BM_PredictBatch)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -55,9 +55,11 @@ int usage(std::ostream& err) {
          "commands:\n"
          "  demo-corpus --out DIR [--apps N] [--samples N] [--seed N]\n"
          "  tags FILE...\n"
-         "  train --model OUT [--multi] [--append] FILE...\n"
-         "  predict --model M [-n N] FILE...\n"
-         "  inspect --model M\n";
+         "  train --model OUT [--multi] [--append] [--threads N] FILE...\n"
+         "  predict --model M [-n N] [--threads N] FILE...\n"
+         "  inspect --model M\n"
+         "--threads: batch-engine workers (0 = all hardware threads,\n"
+         "           1 = sequential; default 1)\n";
   return 2;
 }
 
@@ -117,6 +119,7 @@ int cmd_train(const Options& options, std::ostream& out, std::ostream& err) {
   }
   const std::string model_path = options.get("model", "");
 
+  const auto threads = std::stoul(options.get("threads", "1"));
   core::Praxi model = [&] {
     if (options.has("append")) {
       // Incremental training continues from an existing model.
@@ -127,6 +130,7 @@ int cmd_train(const Options& options, std::ostream& out, std::ostream& err) {
                                        : core::LabelMode::kSingleLabel;
     return core::Praxi(config);
   }();
+  model.set_num_threads(threads);
 
   std::vector<fs::Changeset> changesets;
   changesets.reserve(options.positional.size());
@@ -154,12 +158,25 @@ int cmd_predict(const Options& options, std::ostream& out,
     err << "predict: --model M and at least one changeset file required\n";
     return 2;
   }
-  const core::Praxi model =
+  core::Praxi model =
       core::Praxi::from_binary(read_file(options.get("model", "")));
+  model.set_num_threads(std::stoul(options.get("threads", "1")));
   const auto n = std::stoul(options.get("n", "1"));
+
+  // All files become one batch: the engine classifies them concurrently
+  // when --threads asks for workers, in input order either way.
+  std::vector<fs::Changeset> changesets;
+  changesets.reserve(options.positional.size());
   for (const auto& path : options.positional) {
-    const auto predicted = model.predict(load_changeset(path), n);
-    out << path << ": " << join(predicted, " ") << "\n";
+    changesets.push_back(load_changeset(path));
+  }
+  std::vector<const fs::Changeset*> batch;
+  batch.reserve(changesets.size());
+  for (const auto& cs : changesets) batch.push_back(&cs);
+  const auto predicted =
+      model.predict_batch(batch, std::vector<std::size_t>(batch.size(), n));
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    out << options.positional[i] << ": " << join(predicted[i], " ") << "\n";
   }
   return 0;
 }

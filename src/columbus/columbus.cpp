@@ -23,6 +23,15 @@ TagSet Columbus::extract(const fs::Changeset& changeset) const {
   return ts;
 }
 
+std::vector<TagSet> Columbus::extract_batch(
+    const std::vector<const fs::Changeset*>& changesets,
+    ThreadPool* pool) const {
+  std::vector<TagSet> out(changesets.size());
+  parallel_for(pool, changesets.size(),
+               [&](std::size_t i) { out[i] = extract(*changesets[i]); });
+  return out;
+}
+
 TagSet Columbus::extract_from_paths(const std::vector<std::string>& paths,
                                     const std::vector<bool>& executable) const {
   FrequencyTrie ft_name;  // every segment of every path

@@ -15,6 +15,7 @@
 
 #include "columbus/tagset.hpp"
 #include "columbus/tokenizer.hpp"
+#include "common/thread_pool.hpp"
 #include "fs/changeset.hpp"
 #include "fs/filesystem.hpp"
 
@@ -36,6 +37,14 @@ class Columbus {
   /// Praxi's usage: tags from the changed paths of one changeset. The
   /// returned tagset inherits the changeset's ground-truth labels.
   TagSet extract(const fs::Changeset& changeset) const;
+
+  /// Batch form of extract(): one tagset per changeset, in input order.
+  /// Extraction is per-changeset independent (§III-B), so items run
+  /// concurrently on `pool` (null or single-worker pool = sequential);
+  /// results are identical to the sequential loop either way.
+  std::vector<TagSet> extract_batch(
+      const std::vector<const fs::Changeset*>& changesets,
+      ThreadPool* pool = nullptr) const;
 
   /// Core primitive: tags from an explicit path list. `executable[i]` marks
   /// paths feeding FT_exec (pass an empty vector when unknown).

@@ -84,7 +84,9 @@ DiscoveryEvent DiscoveryService::classify(fs::Changeset changeset) {
   const std::size_t n = model_.mode() == LabelMode::kSingleLabel
                             ? 1
                             : event.inferred_quantity;
-  event.applications = model_.predict(changeset, n);
+  // Extract once, predict from the tagset — keeps a single tokenization
+  // pass even if this path later also retains the tagset (§V-C).
+  event.applications = model_.predict_tags(model_.extract_tags(changeset), n);
   return event;
 }
 

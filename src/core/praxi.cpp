@@ -13,10 +13,30 @@ Praxi::Praxi(PraxiConfig config)
       columbus_(config.columbus),
       hasher_(config.learner.bits),
       oaa_(config.learner),
-      csoaa_(config.learner) {}
+      csoaa_(config.learner) {
+  if (config_.num_threads != 1) {
+    pool_ = std::make_shared<ThreadPool>(config_.num_threads);
+  }
+}
+
+void Praxi::set_num_threads(std::size_t num_threads) {
+  if (num_threads == config_.num_threads) return;
+  config_.num_threads = num_threads;
+  if (num_threads == 1) {
+    pool_.reset();
+  } else if (!pool_ ||
+             pool_->size() != ThreadPool::resolve_threads(num_threads)) {
+    pool_ = std::make_shared<ThreadPool>(num_threads);
+  }
+}
 
 columbus::TagSet Praxi::extract_tags(const fs::Changeset& changeset) const {
   return columbus_.extract(changeset);
+}
+
+std::vector<columbus::TagSet> Praxi::extract_tags_batch(
+    const std::vector<const fs::Changeset*>& changesets) const {
+  return columbus_.extract_batch(changesets, pool_.get());
 }
 
 ml::FeatureVector Praxi::features_of(const columbus::TagSet& tagset) const {
@@ -67,10 +87,11 @@ void Praxi::train(const std::vector<columbus::TagSet>& tagsets) {
 }
 
 void Praxi::train_changesets(const std::vector<const fs::Changeset*>& corpus) {
+  // Tag extraction parallelizes (per-changeset independent, order
+  // preserved); the SGD weight updates inside train() stay sequential so
+  // the trained model is bit-identical at every thread count.
   Stopwatch timer;
-  std::vector<columbus::TagSet> tagsets;
-  tagsets.reserve(corpus.size());
-  for (const fs::Changeset* cs : corpus) tagsets.push_back(extract_tags(*cs));
+  std::vector<columbus::TagSet> tagsets = extract_tags_batch(corpus);
   overhead_.tag_extraction_s += timer.elapsed_s();
   train(tagsets);
 }
@@ -106,6 +127,50 @@ std::vector<std::string> Praxi::predict_tags(const columbus::TagSet& tagset,
     return {oaa_.predict(features)};
   }
   return csoaa_.predict_top_n(features, n);
+}
+
+namespace {
+
+/// Per-item prediction count: `n` is either empty (1 for every item) or
+/// exactly one entry per item.
+std::size_t n_for(const std::vector<std::size_t>& n, std::size_t i) {
+  return n.empty() ? 1 : n[i];
+}
+
+void check_batch_sizes(std::size_t items, const std::vector<std::size_t>& n,
+                       const char* what) {
+  if (!n.empty() && n.size() != items) {
+    throw std::invalid_argument(std::string(what) +
+                                ": n must be empty or one entry per item");
+  }
+}
+
+}  // namespace
+
+std::vector<std::vector<std::string>> Praxi::predict_batch(
+    const std::vector<const fs::Changeset*>& changesets,
+    const std::vector<std::size_t>& n) const {
+  if (!trained_) throw std::logic_error("Praxi: predict before train");
+  check_batch_sizes(changesets.size(), n, "Praxi::predict_batch");
+  std::vector<std::vector<std::string>> out(changesets.size());
+  // One task per item covers the whole chain (tokenize -> trie -> features
+  // -> scorer); everything it touches is const, so items never contend.
+  parallel_for(pool_.get(), changesets.size(), [&](std::size_t i) {
+    out[i] = predict_tags(extract_tags(*changesets[i]), n_for(n, i));
+  });
+  return out;
+}
+
+std::vector<std::vector<std::string>> Praxi::predict_tags_batch(
+    const std::vector<columbus::TagSet>& tagsets,
+    const std::vector<std::size_t>& n) const {
+  if (!trained_) throw std::logic_error("Praxi: predict before train");
+  check_batch_sizes(tagsets.size(), n, "Praxi::predict_tags_batch");
+  std::vector<std::vector<std::string>> out(tagsets.size());
+  parallel_for(pool_.get(), tagsets.size(), [&](std::size_t i) {
+    out[i] = predict_tags(tagsets[i], n_for(n, i));
+  });
+  return out;
 }
 
 std::vector<std::pair<std::string, float>> Praxi::ranked(

@@ -14,11 +14,14 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "columbus/columbus.hpp"
+#include "common/thread_pool.hpp"
 #include "fs/changeset.hpp"
 #include "ml/features.hpp"
 #include "ml/online_learner.hpp"
@@ -34,6 +37,11 @@ struct PraxiConfig {
   LabelMode mode = LabelMode::kSingleLabel;
   columbus::ColumbusConfig columbus;
   ml::OnlineLearnerConfig learner;
+  /// Worker threads for the batch APIs (extract_tags_batch, predict_batch,
+  /// and the tag-extraction half of train_changesets): 0 = one per hardware
+  /// thread, 1 = the sequential path (no pool is created). Batch results are
+  /// identical for every value — threading only changes wall-clock time.
+  std::size_t num_threads = 1;
 };
 
 /// Wall-clock and storage accounting for the most recent train()/predict
@@ -53,6 +61,11 @@ class Praxi {
 
   /// Columbus tag extraction for one changeset (labels carried through).
   columbus::TagSet extract_tags(const fs::Changeset& changeset) const;
+
+  /// Batch tag extraction, input order preserved. Runs on the configured
+  /// thread pool; output is identical to calling extract_tags() in a loop.
+  std::vector<columbus::TagSet> extract_tags_batch(
+      const std::vector<const fs::Changeset*>& changesets) const;
 
   /// Hashed feature vector for a tagset (tag frequency as feature value,
   /// L2-normalized).
@@ -81,6 +94,21 @@ class Praxi {
   std::vector<std::string> predict_tags(const columbus::TagSet& tagset,
                                         std::size_t n = 1) const;
 
+  /// Batch prediction over raw changesets: tag extraction, feature hashing,
+  /// and classifier scoring all run concurrently per item on the configured
+  /// pool; results come back in input order, label-for-label identical to
+  /// the sequential loop. `n` must be empty (1 per item) or one entry per
+  /// changeset.
+  std::vector<std::vector<std::string>> predict_batch(
+      const std::vector<const fs::Changeset*>& changesets,
+      const std::vector<std::size_t>& n = {}) const;
+
+  /// Batch prediction over pre-extracted tagsets (the §V-C path: tagsets
+  /// are generated once and never regenerated).
+  std::vector<std::vector<std::string>> predict_tags_batch(
+      const std::vector<columbus::TagSet>& tagsets,
+      const std::vector<std::size_t>& n = {}) const;
+
   /// Ranked (label, confidence) pairs; higher is more likely in both modes.
   std::vector<std::pair<std::string, float>> ranked(
       const columbus::TagSet& tagset) const;
@@ -90,6 +118,11 @@ class Praxi {
   void reset();
   bool trained() const { return trained_; }
   LabelMode mode() const { return config_.mode; }
+
+  /// Reconfigures the batch-API worker count (0 = hardware_concurrency,
+  /// 1 = sequential). Cheap when the resolved count is unchanged.
+  void set_num_threads(std::size_t num_threads);
+  std::size_t num_threads() const { return config_.num_threads; }
   const ml::LabelSpace& labels() const;
   const PraxiOverhead& overhead() const { return overhead_; }
   std::size_t model_bytes() const;
@@ -105,6 +138,9 @@ class Praxi {
   ml::CsoaaClassifier csoaa_;
   PraxiOverhead overhead_;
   bool trained_ = false;
+  /// Lives only when num_threads != 1; shared so copies of a model reuse
+  /// one pool instead of spawning workers per copy.
+  std::shared_ptr<ThreadPool> pool_;
 };
 
 }  // namespace praxi::core

@@ -107,14 +107,17 @@ FoldOutcome run_fold(DiscoveryMethod& method, const FoldSpec& fold) {
   outcome.model_bytes = method.model_bytes();
 
   std::vector<std::vector<std::string>> truths;
-  std::vector<std::vector<std::string>> predictions;
+  std::vector<std::size_t> counts;
   truths.reserve(fold.test.size());
-  predictions.reserve(fold.test.size());
-  Stopwatch test_timer;
+  counts.reserve(fold.test.size());
   for (const fs::Changeset* cs : fold.test) {
     truths.push_back(cs->labels());
-    predictions.push_back(method.predict(*cs, cs->labels().size()));
+    counts.push_back(cs->labels().size());
   }
+  Stopwatch test_timer;
+  // Batch call: sequential loop for most methods, thread-pooled for Praxi
+  // when its config asks for workers — identical predictions either way.
+  const auto predictions = method.predict_batch(fold.test, counts);
   outcome.test_s = test_timer.elapsed_s();
   outcome.metrics = evaluate(truths, predictions);
   return outcome;

@@ -9,6 +9,21 @@ void DiscoveryMethod::train_incremental(
   throw std::logic_error(name() + " does not support incremental training");
 }
 
+std::vector<std::vector<std::string>> DiscoveryMethod::predict_batch(
+    const std::vector<const fs::Changeset*>& changesets,
+    const std::vector<std::size_t>& n) const {
+  if (n.size() != changesets.size()) {
+    throw std::invalid_argument(name() +
+                                "::predict_batch: one n per changeset");
+  }
+  std::vector<std::vector<std::string>> out;
+  out.reserve(changesets.size());
+  for (std::size_t i = 0; i < changesets.size(); ++i) {
+    out.push_back(predict(*changesets[i], n[i]));
+  }
+  return out;
+}
+
 // ---------------------------------------------------------------------------
 // PraxiMethod
 // ---------------------------------------------------------------------------
@@ -29,6 +44,15 @@ void PraxiMethod::train_incremental(
 std::vector<std::string> PraxiMethod::predict(const fs::Changeset& changeset,
                                               std::size_t n) const {
   return model_.predict(changeset, n);
+}
+
+std::vector<std::vector<std::string>> PraxiMethod::predict_batch(
+    const std::vector<const fs::Changeset*>& changesets,
+    const std::vector<std::size_t>& n) const {
+  if (n.size() != changesets.size()) {
+    throw std::invalid_argument("PraxiMethod::predict_batch: one n per changeset");
+  }
+  return model_.predict_batch(changesets, n);
 }
 
 // ---------------------------------------------------------------------------

@@ -29,6 +29,15 @@ class DiscoveryMethod {
   virtual std::vector<std::string> predict(const fs::Changeset& changeset,
                                            std::size_t n) const = 0;
 
+  /// Batch prediction, input order preserved; `n[i]` is the application
+  /// count for changeset i (n.size() must equal changesets.size()). The
+  /// default implementation is the sequential predict() loop; methods with
+  /// a parallel engine (Praxi) override it. Results must be identical to
+  /// the sequential loop either way.
+  virtual std::vector<std::vector<std::string>> predict_batch(
+      const std::vector<const fs::Changeset*>& changesets,
+      const std::vector<std::size_t>& n) const;
+
   /// Retained-model footprint.
   virtual std::size_t model_bytes() const = 0;
 
@@ -53,6 +62,9 @@ class PraxiMethod final : public DiscoveryMethod {
   void train(const std::vector<const fs::Changeset*>& corpus) override;
   std::vector<std::string> predict(const fs::Changeset& changeset,
                                    std::size_t n) const override;
+  std::vector<std::vector<std::string>> predict_batch(
+      const std::vector<const fs::Changeset*>& changesets,
+      const std::vector<std::size_t>& n) const override;
   std::size_t model_bytes() const override { return model_.model_bytes(); }
   bool supports_incremental_training() const override { return true; }
   void train_incremental(

@@ -10,10 +10,18 @@ DiscoveryServer::DiscoveryServer(core::Praxi model, ServerConfig config)
     : model_(std::move(model)), config_(config) {
   if (!model_.trained())
     throw std::invalid_argument("DiscoveryServer: model must be trained");
+  model_.set_num_threads(config_.num_threads);
 }
 
 std::vector<Discovery> DiscoveryServer::process(MessageBus& bus) {
-  std::vector<Discovery> discoveries;
+  // Phase 1 (sequential): parse + screen. Quantity inference is cheap
+  // relative to classification, so only the survivors go into the batch.
+  struct PendingReport {
+    Discovery discovery;
+    fs::Changeset changeset;
+    std::size_t n = 1;
+  };
+  std::vector<PendingReport> pending;
   for (const std::string& wire : bus.drain()) {
     ChangesetReport report;
     try {
@@ -36,16 +44,39 @@ std::vector<Discovery> DiscoveryServer::process(MessageBus& bus) {
         report.changeset, config_.quantity);
     if (discovery.inferred_quantity == 0) continue;  // background noise only
 
-    const std::size_t n = model_.mode() == core::LabelMode::kSingleLabel
-                              ? 1
-                              : discovery.inferred_quantity;
-    discovery.applications = model_.predict(report.changeset, n);
+    PendingReport item;
+    item.discovery = std::move(discovery);
+    item.n = model_.mode() == core::LabelMode::kSingleLabel
+                 ? 1
+                 : item.discovery.inferred_quantity;
+    item.changeset = std::move(report.changeset);
+    pending.push_back(std::move(item));
+  }
 
-    // Retain only the tagset — the changeset itself can be discarded
-    // (Praxi never needs to regenerate features, §V-C).
-    store_.add(model_.extract_tags(report.changeset));
+  // Phase 2 (concurrent): one tag extraction per report, reused for both
+  // prediction and the store — the changeset itself can be discarded after
+  // this point (Praxi never needs to regenerate features, §V-C).
+  std::vector<const fs::Changeset*> changesets;
+  std::vector<std::size_t> counts;
+  changesets.reserve(pending.size());
+  counts.reserve(pending.size());
+  for (const auto& item : pending) {
+    changesets.push_back(&item.changeset);
+    counts.push_back(item.n);
+  }
+  auto tagsets = model_.extract_tags_batch(changesets);
+  auto predictions = model_.predict_tags_batch(tagsets, counts);
+
+  // Phase 3 (sequential): commit results in arrival order so the store and
+  // inventory are deterministic regardless of thread count.
+  std::vector<Discovery> discoveries;
+  discoveries.reserve(pending.size());
+  for (std::size_t i = 0; i < pending.size(); ++i) {
+    Discovery discovery = std::move(pending[i].discovery);
+    discovery.applications = std::move(predictions[i]);
+    store_.add(std::move(tagsets[i]));
     for (const auto& app : discovery.applications) {
-      inventory_[report.agent_id].insert(app);
+      inventory_[discovery.agent_id].insert(app);
     }
     discoveries.push_back(std::move(discovery));
   }

@@ -28,6 +28,10 @@ namespace praxi::service {
 struct ServerConfig {
   /// Quantity inference settings applied to every incoming window.
   core::DiscoveryServiceConfig quantity;
+  /// Worker threads for classifying a drained batch of reports
+  /// (0 = one per hardware thread, 1 = sequential). Reports are
+  /// independent, so discoveries are identical at every thread count.
+  std::size_t num_threads = 0;
 };
 
 /// One processed report.
@@ -46,9 +50,11 @@ class DiscoveryServer {
   /// `model` must be trained.
   explicit DiscoveryServer(core::Praxi model, ServerConfig config = {});
 
-  /// Drains and processes every queued report; returns the discoveries
-  /// made (one per non-noise window). Malformed messages are counted and
-  /// skipped, never fatal.
+  /// Drains every queued report into one batch and classifies the batch
+  /// concurrently (ServerConfig::num_threads); returns the discoveries
+  /// made (one per non-noise window), in arrival order. Malformed messages
+  /// are counted and skipped, never fatal. Each report's tags are extracted
+  /// exactly once and reused for both prediction and the tagset store.
   std::vector<Discovery> process(MessageBus& bus);
 
   /// Fleet inventory: applications discovered per agent so far.

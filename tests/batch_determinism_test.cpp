@@ -1,0 +1,206 @@
+// Determinism guarantees of the batch-first engine: every batch API must
+// return results label-for-label identical to the sequential loop at every
+// thread count (the pool parallelizes per-item work but never reorders or
+// perturbs it), and thread-pooled training must produce the same model as
+// sequential training because SGD weight updates stay sequential.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/praxi.hpp"
+#include "eval/method.hpp"
+#include "pkg/dataset.hpp"
+#include "service/agent.hpp"
+#include "service/server.hpp"
+#include "service/transport.hpp"
+
+namespace praxi::core {
+namespace {
+
+class BatchDeterminismTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    const auto catalog = pkg::Catalog::subset(42, 10, 2);
+    pkg::DatasetBuilder builder(catalog, 7);
+    pkg::CollectOptions options;
+    options.samples_per_app = 6;
+    dirty_ = new pkg::Dataset(builder.collect_dirty(options));
+    multi_ = new pkg::Dataset(
+        pkg::DatasetBuilder::synthesize_multi(*dirty_, 40, 2, 4, 11));
+  }
+
+  static void TearDownTestSuite() {
+    delete dirty_;
+    delete multi_;
+  }
+
+  static std::vector<const fs::Changeset*> split(const pkg::Dataset& dataset,
+                                                 int mod, bool take) {
+    std::vector<const fs::Changeset*> out;
+    for (std::size_t i = 0; i < dataset.changesets.size(); ++i) {
+      if ((int(i) % mod == 0) == take) out.push_back(&dataset.changesets[i]);
+    }
+    return out;
+  }
+
+  static pkg::Dataset* dirty_;
+  static pkg::Dataset* multi_;
+};
+
+pkg::Dataset* BatchDeterminismTest::dirty_ = nullptr;
+pkg::Dataset* BatchDeterminismTest::multi_ = nullptr;
+
+const std::size_t kThreadCounts[] = {1, 2, 8};
+
+TEST_F(BatchDeterminismTest, ExtractTagsBatchMatchesSequential) {
+  const auto batch = split(*dirty_, 4, true);
+  Praxi sequential;
+  std::vector<columbus::TagSet> expected;
+  for (const fs::Changeset* cs : batch) {
+    expected.push_back(sequential.extract_tags(*cs));
+  }
+  for (const std::size_t threads : kThreadCounts) {
+    PraxiConfig config;
+    config.num_threads = threads;
+    Praxi model(config);
+    EXPECT_EQ(model.extract_tags_batch(batch), expected)
+        << "num_threads=" << threads;
+  }
+}
+
+TEST_F(BatchDeterminismTest, PredictBatchMatchesSequentialLoop) {
+  const auto train = split(*dirty_, 6, false);
+  const auto test = split(*dirty_, 6, true);
+
+  Praxi sequential;
+  sequential.train_changesets(train);
+  std::vector<std::vector<std::string>> expected;
+  for (const fs::Changeset* cs : test) {
+    expected.push_back(sequential.predict(*cs));
+  }
+
+  for (const std::size_t threads : kThreadCounts) {
+    PraxiConfig config;
+    config.num_threads = threads;
+    Praxi model(config);
+    // Thread-pooled training: parallel tag extraction, sequential SGD.
+    model.train_changesets(train);
+    EXPECT_EQ(model.predict_batch(test), expected)
+        << "num_threads=" << threads;
+  }
+}
+
+TEST_F(BatchDeterminismTest, MultiLabelPredictBatchMatchesSequentialLoop) {
+  auto train = split(*multi_, 5, false);
+  for (const auto& cs : dirty_->changesets) train.push_back(&cs);
+  const auto test = split(*multi_, 5, true);
+  std::vector<std::size_t> counts;
+  for (const fs::Changeset* cs : test) counts.push_back(cs->labels().size());
+
+  PraxiConfig sequential_config;
+  sequential_config.mode = LabelMode::kMultiLabel;
+  Praxi sequential(sequential_config);
+  sequential.train_changesets(train);
+  std::vector<std::vector<std::string>> expected;
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    expected.push_back(sequential.predict(*test[i], counts[i]));
+  }
+
+  for (const std::size_t threads : kThreadCounts) {
+    PraxiConfig config;
+    config.mode = LabelMode::kMultiLabel;
+    config.num_threads = threads;
+    Praxi model(config);
+    model.train_changesets(train);
+    EXPECT_EQ(model.predict_batch(test, counts), expected)
+        << "num_threads=" << threads;
+    // The pre-extracted-tagset path must agree with the changeset path.
+    EXPECT_EQ(model.predict_tags_batch(model.extract_tags_batch(test), counts),
+              expected)
+        << "num_threads=" << threads;
+  }
+}
+
+TEST_F(BatchDeterminismTest, SetNumThreadsRetunesALiveModel) {
+  const auto train = split(*dirty_, 6, false);
+  const auto test = split(*dirty_, 6, true);
+  Praxi model;
+  model.train_changesets(train);
+  const auto expected = model.predict_batch(test);
+  for (const std::size_t threads : kThreadCounts) {
+    model.set_num_threads(threads);
+    EXPECT_EQ(model.num_threads(), threads);
+    EXPECT_EQ(model.predict_batch(test), expected)
+        << "num_threads=" << threads;
+  }
+}
+
+TEST_F(BatchDeterminismTest, PredictBatchValidatesInputs) {
+  Praxi untrained;
+  EXPECT_THROW(untrained.predict_batch(split(*dirty_, 6, true)),
+               std::logic_error);
+
+  Praxi model;
+  model.train_changesets(split(*dirty_, 6, false));
+  const auto test = split(*dirty_, 6, true);
+  EXPECT_THROW(
+      model.predict_batch(test, std::vector<std::size_t>(test.size() + 1, 1)),
+      std::invalid_argument);
+}
+
+TEST_F(BatchDeterminismTest, PraxiMethodBatchMatchesBaseSequentialBatch) {
+  const auto train = split(*dirty_, 6, false);
+  const auto test = split(*dirty_, 6, true);
+  const std::vector<std::size_t> counts(test.size(), 1);
+
+  eval::PraxiMethod reference;
+  reference.train(train);
+  // Base-class implementation: the sequential predict() loop.
+  const auto expected =
+      reference.DiscoveryMethod::predict_batch(test, counts);
+
+  for (const std::size_t threads : kThreadCounts) {
+    PraxiConfig config;
+    config.num_threads = threads;
+    eval::PraxiMethod method(config);
+    method.train(train);
+    EXPECT_EQ(method.predict_batch(test, counts), expected)
+        << "num_threads=" << threads;
+  }
+}
+
+TEST_F(BatchDeterminismTest, ServerDiscoveriesIdenticalAtEveryThreadCount) {
+  Praxi model;
+  model.train_changesets(split(*dirty_, 6, false));
+  const auto test = split(*dirty_, 3, true);
+
+  auto run_server = [&](std::size_t threads) {
+    service::ServerConfig config;
+    config.num_threads = threads;
+    service::DiscoveryServer server(model, config);
+    service::MessageBus bus;
+    for (std::size_t i = 0; i < test.size(); ++i) {
+      service::ChangesetReport report;
+      report.agent_id = "agent-" + std::to_string(i % 3);
+      report.sequence = i;
+      report.changeset = *test[i];
+      bus.send(report.to_wire());
+    }
+    return server.process(bus);
+  };
+
+  const auto expected = run_server(1);
+  ASSERT_FALSE(expected.empty());
+  for (const std::size_t threads : kThreadCounts) {
+    const auto got = run_server(threads);
+    ASSERT_EQ(got.size(), expected.size()) << "num_threads=" << threads;
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].agent_id, expected[i].agent_id);
+      EXPECT_EQ(got[i].sequence, expected[i].sequence);
+      EXPECT_EQ(got[i].applications, expected[i].applications);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace praxi::core

@@ -1,0 +1,103 @@
+#include "common/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace praxi {
+namespace {
+
+TEST(ThreadPoolTest, ResolveThreadsMapsZeroToHardware) {
+  EXPECT_GE(ThreadPool::resolve_threads(0), 1u);
+  EXPECT_EQ(ThreadPool::resolve_threads(1), 1u);
+  EXPECT_EQ(ThreadPool::resolve_threads(7), 7u);
+}
+
+TEST(ThreadPoolTest, SpawnsRequestedWorkerCount) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(ThreadPoolTest, SubmitReturnsResultThroughFuture) {
+  ThreadPool pool(2);
+  auto future = pool.submit([] { return 6 * 7; });
+  EXPECT_EQ(future.get(), 42);
+}
+
+TEST(ThreadPoolTest, ManySubmissionsAllComplete) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 500; ++i) {
+    futures.push_back(pool.submit([&counter, i] {
+      counter.fetch_add(1, std::memory_order_relaxed);
+      return i;
+    }));
+  }
+  for (int i = 0; i < 500; ++i) EXPECT_EQ(futures[size_t(i)].get(), i);
+  EXPECT_EQ(counter.load(), 500);
+}
+
+TEST(ThreadPoolTest, SubmitPropagatesExceptionThroughFuture) {
+  ThreadPool pool(2);
+  auto future =
+      pool.submit([]() -> int { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsOutstandingTasks) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 64; ++i) {
+      pool.submit([&counter] { counter.fetch_add(1); });
+    }
+  }  // ~ThreadPool joins after the queue drains
+  EXPECT_EQ(counter.load(), 64);
+}
+
+TEST(ParallelForTest, PreservesIndexOrdering) {
+  ThreadPool pool(4);
+  std::vector<int> parallel_out(1000, -1);
+  parallel_for(&pool, parallel_out.size(),
+               [&](std::size_t i) { parallel_out[i] = int(i) * 3; });
+
+  std::vector<int> sequential_out(1000, -1);
+  parallel_for(nullptr, sequential_out.size(),
+               [&](std::size_t i) { sequential_out[i] = int(i) * 3; });
+
+  EXPECT_EQ(parallel_out, sequential_out);
+}
+
+TEST(ParallelForTest, NullPoolRunsInline) {
+  std::vector<std::size_t> seen;
+  parallel_for(nullptr, 5, [&](std::size_t i) { seen.push_back(i); });
+  EXPECT_EQ(seen, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelForTest, ZeroCountIsANoop) {
+  ThreadPool pool(2);
+  bool ran = false;
+  parallel_for(&pool, 0, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ParallelForTest, RethrowsTaskException) {
+  ThreadPool pool(4);
+  std::atomic<int> completed{0};
+  EXPECT_THROW(
+      parallel_for(&pool, 100,
+                   [&](std::size_t i) {
+                     if (i == 37) throw std::invalid_argument("item 37");
+                     completed.fetch_add(1);
+                   }),
+      std::invalid_argument);
+  // Every non-throwing item still ran: the batch completes before rethrow.
+  EXPECT_EQ(completed.load(), 99);
+}
+
+}  // namespace
+}  // namespace praxi
