@@ -67,6 +67,18 @@ fs::Changeset load_changeset(const std::string& path) {
   return fs::Changeset::from_text(read_file(path));
 }
 
+/// Loads a model snapshot, decorating failures with the file and the
+/// decoder's reason (which carries the offending byte offset), so a corrupt
+/// or version-skewed model file produces an actionable message instead of a
+/// bare "truncated input".
+core::Praxi load_model(const std::string& path) {
+  try {
+    return core::Praxi::from_binary(read_file(path));
+  } catch (const SerializeError& e) {
+    throw SerializeError("cannot load model '" + path + "': " + e.what());
+  }
+}
+
 int cmd_demo_corpus(const Options& options, std::ostream& out,
                     std::ostream& err) {
   if (!options.has("out")) {
@@ -123,7 +135,7 @@ int cmd_train(const Options& options, std::ostream& out, std::ostream& err) {
   core::Praxi model = [&] {
     if (options.has("append")) {
       // Incremental training continues from an existing model.
-      return core::Praxi::from_binary(read_file(model_path));
+      return load_model(model_path);
     }
     core::PraxiConfig config;
     config.mode = options.has("multi") ? core::LabelMode::kMultiLabel
@@ -145,7 +157,9 @@ int cmd_train(const Options& options, std::ostream& out, std::ostream& err) {
   for (const auto& cs : changesets) pointers.push_back(&cs);
   model.train_changesets(pointers);
 
-  write_file(model_path, model.to_binary());
+  // Atomic: a crash mid-save must leave the previous model intact, not a
+  // torn snapshot that silently destroys the training run.
+  write_file_atomic(model_path, model.to_binary());
   out << (options.has("append") ? "updated" : "trained") << " model on "
       << changesets.size() << " changesets (" << model.labels().size()
       << " labels) -> " << model_path << "\n";
@@ -158,8 +172,7 @@ int cmd_predict(const Options& options, std::ostream& out,
     err << "predict: --model M and at least one changeset file required\n";
     return 2;
   }
-  core::Praxi model =
-      core::Praxi::from_binary(read_file(options.get("model", "")));
+  core::Praxi model = load_model(options.get("model", ""));
   model.set_num_threads(std::stoul(options.get("threads", "1")));
   const auto n = std::stoul(options.get("n", "1"));
 
@@ -187,8 +200,7 @@ int cmd_inspect(const Options& options, std::ostream& out,
     err << "inspect: --model M required\n";
     return 2;
   }
-  const core::Praxi model =
-      core::Praxi::from_binary(read_file(options.get("model", "")));
+  const core::Praxi model = load_model(options.get("model", ""));
   out << "mode: "
       << (model.mode() == core::LabelMode::kSingleLabel ? "single-label"
                                                         : "multi-label")

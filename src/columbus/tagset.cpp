@@ -2,9 +2,18 @@
 
 #include <stdexcept>
 
+#include "common/serialize.hpp"
 #include "common/strings.hpp"
 
 namespace praxi::columbus {
+
+namespace {
+
+// Snapshot identity (see docs/PERSISTENCE.md).
+constexpr std::uint32_t kTagSetMagic = 0x50544731U;  // "PTG1"
+constexpr std::uint32_t kTagSetVersion = 1;
+
+}  // namespace
 
 std::uint32_t TagSet::frequency_of(std::string_view text) const {
   for (const Tag& tag : tags) {
@@ -34,6 +43,46 @@ std::string TagSet::to_text() const {
   }
   out += '\n';
   return out;
+}
+
+std::string TagSet::to_binary() const {
+  BinaryWriter w;
+  w.put<std::uint32_t>(static_cast<std::uint32_t>(labels.size()));
+  for (const auto& label : labels) w.put_string(label);
+  w.put<std::uint32_t>(static_cast<std::uint32_t>(tags.size()));
+  for (const Tag& tag : tags) {
+    w.put_string(tag.text);
+    w.put<std::uint32_t>(tag.frequency);
+  }
+  return seal_snapshot(kTagSetMagic, kTagSetVersion, w.bytes());
+}
+
+TagSet TagSet::from_binary(std::string_view bytes) {
+  const Snapshot snap =
+      open_snapshot(bytes, kTagSetMagic, kTagSetVersion, kTagSetVersion);
+  BinaryReader r(snap.payload);
+  TagSet ts;
+  const auto nlabels = r.get<std::uint32_t>();
+  if (nlabels > r.remaining() / sizeof(std::uint32_t)) {
+    throw SerializeError("tagset label count out of range", r.position());
+  }
+  ts.labels.reserve(nlabels);
+  for (std::uint32_t i = 0; i < nlabels; ++i)
+    ts.labels.push_back(r.get_string());
+  const auto ntags = r.get<std::uint32_t>();
+  // Each tag costs at least its length prefix plus the frequency field.
+  if (ntags > r.remaining() / (2 * sizeof(std::uint32_t))) {
+    throw SerializeError("tagset tag count out of range", r.position());
+  }
+  ts.tags.reserve(ntags);
+  for (std::uint32_t i = 0; i < ntags; ++i) {
+    Tag tag;
+    tag.text = r.get_string();
+    tag.frequency = r.get<std::uint32_t>();
+    ts.tags.push_back(std::move(tag));
+  }
+  r.require_end("tagset");
+  return ts;
 }
 
 TagSet TagSet::from_text(std::string_view text) {

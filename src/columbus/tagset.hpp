@@ -32,6 +32,11 @@ struct TagSet {
   std::string to_text() const;
   static TagSet from_text(std::string_view text);
 
+  /// Checksummed binary round-trip (snapshot envelope, docs/PERSISTENCE.md).
+  /// from_binary throws SerializeError on any corruption.
+  std::string to_binary() const;
+  static TagSet from_binary(std::string_view bytes);
+
   friend bool operator==(const TagSet&, const TagSet&) = default;
 };
 

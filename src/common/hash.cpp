@@ -43,7 +43,32 @@ inline std::uint64_t load64(const char* p) noexcept {
   return v;
 }
 
+/// 256-entry lookup table for the reflected Castagnoli polynomial.
+const std::uint32_t* crc32c_table() noexcept {
+  static const auto table = [] {
+    static std::uint32_t t[256];
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? (0x82f63b78U ^ (c >> 1)) : (c >> 1);
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
 }  // namespace
+
+std::uint32_t crc32c(std::string_view data, std::uint32_t seed) noexcept {
+  const std::uint32_t* table = crc32c_table();
+  std::uint32_t crc = ~seed;
+  for (const char ch : data) {
+    crc = table[(crc ^ static_cast<unsigned char>(ch)) & 0xFFu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
 
 std::uint32_t murmur3_32(std::string_view data, std::uint32_t seed) noexcept {
   const char* p = data.data();

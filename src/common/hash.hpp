@@ -17,6 +17,12 @@ std::uint32_t murmur3_32(std::string_view data, std::uint32_t seed = 0) noexcept
 /// wider hash lowers collision probability (e.g. changeset content digests).
 std::uint64_t murmur3_128_low64(std::string_view data, std::uint64_t seed = 0) noexcept;
 
+/// CRC-32C (Castagnoli polynomial 0x1EDC6F41, reflected). The checksum used
+/// by the snapshot envelope (common/serialize.hpp) to detect torn writes and
+/// bit rot in persisted models, stores, and wire messages. `seed` is the
+/// running CRC for incremental use: crc32c(b, crc32c(a)) == crc32c(a + b).
+std::uint32_t crc32c(std::string_view data, std::uint32_t seed = 0) noexcept;
+
 /// Stable non-cryptographic combiner for incremental digests.
 constexpr std::uint64_t hash_combine(std::uint64_t h, std::uint64_t v) noexcept {
   // 64-bit variant of boost::hash_combine with the splitmix64 constant.

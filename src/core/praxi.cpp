@@ -205,9 +205,16 @@ std::size_t Praxi::model_bytes() const {
                                                  : csoaa_.size_bytes();
 }
 
+namespace {
+
+// Snapshot identity (see docs/PERSISTENCE.md).
+constexpr std::uint32_t kPraxiMagic = 0x50525831U;  // "PRX1"
+constexpr std::uint32_t kPraxiVersion = 1;
+
+}  // namespace
+
 std::string Praxi::to_binary() const {
   BinaryWriter w;
-  w.put<std::uint32_t>(0x50525831U);  // "PRX1"
   w.put<std::uint8_t>(static_cast<std::uint8_t>(config_.mode));
   w.put<std::uint64_t>(config_.columbus.top_k);
   w.put<std::uint32_t>(config_.columbus.min_frequency);
@@ -219,27 +226,55 @@ std::string Praxi::to_binary() const {
   } else {
     w.put_string(csoaa_.to_binary());
   }
-  return w.take();
+  return seal_snapshot(kPraxiMagic, kPraxiVersion, w.bytes());
 }
 
 Praxi Praxi::from_binary(std::string_view bytes) {
-  BinaryReader r(bytes);
-  if (r.get<std::uint32_t>() != 0x50525831U)
-    throw SerializeError("bad Praxi model magic");
+  const Snapshot snap =
+      open_snapshot(bytes, kPraxiMagic, kPraxiVersion, kPraxiVersion);
+  BinaryReader r(snap.payload);
   PraxiConfig config;
-  config.mode = static_cast<LabelMode>(r.get<std::uint8_t>());
+  const auto mode_byte = r.get<std::uint8_t>();
+  if (mode_byte > static_cast<std::uint8_t>(LabelMode::kMultiLabel)) {
+    throw SerializeError("Praxi model: bad label mode byte " +
+                         std::to_string(mode_byte));
+  }
+  config.mode = static_cast<LabelMode>(mode_byte);
   config.columbus.top_k = r.get<std::uint64_t>();
   config.columbus.min_frequency = r.get<std::uint32_t>();
   config.columbus.min_tag_length = r.get<std::uint64_t>();
   config.learner.bits = r.get<std::uint32_t>();
+  if (config.learner.bits == 0 || config.learner.bits > 30) {
+    throw SerializeError("Praxi model: learner bits out of range [1, 30]: " +
+                         std::to_string(config.learner.bits));
+  }
   const bool trained = r.get<std::uint8_t>() != 0;
   const std::string inner = r.get_string();
-  Praxi model(config);
+  r.require_end("Praxi model");
+
+  // Parse (and fully validate) the inner classifier BEFORE allocating the
+  // outer model's weight tables, and cross-check its table against the
+  // declared bits so hasher and table can never disagree.
+  const std::size_t expected_bytes =
+      (std::size_t{1} << config.learner.bits) * sizeof(float);
   if (config.mode == LabelMode::kSingleLabel) {
-    model.oaa_ = ml::OaaClassifier::from_binary(inner);
-  } else {
-    model.csoaa_ = ml::CsoaaClassifier::from_binary(inner);
+    auto oaa = ml::OaaClassifier::from_binary(inner);
+    if (oaa.size_bytes() != expected_bytes) {
+      throw SerializeError(
+          "Praxi model: classifier bits disagree with model header");
+    }
+    Praxi model(config);
+    model.oaa_ = std::move(oaa);
+    model.trained_ = trained;
+    return model;
   }
+  auto csoaa = ml::CsoaaClassifier::from_binary(inner);
+  if (csoaa.size_bytes() != expected_bytes) {
+    throw SerializeError(
+        "Praxi model: classifier bits disagree with model header");
+  }
+  Praxi model(config);
+  model.csoaa_ = std::move(csoaa);
   model.trained_ = trained;
   return model;
 }

@@ -45,12 +45,46 @@ TagsetStore TagsetStore::from_text(std::string_view text) {
   return store;
 }
 
+namespace {
+
+// Snapshot identity (see docs/PERSISTENCE.md).
+constexpr std::uint32_t kStoreMagic = 0x50545331U;  // "PTS1"
+constexpr std::uint32_t kStoreVersion = 1;
+
+}  // namespace
+
+std::string TagsetStore::to_binary() const {
+  BinaryWriter w;
+  w.put<std::uint64_t>(tagsets_.size());
+  for (const auto& ts : tagsets_) w.put_string(ts.to_binary());
+  return seal_snapshot(kStoreMagic, kStoreVersion, w.bytes());
+}
+
+TagsetStore TagsetStore::from_binary(std::string_view bytes) {
+  const Snapshot snap =
+      open_snapshot(bytes, kStoreMagic, kStoreVersion, kStoreVersion);
+  BinaryReader r(snap.payload);
+  const auto count = r.get<std::uint64_t>();
+  // Each entry costs at least its 4-byte length prefix.
+  if (count > r.remaining() / sizeof(std::uint32_t)) {
+    throw SerializeError("tagset store entry count out of range",
+                         r.position());
+  }
+  TagsetStore store;
+  store.tagsets_.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    store.tagsets_.push_back(columbus::TagSet::from_binary(r.get_string()));
+  }
+  r.require_end("tagset store");
+  return store;
+}
+
 void TagsetStore::save(const std::string& path) const {
-  write_file(path, to_text());
+  write_file_atomic(path, to_binary());
 }
 
 TagsetStore TagsetStore::load(const std::string& path) {
-  return from_text(read_file(path));
+  return from_binary(read_file(path));
 }
 
 }  // namespace praxi::core

@@ -31,10 +31,19 @@ class TagsetStore {
   std::size_t total_bytes() const;
 
   /// Serializes all tagsets into one flat text blob (blank-line separated).
+  /// Human-readable but unchecksummed — the on-disk format is to_binary().
   std::string to_text() const;
   static TagsetStore from_text(std::string_view text);
 
-  /// Convenience file round-trip.
+  /// Checksummed binary form (snapshot envelope, docs/PERSISTENCE.md): each
+  /// tagset is an embedded TagSet snapshot. from_binary throws
+  /// SerializeError on any corruption.
+  std::string to_binary() const;
+  static TagsetStore from_binary(std::string_view bytes);
+
+  /// Crash-safe file round-trip: save() writes the binary snapshot with
+  /// write_file_atomic(), so the store file is never torn; load() verifies
+  /// the envelope and throws SerializeError on corruption.
   void save(const std::string& path) const;
   static TagsetStore load(const std::string& path);
 

@@ -114,9 +114,20 @@ Changeset Changeset::from_text(std::string_view text) {
   return cs;
 }
 
+namespace {
+
+// Snapshot identity (see docs/PERSISTENCE.md).
+constexpr std::uint32_t kChangesetMagic = 0x50435331U;  // "PCS1"
+constexpr std::uint32_t kChangesetVersion = 1;
+
+/// Serialized footprint floor of one record: kind + mode + time + path
+/// length prefix. Bounds hostile record counts against remaining bytes.
+constexpr std::size_t kMinRecordBytes = 1 + 2 + 8 + 4;
+
+}  // namespace
+
 std::string Changeset::to_binary() const {
   BinaryWriter w;
-  w.put<std::uint32_t>(0x50435331U);  // "PCS1"
   w.put<std::int64_t>(open_time_ms_);
   w.put<std::int64_t>(close_time_ms_);
   w.put<std::uint8_t>(closed_ ? 1 : 0);
@@ -129,31 +140,45 @@ std::string Changeset::to_binary() const {
     w.put<std::int64_t>(rec.time_ms);
     w.put_string(rec.path);
   }
-  return w.take();
+  return seal_snapshot(kChangesetMagic, kChangesetVersion, w.bytes());
 }
 
 Changeset Changeset::from_binary(std::string_view bytes) {
-  BinaryReader r(bytes);
-  if (r.get<std::uint32_t>() != 0x50435331U)
-    throw SerializeError("bad changeset magic");
+  const Snapshot snap =
+      open_snapshot(bytes, kChangesetMagic, kChangesetVersion,
+                    kChangesetVersion);
+  BinaryReader r(snap.payload);
   Changeset cs;
   cs.open_time_ms_ = r.get<std::int64_t>();
   cs.close_time_ms_ = r.get<std::int64_t>();
   cs.closed_ = r.get<std::uint8_t>() != 0;
   const auto nlabels = r.get<std::uint32_t>();
+  if (nlabels > r.remaining() / sizeof(std::uint32_t)) {
+    throw SerializeError("changeset label count out of range", r.position());
+  }
   cs.labels_.reserve(nlabels);
   for (std::uint32_t i = 0; i < nlabels; ++i)
     cs.labels_.push_back(r.get_string());
   const auto nrecords = r.get<std::uint64_t>();
+  if (nrecords > r.remaining() / kMinRecordBytes) {
+    throw SerializeError("changeset record count out of range", r.position());
+  }
   cs.records_.reserve(nrecords);
   for (std::uint64_t i = 0; i < nrecords; ++i) {
     ChangeRecord rec;
-    rec.kind = static_cast<ChangeKind>(r.get<std::uint8_t>());
+    const auto kind = r.get<std::uint8_t>();
+    if (kind > static_cast<std::uint8_t>(ChangeKind::kDelete)) {
+      throw SerializeError("changeset record has bad change kind " +
+                               std::to_string(kind),
+                           r.position());
+    }
+    rec.kind = static_cast<ChangeKind>(kind);
     rec.mode = r.get<std::uint16_t>();
     rec.time_ms = r.get<std::int64_t>();
     rec.path = r.get_string();
     cs.records_.push_back(std::move(rec));
   }
+  r.require_end("changeset");
   return cs;
 }
 

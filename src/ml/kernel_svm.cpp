@@ -199,9 +199,16 @@ std::size_t RbfSvmOva::size_bytes() const {
   return bytes;
 }
 
+namespace {
+
+// Snapshot identity (see docs/PERSISTENCE.md).
+constexpr std::uint32_t kSvmMagic = 0x50535631U;  // "PSV1"
+constexpr std::uint32_t kSvmVersion = 1;
+
+}  // namespace
+
 std::string RbfSvmOva::to_binary() const {
   BinaryWriter w;
-  w.put<std::uint32_t>(0x50535631U);  // "PSV1"
   w.put<double>(config_.gamma);
   w.put<double>(effective_gamma_);
   w.put<double>(config_.lambda);
@@ -212,13 +219,13 @@ std::string RbfSvmOva::to_binary() const {
   w.put<std::uint64_t>(support_.size());
   for (const auto& sv : support_) w.put_vector(sv);
   w.put_vector(beta_);
-  return w.take();
+  return seal_snapshot(kSvmMagic, kSvmVersion, w.bytes());
 }
 
 RbfSvmOva RbfSvmOva::from_binary(std::string_view bytes) {
-  BinaryReader r(bytes);
-  if (r.get<std::uint32_t>() != 0x50535631U)
-    throw SerializeError("bad RBF-SVM magic");
+  const Snapshot snap =
+      open_snapshot(bytes, kSvmMagic, kSvmVersion, kSvmVersion);
+  BinaryReader r(snap.payload);
   RbfSvmConfig config;
   config.gamma = r.get<double>();
   const double effective_gamma = r.get<double>();
@@ -230,6 +237,11 @@ RbfSvmOva RbfSvmOva::from_binary(std::string_view bytes) {
   model.num_classes_ = r.get<std::uint32_t>();
   model.scale_ = r.get<double>();
   const auto nsv = r.get<std::uint64_t>();
+  // Each support vector costs at least its 8-byte length prefix.
+  if (nsv > r.remaining() / sizeof(std::uint64_t)) {
+    throw SerializeError("RBF-SVM support vector count out of range",
+                         r.position());
+  }
   model.support_.reserve(nsv);
   for (std::uint64_t i = 0; i < nsv; ++i) {
     model.support_.push_back(r.get_vector<float>());
@@ -237,6 +249,7 @@ RbfSvmOva RbfSvmOva::from_binary(std::string_view bytes) {
   model.beta_ = r.get_vector<float>();
   if (model.beta_.size() != model.num_classes_ * model.support_.size())
     throw SerializeError("RBF-SVM beta size mismatch");
+  r.require_end("RBF-SVM model");
   return model;
 }
 

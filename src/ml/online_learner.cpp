@@ -34,11 +34,23 @@ std::optional<std::uint32_t> LabelSpace::lookup(
 
 namespace detail {
 
-WeightTable::WeightTable(unsigned bits)
-    : bits_(bits), mask_((1u << bits) - 1u), weights_(1u << bits, 0.0f) {
+namespace {
+
+/// Validates bits BEFORE any shift happens: the member initializers below
+/// run before the constructor body, so checking there would come after
+/// `1u << bits` had already invoked UB for bits >= 32.
+unsigned checked_table_bits(unsigned bits) {
   if (bits == 0 || bits > 30)
     throw std::invalid_argument("WeightTable: bits must be in [1, 30]");
+  return bits;
 }
+
+}  // namespace
+
+WeightTable::WeightTable(unsigned bits)
+    : bits_(checked_table_bits(bits)),
+      mask_((1u << bits_) - 1u),
+      weights_(std::size_t{1} << bits_, 0.0f) {}
 
 float WeightTable::score(const FeatureVector& x,
                          std::uint32_t class_id) const {
@@ -73,7 +85,74 @@ void write_label_space(BinaryWriter& w, const LabelSpace& labels) {
 
 void read_label_space(BinaryReader& r, LabelSpace& labels) {
   const auto count = r.get<std::uint32_t>();
+  // Each label costs at least a 4-byte length prefix, so a count the
+  // remaining bytes cannot hold is hostile.
+  if (count > r.remaining() / sizeof(std::uint32_t)) {
+    throw SerializeError("label count " + std::to_string(count) +
+                             " exceeds remaining bytes",
+                         r.position());
+  }
   for (std::uint32_t i = 0; i < count; ++i) labels.intern(r.get_string());
+}
+
+// Snapshot identities (see docs/PERSISTENCE.md).
+constexpr std::uint32_t kOaaMagic = 0x504f4131U;    // "POA1"
+constexpr std::uint32_t kCsoaaMagic = 0x50435332U;  // "PCS2"
+constexpr std::uint32_t kLearnerVersion = 1;
+
+/// Shared payload layout of both classifiers (they differ only in magic).
+std::string learner_payload(const OnlineLearnerConfig& config,
+                            std::uint64_t update_count,
+                            const LabelSpace& labels,
+                            const std::vector<float>& weights) {
+  BinaryWriter w;
+  w.put<std::uint32_t>(config.bits);
+  w.put<float>(config.learning_rate);
+  w.put<float>(config.power_t);
+  w.put<float>(config.l2);
+  w.put<std::uint32_t>(config.passes);
+  w.put<std::uint64_t>(config.seed);
+  w.put<std::uint64_t>(update_count);
+  write_label_space(w, labels);
+  w.put_vector(weights);
+  return w.take();
+}
+
+/// Decoded learner payload, validated but not yet materialized as a model.
+struct LearnerParts {
+  OnlineLearnerConfig config;
+  std::uint64_t update_count = 0;
+  LabelSpace labels;
+  std::vector<float> weights;
+};
+
+/// Parses and strictly validates a learner payload. Everything is checked
+/// BEFORE any table-sized allocation happens, so a hostile or corrupt blob
+/// can neither UB-shift on `bits` nor allocate more than the blob itself
+/// holds.
+LearnerParts parse_learner_payload(std::string_view payload, const char* what) {
+  BinaryReader r(payload);
+  LearnerParts parts;
+  parts.config.bits = r.get<std::uint32_t>();
+  if (parts.config.bits == 0 || parts.config.bits > 30) {
+    throw SerializeError(std::string(what) + ": bits out of range [1, 30]: " +
+                         std::to_string(parts.config.bits));
+  }
+  parts.config.learning_rate = r.get<float>();
+  parts.config.power_t = r.get<float>();
+  parts.config.l2 = r.get<float>();
+  parts.config.passes = r.get<std::uint32_t>();
+  parts.config.seed = r.get<std::uint64_t>();
+  parts.update_count = r.get<std::uint64_t>();
+  read_label_space(r, parts.labels);
+  parts.weights = r.get_vector<float>();
+  if (parts.weights.size() != (std::size_t{1} << parts.config.bits)) {
+    throw SerializeError(std::string(what) + ": weight table size " +
+                         std::to_string(parts.weights.size()) +
+                         " does not match 2^bits");
+  }
+  r.require_end(what);
+  return parts;
 }
 
 }  // namespace
@@ -152,37 +231,19 @@ void OaaClassifier::reset() {
 }
 
 std::string OaaClassifier::to_binary() const {
-  BinaryWriter w;
-  w.put<std::uint32_t>(0x504f4131U);  // "POA1"
-  w.put<std::uint32_t>(config_.bits);
-  w.put<float>(config_.learning_rate);
-  w.put<float>(config_.power_t);
-  w.put<float>(config_.l2);
-  w.put<std::uint32_t>(config_.passes);
-  w.put<std::uint64_t>(config_.seed);
-  w.put<std::uint64_t>(update_count_);
-  write_label_space(w, labels_);
-  w.put_vector(table_.raw());
-  return w.take();
+  return seal_snapshot(kOaaMagic, kLearnerVersion,
+                       learner_payload(config_, update_count_, labels_,
+                                       table_.raw()));
 }
 
 OaaClassifier OaaClassifier::from_binary(std::string_view bytes) {
-  BinaryReader r(bytes);
-  if (r.get<std::uint32_t>() != 0x504f4131U)
-    throw SerializeError("bad OAA model magic");
-  OnlineLearnerConfig config;
-  config.bits = r.get<std::uint32_t>();
-  config.learning_rate = r.get<float>();
-  config.power_t = r.get<float>();
-  config.l2 = r.get<float>();
-  config.passes = r.get<std::uint32_t>();
-  config.seed = r.get<std::uint64_t>();
-  OaaClassifier model(config);
-  model.update_count_ = r.get<std::uint64_t>();
-  read_label_space(r, model.labels_);
-  model.table_.raw() = r.get_vector<float>();
-  if (model.table_.raw().size() != (1u << config.bits))
-    throw SerializeError("OAA weight table size mismatch");
+  const Snapshot snap =
+      open_snapshot(bytes, kOaaMagic, kLearnerVersion, kLearnerVersion);
+  LearnerParts parts = parse_learner_payload(snap.payload, "OAA model");
+  OaaClassifier model(parts.config);
+  model.update_count_ = parts.update_count;
+  model.labels_ = std::move(parts.labels);
+  model.table_.raw() = std::move(parts.weights);
   return model;
 }
 
@@ -265,37 +326,19 @@ void CsoaaClassifier::reset() {
 }
 
 std::string CsoaaClassifier::to_binary() const {
-  BinaryWriter w;
-  w.put<std::uint32_t>(0x50435331U + 1);  // "PCS2"
-  w.put<std::uint32_t>(config_.bits);
-  w.put<float>(config_.learning_rate);
-  w.put<float>(config_.power_t);
-  w.put<float>(config_.l2);
-  w.put<std::uint32_t>(config_.passes);
-  w.put<std::uint64_t>(config_.seed);
-  w.put<std::uint64_t>(update_count_);
-  write_label_space(w, labels_);
-  w.put_vector(table_.raw());
-  return w.take();
+  return seal_snapshot(kCsoaaMagic, kLearnerVersion,
+                       learner_payload(config_, update_count_, labels_,
+                                       table_.raw()));
 }
 
 CsoaaClassifier CsoaaClassifier::from_binary(std::string_view bytes) {
-  BinaryReader r(bytes);
-  if (r.get<std::uint32_t>() != 0x50435331U + 1)
-    throw SerializeError("bad CSOAA model magic");
-  OnlineLearnerConfig config;
-  config.bits = r.get<std::uint32_t>();
-  config.learning_rate = r.get<float>();
-  config.power_t = r.get<float>();
-  config.l2 = r.get<float>();
-  config.passes = r.get<std::uint32_t>();
-  config.seed = r.get<std::uint64_t>();
-  CsoaaClassifier model(config);
-  model.update_count_ = r.get<std::uint64_t>();
-  read_label_space(r, model.labels_);
-  model.table_.raw() = r.get_vector<float>();
-  if (model.table_.raw().size() != (1u << config.bits))
-    throw SerializeError("CSOAA weight table size mismatch");
+  const Snapshot snap =
+      open_snapshot(bytes, kCsoaaMagic, kLearnerVersion, kLearnerVersion);
+  LearnerParts parts = parse_learner_payload(snap.payload, "CSOAA model");
+  CsoaaClassifier model(parts.config);
+  model.update_count_ = parts.update_count;
+  model.labels_ = std::move(parts.labels);
+  model.table_.raw() = std::move(parts.weights);
   return model;
 }
 

@@ -172,9 +172,16 @@ std::size_t Word2Vec::size_bytes() const {
   return bytes;
 }
 
+namespace {
+
+// Snapshot identity (see docs/PERSISTENCE.md).
+constexpr std::uint32_t kWord2VecMagic = 0x50573256U;  // "PW2V"
+constexpr std::uint32_t kWord2VecVersion = 1;
+
+}  // namespace
+
 std::string Word2Vec::to_binary() const {
   BinaryWriter w;
-  w.put<std::uint32_t>(0x50573256U);  // "PW2V"
   w.put<std::uint32_t>(config_.dim);
   w.put<std::uint32_t>(config_.window);
   w.put<std::uint32_t>(config_.negatives);
@@ -189,13 +196,13 @@ std::string Word2Vec::to_binary() const {
     w.put<std::uint64_t>(vocab_counts_[i]);
   }
   w.put_vector(input_vectors_);
-  return w.take();
+  return seal_snapshot(kWord2VecMagic, kWord2VecVersion, w.bytes());
 }
 
 Word2Vec Word2Vec::from_binary(std::string_view bytes) {
-  BinaryReader r(bytes);
-  if (r.get<std::uint32_t>() != 0x50573256U)
-    throw SerializeError("bad word2vec magic");
+  const Snapshot snap =
+      open_snapshot(bytes, kWord2VecMagic, kWord2VecVersion, kWord2VecVersion);
+  BinaryReader r(snap.payload);
   Word2VecConfig config;
   config.dim = r.get<std::uint32_t>();
   config.window = r.get<std::uint32_t>();
@@ -207,6 +214,10 @@ Word2Vec Word2Vec::from_binary(std::string_view bytes) {
   Word2Vec model(config);
   model.total_tokens_ = r.get<std::uint64_t>();
   const auto vocab_size = r.get<std::uint32_t>();
+  // Each vocab entry costs at least its length prefix plus the count field.
+  if (vocab_size > r.remaining() / 12) {
+    throw SerializeError("word2vec vocab size out of range", r.position());
+  }
   for (std::uint32_t i = 0; i < vocab_size; ++i) {
     std::string word = r.get_string();
     model.vocab_.emplace(word, i);
@@ -217,6 +228,7 @@ Word2Vec Word2Vec::from_binary(std::string_view bytes) {
   if (model.input_vectors_.size() !=
       std::size_t(vocab_size) * config.dim)
     throw SerializeError("word2vec embedding size mismatch");
+  r.require_end("word2vec model");
   return model;
 }
 

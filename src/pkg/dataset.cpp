@@ -27,30 +27,42 @@ void Dataset::refresh_labels() {
   labels.assign(distinct.begin(), distinct.end());
 }
 
+namespace {
+
+// Snapshot identity (see docs/PERSISTENCE.md).
+constexpr std::uint32_t kDatasetMagic = 0x50445331U;  // "PDS1"
+constexpr std::uint32_t kDatasetVersion = 1;
+
+}  // namespace
+
 std::string Dataset::to_binary() const {
   BinaryWriter w;
-  w.put<std::uint32_t>(0x50445331U);  // "PDS1"
   w.put<std::uint64_t>(changesets.size());
   for (const auto& cs : changesets) w.put_string(cs.to_binary());
-  return w.take();
+  return seal_snapshot(kDatasetMagic, kDatasetVersion, w.bytes());
 }
 
 Dataset Dataset::from_binary(std::string_view bytes) {
-  BinaryReader r(bytes);
-  if (r.get<std::uint32_t>() != 0x50445331U)
-    throw SerializeError("bad dataset magic");
+  const Snapshot snap =
+      open_snapshot(bytes, kDatasetMagic, kDatasetVersion, kDatasetVersion);
+  BinaryReader r(snap.payload);
   Dataset dataset;
   const auto count = r.get<std::uint64_t>();
+  // Each changeset costs at least its 4-byte length prefix.
+  if (count > r.remaining() / sizeof(std::uint32_t)) {
+    throw SerializeError("dataset changeset count out of range", r.position());
+  }
   dataset.changesets.reserve(count);
   for (std::uint64_t i = 0; i < count; ++i) {
     dataset.changesets.push_back(fs::Changeset::from_binary(r.get_string()));
   }
+  r.require_end("dataset");
   dataset.refresh_labels();
   return dataset;
 }
 
 void Dataset::save(const std::string& path) const {
-  write_file(path, to_binary());
+  write_file_atomic(path, to_binary());
 }
 
 Dataset Dataset::load(const std::string& path) {

@@ -26,11 +26,19 @@ std::vector<Discovery> DiscoveryServer::process(MessageBus& bus) {
     ChangesetReport report;
     try {
       report = ChangesetReport::from_wire(wire);
+    } catch (const VersionError&) {
+      // Structurally sound frame from an agent speaking another format
+      // version (fleet mid-upgrade) — distinct from corruption.
+      ++version_mismatched_;
+      ++stats_for_wire(wire).version_mismatch;
+      continue;
     } catch (const SerializeError&) {
       ++malformed_;
+      ++stats_for_wire(wire).malformed;
       continue;
     }
     ++processed_;
+    ++ingest_stats_[report.agent_id].processed;
 
     Discovery discovery;
     discovery.agent_id = report.agent_id;
@@ -83,6 +91,12 @@ std::vector<Discovery> DiscoveryServer::process(MessageBus& bus) {
   return discoveries;
 }
 
+AgentIngestStats& DiscoveryServer::stats_for_wire(std::string_view wire) {
+  std::string agent_id = ChangesetReport::peek_agent_id(wire);
+  return ingest_stats_[agent_id.empty() ? kUnattributedAgent
+                                        : std::move(agent_id)];
+}
+
 std::vector<std::string> DiscoveryServer::agents_running(
     const std::string& application) const {
   std::vector<std::string> agents;
@@ -93,9 +107,19 @@ std::vector<std::string> DiscoveryServer::agents_running(
 }
 
 void DiscoveryServer::learn_feedback(const fs::Changeset& labeled_changeset) {
-  if (labeled_changeset.labels().empty())
+  const auto& labels = labeled_changeset.labels();
+  if (labels.empty())
     throw std::invalid_argument(
         "DiscoveryServer: feedback changeset must carry labels");
+  // Validate cardinality against the model's mode BEFORE any learning: a
+  // multi-labeled feedback sample fed to a single-label (OAA) model would
+  // otherwise corrupt its label space.
+  if (model_.mode() == core::LabelMode::kSingleLabel && labels.size() != 1) {
+    throw std::invalid_argument(
+        "DiscoveryServer: single-label model cannot learn from feedback "
+        "carrying " +
+        std::to_string(labels.size()) + " labels");
+  }
   const auto tagset = model_.extract_tags(labeled_changeset);
   model_.learn_one(tagset);
   store_.add(tagset);

@@ -16,6 +16,7 @@
 #include <map>
 #include <set>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/discovery_service.hpp"
@@ -32,6 +33,17 @@ struct ServerConfig {
   /// (0 = one per hardware thread, 1 = sequential). Reports are
   /// independent, so discoveries are identical at every thread count.
   std::size_t num_threads = 0;
+};
+
+/// Per-agent ingest health: how many reports an agent delivered cleanly vs
+/// how many arrived malformed or version-skewed. An agent whose malformed
+/// count climbs is corrupting data in flight (or running a broken build) —
+/// exactly the graceful-degradation signal an operator needs, which a single
+/// global counter cannot attribute.
+struct AgentIngestStats {
+  std::uint64_t processed = 0;         ///< reports parsed and classified
+  std::uint64_t malformed = 0;         ///< corrupt frames (checksum, bounds…)
+  std::uint64_t version_mismatch = 0;  ///< structurally valid, wrong version
 };
 
 /// One processed report.
@@ -73,14 +85,26 @@ class DiscoveryServer {
   const core::TagsetStore& store() const { return store_; }
   std::uint64_t processed() const { return processed_; }
   std::uint64_t malformed() const { return malformed_; }
+  std::uint64_t version_mismatched() const { return version_mismatched_; }
+
+  /// Ingest health per agent. Frames too corrupt to attribute are charged
+  /// to kUnattributedAgent.
+  const std::map<std::string, AgentIngestStats>& ingest_stats() const {
+    return ingest_stats_;
+  }
+  static constexpr const char* kUnattributedAgent = "(unattributed)";
 
  private:
+  AgentIngestStats& stats_for_wire(std::string_view wire);
+
   core::Praxi model_;
   ServerConfig config_;
   core::TagsetStore store_;
   std::map<std::string, std::set<std::string>> inventory_;
+  std::map<std::string, AgentIngestStats> ingest_stats_;
   std::uint64_t processed_ = 0;
   std::uint64_t malformed_ = 0;
+  std::uint64_t version_mismatched_ = 0;
 };
 
 }  // namespace praxi::service

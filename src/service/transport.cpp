@@ -6,22 +6,41 @@ namespace praxi::service {
 
 std::string ChangesetReport::to_wire() const {
   BinaryWriter w;
-  w.put<std::uint32_t>(0x50525054U);  // "PRPT"
   w.put_string(agent_id);
   w.put<std::uint64_t>(sequence);
   w.put_string(changeset.to_binary());
-  return w.take();
+  return seal_snapshot(kChangesetReportMagic, kChangesetReportVersion,
+                       w.bytes());
 }
 
 ChangesetReport ChangesetReport::from_wire(std::string_view bytes) {
-  BinaryReader r(bytes);
-  if (r.get<std::uint32_t>() != 0x50525054U)
-    throw SerializeError("bad changeset-report magic");
+  const Snapshot snap =
+      open_snapshot(bytes, kChangesetReportMagic, kChangesetReportVersion,
+                    kChangesetReportVersion);
+  BinaryReader r(snap.payload);
   ChangesetReport report;
   report.agent_id = r.get_string();
   report.sequence = r.get<std::uint64_t>();
   report.changeset = fs::Changeset::from_binary(r.get_string());
+  r.require_end("changeset report");
   return report;
+}
+
+std::string ChangesetReport::peek_agent_id(std::string_view bytes) noexcept {
+  try {
+    BinaryReader r(bytes);
+    if (r.get<std::uint32_t>() != kChangesetReportMagic) return {};
+    r.get<std::uint32_t>();  // version: any, this is best-effort forensics
+    r.get<std::uint64_t>();  // payload length: deliberately not trusted
+    r.get<std::uint32_t>();  // checksum: deliberately not verified
+    std::string id = r.get_string();
+    // A corrupt length byte could splice arbitrary bytes into the "id";
+    // an implausibly long one is noise, not an agent.
+    if (id.empty() || id.size() > 256) return {};
+    return id;
+  } catch (const SerializeError&) {
+    return {};
+  }
 }
 
 void MessageBus::send(std::string wire_bytes) {

@@ -19,14 +19,32 @@
 
 namespace praxi::service {
 
+/// Wire identity of a changeset report (snapshot envelope,
+/// docs/PERSISTENCE.md). Exposed so tests and ingest tooling can craft or
+/// recognize report frames without private knowledge.
+inline constexpr std::uint32_t kChangesetReportMagic = 0x50525054U;  // "PRPT"
+inline constexpr std::uint32_t kChangesetReportVersion = 1;
+
 /// One agent-to-server report: an observation window from one instance.
 struct ChangesetReport {
   std::string agent_id;
   std::uint64_t sequence = 0;  ///< per-agent monotonically increasing
   fs::Changeset changeset;
 
+  /// Serializes into a checksummed envelope frame.
   std::string to_wire() const;
+
+  /// Parses and strictly validates a frame. Throws SerializeError on
+  /// corruption of any kind, VersionError when the frame's format version
+  /// is unsupported — never UB, a crash, or an unbounded allocation.
   static ChangesetReport from_wire(std::string_view bytes);
+
+  /// Best-effort agent attribution for frames from_wire rejected: returns
+  /// the agent id if the frame's magic matches and an id string can be read
+  /// (without requiring the checksum or version to be valid), empty
+  /// otherwise. Lets the server charge malformed input to the agent that
+  /// sent it instead of only a global counter.
+  static std::string peek_agent_id(std::string_view bytes) noexcept;
 };
 
 /// In-memory stand-in for the collection network. Single-threaded by

@@ -59,21 +59,42 @@ TEST(FailureInjection, EmptyInputRejectedEverywhere) {
   EXPECT_THROW(fs::Changeset::from_binary(""), SerializeError);
 }
 
-TEST(FailureInjection, HostileVectorLengthRejected) {
-  // A valid OAA header followed by an absurd weight-vector length must not
-  // trigger a giant allocation or a crash.
+/// OAA learner payload with a caller-chosen bits field and weight count —
+/// sealed into a VALID envelope (good magic, version, and checksum), so the
+/// hostile values reach the payload validators rather than bouncing off the
+/// CRC.
+std::string hostile_oaa_blob(std::uint32_t bits, std::uint64_t weight_count) {
   BinaryWriter w;
-  w.put<std::uint32_t>(0x504f4131U);  // OAA magic
-  w.put<std::uint32_t>(18);           // bits
-  w.put<float>(0.5f);
-  w.put<float>(0.5f);
-  w.put<float>(0.0f);
-  w.put<std::uint32_t>(6);
-  w.put<std::uint64_t>(1);
-  w.put<std::uint64_t>(0);
-  w.put<std::uint32_t>(0);               // zero labels
-  w.put<std::uint64_t>(1ull << 62);      // hostile weight count
-  EXPECT_THROW(ml::OaaClassifier::from_binary(w.bytes()), SerializeError);
+  w.put<std::uint32_t>(bits);
+  w.put<float>(0.5f);   // learning_rate
+  w.put<float>(0.5f);   // power_t
+  w.put<float>(0.0f);   // l2
+  w.put<std::uint32_t>(6);   // passes
+  w.put<std::uint64_t>(1);   // seed
+  w.put<std::uint64_t>(0);   // update_count
+  w.put<std::uint32_t>(0);   // zero labels
+  w.put<std::uint64_t>(weight_count);
+  return seal_snapshot(0x504f4131U /* "POA1" */, 1, w.take());
+}
+
+TEST(FailureInjection, HostileVectorLengthRejected) {
+  // A checksummed-valid OAA snapshot whose weight-vector length field is
+  // absurd must not trigger a giant allocation or a crash.
+  EXPECT_THROW(ml::OaaClassifier::from_binary(hostile_oaa_blob(18, 1ull << 62)),
+               SerializeError);
+}
+
+TEST(FailureInjection, HostileBitsRejectedBeforeAllocation) {
+  // bits >= 31 would UB-shift and bits like 30 would demand a 4 GiB table;
+  // both must be rejected by parsing alone, before any table is built.
+  for (std::uint32_t bits : {0u, 31u, 32u, 64u, 0xFFFFFFFFu}) {
+    EXPECT_THROW(ml::OaaClassifier::from_binary(hostile_oaa_blob(bits, 0)),
+                 SerializeError)
+        << "bits=" << bits;
+  }
+  // In-range bits whose declared table does not match the stored weights.
+  EXPECT_THROW(ml::OaaClassifier::from_binary(hostile_oaa_blob(12, 0)),
+               SerializeError);
 }
 
 TEST(FailureInjection, WrongArtifactTypeRejected) {

@@ -226,6 +226,20 @@ TEST(CsoaaClassifier, BinaryRoundTrip) {
   EXPECT_EQ(loaded.predict_top_n(probe, 2), model.predict_top_n(probe, 2));
 }
 
+TEST(WeightTableConfig, OutOfRangeBitsRejectedBeforeAnyShift) {
+  // bits = 0 (empty mask underflow) and bits >= 31 (UB shift / absurd
+  // allocation) must be rejected by the constructor, not shifted first.
+  for (unsigned bits : {0u, 31u, 32u, 1000u}) {
+    OnlineLearnerConfig config;
+    config.bits = bits;
+    EXPECT_THROW(OaaClassifier{config}, std::invalid_argument) << bits;
+    EXPECT_THROW(CsoaaClassifier{config}, std::invalid_argument) << bits;
+  }
+  OnlineLearnerConfig edge;
+  edge.bits = 1;
+  EXPECT_NO_THROW(OaaClassifier{edge});
+}
+
 TEST(WeightTableConfig, SmallBitsKeepModelSmall) {
   OnlineLearnerConfig small_config;
   small_config.bits = 12;

@@ -1,0 +1,314 @@
+// Persistence hardening tests (docs/PERSISTENCE.md):
+//   * corruption injection — every serialized artifact, truncated at every
+//     prefix length and scribbled with seeded random byte flips, must throw
+//     SerializeError from its loader: never UB, a crash, or a giant
+//     allocation;
+//   * save/load equivalence — a reloaded model must continue online learning
+//     byte-for-byte identically to one that was never saved;
+//   * crash-safe files — a simulated crash between temp-write and rename
+//     leaves the complete previous snapshot readable.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cli/cli.hpp"
+#include "common/rng.hpp"
+#include "common/serialize.hpp"
+#include "core/praxi.hpp"
+#include "core/tagset_store.hpp"
+#include "fs/changeset.hpp"
+#include "ml/online_learner.hpp"
+#include "pkg/dataset.hpp"
+#include "service/transport.hpp"
+
+namespace praxi {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Small fixture artifacts (tiny learner tables keep blobs a few KB, so the
+// exhaustive truncation sweep stays fast).
+// ---------------------------------------------------------------------------
+
+fs::Changeset make_changeset(const std::string& label,
+                             const std::vector<std::string>& paths) {
+  fs::Changeset cs;
+  cs.set_open_time(1000);
+  std::int64_t t = 1001;
+  for (const auto& path : paths) {
+    cs.add({path, 0644, fs::ChangeKind::kCreate, t++});
+  }
+  cs.close(t);
+  cs.add_label(label);
+  return cs;
+}
+
+std::vector<fs::Changeset> training_corpus() {
+  return {
+      make_changeset("nginx", {"/usr/sbin/nginx", "/etc/nginx/nginx.conf",
+                               "/usr/lib/nginx/modules/mod_http.so"}),
+      make_changeset("redis", {"/usr/bin/redis-server", "/etc/redis/redis.conf",
+                               "/usr/lib/redis/modules/bloom.so"}),
+      make_changeset("mysql", {"/usr/sbin/mysqld", "/etc/mysql/my.cnf",
+                               "/var/lib/mysql/ibdata1"}),
+  };
+}
+
+core::Praxi tiny_trained_praxi(core::LabelMode mode) {
+  core::PraxiConfig config;
+  config.mode = mode;
+  config.learner.bits = 8;
+  core::Praxi model(config);
+  static const auto corpus = training_corpus();
+  std::vector<const fs::Changeset*> pointers;
+  for (const auto& cs : corpus) pointers.push_back(&cs);
+  model.train_changesets(pointers);
+  return model;
+}
+
+columbus::TagSet tiny_tagset() {
+  columbus::TagSet ts;
+  ts.tags = {{"nginx", 5}, {"nginx.conf", 2}, {"modules", 1}};
+  ts.labels = {"nginx"};
+  return ts;
+}
+
+/// One serialized artifact plus the loader that must reject corrupt bytes.
+struct Artifact {
+  std::string name;
+  std::string bytes;
+  std::function<void(std::string_view)> load;
+};
+
+std::vector<Artifact> all_artifacts() {
+  std::vector<Artifact> artifacts;
+
+  artifacts.push_back({"praxi-single",
+                       tiny_trained_praxi(core::LabelMode::kSingleLabel).to_binary(),
+                       [](std::string_view b) { core::Praxi::from_binary(b); }});
+  artifacts.push_back({"praxi-multi",
+                       tiny_trained_praxi(core::LabelMode::kMultiLabel).to_binary(),
+                       [](std::string_view b) { core::Praxi::from_binary(b); }});
+
+  ml::OnlineLearnerConfig learner_config;
+  learner_config.bits = 8;
+  ml::OaaClassifier oaa(learner_config);
+  oaa.learn_one({{1, 1.0f}, {7, 0.5f}}, "nginx");
+  oaa.learn_one({{2, 1.0f}, {9, 0.5f}}, "redis");
+  artifacts.push_back(
+      {"oaa", oaa.to_binary(),
+       [](std::string_view b) { ml::OaaClassifier::from_binary(b); }});
+
+  ml::CsoaaClassifier csoaa(learner_config);
+  csoaa.learn_one({{1, 1.0f}, {7, 0.5f}}, {"nginx", "redis"});
+  artifacts.push_back(
+      {"csoaa", csoaa.to_binary(),
+       [](std::string_view b) { ml::CsoaaClassifier::from_binary(b); }});
+
+  artifacts.push_back(
+      {"tagset", tiny_tagset().to_binary(),
+       [](std::string_view b) { columbus::TagSet::from_binary(b); }});
+
+  core::TagsetStore store;
+  store.add(tiny_tagset());
+  artifacts.push_back(
+      {"tagset-store", store.to_binary(),
+       [](std::string_view b) { core::TagsetStore::from_binary(b); }});
+
+  const auto corpus = training_corpus();
+  artifacts.push_back(
+      {"changeset", corpus[0].to_binary(),
+       [](std::string_view b) { fs::Changeset::from_binary(b); }});
+
+  service::ChangesetReport report;
+  report.agent_id = "vm-042";
+  report.sequence = 7;
+  report.changeset = corpus[1];
+  artifacts.push_back(
+      {"wire-report", report.to_wire(),
+       [](std::string_view b) { service::ChangesetReport::from_wire(b); }});
+
+  pkg::Dataset dataset;
+  dataset.changesets = corpus;
+  dataset.refresh_labels();
+  artifacts.push_back(
+      {"dataset", dataset.to_binary(),
+       [](std::string_view b) { pkg::Dataset::from_binary(b); }});
+
+  return artifacts;
+}
+
+// ---------------------------------------------------------------------------
+// Corruption injection
+// ---------------------------------------------------------------------------
+
+TEST(CorruptionInjection, IntactArtifactsLoad) {
+  for (const auto& artifact : all_artifacts()) {
+    EXPECT_NO_THROW(artifact.load(artifact.bytes)) << artifact.name;
+  }
+}
+
+TEST(CorruptionInjection, TruncationAtEveryPrefixRejected) {
+  for (const auto& artifact : all_artifacts()) {
+    const std::string_view bytes(artifact.bytes);
+    for (std::size_t keep = 0; keep < bytes.size(); ++keep) {
+      EXPECT_THROW(artifact.load(bytes.substr(0, keep)), SerializeError)
+          << artifact.name << " truncated to " << keep << " of "
+          << bytes.size();
+    }
+  }
+}
+
+TEST(CorruptionInjection, SeededRandomByteFlipsRejected) {
+  // Payload flips are error bursts of <= 8 bits, which CRC32C is guaranteed
+  // to catch; header flips hit the magic/version/length/crc checks. So every
+  // single-byte flip must throw — there is no lucky corruption.
+  Rng rng(20260805);
+  for (const auto& artifact : all_artifacts()) {
+    for (int trial = 0; trial < 150; ++trial) {
+      std::string dirty = artifact.bytes;
+      const auto pos = static_cast<std::size_t>(rng.next() % dirty.size());
+      const auto flip = static_cast<char>(1 + rng.next() % 255);
+      dirty[pos] = static_cast<char>(dirty[pos] ^ flip);
+      EXPECT_THROW(artifact.load(dirty), SerializeError)
+          << artifact.name << " flip at " << pos;
+    }
+  }
+}
+
+TEST(CorruptionInjection, ArbitraryGarbageRejected) {
+  Rng rng(42);
+  const auto artifacts = all_artifacts();
+  for (std::size_t len : {0u, 1u, 19u, 20u, 64u, 4096u}) {
+    std::string garbage(len, '\0');
+    for (auto& c : garbage) c = static_cast<char>(rng.next() & 0xFF);
+    for (const auto& artifact : artifacts) {
+      EXPECT_THROW(artifact.load(garbage), SerializeError)
+          << artifact.name << " len " << len;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Save/load equivalence under continued online learning
+// ---------------------------------------------------------------------------
+
+class SaveLoadLearnEquivalence
+    : public ::testing::TestWithParam<core::LabelMode> {};
+
+TEST_P(SaveLoadLearnEquivalence, ReloadedModelLearnsIdentically) {
+  core::Praxi original = tiny_trained_praxi(GetParam());
+  core::Praxi reloaded = core::Praxi::from_binary(original.to_binary());
+
+  // Feed the SAME feedback to both, then they must agree label-for-label on
+  // every prediction — and byte-for-byte on their snapshots.
+  const auto feedback = make_changeset(
+      "haproxy", {"/usr/sbin/haproxy", "/etc/haproxy/haproxy.cfg"});
+  original.learn_one(original.extract_tags(feedback));
+  reloaded.learn_one(reloaded.extract_tags(feedback));
+
+  const auto probes = training_corpus();
+  for (const auto& cs : probes) {
+    EXPECT_EQ(original.predict(cs, 2), reloaded.predict(cs, 2));
+  }
+  EXPECT_EQ(original.predict(feedback, 1), reloaded.predict(feedback, 1));
+  EXPECT_EQ(original.to_binary(), reloaded.to_binary());
+}
+
+INSTANTIATE_TEST_SUITE_P(BothModes, SaveLoadLearnEquivalence,
+                         ::testing::Values(core::LabelMode::kSingleLabel,
+                                           core::LabelMode::kMultiLabel));
+
+// ---------------------------------------------------------------------------
+// Crash-safe files
+// ---------------------------------------------------------------------------
+
+TEST(CrashSafety, ModelSurvivesCrashDuringResave) {
+  namespace stdfs = std::filesystem;
+  const auto dir = stdfs::temp_directory_path() / "praxi_persistence_crash";
+  stdfs::create_directories(dir);
+  const std::string path = (dir / "model.praxi").string();
+
+  core::Praxi model = tiny_trained_praxi(core::LabelMode::kSingleLabel);
+  const std::string snapshot_a = model.to_binary();
+  write_file_atomic(path, snapshot_a);
+
+  model.learn_one(tiny_tagset());
+  testhooks::simulate_crash_before_rename = true;
+  EXPECT_THROW(write_file_atomic(path, model.to_binary()), SerializeError);
+  testhooks::simulate_crash_before_rename = false;
+
+  // After the "crash", the file still loads — and is exactly snapshot A.
+  EXPECT_EQ(read_file(path), snapshot_a);
+  EXPECT_NO_THROW(core::Praxi::from_binary(read_file(path)));
+
+  write_file_atomic(path, model.to_binary());
+  EXPECT_EQ(read_file(path), model.to_binary());
+  stdfs::remove_all(dir);
+}
+
+TEST(CrashSafety, TagsetStoreFileRoundTripAndCorruptionDetected) {
+  namespace stdfs = std::filesystem;
+  const auto dir = stdfs::temp_directory_path() / "praxi_persistence_store";
+  stdfs::create_directories(dir);
+  const std::string path = (dir / "store.bin").string();
+
+  core::TagsetStore store;
+  store.add(tiny_tagset());
+  store.save(path);
+  const auto loaded = core::TagsetStore::load(path);
+  EXPECT_EQ(loaded.size(), 1u);
+
+  // Flip one byte on disk: load() must detect it, not return a wrong store.
+  std::string bytes = read_file(path);
+  bytes[bytes.size() / 2] = static_cast<char>(bytes[bytes.size() / 2] ^ 0x20);
+  write_file(path, bytes);
+  EXPECT_THROW(core::TagsetStore::load(path), SerializeError);
+  stdfs::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// CLI surfaces load failures with path + offset/reason
+// ---------------------------------------------------------------------------
+
+TEST(CliDiagnostics, CorruptModelFileReportsPathAndReason) {
+  namespace stdfs = std::filesystem;
+  const std::string path =
+      (stdfs::temp_directory_path() / "praxi_cli_corrupt.model").string();
+  std::string bytes =
+      tiny_trained_praxi(core::LabelMode::kSingleLabel).to_binary();
+  bytes[bytes.size() - 3] = static_cast<char>(bytes[bytes.size() - 3] ^ 0x01);
+  write_file(path, bytes);
+
+  std::ostringstream out, err;
+  const int rc = cli::run({"inspect", "--model", path}, out, err);
+  EXPECT_EQ(rc, 1);
+  const std::string message = err.str();
+  EXPECT_NE(message.find("cannot load model"), std::string::npos) << message;
+  EXPECT_NE(message.find(path), std::string::npos) << message;
+  std::remove(path.c_str());
+}
+
+TEST(CliDiagnostics, TruncatedModelFileReportsOffset) {
+  namespace stdfs = std::filesystem;
+  const std::string path =
+      (stdfs::temp_directory_path() / "praxi_cli_truncated.model").string();
+  const std::string bytes =
+      tiny_trained_praxi(core::LabelMode::kSingleLabel).to_binary();
+  write_file(path, bytes.substr(0, 10));
+
+  std::ostringstream out, err;
+  const int rc = cli::run({"predict", "--model", path, "/nonexistent"}, out,
+                          err);
+  EXPECT_EQ(rc, 1);
+  // The reader embeds the failing byte offset in its message.
+  EXPECT_NE(err.str().find("at byte"), std::string::npos) << err.str();
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace praxi

@@ -1,10 +1,14 @@
-// Tests for the binary serialization helpers (common/serialize.hpp).
+// Tests for the binary serialization helpers (common/serialize.hpp):
+// reader/writer primitives, the CRC32C implementation, the snapshot
+// envelope, and the (atomic) file IO layer.
 #include "common/serialize.hpp"
 
 #include <gtest/gtest.h>
 
 #include <cstdio>
 #include <filesystem>
+
+#include "common/hash.hpp"
 
 namespace praxi {
 namespace {
@@ -80,6 +84,137 @@ TEST(BinaryReader, RemainingTracksPosition) {
   EXPECT_EQ(r.remaining(), 4u);
 }
 
+TEST(BinaryReader, RequireEndRejectsTrailingBytes) {
+  BinaryWriter w;
+  w.put<std::uint32_t>(1);
+  w.put<std::uint8_t>(0);
+  BinaryReader r(w.bytes());
+  r.get<std::uint32_t>();
+  EXPECT_THROW(r.require_end("artifact"), SerializeError);
+}
+
+TEST(BinaryReader, ErrorsCarryTheFailingOffset) {
+  BinaryWriter w;
+  w.put<std::uint32_t>(7);
+  BinaryReader r(w.bytes());
+  r.get<std::uint32_t>();
+  try {
+    r.get<std::uint64_t>();  // nothing left
+    FAIL() << "expected SerializeError";
+  } catch (const SerializeError& e) {
+    EXPECT_EQ(e.offset(), 4u);
+    EXPECT_NE(std::string(e.what()).find("at byte 4"), std::string::npos);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CRC32C
+// ---------------------------------------------------------------------------
+
+TEST(Crc32c, KnownAnswerVector) {
+  // The standard CRC-32C check value (RFC 3720 appendix / iSCSI).
+  EXPECT_EQ(crc32c("123456789"), 0xE3069283u);
+}
+
+TEST(Crc32c, EmptyInputIsZero) { EXPECT_EQ(crc32c(""), 0u); }
+
+TEST(Crc32c, IncrementalMatchesOneShot) {
+  const std::string a = "praxi-snapshot-";
+  const std::string b = "payload-bytes";
+  EXPECT_EQ(crc32c(b, crc32c(a)), crc32c(a + b));
+}
+
+TEST(Crc32c, EveryScribbledByteChangesTheChecksum) {
+  const std::string base(64, '\x5a');
+  const auto clean = crc32c(base);
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    for (unsigned flip : {0x01u, 0x80u, 0xFFu}) {
+      std::string dirty = base;
+      dirty[i] = static_cast<char>(dirty[i] ^ flip);
+      EXPECT_NE(crc32c(dirty), clean) << "offset " << i << " flip " << flip;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot envelope
+// ---------------------------------------------------------------------------
+
+constexpr std::uint32_t kTestMagic = 0x54455354u;  // "TSET"
+
+TEST(SnapshotEnvelope, SealOpenRoundTrip) {
+  const std::string payload("envelope\0payload", 16);
+  const std::string sealed = seal_snapshot(kTestMagic, 3, payload);
+  EXPECT_EQ(sealed.size(), kSnapshotHeaderBytes + payload.size());
+  const Snapshot snap = open_snapshot(sealed, kTestMagic, 1, 5);
+  EXPECT_EQ(snap.version, 3u);
+  EXPECT_EQ(snap.payload, payload);
+}
+
+TEST(SnapshotEnvelope, EmptyPayloadRoundTrips) {
+  const std::string sealed = seal_snapshot(kTestMagic, 1, "");
+  EXPECT_EQ(open_snapshot(sealed, kTestMagic, 1, 1).payload, "");
+}
+
+TEST(SnapshotEnvelope, WrongMagicRejected) {
+  const std::string sealed = seal_snapshot(kTestMagic, 1, "x");
+  EXPECT_THROW(open_snapshot(sealed, kTestMagic + 1, 1, 1), SerializeError);
+}
+
+TEST(SnapshotEnvelope, VersionOutsideRangeThrowsVersionError) {
+  const std::string too_new = seal_snapshot(kTestMagic, 9, "x");
+  const std::string too_old = seal_snapshot(kTestMagic, 1, "x");
+  EXPECT_THROW(open_snapshot(too_new, kTestMagic, 2, 4), VersionError);
+  EXPECT_THROW(open_snapshot(too_old, kTestMagic, 2, 4), VersionError);
+  try {
+    open_snapshot(too_new, kTestMagic, 2, 4);
+  } catch (const VersionError& e) {
+    EXPECT_EQ(e.found(), 9u);
+  }
+  // ...but an in-range version is not a VersionError even if corrupt later.
+  EXPECT_NO_THROW(open_snapshot(too_old, kTestMagic, 1, 1));
+}
+
+TEST(SnapshotEnvelope, TruncationAtEveryPrefixRejected) {
+  const std::string sealed = seal_snapshot(kTestMagic, 1, "payload-bytes");
+  for (std::size_t keep = 0; keep < sealed.size(); ++keep) {
+    EXPECT_THROW(
+        open_snapshot(std::string_view(sealed).substr(0, keep), kTestMagic, 1,
+                      1),
+        SerializeError)
+        << "kept " << keep << " of " << sealed.size();
+  }
+}
+
+TEST(SnapshotEnvelope, TrailingByteRejected) {
+  std::string sealed = seal_snapshot(kTestMagic, 1, "payload");
+  sealed.push_back('\0');
+  EXPECT_THROW(open_snapshot(sealed, kTestMagic, 1, 1), SerializeError);
+}
+
+TEST(SnapshotEnvelope, EveryPossibleByteFlipRejected) {
+  // Header flips hit the magic/version/length/crc checks; payload flips are
+  // error bursts of <= 8 bits, which CRC32C detects unconditionally. So a
+  // corrupted snapshot NEVER opens, regardless of where the damage lands.
+  const std::string sealed = seal_snapshot(kTestMagic, 1, "payload-bytes");
+  for (std::size_t i = 0; i < sealed.size(); ++i) {
+    for (unsigned flip : {0x01u, 0x10u, 0xFFu}) {
+      std::string dirty = sealed;
+      dirty[i] = static_cast<char>(dirty[i] ^ flip);
+      EXPECT_THROW(open_snapshot(dirty, kTestMagic, 1, 1), SerializeError)
+          << "offset " << i << " flip " << flip;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// File IO
+// ---------------------------------------------------------------------------
+
+std::string temp_path(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
 TEST(FileIo, RoundTrip) {
   const std::string path =
       (std::filesystem::temp_directory_path() / "praxi_serialize_test.bin")
@@ -97,6 +232,74 @@ TEST(FileIo, ReadMissingFileThrows) {
 TEST(FileIo, WriteToBadPathThrows) {
   EXPECT_THROW(write_file("/nonexistent-dir-xyz/file.bin", "data"),
                SerializeError);
+}
+
+TEST(FileIo, ReadDirectoryThrows) {
+  EXPECT_THROW(read_file(std::filesystem::temp_directory_path().string()),
+               SerializeError);
+}
+
+TEST(FileIo, AtomicWriteRoundTripsAndOverwrites) {
+  const std::string path = temp_path("praxi_atomic_test.bin");
+  const std::string first("first\0snapshot", 14);
+  const std::string second("second-snapshot-longer-than-the-first");
+  write_file_atomic(path, first);
+  EXPECT_EQ(read_file(path), first);
+  write_file_atomic(path, second);
+  EXPECT_EQ(read_file(path), second);
+  std::remove(path.c_str());
+}
+
+TEST(FileIo, AtomicWriteToBadPathThrows) {
+  EXPECT_THROW(write_file_atomic("/nonexistent-dir-xyz/file.bin", "data"),
+               SerializeError);
+}
+
+TEST(FileIo, AtomicWriteLeavesNoTempFileOnSuccess) {
+  namespace stdfs = std::filesystem;
+  const auto dir = stdfs::temp_directory_path() / "praxi_atomic_clean";
+  stdfs::create_directories(dir);
+  write_file_atomic((dir / "model.bin").string(), "bytes");
+  std::size_t entries = 0;
+  for (const auto& entry : stdfs::directory_iterator(dir)) {
+    ++entries;
+    EXPECT_EQ(entry.path().filename().string(), "model.bin");
+  }
+  EXPECT_EQ(entries, 1u);
+  stdfs::remove_all(dir);
+}
+
+TEST(FileIo, CrashBeforeRenameKeepsCompleteOldSnapshot) {
+  namespace stdfs = std::filesystem;
+  const auto dir = stdfs::temp_directory_path() / "praxi_atomic_crash";
+  stdfs::create_directories(dir);
+  const std::string path = (dir / "model.bin").string();
+  const std::string old_snapshot = "complete-old-snapshot";
+  write_file_atomic(path, old_snapshot);
+
+  // "Crash" after the temp file is durable but before the rename commits.
+  testhooks::simulate_crash_before_rename = true;
+  EXPECT_THROW(write_file_atomic(path, "half-committed-new-snapshot"),
+               SerializeError);
+  testhooks::simulate_crash_before_rename = false;
+
+  // The destination still holds the COMPLETE old contents, and the aborted
+  // attempt is visible only as a stale temp file loaders never touch.
+  EXPECT_EQ(read_file(path), old_snapshot);
+  std::size_t stale = 0;
+  for (const auto& entry : stdfs::directory_iterator(dir)) {
+    const auto name = entry.path().filename().string();
+    if (name != "model.bin") {
+      EXPECT_EQ(name.rfind("model.bin.tmp.", 0), 0u) << name;
+      ++stale;
+    }
+  }
+  EXPECT_EQ(stale, 1u);
+
+  // A later, uninterrupted save commits the new snapshot normally.
+  write_file_atomic(path, "new-snapshot");
+  EXPECT_EQ(read_file(path), "new-snapshot");
+  stdfs::remove_all(dir);
 }
 
 }  // namespace

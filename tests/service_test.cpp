@@ -262,5 +262,97 @@ TEST_F(ServiceTest, FeedbackRequiresLabels) {
                std::invalid_argument);
 }
 
+TEST_F(ServiceTest, FeedbackCardinalityMustMatchModelMode) {
+  // A single-label (OAA) server must refuse multi-labeled feedback BEFORE
+  // any learning mutates the model.
+  DiscoveryServer server(*model_, {});
+  ASSERT_EQ(server.model().mode(), core::LabelMode::kSingleLabel);
+  fs::Changeset two;
+  two.set_open_time(100);
+  two.add(fs::ChangeRecord{"/usr/bin/a", 0755, fs::ChangeKind::kCreate, 101});
+  two.add_label("nginx");
+  two.add_label("redis");
+  two.close(200);
+  const std::string before = server.model().to_binary();
+  EXPECT_THROW(server.learn_feedback(two), std::invalid_argument);
+  EXPECT_EQ(server.model().to_binary(), before) << "model mutated on reject";
+}
+
+TEST(ChangesetReport, PeekAgentIdSurvivesPayloadCorruption) {
+  ChangesetReport report;
+  report.agent_id = "vm-peek";
+  report.sequence = 3;
+  report.changeset = sample_changeset("nginx");
+  std::string wire = report.to_wire();
+  // Corrupt a payload byte well past the id: from_wire must reject the
+  // frame, yet peek still attributes it to the sender.
+  wire[wire.size() - 2] = static_cast<char>(wire[wire.size() - 2] ^ 0x40);
+  EXPECT_THROW(ChangesetReport::from_wire(wire), SerializeError);
+  EXPECT_EQ(ChangesetReport::peek_agent_id(wire), "vm-peek");
+  EXPECT_EQ(ChangesetReport::peek_agent_id("random junk"), "");
+  EXPECT_EQ(ChangesetReport::peek_agent_id(""), "");
+}
+
+TEST_F(ServiceTest, IngestStatsAttributeCorruptionPerAgent) {
+  MessageBus bus;
+  DiscoveryServer server(*model_, {});
+
+  ChangesetReport good;
+  good.agent_id = "vm-healthy";
+  good.sequence = 1;
+  good.changeset = sample_changeset("nginx");
+  bus.send(good.to_wire());
+
+  // vm-flaky delivers one clean report and one with a flipped payload byte.
+  ChangesetReport flaky = good;
+  flaky.agent_id = "vm-flaky";
+  bus.send(flaky.to_wire());
+  std::string corrupt = flaky.to_wire();
+  corrupt[corrupt.size() - 1] = static_cast<char>(corrupt.back() ^ 0x01);
+  bus.send(corrupt);
+
+  // Total garbage: not attributable to anyone.
+  bus.send("garbage that is not a frame");
+
+  EXPECT_NO_THROW(server.process(bus));
+  EXPECT_EQ(server.processed(), 2u);
+  EXPECT_EQ(server.malformed(), 2u);
+  EXPECT_EQ(server.version_mismatched(), 0u);
+
+  const auto& stats = server.ingest_stats();
+  ASSERT_EQ(stats.count("vm-healthy"), 1u);
+  EXPECT_EQ(stats.at("vm-healthy").processed, 1u);
+  EXPECT_EQ(stats.at("vm-healthy").malformed, 0u);
+  ASSERT_EQ(stats.count("vm-flaky"), 1u);
+  EXPECT_EQ(stats.at("vm-flaky").processed, 1u);
+  EXPECT_EQ(stats.at("vm-flaky").malformed, 1u);
+  ASSERT_EQ(stats.count(DiscoveryServer::kUnattributedAgent), 1u);
+  EXPECT_EQ(stats.at(DiscoveryServer::kUnattributedAgent).malformed, 1u);
+}
+
+TEST_F(ServiceTest, VersionSkewCountedSeparatelyFromCorruption) {
+  MessageBus bus;
+  DiscoveryServer server(*model_, {});
+
+  ChangesetReport report;
+  report.agent_id = "vm-upgraded";
+  report.sequence = 1;
+  report.changeset = sample_changeset("nginx");
+  std::string wire = report.to_wire();
+  // The version field is bytes [4, 8) of the envelope header; the CRC does
+  // not cover the header, so bumping it yields a structurally sound frame
+  // from "the future" — VersionError, not corruption.
+  wire[4] = static_cast<char>(wire[4] + 1);
+  bus.send(wire);
+
+  EXPECT_NO_THROW(server.process(bus));
+  EXPECT_EQ(server.version_mismatched(), 1u);
+  EXPECT_EQ(server.malformed(), 0u);
+  EXPECT_EQ(server.processed(), 0u);
+  const auto& stats = server.ingest_stats();
+  ASSERT_EQ(stats.count("vm-upgraded"), 1u);
+  EXPECT_EQ(stats.at("vm-upgraded").version_mismatch, 1u);
+}
+
 }  // namespace
 }  // namespace praxi::service
