@@ -47,7 +47,8 @@ int main(int argc, char** argv) {
   core::PraxiConfig base;
   add("baseline (top_k=25, bits=18, min_freq=2)", base);
 
-  for (std::size_t top_k : {5, 10, 50, 100}) {
+  for (std::size_t top_k : {std::size_t{5}, std::size_t{10}, std::size_t{50},
+                            std::size_t{100}}) {
     core::PraxiConfig config = base;
     config.columbus.top_k = top_k;
     add("top_k=" + std::to_string(top_k), config);

@@ -22,7 +22,7 @@ struct BenchArgs {
 
   /// Scales a paper-scale count, keeping at least `minimum`.
   std::size_t scaled(std::size_t paper_count, std::size_t minimum = 1) const {
-    const auto value = static_cast<std::size_t>(paper_count * scale + 0.5);
+    const auto value = static_cast<std::size_t>(static_cast<double>(paper_count) * scale + 0.5);
     return value < minimum ? minimum : value;
   }
 };

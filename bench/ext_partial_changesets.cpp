@@ -73,11 +73,11 @@ int main(int argc, char** argv) {
   eval::TextTable table({"changeset handling", "accuracy"});
   const double n = double(test.size());
   table.add_row({"whole changesets (baseline)",
-                 eval::fmt_percent(whole_ok / n)});
+                 eval::fmt_percent(double(whole_ok) / n)});
   table.add_row({"boundary-split halves, each classified alone",
                  eval::fmt_percent(double(half_ok) / double(halves))});
   table.add_row({"adjacent halves merged before classifying (§VI remedy)",
-                 eval::fmt_percent(merged_ok / n)});
+                 eval::fmt_percent(double(merged_ok) / n)});
   table.print(std::cout);
   std::cout << "\n" << starved_halves << " of " << halves
             << " halves produced no tags at all (not enough repeated "

@@ -101,8 +101,8 @@ int main(int argc, char** argv) {
     }
 
     table.add_row({std::to_string(k),
-                   eval::fmt_double(total_error / trials_per_k),
-                   eval::fmt_percent(double(exact) / trials_per_k),
+                   eval::fmt_double(total_error / double(trials_per_k)),
+                   eval::fmt_percent(double(exact) / double(trials_per_k)),
                    eval::fmt_percent(
                        eval::evaluate(truths, predictions).weighted_f1())});
     std::cout << "done: k=" << k << "\n";

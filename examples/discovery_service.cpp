@@ -78,9 +78,9 @@ int main(int argc, char** argv) {
     }
 
     for (const auto& event : service.poll()) {
-      const double minutes = double(event.close_time_ms -
-                                    clock->now_ms() + total_s * 1e3) /
-                             60'000.0;
+      const double minutes =
+          (double(event.close_time_ms - clock->now_ms()) + total_s * 1e3) /
+          60'000.0;
       (void)minutes;
       std::cout << "[t+" << std::setw(5) << int(t) << "s] window closed: "
                 << event.record_count << " changes, inferred "

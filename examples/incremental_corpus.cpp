@@ -30,7 +30,9 @@ int main(int argc, char** argv) {
   pkg::DatasetBuilder builder(catalog, 7);
   pkg::CollectOptions options;
   options.samples_per_app = train_per_app + test_per_app;
-  options.app_filter.assign(all_apps.begin(), all_apps.begin() + max_apps);
+  options.app_filter.assign(
+      all_apps.begin(),
+      all_apps.begin() + static_cast<std::ptrdiff_t>(max_apps));
   const pkg::Dataset dataset = builder.collect_dirty(options);
 
   std::map<std::string, std::vector<const fs::Changeset*>> by_app;
@@ -44,7 +46,7 @@ int main(int argc, char** argv) {
                          "online F1", "retrain F1"});
 
   for (int day = 0; day < days; ++day) {
-    const std::size_t begin = day * apps_per_day;
+    const std::size_t begin = static_cast<std::size_t>(day) * apps_per_day;
     if (begin >= max_apps) break;
     const std::size_t end = std::min(begin + apps_per_day, max_apps);
 

@@ -1,0 +1,27 @@
+// Shared declarations for the fuzz harnesses (docs/STATIC_ANALYSIS.md).
+//
+// Every harness defines LLVMFuzzerTestOneInput over one decoder and catches
+// ONLY praxi::SerializeError: that is the decoders' contract for arbitrary
+// bytes. Any other exception, signal, sanitizer report, or unbounded
+// allocation escapes the harness and is a finding.
+//
+// Built two ways (fuzz/CMakeLists.txt):
+//   * clang:      -fsanitize=fuzzer links the real libFuzzer driver;
+//   * otherwise:  standalone_driver.cpp provides a corpus-replay +
+//                 deterministic-mutation main() with a compatible CLI subset.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+namespace praxi::fuzz {
+
+inline std::string_view as_view(const std::uint8_t* data, std::size_t size) {
+  return {reinterpret_cast<const char*>(data), size};
+}
+
+}  // namespace praxi::fuzz

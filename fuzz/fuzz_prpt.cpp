@@ -1,0 +1,19 @@
+// Fuzz harness: wire ChangesetReport ("PRPT") decoder, plus the best-effort
+// peek_agent_id() used for malformed-frame attribution — peek is noexcept,
+// so it must digest the same arbitrary bytes without throwing at all.
+#include "fuzz_entry.hpp"
+
+#include "common/serialize.hpp"
+#include "service/transport.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const auto bytes = praxi::fuzz::as_view(data, size);
+  (void)praxi::service::ChangesetReport::peek_agent_id(bytes);
+  try {
+    praxi::service::ChangesetReport::from_wire(bytes);
+  } catch (const praxi::SerializeError&) {
+    // Expected for arbitrary bytes; anything else escapes and is a finding.
+  }
+  return 0;
+}

@@ -1,0 +1,16 @@
+// Fuzz harness: TagsetStore snapshot ("PTS1") decoder.
+#include "fuzz_entry.hpp"
+
+#include "common/serialize.hpp"
+#include "core/tagset_store.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const auto bytes = praxi::fuzz::as_view(data, size);
+  try {
+    praxi::core::TagsetStore::from_binary(bytes);
+  } catch (const praxi::SerializeError&) {
+    // Expected for arbitrary bytes; anything else escapes and is a finding.
+  }
+  return 0;
+}

@@ -1,0 +1,16 @@
+// Fuzz harness: Word2Vec dictionary snapshot ("PW2V") decoder.
+#include "fuzz_entry.hpp"
+
+#include "common/serialize.hpp"
+#include "ml/word2vec.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const auto bytes = praxi::fuzz::as_view(data, size);
+  try {
+    praxi::ml::Word2Vec::from_binary(bytes);
+  } catch (const praxi::SerializeError&) {
+    // Expected for arbitrary bytes; anything else escapes and is a finding.
+  }
+  return 0;
+}

@@ -1,0 +1,26 @@
+// Fuzz harness: Columbus path tokenizer. Input is newline-separated paths;
+// tokenize() takes untrusted agent-reported paths and must never throw or
+// index out of bounds, whatever bytes (embedded NUL, non-UTF8, absurdly
+// long segments) the path carries.
+#include "fuzz_entry.hpp"
+
+#include <string_view>
+
+#include "columbus/tokenizer.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  static const praxi::columbus::Tokenizer tokenizer;
+  std::string_view rest = praxi::fuzz::as_view(data, size);
+  while (!rest.empty()) {
+    const auto newline = rest.find('\n');
+    const std::string_view path =
+        newline == std::string_view::npos ? rest : rest.substr(0, newline);
+    for (const auto& token : tokenizer.tokenize(path)) {
+      (void)tokenizer.is_system_token(token);
+    }
+    if (newline == std::string_view::npos) break;
+    rest.remove_prefix(newline + 1);
+  }
+  return 0;
+}

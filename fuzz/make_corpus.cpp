@@ -1,0 +1,157 @@
+// Seed-corpus generator for the fuzz harnesses.
+//
+//   praxi-make-corpus [output-root]         (default: fuzz/corpus)
+//
+// Writes a few golden snapshots per decoder family into
+// <root>/<target>/seed-*.bin. Seeds are built from tiny fixed fixtures so
+// regeneration is deterministic; they are checked into the repo (generated
+// fuzzer corpora are not — see .gitignore). Each target's smoke test replays
+// these and mutates from them, so every header field and section of each
+// format starts covered.
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "columbus/tagset.hpp"
+#include "common/serialize.hpp"
+#include "core/praxi.hpp"
+#include "core/tagset_store.hpp"
+#include "fs/changeset.hpp"
+#include "ml/kernel_svm.hpp"
+#include "ml/online_learner.hpp"
+#include "ml/word2vec.hpp"
+#include "pkg/dataset.hpp"
+#include "service/transport.hpp"
+
+namespace {
+
+using namespace praxi;
+
+fs::Changeset make_changeset(const std::string& label,
+                             const std::vector<std::string>& paths) {
+  fs::Changeset cs;
+  cs.set_open_time(1000);
+  std::int64_t t = 1001;
+  for (const auto& path : paths) {
+    cs.add({path, 0644, fs::ChangeKind::kCreate, t++});
+  }
+  cs.close(t);
+  cs.add_label(label);
+  return cs;
+}
+
+std::vector<fs::Changeset> training_corpus() {
+  return {
+      make_changeset("nginx", {"/usr/sbin/nginx", "/etc/nginx/nginx.conf",
+                               "/usr/lib/nginx/modules/mod_http.so"}),
+      make_changeset("redis", {"/usr/bin/redis-server", "/etc/redis/redis.conf",
+                               "/usr/lib/redis/modules/bloom.so"}),
+      make_changeset("mysql", {"/usr/sbin/mysqld", "/etc/mysql/my.cnf",
+                               "/var/lib/mysql/ibdata1"}),
+  };
+}
+
+core::Praxi tiny_trained_praxi(core::LabelMode mode) {
+  core::PraxiConfig config;
+  config.mode = mode;
+  config.learner.bits = 8;
+  core::Praxi model(config);
+  const auto corpus = training_corpus();
+  std::vector<const fs::Changeset*> pointers;
+  pointers.reserve(corpus.size());
+  for (const auto& cs : corpus) pointers.push_back(&cs);
+  model.train_changesets(pointers);
+  return model;
+}
+
+columbus::TagSet tiny_tagset() {
+  columbus::TagSet ts;
+  ts.tags = {{"nginx", 5}, {"nginx.conf", 2}, {"modules", 1}};
+  ts.labels = {"nginx"};
+  return ts;
+}
+
+std::filesystem::path g_root;
+
+void emit(const std::string& target, const std::string& name,
+          std::string_view bytes) {
+  const auto dir = g_root / target;
+  std::filesystem::create_directories(dir);
+  write_file((dir / ("seed-" + name + ".bin")).string(), bytes);
+  std::cout << target << "/seed-" << name << ".bin: " << bytes.size()
+            << " bytes\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  g_root = argc > 1 ? argv[1] : "fuzz/corpus";
+
+  const auto corpus = training_corpus();
+
+  emit("prx1", "single",
+       tiny_trained_praxi(core::LabelMode::kSingleLabel).to_binary());
+  emit("prx1", "multi",
+       tiny_trained_praxi(core::LabelMode::kMultiLabel).to_binary());
+
+  ml::OnlineLearnerConfig learner_config;
+  learner_config.bits = 8;
+  ml::OaaClassifier oaa(learner_config);
+  oaa.learn_one({{1, 1.0f}, {7, 0.5f}}, "nginx");
+  oaa.learn_one({{2, 1.0f}, {9, 0.5f}}, "redis");
+  emit("poa1", "trained", oaa.to_binary());
+  emit("poa1", "empty", ml::OaaClassifier(learner_config).to_binary());
+
+  ml::CsoaaClassifier csoaa(learner_config);
+  csoaa.learn_one({{1, 1.0f}, {7, 0.5f}}, {"nginx", "redis"});
+  emit("pcs2", "trained", csoaa.to_binary());
+
+  emit("pcs1", "nginx", corpus[0].to_binary());
+  emit("pcs1", "empty", fs::Changeset().to_binary());
+
+  emit("ptg1", "nginx", tiny_tagset().to_binary());
+  emit("ptg1", "empty", columbus::TagSet().to_binary());
+
+  core::TagsetStore store;
+  store.add(tiny_tagset());
+  emit("pts1", "one", store.to_binary());
+  emit("pts1", "empty", core::TagsetStore().to_binary());
+
+  pkg::Dataset dataset;
+  dataset.changesets = corpus;
+  dataset.refresh_labels();
+  emit("pds1", "three", dataset.to_binary());
+
+  ml::Word2VecConfig w2v_config;
+  w2v_config.dim = 8;
+  w2v_config.min_count = 1;
+  w2v_config.epochs = 1;
+  ml::Word2Vec w2v(w2v_config);
+  w2v.train({{"usr", "sbin", "nginx"},
+             {"etc", "nginx", "conf"},
+             {"usr", "bin", "redis"}});
+  emit("pw2v", "tiny", w2v.to_binary());
+  emit("pw2v", "untrained", ml::Word2Vec(w2v_config).to_binary());
+
+  ml::RbfSvmConfig svm_config;
+  svm_config.epochs = 2;
+  ml::RbfSvmOva svm(svm_config);
+  svm.train({{1.0f, 0.0f}, {0.0f, 1.0f}, {1.0f, 1.0f}},
+            {{0u}, {1u}, {0u, 1u}}, 2);
+  emit("psv1", "tiny", svm.to_binary());
+
+  service::ChangesetReport report;
+  report.agent_id = "vm-042";
+  report.sequence = 7;
+  report.changeset = corpus[1];
+  emit("prpt", "vm042", report.to_wire());
+
+  emit("tokenizer", "paths",
+       "/usr/sbin/nginx\n/etc/mysql/conf.d/my.cnf\n"
+       "/var/lib/dpkg/info/libssl3:amd64.list\n"
+       "relative/path with spaces/x.so.1.2.3\n//../..//.hidden\n");
+
+  std::cout << "seed corpora written under " << g_root.string() << "\n";
+  return 0;
+}

@@ -1,0 +1,189 @@
+// Standalone fuzz driver for toolchains without libFuzzer (e.g. gcc).
+//
+// Speaks the subset of libFuzzer's CLI the smoke lane uses, so the ctest
+// command line is identical whichever driver is linked:
+//
+//   fuzz_<target> [-runs=N] [-max_total_time=SECONDS] [-seed=N] corpus...
+//
+// Behavior: replay every corpus input through LLVMFuzzerTestOneInput, then
+// run a deterministic mutation loop (byte flips, truncations, insertions,
+// integer-boundary overwrites, corpus splices) until the run or time budget
+// is exhausted. A crash is any escape — uncaught exception, signal,
+// sanitizer abort — which kills the process and fails the ctest. Unlike
+// libFuzzer there is no coverage feedback; this driver exists so the
+// harnesses keep building, linking, and digesting hostile bytes on every
+// toolchain, and so seed corpora can never silently go empty (an empty
+// corpus is an error, not a trivially green run).
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "fuzz_entry.hpp"
+
+namespace {
+
+/// xorshift64*: tiny, deterministic, seedable — no std::random_device so a
+/// given (seed, corpus) pair always replays the same mutation sequence.
+struct Rng {
+  std::uint64_t state;
+  explicit Rng(std::uint64_t seed) : state(seed | 1) {}
+  std::uint64_t next() {
+    state ^= state >> 12;
+    state ^= state << 25;
+    state ^= state >> 27;
+    return state * 0x2545F4914F6CDD1DULL;
+  }
+  std::size_t below(std::size_t n) {
+    return n == 0 ? 0 : static_cast<std::size_t>(next() % n);
+  }
+};
+
+using Input = std::vector<std::uint8_t>;
+
+bool read_input(const std::filesystem::path& path, Input& out) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) return false;
+  const auto size = in.tellg();
+  if (size < 0) return false;
+  out.resize(static_cast<std::size_t>(size));
+  in.seekg(0);
+  in.read(reinterpret_cast<char*>(out.data()),
+          static_cast<std::streamsize>(out.size()));
+  return static_cast<bool>(in);
+}
+
+void run_one(const Input& input) {
+  LLVMFuzzerTestOneInput(input.data(), input.size());
+}
+
+/// One mutation step; kinds chosen to stress length fields and framing.
+Input mutate(const Input& base, const std::vector<Input>& corpus, Rng& rng) {
+  Input out = base;
+  const int ops = 1 + static_cast<int>(rng.below(8));
+  for (int i = 0; i < ops; ++i) {
+    switch (rng.below(6)) {
+      case 0:  // flip one byte
+        if (!out.empty()) {
+          out[rng.below(out.size())] ^=
+              static_cast<std::uint8_t>(1 + rng.below(255));
+        }
+        break;
+      case 1:  // truncate
+        if (!out.empty()) out.resize(rng.below(out.size()));
+        break;
+      case 2:  // insert a byte
+        out.insert(out.begin() + static_cast<std::ptrdiff_t>(
+                                     rng.below(out.size() + 1)),
+                   static_cast<std::uint8_t>(rng.below(256)));
+        break;
+      case 3: {  // overwrite 4 bytes with an integer boundary value
+        if (out.size() >= 4) {
+          static constexpr std::uint32_t kBoundaries[] = {
+              0u, 1u, 0x7FFFFFFFu, 0x80000000u, 0xFFFFFFFFu, 31u, 64u};
+          const std::uint32_t v = kBoundaries[rng.below(std::size(kBoundaries))];
+          std::memcpy(out.data() + rng.below(out.size() - 3), &v, 4);
+        }
+        break;
+      }
+      case 4: {  // splice: head of this input + tail of another corpus entry
+        const Input& other = corpus[rng.below(corpus.size())];
+        if (!other.empty()) {
+          const std::size_t cut = rng.below(out.size() + 1);
+          out.resize(cut);
+          const std::size_t from = rng.below(other.size());
+          out.insert(out.end(), other.begin() + static_cast<std::ptrdiff_t>(from),
+                     other.end());
+        }
+        break;
+      }
+      default:  // repeat a block (stresses count fields vs actual bytes)
+        if (!out.empty() && out.size() < (1u << 20)) {
+          const std::size_t from = rng.below(out.size());
+          const std::size_t len = 1 + rng.below(out.size() - from);
+          out.insert(out.end(), out.begin() + static_cast<std::ptrdiff_t>(from),
+                     out.begin() + static_cast<std::ptrdiff_t>(from + len));
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+bool parse_flag(const std::string& arg, const char* name, long long& value) {
+  const std::string prefix = std::string("-") + name + "=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  value = std::atoll(arg.c_str() + prefix.size());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  long long runs = 1000;
+  long long max_total_time = 0;  // seconds; 0 = no time cap
+  long long seed = 20260805;
+  std::vector<std::filesystem::path> corpus_paths;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    long long value = 0;
+    if (parse_flag(arg, "runs", value)) {
+      runs = value;
+    } else if (parse_flag(arg, "max_total_time", value)) {
+      max_total_time = value;
+    } else if (parse_flag(arg, "seed", value)) {
+      seed = value;
+    } else if (!arg.empty() && arg[0] == '-') {
+      // Ignore other libFuzzer flags so shared command lines keep working.
+    } else {
+      corpus_paths.emplace_back(arg);
+    }
+  }
+
+  std::vector<Input> corpus;
+  for (const auto& path : corpus_paths) {
+    std::error_code ec;
+    if (std::filesystem::is_directory(path, ec)) {
+      for (const auto& entry : std::filesystem::directory_iterator(path)) {
+        Input input;
+        if (entry.is_regular_file() && read_input(entry.path(), input)) {
+          corpus.push_back(std::move(input));
+        }
+      }
+    } else {
+      Input input;
+      if (read_input(path, input)) corpus.push_back(std::move(input));
+    }
+  }
+  if (corpus.empty()) {
+    std::cerr << "fuzz driver: no corpus inputs found (a smoke run without "
+                 "seeds proves nothing — regenerate with praxi-make-corpus)\n";
+    return 1;
+  }
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(max_total_time);
+  const bool timed = max_total_time > 0;
+
+  // Phase 1: replay every seed verbatim.
+  for (const auto& input : corpus) run_one(input);
+
+  // Phase 2: deterministic mutation loop.
+  Rng rng(static_cast<std::uint64_t>(seed));
+  long long executed = 0;
+  for (; executed < runs; ++executed) {
+    if (timed && std::chrono::steady_clock::now() >= deadline) break;
+    run_one(mutate(corpus[rng.below(corpus.size())], corpus, rng));
+  }
+
+  std::cout << "fuzz driver: " << corpus.size() << " seed inputs replayed, "
+            << executed << " mutated runs, no crashes\n";
+  return 0;
+}

@@ -103,6 +103,8 @@ int cmd_demo_corpus(const Options& options, std::ostream& out,
     const std::string& label = cs.labels().front();
     const std::string path = dir + "/" + label + "-" +
                              std::to_string(counters[label]++) + ".changeset";
+    // Regenerable text export, not a snapshot; torn files are harmless
+    // and re-collected. praxi-lint: allow(raw-write)
     write_file(path, cs.to_text());
   }
   out << "wrote " << dataset.size() << " changesets ("

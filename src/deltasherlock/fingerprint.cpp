@@ -11,7 +11,8 @@ std::vector<float> ascii_histogram(const fs::Changeset& changeset) {
   std::vector<float> bins(kHistogramBins, 0.0f);
   double total = 0.0;
   for (const auto& rec : changeset.records()) {
-    for (unsigned char c : basename(rec.path)) {
+    for (const char raw : basename(rec.path)) {
+      const auto c = static_cast<unsigned char>(raw);
       // Printable ASCII starts at 32; clamp the rest into the last bin.
       const std::size_t bin =
           std::min<std::size_t>(c >= 32 ? c - 32 : 0, kHistogramBins - 1);

@@ -69,7 +69,9 @@ void RbfSvmOva::train(const std::vector<std::vector<float>>& X,
     if (dists.empty()) {
       effective_gamma_ = 1.0;
     } else {
-      std::nth_element(dists.begin(), dists.begin() + dists.size() / 2,
+      std::nth_element(dists.begin(),
+                       dists.begin() +
+                           static_cast<std::ptrdiff_t>(dists.size() / 2),
                        dists.end());
       effective_gamma_ = 1.0 / dists[dists.size() / 2];
     }

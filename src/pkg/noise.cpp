@@ -18,7 +18,7 @@ int event_count(Rng& rng, double rate_per_s, double seconds) {
 std::string hex_token(Rng& rng, int digits) {
   static constexpr char kHex[] = "0123456789abcdef";
   std::string token;
-  token.reserve(digits);
+  token.reserve(static_cast<std::size_t>(digits));
   for (int i = 0; i < digits; ++i) token.push_back(kHex[rng.below(16)]);
   return token;
 }

@@ -91,8 +91,8 @@ TEST_P(PerApplicationSweep, CleanInstallProducesInformativeTags) {
 INSTANTIATE_TEST_SUITE_P(
     AllApplications, PerApplicationSweep,
     ::testing::ValuesIn(Catalog::standard(42).application_names()),
-    [](const ::testing::TestParamInfo<std::string>& info) {
-      std::string name = info.param;
+    [](const ::testing::TestParamInfo<std::string>& param_info) {
+      std::string name = param_info.param;
       for (char& c : name) {
         if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
       }

@@ -219,7 +219,7 @@ TEST_P(SynthesizeSweep, CountsAddUp) {
   const int k = GetParam();
   praxi::Rng rng(99);
   std::vector<Changeset> owned;
-  owned.reserve(k);
+  owned.reserve(static_cast<std::size_t>(k));
   std::size_t total_records = 0;
   for (int i = 0; i < k; ++i) {
     Changeset cs;
@@ -229,7 +229,7 @@ TEST_P(SynthesizeSweep, CountsAddUp) {
       cs.add(rec("/pkg" + std::to_string(i) + "/f" + std::to_string(j),
                  i * 1000 + j));
     }
-    total_records += n;
+    total_records += static_cast<std::size_t>(n);
     cs.add_label("app-" + std::to_string(i));
     cs.close(i * 1000 + 999);
     owned.push_back(std::move(cs));

@@ -118,7 +118,7 @@ TEST_F(CliTest, AppendContinuesTraining) {
   const std::string model = dir_ + "/model.praxi";
 
   // Train on the first half, append the second half.
-  const std::size_t half = files.size() / 2;
+  const auto half = static_cast<std::ptrdiff_t>(files.size() / 2);
   std::vector<std::string> first{"train", "--model", model};
   first.insert(first.end(), files.begin(), files.begin() + half);
   ASSERT_EQ(run_cli(first), 0) << err_.str();

@@ -47,7 +47,7 @@ TEST_F(DeltaSherlockTest, LearnsRealisticCorpus) {
   for (const fs::Changeset* cs : *test_) {
     correct += model.predict(*cs, 1).front() == cs->labels().front();
   }
-  EXPECT_GT(double(correct) / test_->size(), 0.8);
+  EXPECT_GT(double(correct) / double(test_->size()), 0.8);
 }
 
 TEST_F(DeltaSherlockTest, OverheadAccountingPopulated) {
@@ -83,7 +83,7 @@ TEST_F(DeltaSherlockTest, HistogramOnlyConfigWorks) {
   for (const fs::Changeset* cs : *test_) {
     correct += model.predict(*cs, 1).front() == cs->labels().front();
   }
-  EXPECT_GT(double(correct) / test_->size(), 0.6);
+  EXPECT_GT(double(correct) / double(test_->size()), 0.6);
 }
 
 TEST_F(DeltaSherlockTest, PredictTopNReturnsNDistinctLabels) {

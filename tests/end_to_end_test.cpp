@@ -111,7 +111,7 @@ TEST_F(EndToEndTest, ModelSurvivesSerializationMidStream) {
   for (const auto& cs : dirty_->changesets) {
     correct += loaded.predict(cs).front() == cs.labels().front();
   }
-  EXPECT_GT(double(correct) / dirty_->size(), 0.9);
+  EXPECT_GT(double(correct) / double(dirty_->size()), 0.9);
 }
 
 TEST_F(EndToEndTest, DiscoveryServiceMonitorsLiveInstance) {
@@ -129,7 +129,7 @@ TEST_F(EndToEndTest, DiscoveryServiceMonitorsLiveInstance) {
   std::vector<std::string> expected;
   std::vector<std::string> discovered;
   for (int i = 0; i < 3; ++i) {
-    const std::string target = catalog_->repository_names()[i * 3];
+    const std::string target = catalog_->repository_names()[static_cast<std::size_t>(i) * 3];
     expected.push_back(target);
     installer.install(target);
     const auto event = service.sample_now();
@@ -186,7 +186,7 @@ TEST_F(EndToEndTest, CleanTrainingGeneralizesToDirtyTesting) {
   for (const auto& cs : dirty_->changesets) {
     correct += model.predict(cs).front() == cs.labels().front();
   }
-  EXPECT_GT(double(correct) / dirty_->size(), 0.8);
+  EXPECT_GT(double(correct) / double(dirty_->size()), 0.8);
 }
 
 }  // namespace

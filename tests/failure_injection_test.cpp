@@ -36,7 +36,7 @@ class TruncationSweep : public ::testing::TestWithParam<double> {};
 
 TEST_P(TruncationSweep, TruncatedPraxiModelRejected) {
   const std::string& bytes = trained_model_bytes();
-  const auto keep = static_cast<std::size_t>(bytes.size() * GetParam());
+  const auto keep = static_cast<std::size_t>(double(bytes.size()) * GetParam());
   EXPECT_THROW(core::Praxi::from_binary(std::string_view(bytes).substr(0, keep)),
                SerializeError);
 }

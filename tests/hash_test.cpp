@@ -38,7 +38,7 @@ TEST(Murmur3_32, AllTailLengthsDistinct) {
   // must hash to pairwise distinct values (with overwhelming probability).
   std::set<std::uint32_t> seen;
   for (int len = 0; len <= 17; ++len) {
-    seen.insert(murmur3_32(std::string(len, 'x')));
+    seen.insert(murmur3_32(std::string(static_cast<std::size_t>(len), 'x')));
   }
   EXPECT_EQ(seen.size(), 18u);
 }

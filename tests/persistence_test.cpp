@@ -22,7 +22,9 @@
 #include "core/praxi.hpp"
 #include "core/tagset_store.hpp"
 #include "fs/changeset.hpp"
+#include "ml/kernel_svm.hpp"
 #include "ml/online_learner.hpp"
+#include "ml/word2vec.hpp"
 #include "pkg/dataset.hpp"
 #include "service/transport.hpp"
 
@@ -191,6 +193,150 @@ TEST(CorruptionInjection, ArbitraryGarbageRejected) {
           << artifact.name << " len " << len;
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Fuzz-promoted regression cases (docs/STATIC_ANALYSIS.md)
+//
+// One hand-minimized crasher per decoder family, in CHECKSUM-VALID form:
+// the payload is mutated and then re-sealed with a fresh CRC, so these
+// inputs sail through the envelope checks and attack the per-format
+// decoding logic directly — the corruption class the byte-flip suite above
+// can never reach (CRC rejects every flip first). Each case pins down a
+// hostile-field bug class fixed during PR 2's hardening; the fuzz harnesses
+// under fuzz/ mutate from these same shapes continuously.
+// ---------------------------------------------------------------------------
+
+/// Re-seals `snapshot` after `mutate` edits its payload, recomputing the
+/// CRC so the result is structurally valid right up to the format decoder.
+std::string reseal_mutated(std::string_view snapshot,
+                           const std::function<void(std::string&)>& mutate) {
+  BinaryReader r(snapshot);
+  const auto magic = r.get<std::uint32_t>();
+  const auto version = r.get<std::uint32_t>();
+  std::string payload(snapshot.substr(kSnapshotHeaderBytes));
+  mutate(payload);
+  return seal_snapshot(magic, version, payload);
+}
+
+template <typename T>
+void overwrite(std::string& payload, std::size_t offset, T value) {
+  ASSERT_LE(offset + sizeof(T), payload.size());
+  std::memcpy(payload.data() + offset, &value, sizeof(T));
+}
+
+TEST(FuzzRegression, PraxiRejectsBadLabelModeByte) {
+  // PRX1: mode byte 9 selected an out-of-range LabelMode.
+  const auto bad = reseal_mutated(
+      tiny_trained_praxi(core::LabelMode::kSingleLabel).to_binary(),
+      [](std::string& p) { overwrite<std::uint8_t>(p, 0, 9); });
+  EXPECT_THROW(core::Praxi::from_binary(bad), SerializeError);
+}
+
+TEST(FuzzRegression, OaaRejectsWeightTableBitsAboveThirty) {
+  // POA1: bits=31 once shifted 1<<31 into signed UB before any bound check.
+  ml::OnlineLearnerConfig config;
+  config.bits = 8;
+  ml::OaaClassifier oaa(config);
+  oaa.learn_one({{1, 1.0f}}, "nginx");
+  const auto bad = reseal_mutated(oaa.to_binary(), [](std::string& p) {
+    overwrite<std::uint32_t>(p, 0, 31);
+  });
+  EXPECT_THROW(ml::OaaClassifier::from_binary(bad), SerializeError);
+}
+
+TEST(FuzzRegression, CsoaaRejectsZeroWeightTableBits) {
+  // PCS2: bits=0 made the weight table a single slot every hash hit.
+  ml::OnlineLearnerConfig config;
+  config.bits = 8;
+  ml::CsoaaClassifier csoaa(config);
+  csoaa.learn_one({{1, 1.0f}}, {"nginx"});
+  const auto bad = reseal_mutated(csoaa.to_binary(), [](std::string& p) {
+    overwrite<std::uint32_t>(p, 0, 0);
+  });
+  EXPECT_THROW(ml::CsoaaClassifier::from_binary(bad), SerializeError);
+}
+
+TEST(FuzzRegression, ChangesetRejectsHostileRecordCount) {
+  // PCS1: a record count claiming ~2^64 entries must be bounded by the
+  // bytes actually present, not allocated. Offset: open/close times (16) +
+  // closed byte (1) + label count (4) + "nginx" (4 + 5).
+  const auto cs = make_changeset("nginx", {"/usr/sbin/nginx"});
+  const auto bad = reseal_mutated(cs.to_binary(), [](std::string& p) {
+    overwrite<std::uint64_t>(p, 30, ~std::uint64_t{0});
+  });
+  EXPECT_THROW(fs::Changeset::from_binary(bad), SerializeError);
+}
+
+TEST(FuzzRegression, TagSetRejectsHostileLabelCount) {
+  // PTG1: label count 2^32-1 with a few dozen payload bytes behind it.
+  const auto bad = reseal_mutated(tiny_tagset().to_binary(),
+                                  [](std::string& p) {
+                                    overwrite<std::uint32_t>(p, 0,
+                                                             0xFFFFFFFFu);
+                                  });
+  EXPECT_THROW(columbus::TagSet::from_binary(bad), SerializeError);
+}
+
+TEST(FuzzRegression, TagsetStoreRejectsHostileEntryCount) {
+  // PTS1: entry count u64 at payload offset 0.
+  core::TagsetStore store;
+  store.add(tiny_tagset());
+  const auto bad = reseal_mutated(store.to_binary(), [](std::string& p) {
+    overwrite<std::uint64_t>(p, 0, ~std::uint64_t{0});
+  });
+  EXPECT_THROW(core::TagsetStore::from_binary(bad), SerializeError);
+}
+
+TEST(FuzzRegression, DatasetRejectsHostileChangesetCount) {
+  // PDS1: changeset count u64 at payload offset 0.
+  pkg::Dataset dataset;
+  dataset.changesets = training_corpus();
+  dataset.refresh_labels();
+  const auto bad = reseal_mutated(dataset.to_binary(), [](std::string& p) {
+    overwrite<std::uint64_t>(p, 0, ~std::uint64_t{0});
+  });
+  EXPECT_THROW(pkg::Dataset::from_binary(bad), SerializeError);
+}
+
+TEST(FuzzRegression, Word2VecRejectsHostileVocabCount) {
+  // PW2V: vocab count u32 after the 40-byte config block.
+  ml::Word2VecConfig config;
+  config.dim = 4;
+  config.min_count = 1;
+  config.epochs = 1;
+  ml::Word2Vec w2v(config);
+  w2v.train({{"usr", "sbin", "nginx"}, {"usr", "bin", "redis"}});
+  const auto bad = reseal_mutated(w2v.to_binary(), [](std::string& p) {
+    overwrite<std::uint32_t>(p, 40, 0xFFFFFFFFu);
+  });
+  EXPECT_THROW(ml::Word2Vec::from_binary(bad), SerializeError);
+}
+
+TEST(FuzzRegression, SvmRejectsHostileSupportVectorCount) {
+  // PSV1: support-vector count u64 after the 48-byte config block.
+  ml::RbfSvmConfig config;
+  config.epochs = 1;
+  ml::RbfSvmOva svm(config);
+  svm.train({{1.0f, 0.0f}, {0.0f, 1.0f}}, {{0u}, {1u}}, 2);
+  const auto bad = reseal_mutated(svm.to_binary(), [](std::string& p) {
+    overwrite<std::uint64_t>(p, 48, ~std::uint64_t{0});
+  });
+  EXPECT_THROW(ml::RbfSvmOva::from_binary(bad), SerializeError);
+}
+
+TEST(FuzzRegression, WireReportRejectsHostileAgentIdLength) {
+  // PRPT: agent-id string length u32 at payload offset 0 pointing far past
+  // the frame; peek_agent_id must also stay noexcept-silent on it.
+  service::ChangesetReport report;
+  report.agent_id = "vm-042";
+  report.sequence = 7;
+  report.changeset = make_changeset("redis", {"/usr/bin/redis-server"});
+  const auto bad = reseal_mutated(report.to_wire(), [](std::string& p) {
+    overwrite<std::uint32_t>(p, 0, 0x7FFFFFFFu);
+  });
+  EXPECT_THROW(service::ChangesetReport::from_wire(bad), SerializeError);
+  EXPECT_EQ(service::ChangesetReport::peek_agent_id(bad), "");
 }
 
 // ---------------------------------------------------------------------------

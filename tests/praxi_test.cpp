@@ -55,7 +55,7 @@ TEST_F(PraxiTest, SingleLabelEndToEnd) {
   for (const fs::Changeset* cs : test) {
     correct += model.predict(*cs).front() == cs->labels().front();
   }
-  EXPECT_GT(double(correct) / test.size(), 0.9);
+  EXPECT_GT(double(correct) / double(test.size()), 0.9);
 }
 
 TEST_F(PraxiTest, MultiLabelEndToEnd) {
@@ -101,8 +101,9 @@ TEST_F(PraxiTest, IncrementalTrainingKeepsOldKnowledge) {
   // First half of the labels, then the second half arrives online.
   const auto& labels = dirty_->labels;
   ASSERT_GE(labels.size(), 4u);
-  const std::set<std::string> first_half(labels.begin(),
-                                         labels.begin() + labels.size() / 2);
+  const std::set<std::string> first_half(
+      labels.begin(),
+      labels.begin() + static_cast<std::ptrdiff_t>(labels.size() / 2));
 
   std::vector<const fs::Changeset*> first, second;
   for (const auto& cs : dirty_->changesets) {
@@ -119,7 +120,7 @@ TEST_F(PraxiTest, IncrementalTrainingKeepsOldKnowledge) {
   for (const fs::Changeset* cs : first) {
     correct += model.predict(*cs).front() == cs->labels().front();
   }
-  EXPECT_GT(double(correct) / first.size(), 0.8)
+  EXPECT_GT(double(correct) / double(first.size()), 0.8)
       << "incremental update forgot the original labels";
 }
 

@@ -193,7 +193,7 @@ TEST(RuleEngine, RealisticCorpusAccuracyBelowPerfect) {
     correct += !predicted.empty() &&
                predicted.front() == cs->labels().front();
   }
-  const double accuracy = double(correct) / test.size();
+  const double accuracy = double(correct) / double(test.size());
   EXPECT_GT(accuracy, 0.5);
 }
 

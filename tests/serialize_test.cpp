@@ -130,7 +130,8 @@ TEST(Crc32c, EveryScribbledByteChangesTheChecksum) {
   for (std::size_t i = 0; i < base.size(); ++i) {
     for (unsigned flip : {0x01u, 0x80u, 0xFFu}) {
       std::string dirty = base;
-      dirty[i] = static_cast<char>(dirty[i] ^ flip);
+      dirty[i] =
+          static_cast<char>(static_cast<unsigned char>(dirty[i]) ^ flip);
       EXPECT_NE(crc32c(dirty), clean) << "offset " << i << " flip " << flip;
     }
   }
@@ -200,7 +201,8 @@ TEST(SnapshotEnvelope, EveryPossibleByteFlipRejected) {
   for (std::size_t i = 0; i < sealed.size(); ++i) {
     for (unsigned flip : {0x01u, 0x10u, 0xFFu}) {
       std::string dirty = sealed;
-      dirty[i] = static_cast<char>(dirty[i] ^ flip);
+      dirty[i] =
+          static_cast<char>(static_cast<unsigned char>(dirty[i]) ^ flip);
       EXPECT_THROW(open_snapshot(dirty, kTestMagic, 1, 1), SerializeError)
           << "offset " << i << " flip " << flip;
     }

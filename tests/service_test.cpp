@@ -149,7 +149,7 @@ TEST_F(ServiceTest, EndToEndFleetDiscovery) {
         std::make_unique<fs::InMemoryFilesystem>(instance.clock);
     pkg::provision_base_image(*instance.filesystem);
     instance.installer = std::make_unique<pkg::Installer>(
-        *instance.filesystem, *catalog_, Rng(100 + v));
+        *instance.filesystem, *catalog_, Rng(static_cast<std::uint64_t>(100 + v)));
     AgentConfig config;
     config.interval_s = 60.0;
     instance.agent = std::make_unique<CollectionAgent>(

@@ -1,0 +1,307 @@
+#!/usr/bin/env python3
+"""Project-invariant linter for the praxi tree (docs/STATIC_ANALYSIS.md).
+
+Enforces the persistence-hardening invariants that PR 2 bought and that
+generic compilers cannot check:
+
+  raw-write        Snapshot writes must go through write_file_atomic() /
+                   seal_snapshot(); a bare praxi::write_file() call in src/
+                   is a torn-file hazard. Escape hatch for genuinely
+                   non-snapshot output: `// praxi-lint: allow(raw-write...)`
+                   on the same or previous line.
+  missing-require-end
+                   Every snapshot decoder (a `Class::from_binary` /
+                   `Class::from_wire` definition) must drain its payload
+                   with require_end(), directly or via a helper defined in
+                   the same file — trailing bytes mean the envelope lied.
+  undocumented-magic
+                   Every envelope magic (`constexpr ... kFooMagic = 0x...;
+                   // "XXXX"`) must have its four-char tag documented in
+                   docs/PERSISTENCE.md.
+  iostream-in-library
+                   Library code takes std::ostream&; `#include <iostream>`
+                   pulls in global streams + static init order hazards.
+  naked-rand       rand()/srand() are unseeded, global, and irreproducible;
+                   library code must use praxi::Rng.
+  catch-by-value   Catching exception types by value slices subclasses
+                   (VersionError -> SerializeError) and copies; catch by
+                   (const) reference.
+
+Usage:
+  praxi_lint.py [--root REPO_ROOT]   lint <root>/src, report, exit 1 on hits
+  praxi_lint.py --self-test          seed one violation per rule into a temp
+                                     tree and assert each rule fires (and
+                                     that a clean tree stays clean)
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+import tempfile
+
+SOURCE_SUFFIXES = {".cpp", ".hpp", ".h"}
+
+# Files allowed to mention bare write_file: its definition, and the
+# in-memory filesystem whose member of the same name is simulation, not
+# persistence.
+RAW_WRITE_EXEMPT = {"src/common/serialize.cpp", "src/common/serialize.hpp",
+                    "src/fs/filesystem.cpp", "src/fs/filesystem.hpp"}
+
+ALLOW_RE = re.compile(r"praxi-lint:\s*allow\((?P<rule>[\w-]+)")
+RAW_WRITE_RE = re.compile(r"(?<![.\w:>])write_file\s*\(")
+MAGIC_RE = re.compile(
+    r"constexpr\s+std::uint32_t\s+k\w*Magic\s*=\s*0x[0-9a-fA-F]+U?\s*;"
+    r'\s*//\s*"(?P<tag>....)"')
+MAGIC_NO_TAG_RE = re.compile(
+    r"constexpr\s+std::uint32_t\s+k\w*Magic\s*=\s*0x[0-9a-fA-F]+U?\s*;")
+IOSTREAM_RE = re.compile(r"#\s*include\s*<iostream>")
+RAND_RE = re.compile(r"(?<![\w:.])s?rand\s*\(")
+CATCH_RE = re.compile(
+    r"catch\s*\(\s*(?:const\s+)?(?P<type>[\w:]*(?:Error|Exception|exception))"
+    r"\s+(?!\s*&)(?P<name>\w+)?\s*\)")
+DECODER_RE = re.compile(r"\b\w+::(?:from_binary|from_wire)\s*\(")
+
+
+class Violation:
+    def __init__(self, path: str, line: int, rule: str, message: str):
+        self.path, self.line, self.rule, self.message = path, line, rule, message
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def line_allows(lines: list[str], index: int, rule: str) -> bool:
+    """True when the line (or the one above it) carries an allow-comment."""
+    for look in (index, index - 1):
+        if 0 <= look < len(lines):
+            match = ALLOW_RE.search(lines[look])
+            if match and match.group("rule") == rule:
+                return True
+    return False
+
+
+def function_bodies(text: str):
+    """Yields (name, body) for every `name(...) { ... }` definition found by
+    brace matching. Heuristic (no preprocessor, strings with braces can
+    confuse it) but robust for this codebase's clang-format style."""
+    for match in re.finditer(r"(?:[\w:~<>]+)\s*\(", text):
+        name = match.group(0)[:-1].strip()
+        # Find the opening brace after the matching close paren.
+        depth, i = 1, match.end()
+        while i < len(text) and depth:
+            if text[i] == "(":
+                depth += 1
+            elif text[i] == ")":
+                depth -= 1
+            i += 1
+        j = i
+        while j < len(text) and text[j] in " \t\r\n":
+            j += 1
+        if j >= len(text) or text[j] != "{":
+            continue
+        depth, k = 1, j + 1
+        while k < len(text) and depth:
+            if text[k] == "{":
+                depth += 1
+            elif text[k] == "}":
+                depth -= 1
+            k += 1
+        yield name, match.start(), text[j:k]
+
+
+def check_file(root: pathlib.Path, path: pathlib.Path) -> list[Violation]:
+    rel = path.relative_to(root).as_posix()
+    text = path.read_text(errors="replace")
+    lines = text.splitlines()
+    found: list[Violation] = []
+
+    def scan(rule: str, regex: re.Pattern, message: str):
+        for i, line in enumerate(lines):
+            stripped = line.split("//", 1)[0]
+            if regex.search(stripped) and not line_allows(lines, i, rule):
+                found.append(Violation(rel, i + 1, rule, message))
+
+    if rel not in RAW_WRITE_EXEMPT:
+        scan("raw-write", RAW_WRITE_RE,
+             "bare write_file() bypasses write_file_atomic(); snapshots "
+             "must be crash-safe (or annotate: praxi-lint: allow(raw-write))")
+
+    scan("iostream-in-library", IOSTREAM_RE,
+         "library code must take std::ostream&, not include <iostream>")
+    scan("naked-rand", RAND_RE,
+         "rand()/srand() are unseeded and irreproducible; use praxi::Rng")
+    scan("catch-by-value", CATCH_RE,
+         "exception caught by value (slices subclasses); catch by "
+         "(const) reference")
+
+    # undocumented-magic: collect tags here; cross-checked against the doc
+    # by the caller. A magic constant with no `// "XXXX"` tag comment at all
+    # is flagged immediately — the tag is what the doc indexes by.
+    for i, line in enumerate(lines):
+        if MAGIC_NO_TAG_RE.search(line) and not MAGIC_RE.search(line) \
+                and not line_allows(lines, i, "undocumented-magic"):
+            found.append(Violation(
+                rel, i + 1, "undocumented-magic",
+                'envelope magic lacks its `// "XXXX"` tag comment'))
+
+    # missing-require-end: every from_binary/from_wire definition must drain
+    # the reader, directly or through a same-file helper.
+    if path.suffix == ".cpp" and DECODER_RE.search(text):
+        bodies = list(function_bodies(text))
+        helper_ok = {name.split("::")[-1]
+                     for name, _, body in bodies if "require_end" in body}
+
+        def drains(body: str) -> bool:
+            if "require_end" in body:
+                return True
+            return any(re.search(r"\b%s\s*\(" % re.escape(helper), body)
+                       for helper in helper_ok)
+
+        for name, start, body in bodies:
+            if not re.search(r"::(?:from_binary|from_wire)$", name):
+                continue
+            if not drains(body):
+                line_no = text.count("\n", 0, start) + 1
+                if not line_allows(lines, line_no - 1, "missing-require-end"):
+                    found.append(Violation(
+                        rel, line_no, "missing-require-end",
+                        f"decoder {name}() never calls require_end(); "
+                        "trailing bytes would be silently accepted"))
+    return found
+
+
+def collect_magic_tags(root: pathlib.Path):
+    """(rel_path, line, tag) for every tagged magic constant under src/."""
+    for path in sorted((root / "src").rglob("*")):
+        if path.suffix not in SOURCE_SUFFIXES:
+            continue
+        for i, line in enumerate(path.read_text(errors="replace").splitlines()):
+            match = MAGIC_RE.search(line)
+            if match:
+                yield path.relative_to(root).as_posix(), i + 1, \
+                    match.group("tag")
+
+
+def lint(root: pathlib.Path) -> list[Violation]:
+    violations: list[Violation] = []
+    for path in sorted((root / "src").rglob("*")):
+        if path.suffix in SOURCE_SUFFIXES:
+            violations.extend(check_file(root, path))
+
+    doc = root / "docs" / "PERSISTENCE.md"
+    doc_text = doc.read_text(errors="replace") if doc.exists() else ""
+    for rel, line, tag in collect_magic_tags(root):
+        if tag not in doc_text:
+            violations.append(Violation(
+                rel, line, "undocumented-magic",
+                f'envelope magic "{tag}" is not documented in '
+                "docs/PERSISTENCE.md"))
+    return violations
+
+
+# ---------------------------------------------------------------------------
+# Self-test: seed one violation per rule, assert each fires — so a refactor
+# of the regexes above cannot silently lobotomize a rule.
+# ---------------------------------------------------------------------------
+
+SELFTEST_CLEAN = """\
+#include <ostream>
+#include "common/serialize.hpp"
+namespace praxi {
+constexpr std::uint32_t kGoodMagic = 0x50474f31U;  // "PGO1"
+Thing Thing::from_binary(std::string_view bytes) {
+  BinaryReader r(bytes);
+  r.require_end("thing");
+  return Thing{};
+}
+void save(const std::string& path, std::string_view bytes) {
+  write_file_atomic(path, bytes);
+}
+void debug_dump(const std::string& path) {
+  write_file(path, "x");  // praxi-lint: allow(raw-write: scratch output)
+}
+void load() {
+  try {
+  } catch (const SerializeError& e) {
+  }
+}
+}  // namespace praxi
+"""
+
+SELFTEST_VIOLATIONS = {
+    "raw-write": "void f() { write_file(path, bytes); }\n",
+    "missing-require-end": (
+        "Thing Thing::from_binary(std::string_view bytes) {\n"
+        "  BinaryReader r(bytes);\n"
+        "  return Thing{};\n"
+        "}\n"),
+    "undocumented-magic": (
+        'constexpr std::uint32_t kEvilMagic = 0x45564c31U;  // "EVL1"\n'),
+    "iostream-in-library": "#include <iostream>\n",
+    "naked-rand": "int f() { return rand(); }\n",
+    "catch-by-value": (
+        "void f() {\n"
+        "  try {\n"
+        "  } catch (SerializeError e) {\n"
+        "  }\n"
+        "}\n"),
+}
+
+
+def self_test() -> int:
+    failures = []
+    with tempfile.TemporaryDirectory(prefix="praxi_lint_selftest") as tmp:
+        root = pathlib.Path(tmp)
+        (root / "src").mkdir()
+        (root / "docs").mkdir()
+        (root / "docs" / "PERSISTENCE.md").write_text(
+            'Documented magics: "PGO1".\n')
+
+        (root / "src" / "clean.cpp").write_text(SELFTEST_CLEAN)
+        clean_hits = lint(root)
+        if clean_hits:
+            failures.append(f"clean tree reported: {list(map(str, clean_hits))}")
+
+        for rule, snippet in SELFTEST_VIOLATIONS.items():
+            seeded = root / "src" / f"seed_{rule.replace('-', '_')}.cpp"
+            seeded.write_text(snippet)
+            fired = {v.rule for v in lint(root)}
+            seeded.unlink()
+            if rule not in fired:
+                failures.append(f"rule {rule} did not fire on seeded "
+                                f"violation {snippet!r}")
+
+    if failures:
+        for failure in failures:
+            print("SELF-TEST FAIL:", failure, file=sys.stderr)
+        return 1
+    print(f"self-test ok: all {len(SELFTEST_VIOLATIONS)} rules fire, "
+          "clean tree stays clean")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", type=pathlib.Path,
+                        default=pathlib.Path(__file__).resolve().parent.parent)
+    parser.add_argument("--self-test", action="store_true")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+
+    violations = lint(args.root)
+    for violation in violations:
+        print(violation)
+    if violations:
+        print(f"praxi_lint: {len(violations)} violation(s)", file=sys.stderr)
+        return 1
+    print("praxi_lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
