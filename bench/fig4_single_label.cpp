@@ -71,7 +71,7 @@ int main(int argc, char** argv) {
 
     eval::RuleBasedMethod rule_method;
     core::PraxiConfig praxi_config;
-    praxi_config.num_threads = args.threads;
+    praxi_config.runtime.num_threads = args.threads;
     eval::PraxiMethod praxi_method(praxi_config);
     ds::DeltaSherlockConfig ds_config;
     eval::DeltaSherlockMethod ds_method(ds_config);

@@ -61,7 +61,7 @@ int main(int argc, char** argv) {
 
     core::PraxiConfig praxi_config;
     praxi_config.mode = core::LabelMode::kMultiLabel;
-    praxi_config.num_threads = args.threads;
+    praxi_config.runtime.num_threads = args.threads;
     eval::PraxiMethod praxi_method(praxi_config);
     eval::DeltaSherlockMethod ds_method;
 

@@ -56,7 +56,7 @@ void BM_ExtractTagsBatch(benchmark::State& state) {
   core::Praxi model = trained_model();
   model.set_num_threads(static_cast<std::size_t>(state.range(0)));
   for (auto _ : state) {
-    benchmark::DoNotOptimize(model.extract_tags_batch(batch));
+    benchmark::DoNotOptimize(model.extract_tags(batch));
   }
   state.SetItemsProcessed(int64_t(state.iterations()) * int64_t(batch.size()));
 }
@@ -69,7 +69,7 @@ void BM_PredictBatch(benchmark::State& state) {
   model.set_num_threads(static_cast<std::size_t>(state.range(0)));
   const std::vector<std::size_t> counts(batch.size(), 1);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(model.predict_batch(batch, counts));
+    benchmark::DoNotOptimize(model.predict(batch, counts));
   }
   state.SetItemsProcessed(int64_t(state.iterations()) * int64_t(batch.size()));
 }

@@ -3,12 +3,15 @@
 #include <filesystem>
 #include <map>
 #include <ostream>
+#include <span>
 #include <stdexcept>
 
+#include "common/runtime_config.hpp"
 #include "common/serialize.hpp"
 #include "common/strings.hpp"
 #include "core/praxi.hpp"
 #include "eval/harness.hpp"
+#include "obs/metrics.hpp"
 #include "pkg/dataset.hpp"
 
 namespace praxi::cli {
@@ -58,9 +61,42 @@ int usage(std::ostream& err) {
          "  train --model OUT [--multi] [--append] [--threads N] FILE...\n"
          "  predict --model M [-n N] [--threads N] FILE...\n"
          "  inspect --model M\n"
+         "  stats [--model M] [--format prom|json] [-n N] [--threads N]\n"
+         "        [FILE...]\n"
          "--threads: batch-engine workers (0 = all hardware threads,\n"
-         "           1 = sequential; default 1)\n";
+         "           1 = sequential; default 1)\n"
+         "--metrics-out FILE: after any command, dump the metrics registry\n"
+         "           (.json -> JSON, otherwise Prometheus text)\n"
+         "stats: renders the metrics registry; given --model and changeset\n"
+         "       files it runs the predict pipeline first so every stage\n"
+         "       instrument carries data (docs/OBSERVABILITY.md)\n";
   return 2;
+}
+
+/// Renders the process-global registry: "json" or Prometheus text.
+std::string render_registry(bool json) {
+  auto& registry = obs::MetricsRegistry::global();
+  return json ? obs::render_json(registry) : obs::render_prometheus(registry);
+}
+
+/// One place where CLI flags become a RuntimeConfig, applied to the engine
+/// last so the command line wins (common/runtime_config.hpp precedence).
+common::RuntimeConfig runtime_from_options(const Options& options) {
+  common::RuntimeConfig runtime;
+  runtime.num_threads = std::stoul(options.get("threads", "1"));
+  return runtime;
+}
+
+/// --metrics-out FILE: dump the registry after the command ran. The file
+/// extension picks the format (.json -> JSON, anything else -> Prometheus).
+void maybe_dump_metrics(const Options& options) {
+  if (!options.has("metrics-out")) return;
+  const std::string path = options.get("metrics-out", "");
+  const bool json =
+      path.size() >= 5 && path.compare(path.size() - 5, 5, ".json") == 0;
+  // Regenerable exposition dump, not a snapshot; torn files are harmless.
+  // praxi-lint: allow(raw-write)
+  write_file(path, render_registry(json));
 }
 
 fs::Changeset load_changeset(const std::string& path) {
@@ -133,7 +169,6 @@ int cmd_train(const Options& options, std::ostream& out, std::ostream& err) {
   }
   const std::string model_path = options.get("model", "");
 
-  const auto threads = std::stoul(options.get("threads", "1"));
   core::Praxi model = [&] {
     if (options.has("append")) {
       // Incremental training continues from an existing model.
@@ -144,7 +179,7 @@ int cmd_train(const Options& options, std::ostream& out, std::ostream& err) {
                                        : core::LabelMode::kSingleLabel;
     return core::Praxi(config);
   }();
-  model.set_num_threads(threads);
+  model.set_runtime(runtime_from_options(options));
 
   std::vector<fs::Changeset> changesets;
   changesets.reserve(options.positional.size());
@@ -175,7 +210,7 @@ int cmd_predict(const Options& options, std::ostream& out,
     return 2;
   }
   core::Praxi model = load_model(options.get("model", ""));
-  model.set_num_threads(std::stoul(options.get("threads", "1")));
+  model.set_runtime(runtime_from_options(options));
   const auto n = std::stoul(options.get("n", "1"));
 
   // All files become one batch: the engine classifies them concurrently
@@ -188,11 +223,43 @@ int cmd_predict(const Options& options, std::ostream& out,
   std::vector<const fs::Changeset*> batch;
   batch.reserve(changesets.size());
   for (const auto& cs : changesets) batch.push_back(&cs);
-  const auto predicted =
-      model.predict_batch(batch, std::vector<std::size_t>(batch.size(), n));
+  const auto predicted = model.predict(
+      std::span<const fs::Changeset* const>(batch), core::TopN(n));
   for (std::size_t i = 0; i < batch.size(); ++i) {
     out << options.positional[i] << ": " << join(predicted[i], " ") << "\n";
   }
+  return 0;
+}
+
+int cmd_stats(const Options& options, std::ostream& out, std::ostream& err) {
+  const std::string format = options.get("format", "prom");
+  if (format != "prom" && format != "json") {
+    err << "stats: --format must be prom or json\n";
+    return 2;
+  }
+  // With --model and changeset files the full predict pipeline runs first
+  // (output suppressed) so every stage instrument carries data; with no
+  // files it renders whatever this process has recorded so far.
+  if (!options.positional.empty()) {
+    if (!options.has("model")) {
+      err << "stats: --model M required when changeset files are given\n";
+      return 2;
+    }
+    core::Praxi model = load_model(options.get("model", ""));
+    model.set_runtime(runtime_from_options(options));
+    const auto n = std::stoul(options.get("n", "1"));
+    std::vector<fs::Changeset> changesets;
+    changesets.reserve(options.positional.size());
+    for (const auto& path : options.positional) {
+      changesets.push_back(load_changeset(path));
+    }
+    std::vector<const fs::Changeset*> batch;
+    batch.reserve(changesets.size());
+    for (const auto& cs : changesets) batch.push_back(&cs);
+    model.predict(std::span<const fs::Changeset* const>(batch),
+                  core::TopN(n));
+  }
+  out << render_registry(format == "json");
   return 0;
 }
 
@@ -222,11 +289,17 @@ int run(const std::vector<std::string>& argv, std::ostream& out,
   const std::string& command = argv[0];
   const Options options = Options::parse(argv, 1);
   try {
-    if (command == "demo-corpus") return cmd_demo_corpus(options, out, err);
-    if (command == "tags") return cmd_tags(options, out, err);
-    if (command == "train") return cmd_train(options, out, err);
-    if (command == "predict") return cmd_predict(options, out, err);
-    if (command == "inspect") return cmd_inspect(options, out, err);
+    int rc = -1;
+    if (command == "demo-corpus") rc = cmd_demo_corpus(options, out, err);
+    if (command == "tags") rc = cmd_tags(options, out, err);
+    if (command == "train") rc = cmd_train(options, out, err);
+    if (command == "predict") rc = cmd_predict(options, out, err);
+    if (command == "inspect") rc = cmd_inspect(options, out, err);
+    if (command == "stats") rc = cmd_stats(options, out, err);
+    if (rc >= 0) {
+      if (rc == 0) maybe_dump_metrics(options);
+      return rc;
+    }
     if (command == "--help" || command == "help") {
       usage(out);
       return 0;

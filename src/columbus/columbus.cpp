@@ -4,8 +4,44 @@
 #include <unordered_map>
 
 #include "common/strings.hpp"
+#include "obs/metrics.hpp"
+#include "obs/scoped_timer.hpp"
 
 namespace praxi::columbus {
+
+namespace {
+
+// Stage instruments (docs/OBSERVABILITY.md): handles cached in statics so
+// the per-changeset path pays only relaxed atomic ops.
+obs::Counter& extractions_counter() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter(
+      "praxi_columbus_extractions_total", "Tagset extractions performed");
+  return c;
+}
+
+obs::Histogram& trie_build_seconds() {
+  static obs::Histogram& h = obs::MetricsRegistry::global().histogram(
+      "praxi_columbus_trie_build_seconds",
+      "Tokenize + frequency-trie construction per extraction",
+      obs::latency_buckets());
+  return h;
+}
+
+obs::Histogram& tag_extract_seconds() {
+  static obs::Histogram& h = obs::MetricsRegistry::global().histogram(
+      "praxi_columbus_tag_extract_seconds",
+      "Trie tag ranking + merge per extraction", obs::latency_buckets());
+  return h;
+}
+
+obs::Histogram& tags_count_histogram() {
+  static obs::Histogram& h = obs::MetricsRegistry::global().histogram(
+      "praxi_columbus_tags_count", "Tags produced per extraction",
+      obs::count_buckets());
+  return h;
+}
+
+}  // namespace
 
 Columbus::Columbus(ColumbusConfig config) : config_(config) {}
 
@@ -23,9 +59,8 @@ TagSet Columbus::extract(const fs::Changeset& changeset) const {
   return ts;
 }
 
-std::vector<TagSet> Columbus::extract_batch(
-    const std::vector<const fs::Changeset*>& changesets,
-    ThreadPool* pool) const {
+std::vector<TagSet> Columbus::extract(
+    std::span<const fs::Changeset* const> changesets, ThreadPool* pool) const {
   std::vector<TagSet> out(changesets.size());
   parallel_for(pool, changesets.size(),
                [&](std::size_t i) { out[i] = extract(*changesets[i]); });
@@ -34,9 +69,11 @@ std::vector<TagSet> Columbus::extract_batch(
 
 TagSet Columbus::extract_from_paths(const std::vector<std::string>& paths,
                                     const std::vector<bool>& executable) const {
+  extractions_counter().inc();
   FrequencyTrie ft_name;  // every segment of every path
   FrequencyTrie ft_exec;  // basenames of executable files only
 
+  obs::ScopedTimer trie_timer(trie_build_seconds());
   for (std::size_t i = 0; i < paths.size(); ++i) {
     for (const auto& token : tokenizer_.tokenize(paths[i])) {
       ft_name.insert(token);
@@ -47,7 +84,9 @@ TagSet Columbus::extract_from_paths(const std::vector<std::string>& paths,
       }
     }
   }
+  trie_timer.stop();
 
+  obs::ScopedTimer tag_timer(tag_extract_seconds());
   const auto name_tags = ft_name.extract_tags(
       config_.min_tag_length, config_.min_frequency, config_.top_k);
   const auto exec_tags = ft_exec.extract_tags(
@@ -73,6 +112,8 @@ TagSet Columbus::extract_from_paths(const std::vector<std::string>& paths,
     if (a.frequency != b.frequency) return a.frequency > b.frequency;
     return a.text < b.text;
   });
+  tag_timer.stop();
+  tags_count_histogram().observe(static_cast<double>(ts.tags.size()));
   return ts;
 }
 

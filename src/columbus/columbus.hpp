@@ -10,6 +10,7 @@
 // describes only what happened during the recording window.
 #pragma once
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -41,10 +42,19 @@ class Columbus {
   /// Batch form of extract(): one tagset per changeset, in input order.
   /// Extraction is per-changeset independent (§III-B), so items run
   /// concurrently on `pool` (null or single-worker pool = sequential);
-  /// results are identical to the sequential loop either way.
+  /// results are identical to the sequential loop either way. This is the
+  /// unified batch surface (docs/API.md) — the single-item extract() is
+  /// equivalent to a one-element batch.
+  std::vector<TagSet> extract(std::span<const fs::Changeset* const> changesets,
+                              ThreadPool* pool = nullptr) const;
+
+  /// Deprecated shim for the pre-span batch API; forwards to extract().
+  [[deprecated("use extract(std::span<const fs::Changeset* const>)")]]
   std::vector<TagSet> extract_batch(
       const std::vector<const fs::Changeset*>& changesets,
-      ThreadPool* pool = nullptr) const;
+      ThreadPool* pool = nullptr) const {
+    return extract(std::span<const fs::Changeset* const>(changesets), pool);
+  }
 
   /// Core primitive: tags from an explicit path list. `executable[i]` marks
   /// paths feeding FT_exec (pass an empty vector when unknown).

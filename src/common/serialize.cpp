@@ -5,6 +5,8 @@
 #include <system_error>
 
 #include "common/hash.hpp"
+#include "obs/metrics.hpp"
+#include "obs/scoped_timer.hpp"
 
 #if defined(_WIN32)
 #include <cstdio>
@@ -14,6 +16,40 @@
 #endif
 
 namespace praxi {
+
+namespace {
+
+// Snapshot IO accounting (docs/OBSERVABILITY.md): byte counters advance on
+// success only, so a failed save/load never inflates the totals.
+obs::Counter& write_bytes_counter() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter(
+      "praxi_serialize_write_bytes_total",
+      "Bytes durably written by write_file_atomic()");
+  return c;
+}
+
+obs::Histogram& write_seconds_histogram() {
+  static obs::Histogram& h = obs::MetricsRegistry::global().histogram(
+      "praxi_serialize_write_seconds",
+      "Latency of one atomic snapshot write (temp + fsync + rename)",
+      obs::latency_buckets());
+  return h;
+}
+
+obs::Counter& read_bytes_counter() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter(
+      "praxi_serialize_read_bytes_total", "Bytes read by read_file()");
+  return c;
+}
+
+obs::Histogram& read_seconds_histogram() {
+  static obs::Histogram& h = obs::MetricsRegistry::global().histogram(
+      "praxi_serialize_read_seconds", "Latency of one whole-file read",
+      obs::latency_buckets());
+  return h;
+}
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // Snapshot envelope
@@ -84,6 +120,7 @@ void write_file(const std::string& path, std::string_view bytes) {
 // Portability fallback: no fsync/atomic-rename guarantees, but the same
 // temp-then-rename shape so a failed write never truncates the target.
 void write_file_atomic(const std::string& path, std::string_view bytes) {
+  obs::ScopedTimer timer(write_seconds_histogram());
   const std::string tmp = path + ".tmp.praxi";
   write_file(tmp, bytes);
   if (testhooks::simulate_crash_before_rename) {
@@ -94,11 +131,13 @@ void write_file_atomic(const std::string& path, std::string_view bytes) {
     std::remove(tmp.c_str());
     throw SerializeError("rename failed: " + tmp + " -> " + path);
   }
+  write_bytes_counter().inc(bytes.size());
 }
 
 #else
 
 void write_file_atomic(const std::string& path, std::string_view bytes) {
+  obs::ScopedTimer timer(write_seconds_histogram());
   // Temp file must live in the target's directory: rename(2) is only atomic
   // within one filesystem.
   std::string tmp = path + ".tmp.XXXXXX";
@@ -148,11 +187,13 @@ void write_file_atomic(const std::string& path, std::string_view bytes) {
     ::fsync(dirfd);
     ::close(dirfd);
   }
+  write_bytes_counter().inc(bytes.size());
 }
 
 #endif
 
 std::string read_file(const std::string& path) {
+  obs::ScopedTimer timer(read_seconds_histogram());
   // ifstream will "open" a directory on some platforms and only fail at the
   // first read — with a misleading size from tellg() — so check the type
   // up front.
@@ -171,6 +212,7 @@ std::string read_file(const std::string& path) {
   std::string bytes(static_cast<std::size_t>(size), '\0');
   in.read(bytes.data(), size);
   if (!in) throw SerializeError("short read: " + path);
+  read_bytes_counter().inc(bytes.size());
   return bytes;
 }
 

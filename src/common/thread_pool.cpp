@@ -1,6 +1,37 @@
 #include "common/thread_pool.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/scoped_timer.hpp"
+
 namespace praxi {
+
+namespace {
+
+// Cached instrument handles: registration locks once, every call after is a
+// relaxed atomic op (docs/OBSERVABILITY.md).
+obs::Gauge& queue_depth_gauge() {
+  static obs::Gauge& g = obs::MetricsRegistry::global().gauge(
+      "praxi_threadpool_queue_depth",
+      "Tasks enqueued on the batch-engine pool and not yet started");
+  return g;
+}
+
+obs::Counter& tasks_counter() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter(
+      "praxi_threadpool_tasks_total",
+      "Tasks executed by the batch-engine pool");
+  return c;
+}
+
+obs::Histogram& task_seconds_histogram() {
+  static obs::Histogram& h = obs::MetricsRegistry::global().histogram(
+      "praxi_threadpool_task_seconds",
+      "Wall-clock latency of one pool task (one batch item)",
+      obs::latency_buckets());
+  return h;
+}
+
+}  // namespace
 
 std::size_t ThreadPool::resolve_threads(std::size_t num_threads) {
   if (num_threads != 0) return num_threads;
@@ -30,6 +61,7 @@ void ThreadPool::enqueue(std::function<void()> job) {
     std::lock_guard<std::mutex> lock(mutex_);
     queue_.push_back(std::move(job));
   }
+  queue_depth_gauge().add(1.0);
   cv_.notify_one();
 }
 
@@ -43,6 +75,9 @@ void ThreadPool::worker_loop() {
       job = std::move(queue_.front());
       queue_.pop_front();
     }
+    queue_depth_gauge().sub(1.0);
+    tasks_counter().inc();
+    obs::ScopedTimer timer(task_seconds_histogram());
     job();  // packaged_task: exceptions land in the future, never escape
   }
 }

@@ -5,8 +5,40 @@
 
 #include "common/serialize.hpp"
 #include "common/stopwatch.hpp"
+#include "obs/metrics.hpp"
+#include "obs/scoped_timer.hpp"
 
 namespace praxi::core {
+
+namespace {
+
+// Engine-level instruments (docs/OBSERVABILITY.md): one histogram per
+// pipeline verb, fed from the same Stopwatch clock as PraxiOverhead.
+obs::Histogram& train_seconds() {
+  static obs::Histogram& h = obs::MetricsRegistry::global().histogram(
+      "praxi_engine_train_seconds", "Latency of one train()/train_changesets()",
+      obs::latency_buckets());
+  return h;
+}
+
+obs::Histogram& predict_seconds() {
+  static obs::Histogram& h = obs::MetricsRegistry::global().histogram(
+      "praxi_engine_predict_seconds",
+      "Latency of one single-item prediction (tags -> features -> scorer)",
+      obs::latency_buckets());
+  return h;
+}
+
+}  // namespace
+
+void TopN::check(std::size_t items, const char* what) const {
+  if (per_item_mode_ && per_item_.size() != items) {
+    throw std::invalid_argument(
+        std::string(what) + ": per-item TopN must carry one entry per item (" +
+        std::to_string(per_item_.size()) + " for " + std::to_string(items) +
+        " items)");
+  }
+}
 
 Praxi::Praxi(PraxiConfig config)
     : config_(config),
@@ -14,14 +46,14 @@ Praxi::Praxi(PraxiConfig config)
       hasher_(config.learner.bits),
       oaa_(config.learner),
       csoaa_(config.learner) {
-  if (config_.num_threads != 1) {
-    pool_ = std::make_shared<ThreadPool>(config_.num_threads);
+  if (config_.runtime.num_threads != 1) {
+    pool_ = std::make_shared<ThreadPool>(config_.runtime.num_threads);
   }
 }
 
 void Praxi::set_num_threads(std::size_t num_threads) {
-  if (num_threads == config_.num_threads) return;
-  config_.num_threads = num_threads;
+  if (num_threads == config_.runtime.num_threads) return;
+  config_.runtime.num_threads = num_threads;
   if (num_threads == 1) {
     pool_.reset();
   } else if (!pool_ ||
@@ -30,13 +62,19 @@ void Praxi::set_num_threads(std::size_t num_threads) {
   }
 }
 
+void Praxi::set_runtime(const common::RuntimeConfig& runtime) {
+  set_num_threads(runtime.num_threads);
+  config_.runtime.metrics_enabled = runtime.metrics_enabled;
+  obs::MetricsRegistry::global().set_enabled(runtime.metrics_enabled);
+}
+
 columbus::TagSet Praxi::extract_tags(const fs::Changeset& changeset) const {
   return columbus_.extract(changeset);
 }
 
-std::vector<columbus::TagSet> Praxi::extract_tags_batch(
-    const std::vector<const fs::Changeset*>& changesets) const {
-  return columbus_.extract_batch(changesets, pool_.get());
+std::vector<columbus::TagSet> Praxi::extract_tags(
+    std::span<const fs::Changeset* const> changesets) const {
+  return columbus_.extract(changesets, pool_.get());
 }
 
 ml::FeatureVector Praxi::features_of(const columbus::TagSet& tagset) const {
@@ -55,6 +93,7 @@ ml::FeatureVector Praxi::features_of(const columbus::TagSet& tagset) const {
 }
 
 void Praxi::train(const std::vector<columbus::TagSet>& tagsets) {
+  obs::ScopedTimer train_timer(train_seconds());
   Stopwatch timer;
   if (config_.mode == LabelMode::kSingleLabel) {
     std::vector<ml::Example> examples;
@@ -91,7 +130,8 @@ void Praxi::train_changesets(const std::vector<const fs::Changeset*>& corpus) {
   // preserved); the SGD weight updates inside train() stay sequential so
   // the trained model is bit-identical at every thread count.
   Stopwatch timer;
-  std::vector<columbus::TagSet> tagsets = extract_tags_batch(corpus);
+  std::vector<columbus::TagSet> tagsets =
+      extract_tags(std::span<const fs::Changeset* const>(corpus));
   overhead_.tag_extraction_s += timer.elapsed_s();
   train(tagsets);
 }
@@ -122,6 +162,7 @@ std::vector<std::string> Praxi::predict(const fs::Changeset& changeset,
 std::vector<std::string> Praxi::predict_tags(const columbus::TagSet& tagset,
                                              std::size_t n) const {
   if (!trained_) throw std::logic_error("Praxi: predict before train");
+  obs::ScopedTimer timer(predict_seconds());
   const auto features = features_of(tagset);
   if (config_.mode == LabelMode::kSingleLabel) {
     return {oaa_.predict(features)};
@@ -129,46 +170,26 @@ std::vector<std::string> Praxi::predict_tags(const columbus::TagSet& tagset,
   return csoaa_.predict_top_n(features, n);
 }
 
-namespace {
-
-/// Per-item prediction count: `n` is either empty (1 for every item) or
-/// exactly one entry per item.
-std::size_t n_for(const std::vector<std::size_t>& n, std::size_t i) {
-  return n.empty() ? 1 : n[i];
-}
-
-void check_batch_sizes(std::size_t items, const std::vector<std::size_t>& n,
-                       const char* what) {
-  if (!n.empty() && n.size() != items) {
-    throw std::invalid_argument(std::string(what) +
-                                ": n must be empty or one entry per item");
-  }
-}
-
-}  // namespace
-
-std::vector<std::vector<std::string>> Praxi::predict_batch(
-    const std::vector<const fs::Changeset*>& changesets,
-    const std::vector<std::size_t>& n) const {
+std::vector<std::vector<std::string>> Praxi::predict(
+    std::span<const fs::Changeset* const> changesets, TopN n) const {
   if (!trained_) throw std::logic_error("Praxi: predict before train");
-  check_batch_sizes(changesets.size(), n, "Praxi::predict_batch");
+  n.check(changesets.size(), "Praxi::predict");
   std::vector<std::vector<std::string>> out(changesets.size());
   // One task per item covers the whole chain (tokenize -> trie -> features
   // -> scorer); everything it touches is const, so items never contend.
   parallel_for(pool_.get(), changesets.size(), [&](std::size_t i) {
-    out[i] = predict_tags(extract_tags(*changesets[i]), n_for(n, i));
+    out[i] = predict_tags(extract_tags(*changesets[i]), n.at(i));
   });
   return out;
 }
 
-std::vector<std::vector<std::string>> Praxi::predict_tags_batch(
-    const std::vector<columbus::TagSet>& tagsets,
-    const std::vector<std::size_t>& n) const {
+std::vector<std::vector<std::string>> Praxi::predict_tags(
+    std::span<const columbus::TagSet> tagsets, TopN n) const {
   if (!trained_) throw std::logic_error("Praxi: predict before train");
-  check_batch_sizes(tagsets.size(), n, "Praxi::predict_tags_batch");
+  n.check(tagsets.size(), "Praxi::predict_tags");
   std::vector<std::vector<std::string>> out(tagsets.size());
   parallel_for(pool_.get(), tagsets.size(), [&](std::size_t i) {
-    out[i] = predict_tags(tagsets[i], n_for(n, i));
+    out[i] = predict_tags(tagsets[i], n.at(i));
   });
   return out;
 }

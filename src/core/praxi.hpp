@@ -15,12 +15,14 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
 
 #include "columbus/columbus.hpp"
+#include "common/runtime_config.hpp"
 #include "common/thread_pool.hpp"
 #include "fs/changeset.hpp"
 #include "ml/features.hpp"
@@ -37,11 +39,45 @@ struct PraxiConfig {
   LabelMode mode = LabelMode::kSingleLabel;
   columbus::ColumbusConfig columbus;
   ml::OnlineLearnerConfig learner;
-  /// Worker threads for the batch APIs (extract_tags_batch, predict_batch,
-  /// and the tag-extraction half of train_changesets): 0 = one per hardware
-  /// thread, 1 = the sequential path (no pool is created). Batch results are
-  /// identical for every value — threading only changes wall-clock time.
-  std::size_t num_threads = 1;
+  /// Cross-cutting runtime knobs (worker threads for the batch APIs,
+  /// metrics on/off). See common/runtime_config.hpp for the precedence
+  /// rule: whoever applies a RuntimeConfig last wins, and embedding hosts
+  /// (DiscoveryServer, the CLI) re-apply theirs after constructing the
+  /// engine. Batch results are identical for every num_threads value —
+  /// threading only changes wall-clock time.
+  common::RuntimeConfig runtime;
+};
+
+/// Per-item prediction-count request for the batch prediction surface:
+/// either one uniform n for every item (implicit from an integer) or one
+/// entry per item (implicit from a span/vector, sized by the caller to
+/// match the batch). Holds a view, not a copy — per-item counts must
+/// outlive the call, which every call-shaped usage satisfies.
+class TopN {
+ public:
+  /// Uniform 1 — the single-label default.
+  TopN() = default;
+  /// Uniform: the same n for every item.
+  TopN(std::size_t uniform) : uniform_(uniform) {}  // NOLINT(implicit)
+  /// Per-item: entry i is the count for item i.
+  TopN(std::span<const std::size_t> per_item)  // NOLINT(implicit)
+      : per_item_(per_item), per_item_mode_(true) {}
+  /// Per-item from a vector. Needed because vector -> span -> TopN would be
+  /// two user-defined conversions, which overload resolution never does.
+  TopN(const std::vector<std::size_t>& per_item)  // NOLINT(implicit)
+      : TopN(std::span<const std::size_t>(per_item)) {}
+
+  bool per_item() const { return per_item_mode_; }
+  std::size_t at(std::size_t i) const {
+    return per_item_mode_ ? per_item_[i] : uniform_;
+  }
+  /// Throws std::invalid_argument unless this request fits `items` items.
+  void check(std::size_t items, const char* what) const;
+
+ private:
+  std::span<const std::size_t> per_item_{};
+  std::size_t uniform_ = 1;
+  bool per_item_mode_ = false;
 };
 
 /// Wall-clock and storage accounting for the most recent train()/predict
@@ -64,8 +100,15 @@ class Praxi {
 
   /// Batch tag extraction, input order preserved. Runs on the configured
   /// thread pool; output is identical to calling extract_tags() in a loop.
+  std::vector<columbus::TagSet> extract_tags(
+      std::span<const fs::Changeset* const> changesets) const;
+
+  /// Deprecated shim for the pre-span batch API; forwards to extract_tags().
+  [[deprecated("use extract_tags(std::span<const fs::Changeset* const>)")]]
   std::vector<columbus::TagSet> extract_tags_batch(
-      const std::vector<const fs::Changeset*>& changesets) const;
+      const std::vector<const fs::Changeset*>& changesets) const {
+    return extract_tags(std::span<const fs::Changeset* const>(changesets));
+  }
 
   /// Hashed feature vector for a tagset (tag frequency as feature value,
   /// L2-normalized).
@@ -97,17 +140,33 @@ class Praxi {
   /// Batch prediction over raw changesets: tag extraction, feature hashing,
   /// and classifier scoring all run concurrently per item on the configured
   /// pool; results come back in input order, label-for-label identical to
-  /// the sequential loop. `n` must be empty (1 per item) or one entry per
-  /// changeset.
-  std::vector<std::vector<std::string>> predict_batch(
-      const std::vector<const fs::Changeset*>& changesets,
-      const std::vector<std::size_t>& n = {}) const;
+  /// the sequential loop. This is the unified batch surface (docs/API.md):
+  /// `n` accepts a single count for every item or one count per changeset.
+  std::vector<std::vector<std::string>> predict(
+      std::span<const fs::Changeset* const> changesets, TopN n = {}) const;
 
   /// Batch prediction over pre-extracted tagsets (the §V-C path: tagsets
   /// are generated once and never regenerated).
+  std::vector<std::vector<std::string>> predict_tags(
+      std::span<const columbus::TagSet> tagsets, TopN n = {}) const;
+
+  /// Deprecated shims for the pre-span batch API; they forward to the span
+  /// overloads and return label-for-label identical results.
+  [[deprecated("use predict(std::span<const fs::Changeset* const>, TopN)")]]
+  std::vector<std::vector<std::string>> predict_batch(
+      const std::vector<const fs::Changeset*>& changesets,
+      const std::vector<std::size_t>& n = {}) const {
+    return predict(std::span<const fs::Changeset* const>(changesets),
+                   n.empty() ? TopN() : TopN(n));
+  }
+
+  [[deprecated("use predict_tags(std::span<const columbus::TagSet>, TopN)")]]
   std::vector<std::vector<std::string>> predict_tags_batch(
       const std::vector<columbus::TagSet>& tagsets,
-      const std::vector<std::size_t>& n = {}) const;
+      const std::vector<std::size_t>& n = {}) const {
+    return predict_tags(std::span<const columbus::TagSet>(tagsets),
+                        n.empty() ? TopN() : TopN(n));
+  }
 
   /// Ranked (label, confidence) pairs; higher is more likely in both modes.
   std::vector<std::pair<std::string, float>> ranked(
@@ -122,7 +181,14 @@ class Praxi {
   /// Reconfigures the batch-API worker count (0 = hardware_concurrency,
   /// 1 = sequential). Cheap when the resolved count is unchanged.
   void set_num_threads(std::size_t num_threads);
-  std::size_t num_threads() const { return config_.num_threads; }
+  std::size_t num_threads() const { return config_.runtime.num_threads; }
+
+  /// Applies a whole RuntimeConfig (threads + metrics toggle). Per the
+  /// precedence rule in common/runtime_config.hpp the caller that applies
+  /// last wins — embedding hosts call this after construction to override
+  /// whatever the model snapshot or defaults said.
+  void set_runtime(const common::RuntimeConfig& runtime);
+  const common::RuntimeConfig& runtime() const { return config_.runtime; }
   const ml::LabelSpace& labels() const;
   const PraxiOverhead& overhead() const { return overhead_; }
   std::size_t model_bytes() const;

@@ -1,6 +1,7 @@
 #include "eval/harness.hpp"
 
 #include <algorithm>
+#include <span>
 #include <stdexcept>
 
 #include "common/rng.hpp"
@@ -117,7 +118,9 @@ FoldOutcome run_fold(DiscoveryMethod& method, const FoldSpec& fold) {
   Stopwatch test_timer;
   // Batch call: sequential loop for most methods, thread-pooled for Praxi
   // when its config asks for workers — identical predictions either way.
-  const auto predictions = method.predict_batch(fold.test, counts);
+  const auto predictions =
+      method.predict(std::span<const fs::Changeset* const>(fold.test),
+                     core::TopN(counts));
   outcome.test_s = test_timer.elapsed_s();
   outcome.metrics = evaluate(truths, predictions);
   return outcome;

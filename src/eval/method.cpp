@@ -9,17 +9,13 @@ void DiscoveryMethod::train_incremental(
   throw std::logic_error(name() + " does not support incremental training");
 }
 
-std::vector<std::vector<std::string>> DiscoveryMethod::predict_batch(
-    const std::vector<const fs::Changeset*>& changesets,
-    const std::vector<std::size_t>& n) const {
-  if (n.size() != changesets.size()) {
-    throw std::invalid_argument(name() +
-                                "::predict_batch: one n per changeset");
-  }
+std::vector<std::vector<std::string>> DiscoveryMethod::predict(
+    std::span<const fs::Changeset* const> changesets, core::TopN n) const {
+  n.check(changesets.size(), "DiscoveryMethod::predict");
   std::vector<std::vector<std::string>> out;
   out.reserve(changesets.size());
   for (std::size_t i = 0; i < changesets.size(); ++i) {
-    out.push_back(predict(*changesets[i], n[i]));
+    out.push_back(predict(*changesets[i], n.at(i)));
   }
   return out;
 }
@@ -46,13 +42,10 @@ std::vector<std::string> PraxiMethod::predict(const fs::Changeset& changeset,
   return model_.predict(changeset, n);
 }
 
-std::vector<std::vector<std::string>> PraxiMethod::predict_batch(
-    const std::vector<const fs::Changeset*>& changesets,
-    const std::vector<std::size_t>& n) const {
-  if (n.size() != changesets.size()) {
-    throw std::invalid_argument("PraxiMethod::predict_batch: one n per changeset");
-  }
-  return model_.predict_batch(changesets, n);
+std::vector<std::vector<std::string>> PraxiMethod::predict(
+    std::span<const fs::Changeset* const> changesets, core::TopN n) const {
+  n.check(changesets.size(), "PraxiMethod::predict");
+  return model_.predict(changesets, n);
 }
 
 // ---------------------------------------------------------------------------

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -29,14 +30,22 @@ class DiscoveryMethod {
   virtual std::vector<std::string> predict(const fs::Changeset& changeset,
                                            std::size_t n) const = 0;
 
-  /// Batch prediction, input order preserved; `n[i]` is the application
-  /// count for changeset i (n.size() must equal changesets.size()). The
+  /// Batch prediction on the unified span surface (docs/API.md), input
+  /// order preserved; `n` supplies the application count per item. The
   /// default implementation is the sequential predict() loop; methods with
   /// a parallel engine (Praxi) override it. Results must be identical to
   /// the sequential loop either way.
-  virtual std::vector<std::vector<std::string>> predict_batch(
+  virtual std::vector<std::vector<std::string>> predict(
+      std::span<const fs::Changeset* const> changesets, core::TopN n) const;
+
+  /// Deprecated shim for the pre-span batch API; forwards to predict().
+  [[deprecated("use predict(std::span<const fs::Changeset* const>, TopN)")]]
+  std::vector<std::vector<std::string>> predict_batch(
       const std::vector<const fs::Changeset*>& changesets,
-      const std::vector<std::size_t>& n) const;
+      const std::vector<std::size_t>& n) const {
+    return predict(std::span<const fs::Changeset* const>(changesets),
+                   core::TopN(n));
+  }
 
   /// Retained-model footprint.
   virtual std::size_t model_bytes() const = 0;
@@ -62,9 +71,9 @@ class PraxiMethod final : public DiscoveryMethod {
   void train(const std::vector<const fs::Changeset*>& corpus) override;
   std::vector<std::string> predict(const fs::Changeset& changeset,
                                    std::size_t n) const override;
-  std::vector<std::vector<std::string>> predict_batch(
-      const std::vector<const fs::Changeset*>& changesets,
-      const std::vector<std::size_t>& n) const override;
+  std::vector<std::vector<std::string>> predict(
+      std::span<const fs::Changeset* const> changesets,
+      core::TopN n) const override;
   std::size_t model_bytes() const override { return model_.model_bytes(); }
   bool supports_incremental_training() const override { return true; }
   void train_incremental(
@@ -83,6 +92,9 @@ class DeltaSherlockMethod final : public DiscoveryMethod {
 
   std::string name() const override { return "DeltaSherlock"; }
   void train(const std::vector<const fs::Changeset*>& corpus) override;
+  // Overriding one predict() overload would otherwise hide the base class's
+  // span overload for calls through this type.
+  using DiscoveryMethod::predict;
   std::vector<std::string> predict(const fs::Changeset& changeset,
                                    std::size_t n) const override;
   std::size_t model_bytes() const override;
@@ -100,6 +112,7 @@ class RuleBasedMethod final : public DiscoveryMethod {
 
   std::string name() const override { return "Rule-based"; }
   void train(const std::vector<const fs::Changeset*>& corpus) override;
+  using DiscoveryMethod::predict;
   std::vector<std::string> predict(const fs::Changeset& changeset,
                                    std::size_t n) const override;
   std::size_t model_bytes() const override { return engine_.size_bytes(); }

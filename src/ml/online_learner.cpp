@@ -5,8 +5,46 @@
 #include <stdexcept>
 
 #include "common/serialize.hpp"
+#include "obs/metrics.hpp"
 
 namespace praxi::ml {
+
+namespace {
+
+/// Per-reduction learner instruments (docs/OBSERVABILITY.md). One struct per
+/// reduction label so each classifier caches its handles in a single static.
+struct LearnerInstruments {
+  obs::Counter& updates;
+  obs::Counter& predictions;
+  obs::Gauge& used_slots;
+  obs::Gauge& total_slots;
+
+  explicit LearnerInstruments(const char* reduction)
+      : updates(obs::MetricsRegistry::global().counter(
+            "praxi_ml_updates_total", "Online SGD example updates applied",
+            {{"reduction", reduction}})),
+        predictions(obs::MetricsRegistry::global().counter(
+            "praxi_ml_predictions_total", "Score/cost rankings computed",
+            {{"reduction", reduction}})),
+        used_slots(obs::MetricsRegistry::global().gauge(
+            "praxi_ml_used_weight_slots", "Nonzero weight-table slots",
+            {{"reduction", reduction}})),
+        total_slots(obs::MetricsRegistry::global().gauge(
+            "praxi_ml_weight_slots", "Total weight-table slots (2^bits)",
+            {{"reduction", reduction}})) {}
+};
+
+LearnerInstruments& oaa_instruments() {
+  static LearnerInstruments instruments("oaa");
+  return instruments;
+}
+
+LearnerInstruments& csoaa_instruments() {
+  static LearnerInstruments instruments("csoaa");
+  return instruments;
+}
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // LabelSpace
@@ -63,8 +101,19 @@ void WeightTable::update(const FeatureVector& x, std::uint32_t class_id,
                          float step, float l2) {
   for (const Feature& f : x) {
     float& w = weights_[slot(f.index, class_id)];
+    const bool was_zero = w == 0.0f;
     w += step * f.value - l2 * w;
+    const bool is_zero = w == 0.0f;
+    if (was_zero && !is_zero) ++nonzero_;
+    if (!was_zero && is_zero) --nonzero_;
   }
+}
+
+void WeightTable::set_raw(std::vector<float> weights) {
+  weights_ = std::move(weights);
+  nonzero_ = static_cast<std::size_t>(
+      std::count_if(weights_.begin(), weights_.end(),
+                    [](float w) { return w != 0.0f; }));
 }
 
 }  // namespace detail
@@ -180,6 +229,10 @@ void OaaClassifier::learn_one(const FeatureVector& features,
       table_.update(features, c, lr * target, config_.l2);
     }
   }
+  auto& instruments = oaa_instruments();
+  instruments.updates.inc();
+  instruments.used_slots.set(static_cast<double>(table_.occupancy()));
+  instruments.total_slots.set(static_cast<double>(table_.slots()));
 }
 
 void OaaClassifier::train(const std::vector<Example>& examples) {
@@ -199,6 +252,7 @@ void OaaClassifier::train(const std::vector<Example>& examples) {
 }
 
 std::string OaaClassifier::predict(const FeatureVector& features) const {
+  oaa_instruments().predictions.inc();
   if (labels_.size() == 0) return {};
   std::uint32_t best = 0;
   float best_score = table_.score(features, 0);
@@ -214,6 +268,7 @@ std::string OaaClassifier::predict(const FeatureVector& features) const {
 
 std::vector<std::pair<std::string, float>> OaaClassifier::scores(
     const FeatureVector& features) const {
+  oaa_instruments().predictions.inc();
   std::vector<std::pair<std::string, float>> out;
   out.reserve(labels_.size());
   for (std::uint32_t c = 0; c < labels_.size(); ++c) {
@@ -243,7 +298,7 @@ OaaClassifier OaaClassifier::from_binary(std::string_view bytes) {
   OaaClassifier model(parts.config);
   model.update_count_ = parts.update_count;
   model.labels_ = std::move(parts.labels);
-  model.table_.raw() = std::move(parts.weights);
+  model.table_.set_raw(std::move(parts.weights));
   return model;
 }
 
@@ -279,6 +334,10 @@ void CsoaaClassifier::learn_one(const FeatureVector& features,
     const float importance = is_present ? 4.0f : 1.0f;
     table_.update(features, c, -lr * importance * gradient, config_.l2);
   }
+  auto& instruments = csoaa_instruments();
+  instruments.updates.inc();
+  instruments.used_slots.set(static_cast<double>(table_.occupancy()));
+  instruments.total_slots.set(static_cast<double>(table_.slots()));
 }
 
 void CsoaaClassifier::train(const std::vector<MultiExample>& examples) {
@@ -298,6 +357,7 @@ void CsoaaClassifier::train(const std::vector<MultiExample>& examples) {
 
 std::vector<std::pair<std::string, float>> CsoaaClassifier::costs(
     const FeatureVector& features) const {
+  csoaa_instruments().predictions.inc();
   std::vector<std::pair<std::string, float>> out;
   out.reserve(labels_.size());
   for (std::uint32_t c = 0; c < labels_.size(); ++c) {
@@ -338,7 +398,7 @@ CsoaaClassifier CsoaaClassifier::from_binary(std::string_view bytes) {
   CsoaaClassifier model(parts.config);
   model.update_count_ = parts.update_count;
   model.labels_ = std::move(parts.labels);
-  model.table_.raw() = std::move(parts.weights);
+  model.table_.set_raw(std::move(parts.weights));
   return model;
 }
 

@@ -67,8 +67,14 @@ class WeightTable {
 
   std::size_t size_bytes() const { return weights_.size() * sizeof(float); }
   const std::vector<float>& raw() const { return weights_; }
-  std::vector<float>& raw() { return weights_; }
+  /// Replaces the whole table (snapshot restore) and recounts occupancy.
+  void set_raw(std::vector<float> weights);
   unsigned bits() const { return bits_; }
+
+  /// Number of nonzero slots, maintained incrementally by update() so the
+  /// occupancy gauge costs O(1) to read.
+  std::size_t occupancy() const { return nonzero_; }
+  std::size_t slots() const { return weights_.size(); }
 
  private:
   std::uint32_t slot(std::uint32_t feature_index,
@@ -81,6 +87,7 @@ class WeightTable {
   unsigned bits_;
   std::uint32_t mask_;
   std::vector<float> weights_;
+  std::size_t nonzero_ = 0;
 };
 
 }  // namespace detail

@@ -1,0 +1,222 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace praxi::obs {
+
+std::vector<double> latency_buckets() {
+  return {1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0};
+}
+
+std::vector<double> size_buckets() {
+  return {256.0,    1024.0,    4096.0,    16384.0,
+          65536.0,  262144.0,  1048576.0, 16777216.0};
+}
+
+std::vector<double> count_buckets() {
+  return {1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0};
+}
+
+// ---------------------------------------------------------------------------
+// Registry internals
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Canonical map key for a label set: sorted `key\x1Fvalue` pairs joined
+/// with \x1E. The separators cannot appear in practice (label values are
+/// agent ids, stage names, reduction names), and even if they did the only
+/// consequence would be two label sets sharing a series.
+std::string labels_key(const Labels& labels) {
+  Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  std::string key;
+  for (const auto& [k, v] : sorted) {
+    key += k;
+    key += '\x1F';
+    key += v;
+    key += '\x1E';
+  }
+  return key;
+}
+
+const char* kind_name(InstrumentKind kind) {
+  switch (kind) {
+    case InstrumentKind::kCounter:
+      return "counter";
+    case InstrumentKind::kGauge:
+      return "gauge";
+    case InstrumentKind::kHistogram:
+      return "histogram";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+struct MetricsRegistry::Series {
+  Labels labels;
+  std::unique_ptr<Counter> counter;
+  std::unique_ptr<Gauge> gauge;
+  std::unique_ptr<Histogram> histogram;
+};
+
+struct MetricsRegistry::Family {
+  std::string name;
+  std::string help;
+  InstrumentKind kind = InstrumentKind::kCounter;
+  std::vector<double> upper_bounds;  ///< histograms only
+  std::map<std::string, Series> series;
+};
+
+MetricsRegistry::MetricsRegistry() = default;
+MetricsRegistry::~MetricsRegistry() = default;
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+MetricsRegistry::Family& MetricsRegistry::family_for(
+    std::string_view name, std::string_view help, InstrumentKind kind,
+    const std::vector<double>* bounds) {
+  auto it = families_.find(name);
+  if (it == families_.end()) {
+    auto family = std::make_unique<Family>();
+    family->name = std::string(name);
+    family->help = std::string(help);
+    family->kind = kind;
+    if (bounds != nullptr) family->upper_bounds = *bounds;
+    it = families_.emplace(family->name, std::move(family)).first;
+    return *it->second;
+  }
+  Family& family = *it->second;
+  if (family.kind != kind) {
+    throw std::logic_error("metric '" + std::string(name) +
+                           "' already registered as " +
+                           kind_name(family.kind) + ", requested " +
+                           kind_name(kind));
+  }
+  if (bounds != nullptr && family.upper_bounds != *bounds) {
+    throw std::logic_error("histogram '" + std::string(name) +
+                           "' re-registered with different buckets");
+  }
+  return family;
+}
+
+MetricsRegistry::Series& MetricsRegistry::series_for(
+    Family& family, const Labels& labels, const std::vector<double>* bounds) {
+  const std::string key = labels_key(labels);
+  auto it = family.series.find(key);
+  if (it == family.series.end()) {
+    Series series;
+    series.labels = labels;
+    std::sort(series.labels.begin(), series.labels.end());
+    switch (family.kind) {
+      case InstrumentKind::kCounter:
+        series.counter.reset(new Counter(&enabled_));
+        break;
+      case InstrumentKind::kGauge:
+        series.gauge.reset(new Gauge(&enabled_));
+        break;
+      case InstrumentKind::kHistogram:
+        series.histogram.reset(new Histogram(
+            &enabled_, bounds != nullptr ? *bounds : family.upper_bounds));
+        break;
+    }
+    it = family.series.emplace(key, std::move(series)).first;
+  }
+  return it->second;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name, std::string_view help,
+                                  const Labels& labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Family& family = family_for(name, help, InstrumentKind::kCounter, nullptr);
+  return *series_for(family, labels, nullptr).counter;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name, std::string_view help,
+                              const Labels& labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Family& family = family_for(name, help, InstrumentKind::kGauge, nullptr);
+  return *series_for(family, labels, nullptr).gauge;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::string_view help,
+                                      std::vector<double> upper_bounds,
+                                      const Labels& labels) {
+  if (!std::is_sorted(upper_bounds.begin(), upper_bounds.end())) {
+    throw std::logic_error("histogram '" + std::string(name) +
+                           "': buckets must ascend");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  Family& family =
+      family_for(name, help, InstrumentKind::kHistogram, &upper_bounds);
+  return *series_for(family, labels, &upper_bounds).histogram;
+}
+
+std::uint64_t MetricsRegistry::counter_value(std::string_view name,
+                                             const Labels& labels) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = families_.find(name);
+  if (it == families_.end() || it->second->kind != InstrumentKind::kCounter) {
+    return 0;
+  }
+  auto series = it->second->series.find(labels_key(labels));
+  if (series == it->second->series.end()) return 0;
+  return series->second.counter->value();
+}
+
+std::vector<FamilySnapshot> MetricsRegistry::collect() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<FamilySnapshot> out;
+  out.reserve(families_.size());
+  for (const auto& [name, family] : families_) {
+    FamilySnapshot snap;
+    snap.name = family->name;
+    snap.help = family->help;
+    snap.kind = family->kind;
+    snap.upper_bounds = family->upper_bounds;
+    for (const auto& [key, series] : family->series) {
+      SeriesSnapshot s;
+      s.labels = series.labels;
+      switch (family->kind) {
+        case InstrumentKind::kCounter:
+          s.counter_value = series.counter->value();
+          break;
+        case InstrumentKind::kGauge:
+          s.gauge_value = series.gauge->value();
+          break;
+        case InstrumentKind::kHistogram: {
+          const Histogram& h = *series.histogram;
+          s.bucket_counts.reserve(h.upper_bounds().size() + 1);
+          for (std::size_t i = 0; i <= h.upper_bounds().size(); ++i) {
+            s.bucket_counts.push_back(h.bucket_count(i));
+          }
+          s.count = h.count();
+          s.sum = h.sum();
+          break;
+        }
+      }
+      snap.series.push_back(std::move(s));
+    }
+    out.push_back(std::move(snap));
+  }
+  return out;
+}
+
+void MetricsRegistry::reset_values() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, family] : families_) {
+    for (auto& [key, series] : family->series) {
+      if (series.counter) series.counter->clear();
+      if (series.gauge) series.gauge->clear();
+      if (series.histogram) series.histogram->clear();
+    }
+  }
+}
+
+}  // namespace praxi::obs

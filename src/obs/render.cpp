@@ -1,0 +1,207 @@
+// Exposition formats for the metrics registry (docs/OBSERVABILITY.md):
+// Prometheus text 0.0.4 and a stable JSON document. Both render from one
+// collect() snapshot in deterministic order so goldens can byte-compare.
+#include <charconv>
+#include <cmath>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace praxi::obs {
+namespace {
+
+/// Shortest round-trip decimal for a double ("0.001", "42", "1e+06"-free
+/// for our bucket ranges). std::to_chars gives the shortest form that
+/// parses back exactly — stable across platforms, unlike ostream defaults.
+std::string format_double(double v) {
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  if (std::isnan(v)) return "NaN";
+  char buf[64];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  return ec == std::errc() ? std::string(buf, ptr) : "0";
+}
+
+/// Prometheus label-value escaping: backslash, double-quote, newline.
+std::string escape_label(std::string_view v) {
+  std::string out;
+  out.reserve(v.size());
+  for (const char c : v) {
+    if (c == '\\' || c == '"') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+/// JSON string escaping (control chars, quote, backslash).
+std::string escape_json(std::string_view v) {
+  std::string out;
+  out.reserve(v.size());
+  for (const char c : v) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr char hex[] = "0123456789abcdef";
+          out += "\\u00";
+          out += hex[(static_cast<unsigned char>(c) >> 4) & 0xF];
+          out += hex[static_cast<unsigned char>(c) & 0xF];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// `{k1="v1",k2="v2"}`, empty string for no labels. `extra` appends one
+/// more pair (the histogram `le` label) after the series labels.
+std::string prom_labels(const Labels& labels, std::string_view extra_key = {},
+                        std::string_view extra_value = {}) {
+  if (labels.empty() && extra_key.empty()) return {};
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += k;
+    out += "=\"";
+    out += escape_label(v);
+    out += '"';
+  }
+  if (!extra_key.empty()) {
+    if (!first) out += ',';
+    out += extra_key;
+    out += "=\"";
+    out += escape_label(extra_value);
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+const char* type_name(InstrumentKind kind) {
+  switch (kind) {
+    case InstrumentKind::kCounter:
+      return "counter";
+    case InstrumentKind::kGauge:
+      return "gauge";
+    case InstrumentKind::kHistogram:
+      return "histogram";
+  }
+  return "untyped";
+}
+
+}  // namespace
+
+std::string render_prometheus(const MetricsRegistry& registry) {
+  std::string out;
+  for (const FamilySnapshot& family : registry.collect()) {
+    out += "# HELP " + family.name + " " + family.help + "\n";
+    out += "# TYPE " + family.name + " " + type_name(family.kind) + "\n";
+    for (const SeriesSnapshot& series : family.series) {
+      switch (family.kind) {
+        case InstrumentKind::kCounter:
+          out += family.name + prom_labels(series.labels) + " " +
+                 std::to_string(series.counter_value) + "\n";
+          break;
+        case InstrumentKind::kGauge:
+          out += family.name + prom_labels(series.labels) + " " +
+                 format_double(series.gauge_value) + "\n";
+          break;
+        case InstrumentKind::kHistogram: {
+          std::uint64_t cumulative = 0;
+          for (std::size_t i = 0; i < series.bucket_counts.size(); ++i) {
+            cumulative += series.bucket_counts[i];
+            const std::string le = i < family.upper_bounds.size()
+                                       ? format_double(family.upper_bounds[i])
+                                       : "+Inf";
+            out += family.name + "_bucket" +
+                   prom_labels(series.labels, "le", le) + " " +
+                   std::to_string(cumulative) + "\n";
+          }
+          out += family.name + "_sum" + prom_labels(series.labels) + " " +
+                 format_double(series.sum) + "\n";
+          out += family.name + "_count" + prom_labels(series.labels) + " " +
+                 std::to_string(series.count) + "\n";
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::string render_json(const MetricsRegistry& registry) {
+  std::string out = "{";
+  bool first_family = true;
+  for (const FamilySnapshot& family : registry.collect()) {
+    if (!first_family) out += ',';
+    first_family = false;
+    out += "\n  \"" + escape_json(family.name) + "\": {\"type\": \"" +
+           type_name(family.kind) + "\", \"help\": \"" +
+           escape_json(family.help) + "\", \"series\": [";
+    bool first_series = true;
+    for (const SeriesSnapshot& series : family.series) {
+      if (!first_series) out += ',';
+      first_series = false;
+      out += "\n    {\"labels\": {";
+      bool first_label = true;
+      for (const auto& [k, v] : series.labels) {
+        if (!first_label) out += ", ";
+        first_label = false;
+        out += "\"" + escape_json(k) + "\": \"" + escape_json(v) + "\"";
+      }
+      out += "}";
+      switch (family.kind) {
+        case InstrumentKind::kCounter:
+          out += ", \"value\": " + std::to_string(series.counter_value);
+          break;
+        case InstrumentKind::kGauge:
+          out += ", \"value\": " + format_double(series.gauge_value);
+          break;
+        case InstrumentKind::kHistogram: {
+          out += ", \"count\": " + std::to_string(series.count) +
+                 ", \"sum\": " + format_double(series.sum) + ", \"buckets\": {";
+          std::uint64_t cumulative = 0;
+          for (std::size_t i = 0; i < series.bucket_counts.size(); ++i) {
+            if (i > 0) out += ", ";
+            cumulative += series.bucket_counts[i];
+            const std::string le = i < family.upper_bounds.size()
+                                       ? format_double(family.upper_bounds[i])
+                                       : "+Inf";
+            out += "\"" + le + "\": " + std::to_string(cumulative);
+          }
+          out += "}";
+          break;
+        }
+      }
+      out += "}";
+    }
+    out += "\n  ]}";
+  }
+  out += first_family ? "}" : "\n}";
+  out += "\n";
+  return out;
+}
+
+}  // namespace praxi::obs

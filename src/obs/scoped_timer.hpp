@@ -1,0 +1,35 @@
+// RAII bridge from common::Stopwatch to a latency histogram: construct at
+// the top of the traced scope, and the elapsed seconds land in the
+// histogram when the scope exits (or at an explicit stop()).
+#pragma once
+
+#include "common/stopwatch.hpp"
+#include "obs/metrics.hpp"
+
+namespace praxi::obs {
+
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram& sink) : sink_(&sink) {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer() { stop(); }
+
+  /// Records the elapsed time now (idempotent: the destructor then does
+  /// nothing) and returns the seconds observed.
+  double stop() noexcept {
+    if (sink_ != nullptr) {
+      elapsed_s_ = watch_.elapsed_s();
+      sink_->observe(elapsed_s_);
+      sink_ = nullptr;
+    }
+    return elapsed_s_;
+  }
+
+ private:
+  Histogram* sink_;
+  Stopwatch watch_;
+  double elapsed_s_ = 0.0;
+};
+
+}  // namespace praxi::obs

@@ -1,19 +1,116 @@
 #include "service/server.hpp"
 
+#include <atomic>
 #include <stdexcept>
 
 #include "common/serialize.hpp"
+#include "obs/scoped_timer.hpp"
 
 namespace praxi::service {
 
+namespace {
+
+/// Servers share one process-global registry, so each instance claims a
+/// distinct `server` label value to keep its series (and its ingest-stats
+/// view) independent of every other instance in the process — tests spin up
+/// many servers.
+std::string next_server_label() {
+  static std::atomic<std::uint64_t> next{0};
+  return std::to_string(next.fetch_add(1));
+}
+
+constexpr const char* kReportsHelp =
+    "Agent reports ingested, by agent and outcome";
+
+}  // namespace
+
 DiscoveryServer::DiscoveryServer(core::Praxi model, ServerConfig config)
-    : model_(std::move(model)), config_(config) {
+    : model_(std::move(model)),
+      config_(config),
+      server_label_(next_server_label()) {
   if (!model_.trained())
     throw std::invalid_argument("DiscoveryServer: model must be trained");
-  model_.set_num_threads(config_.num_threads);
+  // Embedding host wins (common/runtime_config.hpp): the server's runtime
+  // overrides whatever the model was constructed or restored with.
+  model_.set_runtime(config_.runtime);
+
+  auto& registry = obs::MetricsRegistry::global();
+  process_seconds_ = &registry.histogram(
+      "praxi_server_process_seconds",
+      "Latency of one process() drain-classify-commit cycle",
+      obs::latency_buckets(), {{"server", server_label_}});
+  discoveries_total_ = &registry.counter(
+      "praxi_server_discoveries_total",
+      "Discoveries committed to the fleet inventory",
+      {{"server", server_label_}});
+}
+
+DiscoveryServer::AgentCounters& DiscoveryServer::counters_for(
+    const std::string& agent_id) {
+  auto it = agent_counters_.find(agent_id);
+  if (it != agent_counters_.end()) return it->second;
+
+  auto& registry = obs::MetricsRegistry::global();
+  auto labels = [&](const char* outcome) {
+    return obs::Labels{{"server", server_label_},
+                       {"agent", agent_id},
+                       {"outcome", outcome}};
+  };
+  AgentCounters counters;
+  counters.processed = &registry.counter("praxi_server_reports_total",
+                                         kReportsHelp, labels("processed"));
+  counters.malformed = &registry.counter("praxi_server_reports_total",
+                                         kReportsHelp, labels("malformed"));
+  counters.version_mismatch = &registry.counter(
+      "praxi_server_reports_total", kReportsHelp, labels("version_mismatch"));
+  return agent_counters_.emplace(agent_id, counters).first->second;
+}
+
+DiscoveryServer::AgentCounters& DiscoveryServer::counters_for_wire(
+    std::string_view wire) {
+  std::string agent_id = ChangesetReport::peek_agent_id(wire);
+  return counters_for(agent_id.empty() ? kUnattributedAgent
+                                       : std::move(agent_id));
+}
+
+std::uint64_t DiscoveryServer::processed() const {
+  std::uint64_t total = 0;
+  for (const auto& [agent, counters] : agent_counters_) {
+    total += counters.processed->value();
+  }
+  return total;
+}
+
+std::uint64_t DiscoveryServer::malformed() const {
+  std::uint64_t total = 0;
+  for (const auto& [agent, counters] : agent_counters_) {
+    total += counters.malformed->value();
+  }
+  return total;
+}
+
+std::uint64_t DiscoveryServer::version_mismatched() const {
+  std::uint64_t total = 0;
+  for (const auto& [agent, counters] : agent_counters_) {
+    total += counters.version_mismatch->value();
+  }
+  return total;
+}
+
+std::map<std::string, AgentIngestStats> DiscoveryServer::ingest_stats() const {
+  std::map<std::string, AgentIngestStats> stats;
+  for (const auto& [agent, counters] : agent_counters_) {
+    AgentIngestStats& s = stats[agent];
+    s.processed = counters.processed->value();
+    s.malformed = counters.malformed->value();
+    s.version_mismatch = counters.version_mismatch->value();
+  }
+  return stats;
 }
 
 std::vector<Discovery> DiscoveryServer::process(MessageBus& bus) {
+  obs::ScopedTimer process_timer(*process_seconds_);
+
   // Phase 1 (sequential): parse + screen. Quantity inference is cheap
   // relative to classification, so only the survivors go into the batch.
   struct PendingReport {
@@ -29,16 +126,13 @@ std::vector<Discovery> DiscoveryServer::process(MessageBus& bus) {
     } catch (const VersionError&) {
       // Structurally sound frame from an agent speaking another format
       // version (fleet mid-upgrade) — distinct from corruption.
-      ++version_mismatched_;
-      ++stats_for_wire(wire).version_mismatch;
+      counters_for_wire(wire).version_mismatch->inc();
       continue;
     } catch (const SerializeError&) {
-      ++malformed_;
-      ++stats_for_wire(wire).malformed;
+      counters_for_wire(wire).malformed->inc();
       continue;
     }
-    ++processed_;
-    ++ingest_stats_[report.agent_id].processed;
+    counters_for(report.agent_id).processed->inc();
 
     Discovery discovery;
     discovery.agent_id = report.agent_id;
@@ -72,8 +166,10 @@ std::vector<Discovery> DiscoveryServer::process(MessageBus& bus) {
     changesets.push_back(&item.changeset);
     counts.push_back(item.n);
   }
-  auto tagsets = model_.extract_tags_batch(changesets);
-  auto predictions = model_.predict_tags_batch(tagsets, counts);
+  auto tagsets =
+      model_.extract_tags(std::span<const fs::Changeset* const>(changesets));
+  auto predictions = model_.predict_tags(
+      std::span<const columbus::TagSet>(tagsets), core::TopN(counts));
 
   // Phase 3 (sequential): commit results in arrival order so the store and
   // inventory are deterministic regardless of thread count.
@@ -88,13 +184,8 @@ std::vector<Discovery> DiscoveryServer::process(MessageBus& bus) {
     }
     discoveries.push_back(std::move(discovery));
   }
+  discoveries_total_->inc(discoveries.size());
   return discoveries;
-}
-
-AgentIngestStats& DiscoveryServer::stats_for_wire(std::string_view wire) {
-  std::string agent_id = ChangesetReport::peek_agent_id(wire);
-  return ingest_stats_[agent_id.empty() ? kUnattributedAgent
-                                        : std::move(agent_id)];
 }
 
 std::vector<std::string> DiscoveryServer::agents_running(

@@ -19,9 +19,11 @@
 #include <string_view>
 #include <vector>
 
+#include "common/runtime_config.hpp"
 #include "core/discovery_service.hpp"
 #include "core/praxi.hpp"
 #include "core/tagset_store.hpp"
+#include "obs/metrics.hpp"
 #include "service/transport.hpp"
 
 namespace praxi::service {
@@ -29,10 +31,12 @@ namespace praxi::service {
 struct ServerConfig {
   /// Quantity inference settings applied to every incoming window.
   core::DiscoveryServiceConfig quantity;
-  /// Worker threads for classifying a drained batch of reports
-  /// (0 = one per hardware thread, 1 = sequential). Reports are
-  /// independent, so discoveries are identical at every thread count.
-  std::size_t num_threads = 0;
+  /// Cross-cutting runtime knobs, re-applied to the embedded model at
+  /// construction (the embedding host wins — common/runtime_config.hpp).
+  /// num_threads: workers for classifying a drained batch (0 = one per
+  /// hardware thread, 1 = sequential). Reports are independent, so
+  /// discoveries are identical at every thread count.
+  common::RuntimeConfig runtime{.num_threads = 0};
 };
 
 /// Per-agent ingest health: how many reports an agent delivered cleanly vs
@@ -40,6 +44,12 @@ struct ServerConfig {
 /// count climbs is corrupting data in flight (or running a broken build) —
 /// exactly the graceful-degradation signal an operator needs, which a single
 /// global counter cannot attribute.
+///
+/// Snapshot value read out of the metrics registry: the server's source of
+/// truth is the labeled counter family praxi_server_reports_total, and this
+/// struct is the thin per-agent view over it (docs/OBSERVABILITY.md). With
+/// metrics disabled via RuntimeConfig the counters — and therefore these
+/// stats — stop advancing.
 struct AgentIngestStats {
   std::uint64_t processed = 0;         ///< reports parsed and classified
   std::uint64_t malformed = 0;         ///< corrupt frames (checksum, bounds…)
@@ -83,28 +93,41 @@ class DiscoveryServer {
 
   const core::Praxi& model() const { return model_; }
   const core::TagsetStore& store() const { return store_; }
-  std::uint64_t processed() const { return processed_; }
-  std::uint64_t malformed() const { return malformed_; }
-  std::uint64_t version_mismatched() const { return version_mismatched_; }
+  /// Fleet-wide totals, summed over the per-agent counters.
+  std::uint64_t processed() const;
+  std::uint64_t malformed() const;
+  std::uint64_t version_mismatched() const;
 
-  /// Ingest health per agent. Frames too corrupt to attribute are charged
-  /// to kUnattributedAgent.
-  const std::map<std::string, AgentIngestStats>& ingest_stats() const {
-    return ingest_stats_;
-  }
+  /// Ingest health per agent, read out of the metrics registry (returns a
+  /// snapshot by value). Frames too corrupt to attribute are charged to
+  /// kUnattributedAgent.
+  std::map<std::string, AgentIngestStats> ingest_stats() const;
   static constexpr const char* kUnattributedAgent = "(unattributed)";
 
+  /// Label distinguishing this server's series in the process-global
+  /// metrics registry (`server="<id>"`).
+  const std::string& server_label() const { return server_label_; }
+
  private:
-  AgentIngestStats& stats_for_wire(std::string_view wire);
+  /// Cached handles into praxi_server_reports_total for one agent — the
+  /// registry owns the counters; these stay valid for the process lifetime.
+  struct AgentCounters {
+    obs::Counter* processed = nullptr;
+    obs::Counter* malformed = nullptr;
+    obs::Counter* version_mismatch = nullptr;
+  };
+
+  AgentCounters& counters_for(const std::string& agent_id);
+  AgentCounters& counters_for_wire(std::string_view wire);
 
   core::Praxi model_;
   ServerConfig config_;
   core::TagsetStore store_;
   std::map<std::string, std::set<std::string>> inventory_;
-  std::map<std::string, AgentIngestStats> ingest_stats_;
-  std::uint64_t processed_ = 0;
-  std::uint64_t malformed_ = 0;
-  std::uint64_t version_mismatched_ = 0;
+  std::string server_label_;
+  std::map<std::string, AgentCounters> agent_counters_;
+  obs::Histogram* process_seconds_ = nullptr;
+  obs::Counter* discoveries_total_ = nullptr;
 };
 
 }  // namespace praxi::service

@@ -38,6 +38,8 @@ std::string ChangesetReport::peek_agent_id(std::string_view bytes) noexcept {
     // an implausibly long one is noise, not an agent.
     if (id.empty() || id.size() > 256) return {};
     return id;
+    // The real decode path (DiscoveryServer::process) records the frame.
+    // praxi-lint: allow(data-plane-catch: noexcept best-effort forensics)
   } catch (const SerializeError&) {
     return {};
   }

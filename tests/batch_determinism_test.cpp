@@ -2,9 +2,12 @@
 // return results label-for-label identical to the sequential loop at every
 // thread count (the pool parallelizes per-item work but never reorders or
 // perturbs it), and thread-pooled training must produce the same model as
-// sequential training because SGD weight updates stay sequential.
+// sequential training because SGD weight updates stay sequential. Also
+// pins the deprecated pre-span shims to the span surface: bit-identical
+// results, so callers can migrate in either direction safely.
 #include <gtest/gtest.h>
 
+#include <span>
 #include <vector>
 
 #include "core/praxi.hpp"
@@ -61,9 +64,9 @@ TEST_F(BatchDeterminismTest, ExtractTagsBatchMatchesSequential) {
   }
   for (const std::size_t threads : kThreadCounts) {
     PraxiConfig config;
-    config.num_threads = threads;
+    config.runtime.num_threads = threads;
     Praxi model(config);
-    EXPECT_EQ(model.extract_tags_batch(batch), expected)
+    EXPECT_EQ(model.extract_tags(batch), expected)
         << "num_threads=" << threads;
   }
 }
@@ -81,12 +84,11 @@ TEST_F(BatchDeterminismTest, PredictBatchMatchesSequentialLoop) {
 
   for (const std::size_t threads : kThreadCounts) {
     PraxiConfig config;
-    config.num_threads = threads;
+    config.runtime.num_threads = threads;
     Praxi model(config);
     // Thread-pooled training: parallel tag extraction, sequential SGD.
     model.train_changesets(train);
-    EXPECT_EQ(model.predict_batch(test), expected)
-        << "num_threads=" << threads;
+    EXPECT_EQ(model.predict(test), expected) << "num_threads=" << threads;
   }
 }
 
@@ -109,13 +111,15 @@ TEST_F(BatchDeterminismTest, MultiLabelPredictBatchMatchesSequentialLoop) {
   for (const std::size_t threads : kThreadCounts) {
     PraxiConfig config;
     config.mode = LabelMode::kMultiLabel;
-    config.num_threads = threads;
+    config.runtime.num_threads = threads;
     Praxi model(config);
     model.train_changesets(train);
-    EXPECT_EQ(model.predict_batch(test, counts), expected)
+    EXPECT_EQ(model.predict(test, counts), expected)
         << "num_threads=" << threads;
     // The pre-extracted-tagset path must agree with the changeset path.
-    EXPECT_EQ(model.predict_tags_batch(model.extract_tags_batch(test), counts),
+    const auto tagsets = model.extract_tags(test);
+    EXPECT_EQ(model.predict_tags(std::span<const columbus::TagSet>(tagsets),
+                                 TopN(counts)),
               expected)
         << "num_threads=" << threads;
   }
@@ -126,25 +130,23 @@ TEST_F(BatchDeterminismTest, SetNumThreadsRetunesALiveModel) {
   const auto test = split(*dirty_, 6, true);
   Praxi model;
   model.train_changesets(train);
-  const auto expected = model.predict_batch(test);
+  const auto expected = model.predict(test);
   for (const std::size_t threads : kThreadCounts) {
     model.set_num_threads(threads);
     EXPECT_EQ(model.num_threads(), threads);
-    EXPECT_EQ(model.predict_batch(test), expected)
-        << "num_threads=" << threads;
+    EXPECT_EQ(model.predict(test), expected) << "num_threads=" << threads;
   }
 }
 
 TEST_F(BatchDeterminismTest, PredictBatchValidatesInputs) {
   Praxi untrained;
-  EXPECT_THROW(untrained.predict_batch(split(*dirty_, 6, true)),
-               std::logic_error);
+  EXPECT_THROW(untrained.predict(split(*dirty_, 6, true)), std::logic_error);
 
   Praxi model;
   model.train_changesets(split(*dirty_, 6, false));
   const auto test = split(*dirty_, 6, true);
   EXPECT_THROW(
-      model.predict_batch(test, std::vector<std::size_t>(test.size() + 1, 1)),
+      model.predict(test, std::vector<std::size_t>(test.size() + 1, 1)),
       std::invalid_argument);
 }
 
@@ -155,19 +157,54 @@ TEST_F(BatchDeterminismTest, PraxiMethodBatchMatchesBaseSequentialBatch) {
 
   eval::PraxiMethod reference;
   reference.train(train);
-  // Base-class implementation: the sequential predict() loop.
-  const auto expected =
-      reference.DiscoveryMethod::predict_batch(test, counts);
+  // Qualified call: the base class's sequential predict() loop, no virtual
+  // dispatch to the thread-pooled override.
+  const auto expected = reference.DiscoveryMethod::predict(
+      std::span<const fs::Changeset* const>(test), TopN(counts));
 
   for (const std::size_t threads : kThreadCounts) {
     PraxiConfig config;
-    config.num_threads = threads;
+    config.runtime.num_threads = threads;
     eval::PraxiMethod method(config);
     method.train(train);
-    EXPECT_EQ(method.predict_batch(test, counts), expected)
+    EXPECT_EQ(method.predict(std::span<const fs::Changeset* const>(test),
+                             TopN(counts)),
+              expected)
         << "num_threads=" << threads;
   }
 }
+
+// The deprecated shims must forward bit-identically to the span surface —
+// callers migrating in either direction see the exact same labels.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+TEST_F(BatchDeterminismTest, DeprecatedShimsMatchSpanSurfaceExactly) {
+  const auto train = split(*dirty_, 6, false);
+  const auto test = split(*dirty_, 6, true);
+  const std::vector<std::size_t> counts(test.size(), 1);
+
+  Praxi model;
+  model.train_changesets(train);
+
+  EXPECT_EQ(model.extract_tags_batch(test), model.extract_tags(test));
+  EXPECT_EQ(model.predict_batch(test), model.predict(test));
+  EXPECT_EQ(model.predict_batch(test, counts), model.predict(test, counts));
+  const auto tagsets = model.extract_tags(test);
+  EXPECT_EQ(model.predict_tags_batch(tagsets, counts),
+            model.predict_tags(std::span<const columbus::TagSet>(tagsets),
+                               TopN(counts)));
+
+  columbus::Columbus columbus;
+  EXPECT_EQ(columbus.extract_batch(test),
+            columbus.extract(std::span<const fs::Changeset* const>(test)));
+
+  eval::PraxiMethod method;
+  method.train(train);
+  EXPECT_EQ(method.predict_batch(test, counts),
+            method.predict(std::span<const fs::Changeset* const>(test),
+                           TopN(counts)));
+}
+#pragma GCC diagnostic pop
 
 TEST_F(BatchDeterminismTest, ServerDiscoveriesIdenticalAtEveryThreadCount) {
   Praxi model;
@@ -176,7 +213,7 @@ TEST_F(BatchDeterminismTest, ServerDiscoveriesIdenticalAtEveryThreadCount) {
 
   auto run_server = [&](std::size_t threads) {
     service::ServerConfig config;
-    config.num_threads = threads;
+    config.runtime.num_threads = threads;
     service::DiscoveryServer server(model, config);
     service::MessageBus bus;
     for (std::size_t i = 0; i < test.size(); ++i) {

@@ -1,0 +1,397 @@
+// Tests for the observability subsystem (src/obs): registry semantics
+// (kind/bucket conflicts, label canonicalization, the enabled gate),
+// histogram bucket boundaries, exposition goldens (Prometheus text and
+// JSON, byte-exact — the renderers are deterministic by design), a
+// concurrency smoke test sized for TSan, and the DiscoveryServer
+// integration (per-stage instruments advance during process()).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "eval/harness.hpp"
+#include "obs/metrics.hpp"
+#include "obs/scoped_timer.hpp"
+#include "pkg/dataset.hpp"
+#include "service/server.hpp"
+#include "service/transport.hpp"
+
+namespace praxi::obs {
+namespace {
+
+TEST(Counter, IncrementsAndReads) {
+  MetricsRegistry registry;
+  Counter& c = registry.counter("praxi_test_events_total", "Events");
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Gauge, SetAddSub) {
+  MetricsRegistry registry;
+  Gauge& g = registry.gauge("praxi_test_queue_depth", "Depth");
+  g.set(10.0);
+  g.add(2.5);
+  g.sub(0.5);
+  EXPECT_DOUBLE_EQ(g.value(), 12.0);
+}
+
+TEST(Histogram, BucketBoundariesAreInclusive) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("praxi_test_latency_seconds", "Latency",
+                                    {1.0, 2.0, 5.0});
+  // A value exactly on a bound lands in that bound's bucket (v <= bound,
+  // matching Prometheus `le` semantics).
+  h.observe(1.0);
+  h.observe(1.0000001);
+  h.observe(5.0);
+  h.observe(6.0);  // above every bound -> +Inf
+  EXPECT_EQ(h.bucket_count(0), 1u);  // le=1
+  EXPECT_EQ(h.bucket_count(1), 1u);  // le=2
+  EXPECT_EQ(h.bucket_count(2), 1u);  // le=5
+  EXPECT_EQ(h.bucket_count(3), 1u);  // +Inf
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_NEAR(h.sum(), 13.0000001, 1e-6);
+}
+
+TEST(Histogram, DefaultBucketLayoutsAscend) {
+  for (const auto& buckets :
+       {latency_buckets(), size_buckets(), count_buckets()}) {
+    ASSERT_FALSE(buckets.empty());
+    for (std::size_t i = 1; i < buckets.size(); ++i) {
+      EXPECT_LT(buckets[i - 1], buckets[i]);
+    }
+  }
+}
+
+TEST(MetricsRegistry, SameNameAndLabelsReturnsSameInstrument) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("praxi_test_events_total", "Events",
+                                {{"stage", "x"}, {"agent", "a"}});
+  // Labels are canonicalized by sorting on key, so order must not matter.
+  Counter& b = registry.counter("praxi_test_events_total", "Events",
+                                {{"agent", "a"}, {"stage", "x"}});
+  EXPECT_EQ(&a, &b);
+  Counter& other = registry.counter("praxi_test_events_total", "Events",
+                                    {{"agent", "b"}, {"stage", "x"}});
+  EXPECT_NE(&a, &other);
+}
+
+TEST(MetricsRegistry, KindConflictsThrow) {
+  MetricsRegistry registry;
+  registry.counter("praxi_test_events_total", "Events");
+  EXPECT_THROW(registry.gauge("praxi_test_events_total", "Events"),
+               std::logic_error);
+  registry.histogram("praxi_test_latency_seconds", "Latency", {1.0, 2.0});
+  EXPECT_THROW(
+      registry.histogram("praxi_test_latency_seconds", "Latency", {1.0, 3.0}),
+      std::logic_error);
+  EXPECT_THROW(
+      registry.histogram("praxi_test_backwards_seconds", "Bad", {2.0, 1.0}),
+      std::logic_error);
+}
+
+TEST(MetricsRegistry, EnabledGateFreezesValuesWithoutInvalidatingHandles) {
+  MetricsRegistry registry;
+  Counter& c = registry.counter("praxi_test_events_total", "Events");
+  Gauge& g = registry.gauge("praxi_test_queue_depth", "Depth");
+  Histogram& h =
+      registry.histogram("praxi_test_latency_seconds", "Latency", {1.0});
+  c.inc();
+  g.set(5.0);
+  h.observe(0.5);
+
+  registry.set_enabled(false);
+  EXPECT_FALSE(registry.enabled());
+  c.inc(100);
+  g.set(99.0);
+  g.add(1.0);
+  h.observe(0.5);
+  EXPECT_EQ(c.value(), 1u);
+  EXPECT_DOUBLE_EQ(g.value(), 5.0);
+  EXPECT_EQ(h.count(), 1u);
+
+  registry.set_enabled(true);
+  c.inc();
+  EXPECT_EQ(c.value(), 2u);
+}
+
+TEST(MetricsRegistry, ResetValuesZeroesButKeepsHandles) {
+  MetricsRegistry registry;
+  Counter& c = registry.counter("praxi_test_events_total", "Events");
+  Histogram& h =
+      registry.histogram("praxi_test_latency_seconds", "Latency", {1.0});
+  c.inc(7);
+  h.observe(0.5);
+  registry.reset_values();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+  c.inc();
+  EXPECT_EQ(c.value(), 1u);
+  EXPECT_EQ(registry.counter_value("praxi_test_events_total"), 1u);
+}
+
+TEST(MetricsRegistry, CounterValueLookup) {
+  MetricsRegistry registry;
+  EXPECT_EQ(registry.counter_value("praxi_test_missing_total"), 0u);
+  Counter& c = registry.counter("praxi_test_events_total", "Events",
+                                {{"outcome", "ok"}});
+  c.inc(3);
+  EXPECT_EQ(registry.counter_value("praxi_test_events_total",
+                                   {{"outcome", "ok"}}),
+            3u);
+  EXPECT_EQ(registry.counter_value("praxi_test_events_total",
+                                   {{"outcome", "bad"}}),
+            0u);
+}
+
+TEST(ScopedTimer, FeedsHistogramOnceAndStopIsIdempotent) {
+  MetricsRegistry registry;
+  Histogram& h =
+      registry.histogram("praxi_test_span_seconds", "Span", {1e9});
+  {
+    ScopedTimer timer(h);
+    const double first = timer.stop();
+    EXPECT_GE(first, 0.0);
+    timer.stop();  // second stop must not observe again
+  }                // neither must the destructor
+  EXPECT_EQ(h.count(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Exposition goldens — byte-exact against a registry with known contents.
+// ---------------------------------------------------------------------------
+
+/// Registry fixture with one instrument of each kind and values chosen to
+/// format without floating-point noise.
+void fill_golden(MetricsRegistry& registry) {
+  registry.counter("praxi_test_events_total", "Events", {{"stage", "a"}})
+      .inc(3);
+  registry.gauge("praxi_test_queue_depth", "Depth").set(2.5);
+  Histogram& h = registry.histogram("praxi_test_latency_seconds", "Latency",
+                                    {1.0, 2.0, 5.0});
+  h.observe(0.5);
+  h.observe(1.5);
+  h.observe(10.0);
+}
+
+TEST(RenderPrometheus, Golden) {
+  MetricsRegistry registry;
+  fill_golden(registry);
+  const std::string expected =
+      "# HELP praxi_test_events_total Events\n"
+      "# TYPE praxi_test_events_total counter\n"
+      "praxi_test_events_total{stage=\"a\"} 3\n"
+      "# HELP praxi_test_latency_seconds Latency\n"
+      "# TYPE praxi_test_latency_seconds histogram\n"
+      "praxi_test_latency_seconds_bucket{le=\"1\"} 1\n"
+      "praxi_test_latency_seconds_bucket{le=\"2\"} 2\n"
+      "praxi_test_latency_seconds_bucket{le=\"5\"} 2\n"
+      "praxi_test_latency_seconds_bucket{le=\"+Inf\"} 3\n"
+      "praxi_test_latency_seconds_sum 12\n"
+      "praxi_test_latency_seconds_count 3\n"
+      "# HELP praxi_test_queue_depth Depth\n"
+      "# TYPE praxi_test_queue_depth gauge\n"
+      "praxi_test_queue_depth 2.5\n";
+  EXPECT_EQ(render_prometheus(registry), expected);
+}
+
+TEST(RenderPrometheus, EscapesLabelValues) {
+  MetricsRegistry registry;
+  registry.counter("praxi_test_events_total", "Events",
+                   {{"agent", "a\"b\\c\nd"}})
+      .inc();
+  const std::string out = render_prometheus(registry);
+  EXPECT_NE(out.find("agent=\"a\\\"b\\\\c\\nd\""), std::string::npos) << out;
+}
+
+TEST(RenderJson, Golden) {
+  MetricsRegistry registry;
+  fill_golden(registry);
+  const std::string expected =
+      "{\n"
+      "  \"praxi_test_events_total\": {\"type\": \"counter\", \"help\": "
+      "\"Events\", \"series\": [\n"
+      "    {\"labels\": {\"stage\": \"a\"}, \"value\": 3}\n"
+      "  ]},\n"
+      "  \"praxi_test_latency_seconds\": {\"type\": \"histogram\", \"help\": "
+      "\"Latency\", \"series\": [\n"
+      "    {\"labels\": {}, \"count\": 3, \"sum\": 12, \"buckets\": "
+      "{\"1\": 1, \"2\": 2, \"5\": 2, \"+Inf\": 3}}\n"
+      "  ]},\n"
+      "  \"praxi_test_queue_depth\": {\"type\": \"gauge\", \"help\": "
+      "\"Depth\", \"series\": [\n"
+      "    {\"labels\": {}, \"value\": 2.5}\n"
+      "  ]}\n"
+      "}\n";
+  EXPECT_EQ(render_json(registry), expected);
+}
+
+TEST(RenderJson, EmptyRegistry) {
+  MetricsRegistry registry;
+  EXPECT_EQ(render_json(registry), "{}\n");
+  EXPECT_EQ(render_prometheus(registry), "");
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency smoke test — sized so TSan (tools/check.sh --tsan-obs) gets
+// real interleavings; with atomics-only fast paths the final values must
+// still be exact.
+// ---------------------------------------------------------------------------
+
+TEST(MetricsRegistry, ConcurrentUpdatesAndCollects) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 4;
+  constexpr int kIters = 10000;
+  Counter& c = registry.counter("praxi_test_events_total", "Events");
+  Gauge& g = registry.gauge("praxi_test_queue_depth", "Depth");
+  Histogram& h = registry.histogram("praxi_test_latency_seconds", "Latency",
+                                    {0.25, 0.5, 1.0});
+
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads + 1);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int i = 0; i < kIters; ++i) {
+        c.inc();
+        g.add(1.0);
+        g.sub(1.0);
+        h.observe(double(t % 4) * 0.25);
+        // Registration from multiple threads must also be safe and
+        // always return the same handle.
+        Counter& mine = registry.counter("praxi_test_races_total", "Races",
+                                         {{"thread", std::to_string(t)}});
+        mine.inc();
+      }
+    });
+  }
+  // A reader snapshotting concurrently with the writers.
+  workers.emplace_back([&] {
+    for (int i = 0; i < 100; ++i) {
+      const auto families = registry.collect();
+      (void)families;
+      (void)render_prometheus(registry);
+    }
+  });
+  for (auto& w : workers) w.join();
+
+  EXPECT_EQ(c.value(), std::uint64_t(kThreads) * kIters);
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  EXPECT_EQ(h.count(), std::uint64_t(kThreads) * kIters);
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(registry.counter_value("praxi_test_races_total",
+                                     {{"thread", std::to_string(t)}}),
+              std::uint64_t(kIters));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline integration: the global registry's stage instruments advance
+// while a DiscoveryServer processes reports.
+// ---------------------------------------------------------------------------
+
+class ObsIntegrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    const auto catalog = pkg::Catalog::subset(42, 8, 0);
+    pkg::DatasetBuilder builder(catalog, 7);
+    pkg::CollectOptions options;
+    options.samples_per_app = 4;
+    dataset_ = new pkg::Dataset(builder.collect_dirty(options));
+    model_ = new core::Praxi();
+    model_->train_changesets(eval::pointers(*dataset_));
+  }
+
+  static void TearDownTestSuite() {
+    delete dataset_;
+    delete model_;
+  }
+
+  static pkg::Dataset* dataset_;
+  static core::Praxi* model_;
+};
+
+pkg::Dataset* ObsIntegrationTest::dataset_ = nullptr;
+core::Praxi* ObsIntegrationTest::model_ = nullptr;
+
+/// Count of one histogram series in the global registry, 0 if absent.
+std::uint64_t histogram_count(const std::string& name, const Labels& labels) {
+  Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  for (const auto& family : MetricsRegistry::global().collect()) {
+    if (family.name != name) continue;
+    for (const auto& series : family.series) {
+      if (series.labels == sorted) return series.count;
+    }
+  }
+  return 0;
+}
+
+TEST_F(ObsIntegrationTest, ServerProcessAdvancesStageInstruments) {
+  service::DiscoveryServer server(*model_);
+  const Labels by_server{{"server", server.server_label()}};
+
+  const auto columbus_before = MetricsRegistry::global().counter_value(
+      "praxi_columbus_extractions_total");
+  EXPECT_EQ(histogram_count("praxi_server_process_seconds", by_server), 0u);
+
+  service::MessageBus bus;
+  for (std::size_t i = 0; i < 3; ++i) {
+    service::ChangesetReport report;
+    report.agent_id = "vm-obs";
+    report.sequence = i;
+    report.changeset = dataset_->changesets.at(i);
+    bus.send(report.to_wire());
+  }
+  bus.send("definitely not a frame");
+  server.process(bus);
+
+  EXPECT_EQ(histogram_count("praxi_server_process_seconds", by_server), 1u);
+  EXPECT_GT(MetricsRegistry::global().counter_value(
+                "praxi_columbus_extractions_total"),
+            columbus_before);
+  EXPECT_EQ(MetricsRegistry::global().counter_value(
+                "praxi_server_reports_total",
+                {{"server", server.server_label()},
+                 {"agent", "vm-obs"},
+                 {"outcome", "processed"}}),
+            3u);
+  EXPECT_EQ(
+      MetricsRegistry::global().counter_value(
+          "praxi_server_reports_total",
+          {{"server", server.server_label()},
+           {"agent", service::DiscoveryServer::kUnattributedAgent},
+           {"outcome", "malformed"}}),
+      1u);
+  // The thin view over the registry agrees with the raw counters.
+  EXPECT_EQ(server.processed(), 3u);
+  EXPECT_EQ(server.malformed(), 1u);
+  const auto stats = server.ingest_stats();
+  ASSERT_EQ(stats.count("vm-obs"), 1u);
+  EXPECT_EQ(stats.at("vm-obs").processed, 3u);
+}
+
+TEST_F(ObsIntegrationTest, MlAndEngineInstrumentsCarryData) {
+  // The fixture already trained and the test above predicted, so the
+  // learner/engine families must exist with nonzero activity.
+  EXPECT_GT(MetricsRegistry::global().counter_value("praxi_ml_updates_total",
+                                                    {{"reduction", "oaa"}}),
+            0u);
+  bool found_train = false;
+  for (const auto& family : MetricsRegistry::global().collect()) {
+    if (family.name == "praxi_engine_train_seconds") {
+      ASSERT_FALSE(family.series.empty());
+      EXPECT_GT(family.series.front().count, 0u);
+      found_train = true;
+    }
+  }
+  EXPECT_TRUE(found_train);
+}
+
+}  // namespace
+}  // namespace praxi::obs

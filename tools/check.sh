@@ -9,6 +9,8 @@
 #   tools/check.sh --lint      tools/praxi_lint.py + its self-test
 #   tools/check.sh --fuzz      fuzz smoke tests only (already in tier-1)
 #   tools/check.sh --format    verify formatting (no rewrite)
+#   tools/check.sh --tsan-obs  ThreadSanitizer pass over the metrics
+#                              registry's concurrency tests (needs clang)
 #
 # Lanes that need a tool the machine lacks (clang-tidy, clang-format) are
 # SKIPPED with a notice, not failed — the configs are checked in so any
@@ -67,6 +69,24 @@ run_fuzz() {
   ctest --test-dir build -R '^fuzz_smoke_' --output-on-failure -j "$JOBS"
 }
 
+run_tsan_obs() {
+  # The metrics registry promises lock-free concurrent updates against
+  # concurrent collect()/render; obs_test hammers that promise with racing
+  # writers, a registering thread, and a reading thread. TSan proves the
+  # absence of data races, not just the absence of wrong answers. GCC's
+  # TSan runtime is flaky with std::atomic<double> CAS loops on some
+  # distros, so this lane insists on clang and skips otherwise.
+  if ! command -v clang++ >/dev/null; then
+    skip "clang++ not installed (tsan-obs lane; gcc tier-1 still runs obs_test)"
+    return 0
+  fi
+  note "ThreadSanitizer: obs_test (metrics registry concurrency)"
+  cmake -B build-tsan-obs -S . -DPRAXI_SANITIZE=thread \
+    -DCMAKE_CXX_COMPILER=clang++ -DCMAKE_C_COMPILER=clang >/dev/null
+  cmake --build build-tsan-obs -j "$JOBS" --target obs_test
+  ./build-tsan-obs/tests/obs_test
+}
+
 run_format() {
   if ! command -v clang-format >/dev/null; then
     skip "clang-format not installed (config: .clang-format)"
@@ -84,8 +104,9 @@ case "${1:-all}" in
   --lint)   run_lint ;;
   --fuzz)   run_fuzz ;;
   --format) run_format ;;
-  all)      run_tier1; run_werror; run_tidy; run_lint; run_format ;;
-  *) echo "usage: tools/check.sh [--tier1|--werror|--tidy|--lint|--fuzz|--format]" >&2
+  --tsan-obs) run_tsan_obs ;;
+  all)      run_tier1; run_werror; run_tidy; run_lint; run_tsan_obs; run_format ;;
+  *) echo "usage: tools/check.sh [--tier1|--werror|--tidy|--lint|--fuzz|--format|--tsan-obs]" >&2
      exit 2 ;;
 esac
 

@@ -27,6 +27,22 @@ generic compilers cannot check:
                    (VersionError -> SerializeError) and copies; catch by
                    (const) reference.
 
+Plus the observability invariants from the instrumented-API PR
+(docs/OBSERVABILITY.md, docs/API.md):
+
+  metric-naming    Instrument registrations must follow the catalog naming
+                   scheme: `praxi_<component>_<name>[_unit]`, lowercase
+                   [a-z0-9_]; counters end in `_total`, histograms in
+                   `_seconds` / `_bytes` / `_count`, gauges carry no
+                   counter suffix. A registration that drifts from the
+                   scheme silently forks the metric namespace.
+  data-plane-catch The error-surface contract (docs/API.md): data-plane
+                   code may swallow an exception only if it records it
+                   (increments an instrument) or reports it; otherwise it
+                   must rethrow or preserve it. A catch block that does
+                   none of these hides failures from operators. Escape
+                   hatch: `// praxi-lint: allow(data-plane-catch: why)`.
+
 Usage:
   praxi_lint.py [--root REPO_ROOT]   lint <root>/src, report, exit 1 on hits
   praxi_lint.py --self-test          seed one violation per rule into a temp
@@ -63,6 +79,19 @@ CATCH_RE = re.compile(
     r"catch\s*\(\s*(?:const\s+)?(?P<type>[\w:]*(?:Error|Exception|exception))"
     r"\s+(?!\s*&)(?P<name>\w+)?\s*\)")
 DECODER_RE = re.compile(r"\b\w+::(?:from_binary|from_wire)\s*\(")
+
+# Instrument registrations: `<registry>.counter("name", ...)` etc. The call
+# frequently breaks the line after the open paren, so this runs over the
+# whole (comment-stripped) file, not line by line.
+METRIC_REG_RE = re.compile(
+    r"\.\s*(?P<kind>counter|gauge|histogram)\s*\(\s*\"(?P<name>[^\"]*)\"")
+METRIC_NAME_RE = re.compile(r"^praxi_[a-z0-9_]+$")
+HISTOGRAM_SUFFIXES = ("_seconds", "_bytes", "_count")
+CATCH_BLOCK_RE = re.compile(r"\bcatch\s*\(")
+# What makes a catch handler acceptable: rethrowing, preserving the
+# exception for later, recording to a metrics instrument, or reporting to
+# a stream. Heuristic, like the rest of this linter.
+CATCH_HANDLES_RE = re.compile(r"\bthrow\b|current_exception|\binc\s*\(|<<")
 
 
 class Violation:
@@ -147,6 +176,62 @@ def check_file(root: pathlib.Path, path: pathlib.Path) -> list[Violation]:
                 rel, i + 1, "undocumented-magic",
                 'envelope magic lacks its `// "XXXX"` tag comment'))
 
+    # metric-naming and data-plane-catch both need cross-line context, so
+    # they run on the comment-stripped full text rather than per line.
+    stripped_text = "\n".join(line.split("//", 1)[0] for line in lines)
+
+    for match in METRIC_REG_RE.finditer(stripped_text):
+        kind, name = match.group("kind"), match.group("name")
+        line_no = stripped_text.count("\n", 0, match.start()) + 1
+        if line_allows(lines, line_no - 1, "metric-naming"):
+            continue
+        problem = None
+        if not METRIC_NAME_RE.match(name):
+            problem = "must match praxi_[a-z0-9_]+"
+        elif kind == "counter" and not name.endswith("_total"):
+            problem = "counters must end in _total"
+        elif kind == "histogram" and not name.endswith(HISTOGRAM_SUFFIXES):
+            problem = "histograms must end in _seconds, _bytes, or _count"
+        elif kind == "gauge" and name.endswith("_total"):
+            problem = "_total marks a counter; gauges carry no suffix"
+        if problem:
+            found.append(Violation(
+                rel, line_no, "metric-naming",
+                f'instrument "{name}" breaks the catalog scheme ({problem}; '
+                "see docs/OBSERVABILITY.md)"))
+
+    for match in CATCH_BLOCK_RE.finditer(stripped_text):
+        line_no = stripped_text.count("\n", 0, match.start()) + 1
+        if line_allows(lines, line_no - 1, "data-plane-catch"):
+            continue
+        # Skip the (exception declaration) parens, then brace-match the
+        # handler body.
+        depth, i = 1, match.end()
+        while i < len(stripped_text) and depth:
+            if stripped_text[i] == "(":
+                depth += 1
+            elif stripped_text[i] == ")":
+                depth -= 1
+            i += 1
+        while i < len(stripped_text) and stripped_text[i] in " \t\r\n":
+            i += 1
+        if i >= len(stripped_text) or stripped_text[i] != "{":
+            continue
+        depth, j = 1, i + 1
+        while j < len(stripped_text) and depth:
+            if stripped_text[j] == "{":
+                depth += 1
+            elif stripped_text[j] == "}":
+                depth -= 1
+            j += 1
+        body = stripped_text[i:j]
+        if not CATCH_HANDLES_RE.search(body):
+            found.append(Violation(
+                rel, line_no, "data-plane-catch",
+                "catch block swallows the error without recording it; "
+                "record-and-continue (increment an instrument), report, or "
+                "rethrow (or annotate: praxi-lint: allow(data-plane-catch))"))
+
     # missing-require-end: every from_binary/from_wire definition must drain
     # the reader, directly or through a same-file helper.
     if path.suffix == ".cpp" and DECODER_RE.search(text):
@@ -223,9 +308,22 @@ void save(const std::string& path, std::string_view bytes) {
 void debug_dump(const std::string& path) {
   write_file(path, "x");  // praxi-lint: allow(raw-write: scratch output)
 }
-void load() {
+void load(std::ostream& err) {
   try {
   } catch (const SerializeError& e) {
+    err << "load failed: " << e.what() << "\\n";
+  }
+}
+void instruments() {
+  obs::MetricsRegistry::global().counter(
+      "praxi_selftest_loads_total", "well-named, multi-line registration");
+  obs::MetricsRegistry::global().gauge("praxi_selftest_depth", "no suffix");
+  obs::MetricsRegistry::global().histogram(
+      "praxi_selftest_load_seconds", "unit suffix", obs::latency_buckets());
+}
+void forensics() {
+  try {
+  } catch (...) {  // praxi-lint: allow(data-plane-catch: best effort)
   }
 }
 }  // namespace praxi
@@ -246,6 +344,19 @@ SELFTEST_VIOLATIONS = {
         "void f() {\n"
         "  try {\n"
         "  } catch (SerializeError e) {\n"
+        "    throw;\n"
+        "  }\n"
+        "}\n"),
+    "metric-naming": (
+        "void f() {\n"
+        "  obs::MetricsRegistry::global().counter(\n"
+        '      "praxi_bad_things", "counter missing its _total suffix");\n'
+        "}\n"),
+    "data-plane-catch": (
+        "void f() {\n"
+        "  try {\n"
+        "    g();\n"
+        "  } catch (const SerializeError&) {\n"
         "  }\n"
         "}\n"),
 }
