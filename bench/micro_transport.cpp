@@ -1,0 +1,116 @@
+// Transport throughput micro-benchmarks (google-benchmark): what the
+// loopback socket path (docs/SERVICE.md) costs relative to the in-memory
+// MessageBus it replaces in tests. Reports frames/sec (items) and bytes/sec
+// for each, so the socket overhead — frame encode, two syscalls, ack
+// round-trip — is a directly comparable number. The batch variant amortizes
+// acks over a window, which is how agents actually drive the client
+// (send many, flush once).
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fs/changeset.hpp"
+#include "net/socket_client.hpp"
+#include "net/socket_server.hpp"
+#include "service/transport.hpp"
+
+using namespace praxi;
+
+namespace {
+
+/// One realistic report wire: a 30-record changeset, ~2 KiB encoded.
+std::string sample_wire() {
+  static const std::string wire = [] {
+    fs::Changeset cs;
+    cs.set_open_time(1000);
+    for (int i = 0; i < 30; ++i) {
+      cs.add({"/opt/app/bin/tool" + std::to_string(i), 0755,
+              fs::ChangeKind::kCreate, 1000 + i});
+    }
+    cs.close(1031);
+    service::ChangesetReport report;
+    report.agent_id = "bench-agent";
+    report.changeset = cs;
+    return report.to_wire();
+  }();
+  return wire;
+}
+
+void set_throughput(benchmark::State& state, std::size_t wire_bytes) {
+  state.SetItemsProcessed(int64_t(state.iterations()));
+  state.SetBytesProcessed(int64_t(state.iterations()) *
+                          int64_t(wire_bytes));
+}
+
+/// Baseline: in-memory bus, send + drain + ack per report.
+void BM_BusRoundTrip(benchmark::State& state) {
+  service::MessageBus bus;
+  const std::string wire = sample_wire();
+  for (auto _ : state) {
+    bus.send(wire);
+    for (const auto& delivered : bus.drain()) bus.ack(delivered);
+  }
+  set_throughput(state, wire.size());
+  state.SetLabel("in-memory bus");
+}
+BENCHMARK(BM_BusRoundTrip);
+
+/// Socket path, one frame per ack round-trip (worst case for latency).
+void BM_SocketRoundTrip(benchmark::State& state) {
+  net::SocketServerConfig server_config;
+  net::SocketServer server(server_config);
+  net::SocketClientConfig client_config;
+  client_config.port = server.port();
+  client_config.client_id = "bench-agent";
+  net::SocketClient client(client_config);
+  const std::string wire = sample_wire();
+
+  for (auto _ : state) {
+    client.send(wire);
+    while (client.unacked() > 0) {
+      for (const auto& delivered : server.drain()) server.ack(delivered);
+      client.flush(100);
+    }
+  }
+  client.close();
+  server.close();
+  set_throughput(state, wire.size());
+  state.SetLabel("socket, ack per frame");
+}
+BENCHMARK(BM_SocketRoundTrip)->Unit(benchmark::kMicrosecond);
+
+/// Socket path, acks amortized over a 64-frame window — the agent-shaped
+/// workload (ship a burst, flush once).
+void BM_SocketBatch64(benchmark::State& state) {
+  net::SocketServerConfig server_config;
+  server_config.transport.queue_bound = 4096;
+  net::SocketServer server(server_config);
+  net::SocketClientConfig client_config;
+  client_config.port = server.port();
+  client_config.client_id = "bench-agent";
+  client_config.transport.resend_buffer_bound = 4096;
+  net::SocketClient client(client_config);
+  const std::string wire = sample_wire();
+  constexpr int kBatch = 64;
+
+  for (auto _ : state) {
+    for (int i = 0; i < kBatch; ++i) client.send(wire);
+    while (client.unacked() > 0) {
+      for (const auto& delivered : server.drain()) server.ack(delivered);
+      client.flush(100);
+    }
+  }
+  client.close();
+  server.close();
+  state.SetItemsProcessed(int64_t(state.iterations()) * kBatch);
+  state.SetBytesProcessed(int64_t(state.iterations()) * kBatch *
+                          int64_t(wire.size()));
+  state.SetLabel("socket, batch of 64");
+}
+BENCHMARK(BM_SocketBatch64)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

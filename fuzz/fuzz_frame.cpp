@@ -1,0 +1,27 @@
+// Fuzz harness: streaming frame decoder (net/frame.hpp). The first input
+// byte picks a chunk size so one corpus exercises every reassembly path —
+// byte-by-byte feeds, mid-header cuts, and whole-buffer feeds. Partial
+// frames must be held, never thrown; only a frame that can never become
+// valid (oversize/undersize length, unknown type) may raise SerializeError.
+#include "fuzz_entry.hpp"
+
+#include "common/serialize.hpp"
+#include "net/frame.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size == 0) return 0;
+  const std::size_t chunk = static_cast<std::size_t>(data[0] % 17) + 1;
+  const auto bytes = praxi::fuzz::as_view(data + 1, size - 1);
+  praxi::net::FrameDecoder decoder(1 << 20);
+  try {
+    for (std::size_t at = 0; at < bytes.size(); at += chunk) {
+      decoder.feed(bytes.substr(at, chunk));
+      while (decoder.next()) {
+      }
+    }
+  } catch (const praxi::SerializeError&) {
+    // Expected for arbitrary bytes; anything else escapes and is a finding.
+  }
+  return 0;
+}

@@ -21,6 +21,7 @@
 #include "ml/kernel_svm.hpp"
 #include "ml/online_learner.hpp"
 #include "ml/word2vec.hpp"
+#include "net/frame.hpp"
 #include "pkg/dataset.hpp"
 #include "service/transport.hpp"
 
@@ -146,6 +147,22 @@ int main(int argc, char** argv) {
   report.sequence = 7;
   report.changeset = corpus[1];
   emit("prpt", "vm042", report.to_wire());
+
+  // Frame seeds: first byte = chunk size selector (fuzz_frame.cpp), then a
+  // frame stream. One realistic session (hello, data, ack) and one lone ack.
+  {
+    std::string session;
+    session.push_back('\x03');  // feed in 4-byte chunks
+    session += net::encode_frame(net::FrameType::kHello, 0, "vm-042");
+    session += net::encode_frame(net::FrameType::kData, 7, report.to_wire());
+    session += net::encode_frame(net::FrameType::kAck, 7, "");
+    emit("frame", "session", session);
+
+    std::string ack;
+    ack.push_back('\x10');  // whole-buffer feed
+    ack += net::encode_frame(net::FrameType::kAck, 42, "");
+    emit("frame", "ack", ack);
+  }
 
   emit("tokenizer", "paths",
        "/usr/sbin/nginx\n/etc/mysql/conf.d/my.cnf\n"

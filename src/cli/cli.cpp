@@ -1,18 +1,23 @@
 #include "cli/cli.hpp"
 
+#include <chrono>
 #include <filesystem>
 #include <map>
 #include <ostream>
 #include <span>
 #include <stdexcept>
+#include <thread>
 
 #include "common/runtime_config.hpp"
 #include "common/serialize.hpp"
 #include "common/strings.hpp"
 #include "core/praxi.hpp"
 #include "eval/harness.hpp"
+#include "net/socket_client.hpp"
+#include "net/socket_server.hpp"
 #include "obs/metrics.hpp"
 #include "pkg/dataset.hpp"
+#include "service/server.hpp"
 
 namespace praxi::cli {
 namespace {
@@ -63,13 +68,20 @@ int usage(std::ostream& err) {
          "  inspect --model M\n"
          "  stats [--model M] [--format prom|json] [-n N] [--threads N]\n"
          "        [FILE...]\n"
+         "  serve --model M (--max-reports N | --duration-s S) [--port P]\n"
+         "        [--port-file F] [--queue-bound N] [--threads N]\n"
+         "  report --connect HOST:PORT [--agent ID] [--timeout-ms N]\n"
+         "        FILE...\n"
          "--threads: batch-engine workers (0 = all hardware threads,\n"
          "           1 = sequential; default 1)\n"
          "--metrics-out FILE: after any command, dump the metrics registry\n"
          "           (.json -> JSON, otherwise Prometheus text)\n"
          "stats: renders the metrics registry; given --model and changeset\n"
          "       files it runs the predict pipeline first so every stage\n"
-         "       instrument carries data (docs/OBSERVABILITY.md)\n";
+         "       instrument carries data (docs/OBSERVABILITY.md)\n"
+         "serve: loopback discovery service (docs/SERVICE.md); --port 0\n"
+         "       picks an ephemeral port, written to --port-file\n"
+         "report: ship changeset files to a running serve instance\n";
   return 2;
 }
 
@@ -281,6 +293,124 @@ int cmd_inspect(const Options& options, std::ostream& out,
   return 0;
 }
 
+/// Loopback discovery service: DiscoveryServer draining a net::SocketServer
+/// until a stop bound is reached. One of --max-reports / --duration-s is
+/// mandatory — an unbounded server belongs in an init system, not a CLI.
+int cmd_serve(const Options& options, std::ostream& out, std::ostream& err) {
+  if (!options.has("model")) {
+    err << "serve: --model M required\n";
+    return 2;
+  }
+  const bool has_max = options.has("max-reports");
+  const bool has_duration = options.has("duration-s");
+  if (!has_max && !has_duration) {
+    err << "serve: a stop bound is required: --max-reports N or "
+           "--duration-s S\n";
+    return 2;
+  }
+
+  // Transport knobs follow docs/API.md precedence: struct defaults, then
+  // the command line (applied last, so it wins).
+  service::ServerConfig config;
+  config.runtime = runtime_from_options(options);
+  config.transport.queue_bound = std::stoul(
+      options.get("queue-bound", std::to_string(config.transport.queue_bound)));
+  service::DiscoveryServer server(load_model(options.get("model", "")),
+                                  config);
+
+  net::SocketServerConfig socket_config;
+  socket_config.port =
+      static_cast<std::uint16_t>(std::stoul(options.get("port", "0")));
+  socket_config.transport = config.transport;
+  net::SocketServer transport(socket_config);
+
+  if (options.has("port-file")) {
+    // Ephemeral rendezvous file (lets scripts discover the --port 0
+    // ephemeral choice); regenerable, torn writes are harmless.
+    // praxi-lint: allow(raw-write)
+    write_file(options.get("port-file", ""),
+               std::to_string(transport.port()) + "\n");
+  }
+  out << "listening on 127.0.0.1:" << transport.port() << "\n";
+
+  const std::uint64_t max_reports =
+      has_max ? std::stoull(options.get("max-reports", "0")) : 0;
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(static_cast<std::int64_t>(
+          std::stod(options.get("duration-s", "0")) * 1e3));
+  std::size_t discoveries = 0;
+  while (true) {
+    discoveries += server.process(transport).size();
+    if (has_max && server.processed() >= max_reports) break;
+    if (has_duration && std::chrono::steady_clock::now() >= deadline) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  transport.close();
+  // Settle anything that arrived while shutting down.
+  discoveries += server.process(transport).size();
+
+  out << "processed " << server.processed() << " reports from "
+      << server.ingest_stats().size() << " agents; " << discoveries
+      << " discoveries";
+  if (server.duplicates() > 0)
+    out << " (" << server.duplicates() << " duplicates skipped)";
+  if (server.malformed() > 0) out << " (" << server.malformed() << " malformed)";
+  out << "\n";
+  for (const auto& [agent_id, apps] : server.inventory()) {
+    out << "  " << agent_id << ": " << join({apps.begin(), apps.end()}, " ")
+        << "\n";
+  }
+  return 0;
+}
+
+/// Ships changeset files to a running `serve` instance over a SocketClient,
+/// one ChangesetReport per file, and waits for every ack.
+int cmd_report(const Options& options, std::ostream& out, std::ostream& err) {
+  if (!options.has("connect") || options.positional.empty()) {
+    err << "report: --connect HOST:PORT and at least one changeset file "
+           "required\n";
+    return 2;
+  }
+  const std::string endpoint = options.get("connect", "");
+  const auto colon = endpoint.rfind(':');
+  if (colon == std::string::npos || colon + 1 == endpoint.size()) {
+    err << "report: --connect expects HOST:PORT, got '" << endpoint << "'\n";
+    return 2;
+  }
+  const auto timeout_ms =
+      static_cast<std::uint32_t>(std::stoul(options.get("timeout-ms", "5000")));
+
+  net::SocketClientConfig config;
+  config.host = endpoint.substr(0, colon);
+  config.port =
+      static_cast<std::uint16_t>(std::stoul(endpoint.substr(colon + 1)));
+  config.client_id = options.get("agent", "cli-agent");
+  config.transport.connect_timeout_ms = timeout_ms;
+  net::SocketClient client(config);
+
+  std::uint64_t sequence = 0;
+  for (const auto& path : options.positional) {
+    service::ChangesetReport report;
+    report.agent_id = config.client_id;
+    report.sequence = sequence++;
+    report.changeset = load_changeset(path);
+    client.send(report.to_wire());
+  }
+  const bool settled = client.flush(timeout_ms);
+  if (!settled) {
+    err << "report: " << client.unacked() << " of "
+        << options.positional.size() << " reports unacknowledged after "
+        << timeout_ms << " ms\n";
+    client.close();
+    return 1;
+  }
+  out << "acknowledged " << options.positional.size() << " reports as agent '"
+      << config.client_id << "'\n";
+  client.close();
+  return 0;
+}
+
 }  // namespace
 
 int run(const std::vector<std::string>& argv, std::ostream& out,
@@ -296,6 +426,8 @@ int run(const std::vector<std::string>& argv, std::ostream& out,
     if (command == "predict") rc = cmd_predict(options, out, err);
     if (command == "inspect") rc = cmd_inspect(options, out, err);
     if (command == "stats") rc = cmd_stats(options, out, err);
+    if (command == "serve") rc = cmd_serve(options, out, err);
+    if (command == "report") rc = cmd_report(options, out, err);
     if (rc >= 0) {
       if (rc == 0) maybe_dump_metrics(options);
       return rc;

@@ -11,6 +11,10 @@
 //       classify unlabeled changeset files
 //   praxi-cli inspect --model M
 //       show a model's mode, labels, and size
+//   praxi-cli serve --model M (--max-reports N | --duration-s S) ...
+//       run a loopback discovery service (docs/SERVICE.md)
+//   praxi-cli report --connect HOST:PORT FILE...
+//       ship changeset files to a running serve instance
 //
 // The entry point is a pure function over argv and streams so tests can
 // drive every command without spawning processes.

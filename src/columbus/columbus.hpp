@@ -48,14 +48,6 @@ class Columbus {
   std::vector<TagSet> extract(std::span<const fs::Changeset* const> changesets,
                               ThreadPool* pool = nullptr) const;
 
-  /// Deprecated shim for the pre-span batch API; forwards to extract().
-  [[deprecated("use extract(std::span<const fs::Changeset* const>)")]]
-  std::vector<TagSet> extract_batch(
-      const std::vector<const fs::Changeset*>& changesets,
-      ThreadPool* pool = nullptr) const {
-    return extract(std::span<const fs::Changeset* const>(changesets), pool);
-  }
-
   /// Core primitive: tags from an explicit path list. `executable[i]` marks
   /// paths feeding FT_exec (pass an empty vector when unknown).
   TagSet extract_from_paths(const std::vector<std::string>& paths,

@@ -103,13 +103,6 @@ class Praxi {
   std::vector<columbus::TagSet> extract_tags(
       std::span<const fs::Changeset* const> changesets) const;
 
-  /// Deprecated shim for the pre-span batch API; forwards to extract_tags().
-  [[deprecated("use extract_tags(std::span<const fs::Changeset* const>)")]]
-  std::vector<columbus::TagSet> extract_tags_batch(
-      const std::vector<const fs::Changeset*>& changesets) const {
-    return extract_tags(std::span<const fs::Changeset* const>(changesets));
-  }
-
   /// Hashed feature vector for a tagset (tag frequency as feature value,
   /// L2-normalized).
   ml::FeatureVector features_of(const columbus::TagSet& tagset) const;
@@ -149,24 +142,6 @@ class Praxi {
   /// are generated once and never regenerated).
   std::vector<std::vector<std::string>> predict_tags(
       std::span<const columbus::TagSet> tagsets, TopN n = {}) const;
-
-  /// Deprecated shims for the pre-span batch API; they forward to the span
-  /// overloads and return label-for-label identical results.
-  [[deprecated("use predict(std::span<const fs::Changeset* const>, TopN)")]]
-  std::vector<std::vector<std::string>> predict_batch(
-      const std::vector<const fs::Changeset*>& changesets,
-      const std::vector<std::size_t>& n = {}) const {
-    return predict(std::span<const fs::Changeset* const>(changesets),
-                   n.empty() ? TopN() : TopN(n));
-  }
-
-  [[deprecated("use predict_tags(std::span<const columbus::TagSet>, TopN)")]]
-  std::vector<std::vector<std::string>> predict_tags_batch(
-      const std::vector<columbus::TagSet>& tagsets,
-      const std::vector<std::size_t>& n = {}) const {
-    return predict_tags(std::span<const columbus::TagSet>(tagsets),
-                        n.empty() ? TopN() : TopN(n));
-  }
 
   /// Ranked (label, confidence) pairs; higher is more likely in both modes.
   std::vector<std::pair<std::string, float>> ranked(

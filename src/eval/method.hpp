@@ -38,15 +38,6 @@ class DiscoveryMethod {
   virtual std::vector<std::vector<std::string>> predict(
       std::span<const fs::Changeset* const> changesets, core::TopN n) const;
 
-  /// Deprecated shim for the pre-span batch API; forwards to predict().
-  [[deprecated("use predict(std::span<const fs::Changeset* const>, TopN)")]]
-  std::vector<std::vector<std::string>> predict_batch(
-      const std::vector<const fs::Changeset*>& changesets,
-      const std::vector<std::size_t>& n) const {
-    return predict(std::span<const fs::Changeset* const>(changesets),
-                   core::TopN(n));
-  }
-
   /// Retained-model footprint.
   virtual std::size_t model_bytes() const = 0;
 

@@ -1,0 +1,72 @@
+#include "net/faulty_transport.hpp"
+
+#include <utility>
+
+namespace praxi::net {
+
+void FaultyTransport::send(std::string wire_bytes) {
+  // One uniform draw selects at most one primary fault, by cumulative
+  // probability — deterministic given the seed and the send order.
+  const double draw = rng_.uniform();
+  double threshold = plan_.drop_rate;
+  if (draw < threshold) {
+    ++dropped_;
+    return;
+  }
+  threshold += plan_.duplicate_rate;
+  if (draw < threshold) {
+    ++duplicated_;
+    inner_.send(wire_bytes);
+    inner_.send(std::move(wire_bytes));
+    return;
+  }
+  threshold += plan_.truncate_rate;
+  if (draw < threshold) {
+    ++truncated_;
+    const std::size_t keep =
+        wire_bytes.empty() ? 0 : rng_.below(wire_bytes.size());
+    wire_bytes.resize(keep);
+    inner_.send(std::move(wire_bytes));
+    return;
+  }
+  threshold += plan_.corrupt_rate;
+  if (draw < threshold && !wire_bytes.empty()) {
+    ++corrupted_;
+    const std::size_t at = rng_.below(wire_bytes.size());
+    const auto bit = static_cast<char>(1u << rng_.below(8));
+    wire_bytes[at] = static_cast<char>(wire_bytes[at] ^ bit);
+    inner_.send(std::move(wire_bytes));
+    return;
+  }
+  threshold += plan_.delay_rate;
+  if (draw < threshold) {
+    ++delayed_;
+    held_.push_back({std::move(wire_bytes),
+                     plan_.delay_drains == 0 ? 1 : plan_.delay_drains});
+    return;
+  }
+  inner_.send(std::move(wire_bytes));
+}
+
+std::vector<std::string> FaultyTransport::drain() {
+  std::vector<std::string> out = inner_.drain();
+  // Held frames released here arrive AFTER frames sent later that passed
+  // straight through — that is the reordering.
+  for (auto it = held_.begin(); it != held_.end();) {
+    if (--it->drains_left == 0) {
+      out.push_back(std::move(it->wire));
+      it = held_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return out;
+}
+
+service::TransportStats FaultyTransport::stats() const {
+  service::TransportStats s = inner_.stats();
+  s.pending_frames += held_.size();
+  return s;
+}
+
+}  // namespace praxi::net

@@ -1,0 +1,73 @@
+// Deterministic fault-injecting Transport decorator (docs/SERVICE.md).
+//
+// Wraps any Transport and misbehaves on the send path the way a bad
+// network would: frames are dropped, duplicated, truncated, corrupted, or
+// held back and released late (reordering them past frames sent after
+// them). Every fault is drawn from a seeded praxi::Rng, so a failing test
+// case replays bit-identically from its seed — robustness paths get unit
+// tests instead of flaky integration luck.
+//
+// The decorator misbehaves; it never lies about it: per-fault counters
+// report exactly what was done to the stream, and tests assert recovery
+// (retry + server-side dedup) against those counts.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "service/transport.hpp"
+
+namespace praxi::net {
+
+/// Per-frame fault probabilities, evaluated in one draw per send (at most
+/// one primary fault per frame, so plans stay interpretable). All zero =
+/// transparent pass-through.
+struct FaultPlan {
+  std::uint64_t seed = 1;
+  double drop_rate = 0.0;       ///< frame vanishes
+  double duplicate_rate = 0.0;  ///< frame delivered twice
+  double truncate_rate = 0.0;   ///< only a prefix survives (mid-frame cut)
+  double corrupt_rate = 0.0;    ///< one byte flipped in flight
+  double delay_rate = 0.0;      ///< held back delay_drains drain() calls
+  std::size_t delay_drains = 1;
+};
+
+class FaultyTransport final : public service::Transport {
+ public:
+  FaultyTransport(service::Transport& inner, FaultPlan plan)
+      : inner_(inner), plan_(plan), rng_(plan.seed) {}
+
+  void send(std::string wire_bytes) override;
+  std::vector<std::string> drain() override;
+  void ack(std::string_view wire_bytes) override { inner_.ack(wire_bytes); }
+  void close() override { inner_.close(); }
+  service::TransportStats stats() const override;
+
+  std::uint64_t dropped() const { return dropped_; }
+  std::uint64_t duplicated() const { return duplicated_; }
+  std::uint64_t truncated() const { return truncated_; }
+  std::uint64_t corrupted() const { return corrupted_; }
+  std::uint64_t delayed() const { return delayed_; }
+
+ private:
+  struct HeldFrame {
+    std::string wire;
+    std::size_t drains_left = 0;
+  };
+
+  service::Transport& inner_;
+  FaultPlan plan_;
+  Rng rng_;
+  std::deque<HeldFrame> held_;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t duplicated_ = 0;
+  std::uint64_t truncated_ = 0;
+  std::uint64_t corrupted_ = 0;
+  std::uint64_t delayed_ = 0;
+};
+
+}  // namespace praxi::net

@@ -1,0 +1,77 @@
+#include "net/frame.hpp"
+
+#include <cstring>
+
+#include "common/serialize.hpp"
+
+namespace praxi::net {
+
+std::string encode_frame(const Frame& frame) {
+  return encode_frame(frame.type, frame.sequence, frame.payload);
+}
+
+std::string encode_frame(FrameType type, std::uint64_t sequence,
+                         std::string_view payload) {
+  if (payload.size() > UINT32_MAX - kFrameLengthOverhead)
+    throw SerializeError("frame payload too large to encode");
+  BinaryWriter w;
+  w.put<std::uint32_t>(
+      static_cast<std::uint32_t>(payload.size() + kFrameLengthOverhead));
+  w.put<std::uint8_t>(static_cast<std::uint8_t>(type));
+  w.put<std::uint64_t>(sequence);
+  std::string out = w.take();
+  out.append(payload);
+  return out;
+}
+
+void FrameDecoder::feed(std::string_view bytes) {
+  // Compact lazily: only when the dead prefix dominates the buffer, so a
+  // long-lived connection doesn't memmove on every frame.
+  if (consumed_ > 0 && consumed_ >= buffer_.size() / 2) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  buffer_.append(bytes);
+}
+
+std::optional<Frame> FrameDecoder::next() {
+  const std::size_t available = buffer_.size() - consumed_;
+  if (available < sizeof(std::uint32_t)) return std::nullopt;
+
+  std::uint32_t length = 0;
+  std::memcpy(&length, buffer_.data() + consumed_, sizeof(length));
+  // Validate the length BEFORE waiting for the body: a hostile length field
+  // must fail now, not after max_frame_bytes of buffering.
+  if (length < kFrameLengthOverhead) {
+    throw SerializeError(
+        "frame length " + std::to_string(length) + " below the " +
+            std::to_string(kFrameLengthOverhead) + "-byte header overhead",
+        consumed_);
+  }
+  if (length - kFrameLengthOverhead > max_frame_bytes_) {
+    throw SerializeError("frame payload of " +
+                             std::to_string(length - kFrameLengthOverhead) +
+                             " bytes exceeds the " +
+                             std::to_string(max_frame_bytes_) + "-byte bound",
+                         consumed_);
+  }
+  if (available < sizeof(std::uint32_t) + length) return std::nullopt;
+
+  BinaryReader r(std::string_view(buffer_).substr(
+      consumed_ + sizeof(std::uint32_t), length));
+  Frame frame;
+  const auto type = r.get<std::uint8_t>();
+  if (type < static_cast<std::uint8_t>(FrameType::kHello) ||
+      type > static_cast<std::uint8_t>(FrameType::kBusy)) {
+    throw SerializeError("unknown frame type " + std::to_string(type),
+                         consumed_ + sizeof(std::uint32_t));
+  }
+  frame.type = static_cast<FrameType>(type);
+  frame.sequence = r.get<std::uint64_t>();
+  frame.payload.assign(buffer_, consumed_ + kFrameHeaderBytes,
+                       length - kFrameLengthOverhead);
+  consumed_ += sizeof(std::uint32_t) + length;
+  return frame;
+}
+
+}  // namespace praxi::net

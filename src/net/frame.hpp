@@ -1,0 +1,87 @@
+// Length-prefixed frame protocol for the socket transport (docs/SERVICE.md).
+//
+// TCP is a byte stream: one write can arrive split across many reads, and
+// many writes can arrive glued into one. Frames restore message boundaries:
+//
+//   [length u32][type u8][sequence u64][payload bytes]
+//
+// `length` counts everything after itself (type + sequence + payload, so
+// payload_size + 9) and is bounded by max_frame_bytes — a corrupt or
+// hostile length field fails fast instead of triggering an unbounded
+// buffer. The payload of a kData frame is a complete ChangesetReport
+// envelope (PRPT, docs/PERSISTENCE.md), checksummed independently of this
+// framing, so transport-level truncation and content-level corruption are
+// caught by different layers.
+//
+// FrameDecoder is the streaming half: feed() it whatever the socket
+// produced, call next() until it returns nullopt. A partially received
+// frame is simply held until more bytes arrive — partial input is the
+// normal case on a stream, never an error (the data-plane contract,
+// docs/API.md). SerializeError is reserved for protocol violations:
+// an oversize or undersize length, or an unknown frame type.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "service/transport.hpp"
+
+namespace praxi::net {
+
+/// Frame header: length u32 + type u8 + sequence u64.
+inline constexpr std::size_t kFrameHeaderBytes = 13;
+/// Bytes the length field itself counts beyond the payload (type + seq).
+inline constexpr std::size_t kFrameLengthOverhead = 9;
+
+enum class FrameType : std::uint8_t {
+  kHello = 1,  ///< first frame on every connection; payload = client id
+  kData = 2,   ///< payload = ChangesetReport envelope; seq = client-local
+  kAck = 3,    ///< server -> client; seq echoes the settled data frame
+  kBusy = 4,   ///< server -> client; ingest queue full, resend later
+};
+
+struct Frame {
+  FrameType type = FrameType::kData;
+  std::uint64_t sequence = 0;
+  std::string payload;
+};
+
+/// Serializes one frame (header + payload) for the wire.
+std::string encode_frame(const Frame& frame);
+std::string encode_frame(FrameType type, std::uint64_t sequence,
+                         std::string_view payload = {});
+
+/// Incremental decoder over a reassembled byte stream.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(
+      std::size_t max_frame_bytes = service::TransportConfig{}.max_frame_bytes)
+      : max_frame_bytes_(max_frame_bytes) {}
+
+  /// Appends raw bytes from the stream (any chunking, including mid-frame).
+  void feed(std::string_view bytes);
+
+  /// Returns the next complete frame, or nullopt when the buffered bytes
+  /// end mid-frame (feed more and retry). Throws SerializeError on a
+  /// protocol violation; the stream is unrecoverable after that (close the
+  /// connection).
+  std::optional<Frame> next();
+
+  /// Bytes currently buffered (a partial frame awaiting the rest).
+  std::size_t buffered() const { return buffer_.size() - consumed_; }
+
+  /// Drops any partial frame (reconnect: the peer will resend whole).
+  void reset() {
+    buffer_.clear();
+    consumed_ = 0;
+  }
+
+ private:
+  std::size_t max_frame_bytes_;
+  std::string buffer_;
+  std::size_t consumed_ = 0;
+};
+
+}  // namespace praxi::net

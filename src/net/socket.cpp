@@ -1,0 +1,280 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <bit>
+#include <cerrno>
+#include <chrono>
+#include <system_error>
+#include <utility>
+
+#include "service/transport.hpp"
+
+namespace praxi::net {
+
+namespace {
+
+using service::TransportError;
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw TransportError(
+      std::string(what) + ": " +
+      std::error_code(errno, std::generic_category()).message());
+}
+
+constexpr std::uint16_t host_to_net16(std::uint16_t v) {
+  if constexpr (std::endian::native == std::endian::little) {
+    return static_cast<std::uint16_t>((v << 8) | (v >> 8));
+  } else {
+    return v;
+  }
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0)
+    throw_errno("fcntl(O_NONBLOCK)");
+}
+
+void set_nodelay(int fd) noexcept {
+  // Frames are small and latency-sensitive; Nagle would batch them. Best
+  // effort: a failure here costs latency, not correctness.
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+/// Waits for `events` on fd for up to timeout_ms. Returns false on timeout.
+bool wait_for(int fd, short events, std::uint32_t timeout_ms) {
+  pollfd p{};
+  p.fd = fd;
+  p.events = events;
+  const auto capped =
+      std::min<std::uint32_t>(timeout_ms, 1u << 30);  // keep the int positive
+  for (;;) {
+    const int rc = ::poll(&p, 1, static_cast<int>(capped));
+    if (rc > 0) return true;
+    if (rc == 0) return false;
+    if (errno == EINTR) continue;
+    throw_errno("poll");
+  }
+}
+
+sockaddr_in loopback_addr(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = host_to_net16(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
+    throw TransportError("not an IPv4 address: " + host);
+  return addr;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// TcpStream
+// ---------------------------------------------------------------------------
+
+TcpStream::TcpStream(TcpStream&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)) {}
+
+TcpStream& TcpStream::operator=(TcpStream&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+TcpStream::~TcpStream() { close(); }
+
+void TcpStream::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void TcpStream::shutdown_both() noexcept {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+TcpStream TcpStream::connect(const std::string& host, std::uint16_t port,
+                             std::uint32_t timeout_ms) {
+  const sockaddr_in addr = loopback_addr(host, port);
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket");
+  TcpStream stream(fd);  // owns the fd from here; throws below clean up
+  set_nonblocking(fd);
+
+  const int rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                           sizeof(addr));
+  if (rc < 0) {
+    if (errno != EINPROGRESS) throw_errno("connect");
+    if (!wait_for(fd, POLLOUT, timeout_ms))
+      throw TransportError("connect timed out after " +
+                           std::to_string(timeout_ms) + "ms");
+    int soerr = 0;
+    socklen_t len = sizeof(soerr);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soerr, &len) < 0)
+      throw_errno("getsockopt(SO_ERROR)");
+    if (soerr != 0) {
+      throw TransportError(
+          "connect: " +
+          std::error_code(soerr, std::generic_category()).message());
+    }
+  }
+  set_nodelay(fd);
+  return stream;
+}
+
+IoStatus TcpStream::read_some(std::string& out, std::size_t max_bytes,
+                              std::uint32_t timeout_ms) {
+  if (fd_ < 0) return IoStatus::kClosed;
+  if (!wait_for(fd_, POLLIN, timeout_ms)) return IoStatus::kTimeout;
+  std::string chunk(max_bytes, '\0');
+  const ssize_t n = ::recv(fd_, chunk.data(), chunk.size(), 0);
+  if (n > 0) {
+    out.append(chunk, 0, static_cast<std::size_t>(n));
+    return IoStatus::kOk;
+  }
+  if (n == 0) return IoStatus::kClosed;
+  if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)
+    return IoStatus::kTimeout;
+  if (errno == ECONNRESET || errno == EPIPE) return IoStatus::kClosed;
+  throw_errno("recv");
+}
+
+IoStatus TcpStream::write_all(std::string_view bytes,
+                              std::uint32_t timeout_ms) {
+  return write_prefix(bytes, bytes.size(), timeout_ms);
+}
+
+IoStatus TcpStream::write_some(std::string_view bytes, std::size_t& written,
+                               std::uint32_t timeout_ms) {
+  if (fd_ < 0) return IoStatus::kClosed;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (!bytes.empty()) {
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) return IoStatus::kTimeout;
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          deadline - now)
+                          .count();
+    if (!wait_for(fd_, POLLOUT, static_cast<std::uint32_t>(left))) {
+      return IoStatus::kTimeout;
+    }
+    const ssize_t n = ::send(fd_, bytes.data(), bytes.size(), MSG_NOSIGNAL);
+    if (n > 0) {
+      written += static_cast<std::size_t>(n);
+      bytes.remove_prefix(static_cast<std::size_t>(n));
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) continue;
+    if (errno == ECONNRESET || errno == EPIPE) return IoStatus::kClosed;
+    throw_errno("send");
+  }
+  return IoStatus::kOk;
+}
+
+IoStatus TcpStream::write_prefix(std::string_view bytes,
+                                 std::size_t prefix_bytes,
+                                 std::uint32_t timeout_ms) {
+  if (fd_ < 0) return IoStatus::kClosed;
+  std::string_view rest = bytes.substr(0, std::min(prefix_bytes, bytes.size()));
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (!rest.empty()) {
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) return IoStatus::kTimeout;
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          deadline - now)
+                          .count();
+    if (!wait_for(fd_, POLLOUT, static_cast<std::uint32_t>(left))) {
+      return IoStatus::kTimeout;
+    }
+    // MSG_NOSIGNAL: a reset peer must surface as EPIPE, not kill the
+    // process with SIGPIPE.
+    const ssize_t n = ::send(fd_, rest.data(), rest.size(), MSG_NOSIGNAL);
+    if (n > 0) {
+      rest.remove_prefix(static_cast<std::size_t>(n));
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) continue;
+    if (errno == ECONNRESET || errno == EPIPE) return IoStatus::kClosed;
+    throw_errno("send");
+  }
+  return IoStatus::kOk;
+}
+
+// ---------------------------------------------------------------------------
+// TcpListener
+// ---------------------------------------------------------------------------
+
+TcpListener::TcpListener(TcpListener&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), port_(other.port_) {}
+
+TcpListener& TcpListener::operator=(TcpListener&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    port_ = other.port_;
+  }
+  return *this;
+}
+
+TcpListener::~TcpListener() { close(); }
+
+void TcpListener::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+TcpListener TcpListener::bind_loopback(std::uint16_t port) {
+  const sockaddr_in addr = loopback_addr("127.0.0.1", port);
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket");
+  TcpListener listener;
+  listener.fd_ = fd;
+  set_nonblocking(fd);
+  const int one = 1;
+  if (::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) < 0)
+    throw_errno("setsockopt(SO_REUSEADDR)");
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0)
+    throw_errno("bind");
+  if (::listen(fd, SOMAXCONN) < 0) throw_errno("listen");
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) < 0)
+    throw_errno("getsockname");
+  listener.port_ = host_to_net16(bound.sin_port);  // involution: net->host
+  return listener;
+}
+
+std::optional<TcpStream> TcpListener::accept(std::uint32_t timeout_ms) {
+  if (fd_ < 0) return std::nullopt;
+  if (!wait_for(fd_, POLLIN, timeout_ms)) return std::nullopt;
+  const int conn = ::accept(fd_, nullptr, nullptr);
+  if (conn < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR ||
+        errno == ECONNABORTED) {
+      return std::nullopt;
+    }
+    throw_errno("accept");
+  }
+  TcpStream stream(conn);
+  set_nonblocking(conn);
+  set_nodelay(conn);
+  return stream;
+}
+
+}  // namespace praxi::net

@@ -1,0 +1,105 @@
+// Thin RAII wrappers over the POSIX socket API — the ONLY place in the
+// tree allowed to touch raw socket syscalls (praxi_lint rule
+// blocking-socket). Everything here is poll()-driven with an explicit
+// timeout on every operation, so no caller can block forever on a dead
+// peer; higher layers (SocketClient / SocketServer) express retry and
+// backoff policy in terms of these bounded primitives.
+//
+// IPv4 loopback-oriented: the collection tier this serves is
+// agent -> server on a trusted network (docs/SERVICE.md); hostname
+// resolution, TLS, and IPv6 are out of scope for the reproduction.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace praxi::net {
+
+/// Outcome of one bounded IO attempt. Hard errors (bad fd, ENOMEM) throw
+/// service::TransportError; a reset/closed peer is a normal stream event
+/// (kClosed), not an exception — the data plane reconnects, it doesn't
+/// unwind (docs/API.md).
+enum class IoStatus { kOk, kTimeout, kClosed };
+
+/// One connected TCP byte stream (non-blocking fd; every call takes a
+/// timeout). Move-only; the destructor closes the fd.
+class TcpStream {
+ public:
+  TcpStream() = default;
+  TcpStream(TcpStream&& other) noexcept;
+  TcpStream& operator=(TcpStream&& other) noexcept;
+  TcpStream(const TcpStream&) = delete;
+  TcpStream& operator=(const TcpStream&) = delete;
+  ~TcpStream();
+
+  /// Connects to a dotted-quad IPv4 address within timeout_ms. Throws
+  /// service::TransportError on refusal, timeout, or a malformed address.
+  static TcpStream connect(const std::string& host, std::uint16_t port,
+                           std::uint32_t timeout_ms);
+
+  bool valid() const { return fd_ >= 0; }
+
+  /// Reads up to max_bytes, appending to out. kTimeout when nothing
+  /// arrived within timeout_ms, kClosed when the peer finished or reset.
+  IoStatus read_some(std::string& out, std::size_t max_bytes,
+                     std::uint32_t timeout_ms);
+
+  /// Writes all of bytes (looping over partial writes) within timeout_ms.
+  IoStatus write_all(std::string_view bytes, std::uint32_t timeout_ms);
+
+  /// Writes as much of bytes as the socket accepts within timeout_ms,
+  /// adding the count to written. kOk when everything went out; kTimeout
+  /// with written < bytes.size() on a partial write. Callers that frame
+  /// their stream must resume from written, never restart the frame —
+  /// a restarted frame after a partial write desyncs the peer's decoder.
+  IoStatus write_some(std::string_view bytes, std::size_t& written,
+                      std::uint32_t timeout_ms);
+
+  /// Writes at most prefix_bytes of bytes, then returns — the deliberate
+  /// partial write used by fault injection to simulate a connection lost
+  /// mid-frame.
+  IoStatus write_prefix(std::string_view bytes, std::size_t prefix_bytes,
+                        std::uint32_t timeout_ms);
+
+  /// Unblocks any reader/writer on either end; safe on an invalid stream.
+  void shutdown_both() noexcept;
+  void close() noexcept;
+
+ private:
+  friend class TcpListener;
+  explicit TcpStream(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+};
+
+/// Listening socket bound to 127.0.0.1. Move-only; destructor closes.
+class TcpListener {
+ public:
+  TcpListener() = default;
+  TcpListener(TcpListener&& other) noexcept;
+  TcpListener& operator=(TcpListener&& other) noexcept;
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+  ~TcpListener();
+
+  /// Binds and listens on 127.0.0.1:port (port 0 = kernel-assigned; read
+  /// the result back via port()). Throws service::TransportError.
+  static TcpListener bind_loopback(std::uint16_t port);
+
+  bool valid() const { return fd_ >= 0; }
+  std::uint16_t port() const { return port_; }
+
+  /// Accepts one connection, or nullopt when none arrived in timeout_ms
+  /// (also nullopt after close() — callers poll a stop flag between calls).
+  std::optional<TcpStream> accept(std::uint32_t timeout_ms);
+
+  void close() noexcept;
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace praxi::net

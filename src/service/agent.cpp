@@ -4,10 +4,10 @@ namespace praxi::service {
 
 CollectionAgent::CollectionAgent(std::string agent_id,
                                  fs::InMemoryFilesystem& filesystem,
-                                 MessageBus& bus, AgentConfig config)
+                                 Transport& transport, AgentConfig config)
     : agent_id_(std::move(agent_id)),
       filesystem_(filesystem),
-      bus_(bus),
+      transport_(transport),
       config_(config),
       recorder_(filesystem),
       last_sample_ms_(filesystem.clock()->now_ms()) {
@@ -60,7 +60,7 @@ bool CollectionAgent::ship_now() {
   report.agent_id = agent_id_;
   report.sequence = ++sequence_;
   report.changeset = std::move(changeset);
-  bus_.send(report.to_wire());
+  transport_.send(report.to_wire());
   return true;
 }
 

@@ -3,7 +3,8 @@
 // Runs next to one (simulated) VM or container: records filesystem changes,
 // closes the observation window on an interval — holding it open while
 // install-grade activity straddles the boundary, like DiscoveryService —
-// and ships each non-empty changeset to the central server over the bus.
+// and ships each non-empty changeset to the central server over whatever
+// Transport it was given (in-memory MessageBus or net::SocketClient).
 // Classification happens centrally, so the agent stays tiny (the paper's
 // recording daemon, Fig. 3).
 #pragma once
@@ -30,7 +31,7 @@ struct AgentConfig {
 class CollectionAgent final : public fs::EventSink {
  public:
   CollectionAgent(std::string agent_id, fs::InMemoryFilesystem& filesystem,
-                  MessageBus& bus, AgentConfig config = {});
+                  Transport& transport, AgentConfig config = {});
   ~CollectionAgent() override;
 
   CollectionAgent(const CollectionAgent&) = delete;
@@ -53,7 +54,7 @@ class CollectionAgent final : public fs::EventSink {
 
   std::string agent_id_;
   fs::InMemoryFilesystem& filesystem_;
-  MessageBus& bus_;
+  Transport& transport_;
   AgentConfig config_;
   fs::ChangesetRecorder recorder_;
   std::int64_t last_sample_ms_;

@@ -63,6 +63,8 @@ DiscoveryServer::AgentCounters& DiscoveryServer::counters_for(
                                          kReportsHelp, labels("malformed"));
   counters.version_mismatch = &registry.counter(
       "praxi_server_reports_total", kReportsHelp, labels("version_mismatch"));
+  counters.duplicate = &registry.counter("praxi_server_reports_total",
+                                         kReportsHelp, labels("duplicate"));
   return agent_counters_.emplace(agent_id, counters).first->second;
 }
 
@@ -97,6 +99,14 @@ std::uint64_t DiscoveryServer::version_mismatched() const {
   return total;
 }
 
+std::uint64_t DiscoveryServer::duplicates() const {
+  std::uint64_t total = 0;
+  for (const auto& [agent, counters] : agent_counters_) {
+    total += counters.duplicate->value();
+  }
+  return total;
+}
+
 std::map<std::string, AgentIngestStats> DiscoveryServer::ingest_stats() const {
   std::map<std::string, AgentIngestStats> stats;
   for (const auto& [agent, counters] : agent_counters_) {
@@ -104,11 +114,12 @@ std::map<std::string, AgentIngestStats> DiscoveryServer::ingest_stats() const {
     s.processed = counters.processed->value();
     s.malformed = counters.malformed->value();
     s.version_mismatch = counters.version_mismatch->value();
+    s.duplicate = counters.duplicate->value();
   }
   return stats;
 }
 
-std::vector<Discovery> DiscoveryServer::process(MessageBus& bus) {
+std::vector<Discovery> DiscoveryServer::process(Transport& transport) {
   obs::ScopedTimer process_timer(*process_seconds_);
 
   // Phase 1 (sequential): parse + screen. Quantity inference is cheap
@@ -119,20 +130,39 @@ std::vector<Discovery> DiscoveryServer::process(MessageBus& bus) {
     std::size_t n = 1;
   };
   std::vector<PendingReport> pending;
-  for (const std::string& wire : bus.drain()) {
+  const std::vector<std::string> wires = transport.drain();
+  // Frames to settle with transport.ack() once the batch commits. Every
+  // disposition settles EXCEPT malformed: a mangled frame may be a damaged
+  // copy of a report whose intact resend must still be accepted, so only
+  // the transport's own dedup — not this ack — may suppress it.
+  std::vector<const std::string*> settled;
+  settled.reserve(wires.size());
+  for (const std::string& wire : wires) {
     ChangesetReport report;
     try {
       report = ChangesetReport::from_wire(wire);
     } catch (const VersionError&) {
       // Structurally sound frame from an agent speaking another format
-      // version (fleet mid-upgrade) — distinct from corruption.
+      // version (fleet mid-upgrade) — distinct from corruption. Resending
+      // identical bytes cannot help, so the frame still settles.
       counters_for_wire(wire).version_mismatch->inc();
+      settled.push_back(&wire);
       continue;
     } catch (const SerializeError&) {
       counters_for_wire(wire).malformed->inc();
       continue;
     }
+    if (!sequences_[report.agent_id].accept(report.sequence)) {
+      // At-least-once wire redelivered a report this server already
+      // processed (retry after a lost ack, a duplicating network, or an
+      // agent restart replaying its journal). Exactly-once processing:
+      // count it, settle it, skip it.
+      counters_for(report.agent_id).duplicate->inc();
+      settled.push_back(&wire);
+      continue;
+    }
     counters_for(report.agent_id).processed->inc();
+    settled.push_back(&wire);
 
     Discovery discovery;
     discovery.agent_id = report.agent_id;
@@ -185,6 +215,7 @@ std::vector<Discovery> DiscoveryServer::process(MessageBus& bus) {
     discoveries.push_back(std::move(discovery));
   }
   discoveries_total_->inc(discoveries.size());
+  for (const std::string* wire : settled) transport.ack(*wire);
   return discoveries;
 }
 

@@ -37,6 +37,11 @@ struct ServerConfig {
   /// hardware thread, 1 = sequential). Reports are independent, so
   /// discoveries are identical at every thread count.
   common::RuntimeConfig runtime{.num_threads = 0};
+  /// Wire knobs for the endpoint this server drains (timeouts, backoff,
+  /// ingest queue bound). The server itself only reads these when its host
+  /// constructs the endpoint (e.g. cli `serve` builds a net::SocketServer
+  /// from them); precedence follows docs/API.md — defaults < host < CLI.
+  TransportConfig transport;
 };
 
 /// Per-agent ingest health: how many reports an agent delivered cleanly vs
@@ -54,6 +59,7 @@ struct AgentIngestStats {
   std::uint64_t processed = 0;         ///< reports parsed and classified
   std::uint64_t malformed = 0;         ///< corrupt frames (checksum, bounds…)
   std::uint64_t version_mismatch = 0;  ///< structurally valid, wrong version
+  std::uint64_t duplicate = 0;  ///< redelivered (agent, sequence), skipped
 };
 
 /// One processed report.
@@ -77,7 +83,15 @@ class DiscoveryServer {
   /// made (one per non-noise window), in arrival order. Malformed messages
   /// are counted and skipped, never fatal. Each report's tags are extracted
   /// exactly once and reused for both prediction and the tagset store.
-  std::vector<Discovery> process(MessageBus& bus);
+  ///
+  /// Works against any Transport (the in-memory MessageBus or a
+  /// net::SocketServer). The transport may deliver at-least-once; this
+  /// method makes processing exactly-once by tracking each agent's report
+  /// sequence — a redelivered (agent, sequence) is counted as outcome
+  /// "duplicate" and skipped. Every dispositioned frame is settled with
+  /// transport.ack() EXCEPT malformed ones: a mangled frame may be a
+  /// damaged copy of a report whose intact resend must still be accepted.
+  std::vector<Discovery> process(Transport& transport);
 
   /// Fleet inventory: applications discovered per agent so far.
   const std::map<std::string, std::set<std::string>>& inventory() const {
@@ -97,6 +111,7 @@ class DiscoveryServer {
   std::uint64_t processed() const;
   std::uint64_t malformed() const;
   std::uint64_t version_mismatched() const;
+  std::uint64_t duplicates() const;
 
   /// Ingest health per agent, read out of the metrics registry (returns a
   /// snapshot by value). Frames too corrupt to attribute are charged to
@@ -115,6 +130,7 @@ class DiscoveryServer {
     obs::Counter* processed = nullptr;
     obs::Counter* malformed = nullptr;
     obs::Counter* version_mismatch = nullptr;
+    obs::Counter* duplicate = nullptr;
   };
 
   AgentCounters& counters_for(const std::string& agent_id);
@@ -126,6 +142,9 @@ class DiscoveryServer {
   std::map<std::string, std::set<std::string>> inventory_;
   std::string server_label_;
   std::map<std::string, AgentCounters> agent_counters_;
+  /// Exactly-once processing over an at-least-once wire: one tracker per
+  /// agent, keyed by the report's own sequence field.
+  std::map<std::string, SequenceTracker> sequences_;
   obs::Histogram* process_seconds_ = nullptr;
   obs::Counter* discoveries_total_ = nullptr;
 };

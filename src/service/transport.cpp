@@ -27,21 +27,30 @@ ChangesetReport ChangesetReport::from_wire(std::string_view bytes) {
 }
 
 std::string ChangesetReport::peek_agent_id(std::string_view bytes) noexcept {
+  auto identity = peek_identity(bytes);
+  return identity ? std::move(identity->agent_id) : std::string{};
+}
+
+std::optional<ReportIdentity> ChangesetReport::peek_identity(
+    std::string_view bytes) noexcept {
   try {
     BinaryReader r(bytes);
-    if (r.get<std::uint32_t>() != kChangesetReportMagic) return {};
+    if (r.get<std::uint32_t>() != kChangesetReportMagic) return std::nullopt;
     r.get<std::uint32_t>();  // version: any, this is best-effort forensics
     r.get<std::uint64_t>();  // payload length: deliberately not trusted
     r.get<std::uint32_t>();  // checksum: deliberately not verified
-    std::string id = r.get_string();
+    ReportIdentity identity;
+    identity.agent_id = r.get_string();
+    identity.sequence = r.get<std::uint64_t>();
     // A corrupt length byte could splice arbitrary bytes into the "id";
     // an implausibly long one is noise, not an agent.
-    if (id.empty() || id.size() > 256) return {};
-    return id;
+    if (identity.agent_id.empty() || identity.agent_id.size() > 256)
+      return std::nullopt;
+    return identity;
     // The real decode path (DiscoveryServer::process) records the frame.
     // praxi-lint: allow(data-plane-catch: noexcept best-effort forensics)
   } catch (const SerializeError&) {
-    return {};
+    return std::nullopt;
   }
 }
 
@@ -54,7 +63,32 @@ void MessageBus::send(std::string wire_bytes) {
 std::vector<std::string> MessageBus::drain() {
   std::vector<std::string> out(queue_.begin(), queue_.end());
   queue_.clear();
+  delivered_ += out.size();
+  for (const auto& frame : out) delivered_bytes_ += frame.size();
   return out;
+}
+
+void MessageBus::ack(std::string_view wire_bytes) {
+  ++ack_calls_;
+  if (auto identity = ChangesetReport::peek_identity(wire_bytes)) {
+    acked_.emplace(std::move(identity->agent_id), identity->sequence);
+  }
+}
+
+bool MessageBus::acknowledged(std::string_view agent_id,
+                              std::uint64_t sequence) const {
+  return acked_.count({std::string(agent_id), sequence}) > 0;
+}
+
+TransportStats MessageBus::stats() const {
+  TransportStats s;
+  s.sent_frames = total_;
+  s.sent_bytes = total_bytes_;
+  s.delivered_frames = delivered_;
+  s.delivered_bytes = delivered_bytes_;
+  s.acked_frames = ack_calls_;
+  s.pending_frames = queue_.size();
+  return s;
 }
 
 }  // namespace praxi::service

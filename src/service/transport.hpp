@@ -2,17 +2,33 @@
 //
 // DeltaSherlock's production form had "a client/server architecture that
 // enabled distributed changeset collection and processing" (paper §II-C);
-// Praxi inherits the same deployment shape. This module provides the wire
-// message (a serialized changeset plus agent metadata) and an in-memory
-// message bus standing in for the network: agents enqueue serialized
-// reports, the server drains them. Messages cross the "wire" as bytes, so
-// the full serialize/deserialize path is exercised on every hop.
+// Praxi inherits the same deployment shape. This module defines the wire
+// message (a serialized changeset plus agent metadata) and the abstract
+// `Transport` every wire implementation satisfies:
+//
+//   * `MessageBus` (here) — the in-memory, single-threaded transport used
+//     by simulations and unit tests. Messages still cross the "wire" as
+//     bytes, so the full serialize/deserialize path is exercised per hop.
+//   * `net::SocketClient` / `net::SocketServer` (src/net/) — the real TCP
+//     path: length-prefixed frames, timeouts, retry with backoff,
+//     reconnect-and-resend, server-side dedup (docs/SERVICE.md).
+//   * `net::FaultyTransport` — a deterministic fault-injecting decorator
+//     (drops, duplicates, truncation, corruption, delay/reorder) so every
+//     robustness path is unit-testable without network flakiness.
+//
+// `DiscoveryServer` and `CollectionAgent` program against `Transport&`
+// only, so the same fleet code runs in-process or across machines.
 #pragma once
 
 #include <cstdint>
 #include <deque>
+#include <map>
+#include <optional>
+#include <set>
+#include <stdexcept>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "fs/changeset.hpp"
@@ -24,6 +40,13 @@ namespace praxi::service {
 /// recognize report frames without private knowledge.
 inline constexpr std::uint32_t kChangesetReportMagic = 0x50525054U;  // "PRPT"
 inline constexpr std::uint32_t kChangesetReportVersion = 1;
+
+/// Best-effort (agent, sequence) read out of a wire frame without full
+/// validation — see ChangesetReport::peek_identity.
+struct ReportIdentity {
+  std::string agent_id;
+  std::uint64_t sequence = 0;
+};
 
 /// One agent-to-server report: an observation window from one instance.
 struct ChangesetReport {
@@ -45,19 +68,141 @@ struct ChangesetReport {
   /// otherwise. Lets the server charge malformed input to the agent that
   /// sent it instead of only a global counter.
   static std::string peek_agent_id(std::string_view bytes) noexcept;
+
+  /// Like peek_agent_id but also reads the per-agent sequence, for
+  /// acknowledgment bookkeeping (MessageBus::ack) and dedup diagnostics.
+  /// nullopt when no plausible identity can be read.
+  static std::optional<ReportIdentity> peek_identity(
+      std::string_view bytes) noexcept;
 };
 
-/// In-memory stand-in for the collection network. Single-threaded by
-/// design (the simulation is single-threaded); a production deployment
-/// would place a real transport behind the same two calls.
-class MessageBus {
+/// Transport-layer failure an endpoint cannot absorb silently: sending on a
+/// closed endpoint, exceeding the client's bounded resend buffer, or calling
+/// a direction the endpoint does not implement. Control-plane by the
+/// docs/API.md contract — transient network faults are NOT reported this
+/// way; they are retried and surfaced through stats()/metrics.
+class TransportError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Counters shared by every Transport implementation. All values are
+/// lifetime totals for the endpoint (mirrored into the praxi_net_* /
+/// praxi_service_* instruments where applicable).
+struct TransportStats {
+  std::uint64_t sent_frames = 0;       ///< producer handoffs accepted
+  std::uint64_t sent_bytes = 0;
+  std::uint64_t delivered_frames = 0;  ///< frames handed out via drain()
+  std::uint64_t delivered_bytes = 0;
+  std::uint64_t acked_frames = 0;      ///< acknowledgments observed
+  std::uint64_t retransmits = 0;       ///< frames re-sent after a suspect link
+  std::uint64_t reconnects = 0;        ///< connections re-established
+  std::uint64_t overloads = 0;         ///< busy responses (bounded queue full)
+  std::uint64_t duplicates = 0;        ///< redeliveries suppressed by dedup
+  std::uint64_t malformed_frames = 0;  ///< framing-protocol violations
+  std::uint64_t pending_frames = 0;    ///< queued (server) / unacked (client)
+};
+
+/// Knobs common to the socket transports, embedded by ServerConfig and the
+/// client configs. Follows the docs/API.md precedence rule: struct defaults
+/// < embedding host < CLI flags (last applied wins).
+struct TransportConfig {
+  std::uint32_t connect_timeout_ms = 1000;  ///< per connect() attempt
+  std::uint32_t io_timeout_ms = 1000;       ///< per read/write poll
+  std::uint32_t ack_timeout_ms = 250;   ///< unacked past this => resend path
+  std::uint32_t backoff_initial_ms = 10;
+  std::uint32_t backoff_max_ms = 1000;
+  double backoff_multiplier = 2.0;
+  double backoff_jitter = 0.2;     ///< +/- fraction applied to each delay
+  std::uint64_t jitter_seed = 42;  ///< deterministic jitter stream
+  std::size_t queue_bound = 1024;  ///< server ingest queue, frames
+  std::size_t resend_buffer_bound = 4096;  ///< client unacked frames
+  std::size_t max_frame_bytes = 16 * 1024 * 1024;
+};
+
+/// One end of the collection wire. An endpoint is either a producer (agents
+/// call send), a consumer (the server calls drain + ack), or both (the
+/// in-memory bus, which is the whole wire at once).
+///
+/// Contract:
+///   * send() accepts an already-serialized report. Delivery is
+///     at-least-once: a transport may deliver a frame twice (retry after a
+///     lost ack) but must never silently lose one it accepted, unless the
+///     endpoint is closed with frames still unacknowledged.
+///   * drain() returns every delivered report payload, in arrival order.
+///     Exactly-once *processing* on top of at-least-once delivery is the
+///     consumer's job, via the per-agent `sequence` (SequenceTracker).
+///   * ack(frame) tells the transport the consumer dispositioned a drained
+///     frame; transports use it to stop retrying / settle bookkeeping.
+///   * close() releases sockets/threads; idempotent. After close, send()
+///     throws TransportError.
+///   * stats() is a point-in-time snapshot, safe to call concurrently with
+///     the endpoint's own threads.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  virtual void send(std::string wire_bytes) = 0;
+  virtual std::vector<std::string> drain() = 0;
+  virtual void ack(std::string_view wire_bytes) = 0;
+  virtual void close() = 0;
+  virtual TransportStats stats() const = 0;
+};
+
+/// Exactly-once acceptance filter over an at-least-once stream of per-agent
+/// sequence numbers. Remembers every accepted sequence with bounded memory
+/// under (mostly) in-order delivery: a contiguous prefix [0, floor) is
+/// compacted to a single counter and only out-of-order sequences above the
+/// floor are held individually. Used by net::SocketServer (per-connection
+/// frame sequences) and DiscoveryServer (per-agent report sequences).
+class SequenceTracker {
+ public:
+  /// True exactly once per distinct sequence value; false on redelivery.
+  bool accept(std::uint64_t sequence) {
+    if (sequence < floor_ || seen_.count(sequence) > 0) return false;
+    seen_.insert(sequence);
+    while (seen_.count(floor_) > 0) {
+      seen_.erase(floor_);
+      ++floor_;
+    }
+    return true;
+  }
+
+  /// Every sequence below this has been accepted.
+  std::uint64_t floor() const { return floor_; }
+  /// Out-of-order sequences held above the floor (memory bound indicator).
+  std::size_t held() const { return seen_.size(); }
+
+ private:
+  std::uint64_t floor_ = 0;
+  std::set<std::uint64_t> seen_;
+};
+
+/// In-memory transport: producer and consumer ends in one object, used by
+/// single-threaded simulations (examples/distributed_fleet.cpp) and as the
+/// reference implementation the socket path is tested against. ack() records
+/// the report's (agent, sequence) so fault-injection tests can ask exactly
+/// which reports the consumer settled (`acknowledged()`).
+class MessageBus final : public Transport {
  public:
   /// Enqueues an already-serialized report (what an agent's socket would
   /// carry).
-  void send(std::string wire_bytes);
+  void send(std::string wire_bytes) override;
 
   /// Drains every queued message, in arrival order.
-  std::vector<std::string> drain();
+  std::vector<std::string> drain() override;
+
+  /// Records the frame's (agent, sequence) as settled; unreadable frames
+  /// are counted but not attributed.
+  void ack(std::string_view wire_bytes) override;
+
+  /// Nothing to release; the bus stays usable (tests re-send after close).
+  void close() override {}
+
+  TransportStats stats() const override;
+
+  /// Has ack() been called for a frame carrying this (agent, sequence)?
+  bool acknowledged(std::string_view agent_id, std::uint64_t sequence) const;
 
   std::size_t pending() const { return queue_.size(); }
   std::uint64_t total_messages() const { return total_; }
@@ -65,8 +210,12 @@ class MessageBus {
 
  private:
   std::deque<std::string> queue_;
+  std::set<std::pair<std::string, std::uint64_t>> acked_;
   std::uint64_t total_ = 0;
   std::uint64_t total_bytes_ = 0;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t delivered_bytes_ = 0;
+  std::uint64_t ack_calls_ = 0;
 };
 
 }  // namespace praxi::service

@@ -2,9 +2,7 @@
 // return results label-for-label identical to the sequential loop at every
 // thread count (the pool parallelizes per-item work but never reorders or
 // perturbs it), and thread-pooled training must produce the same model as
-// sequential training because SGD weight updates stay sequential. Also
-// pins the deprecated pre-span shims to the span surface: bit-identical
-// results, so callers can migrate in either direction safely.
+// sequential training because SGD weight updates stay sequential.
 #include <gtest/gtest.h>
 
 #include <span>
@@ -173,38 +171,6 @@ TEST_F(BatchDeterminismTest, PraxiMethodBatchMatchesBaseSequentialBatch) {
         << "num_threads=" << threads;
   }
 }
-
-// The deprecated shims must forward bit-identically to the span surface —
-// callers migrating in either direction see the exact same labels.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-TEST_F(BatchDeterminismTest, DeprecatedShimsMatchSpanSurfaceExactly) {
-  const auto train = split(*dirty_, 6, false);
-  const auto test = split(*dirty_, 6, true);
-  const std::vector<std::size_t> counts(test.size(), 1);
-
-  Praxi model;
-  model.train_changesets(train);
-
-  EXPECT_EQ(model.extract_tags_batch(test), model.extract_tags(test));
-  EXPECT_EQ(model.predict_batch(test), model.predict(test));
-  EXPECT_EQ(model.predict_batch(test, counts), model.predict(test, counts));
-  const auto tagsets = model.extract_tags(test);
-  EXPECT_EQ(model.predict_tags_batch(tagsets, counts),
-            model.predict_tags(std::span<const columbus::TagSet>(tagsets),
-                               TopN(counts)));
-
-  columbus::Columbus columbus;
-  EXPECT_EQ(columbus.extract_batch(test),
-            columbus.extract(std::span<const fs::Changeset* const>(test)));
-
-  eval::PraxiMethod method;
-  method.train(train);
-  EXPECT_EQ(method.predict_batch(test, counts),
-            method.predict(std::span<const fs::Changeset* const>(test),
-                           TopN(counts)));
-}
-#pragma GCC diagnostic pop
 
 TEST_F(BatchDeterminismTest, ServerDiscoveriesIdenticalAtEveryThreadCount) {
   Praxi model;

@@ -4,9 +4,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <thread>
 
 #include <unistd.h>
 
@@ -133,6 +135,59 @@ TEST_F(CliTest, TrainRejectsMissingModelArgument) {
   EXPECT_EQ(run_cli({"train", "some-file"}), 2);
   EXPECT_EQ(run_cli({"predict", "some-file"}), 2);
   EXPECT_EQ(run_cli({"inspect"}), 2);
+}
+
+TEST_F(CliTest, ServeAndReportRoundTripOverLoopback) {
+  ASSERT_EQ(run_cli({"demo-corpus", "--out", dir_, "--apps", "4",
+                     "--samples", "2"}),
+            0);
+  const auto files = corpus_files();
+  ASSERT_GE(files.size(), 4u);
+  const std::string model = dir_ + "/model.praxi";
+  std::vector<std::string> train_args{"train", "--model", model};
+  train_args.insert(train_args.end(), files.begin(), files.end());
+  ASSERT_EQ(run_cli(train_args), 0) << err_.str();
+
+  // The server runs on its own thread with its own streams (run() is a
+  // pure function over argv and streams, so two invocations can overlap).
+  const std::string port_file = dir_ + "/serve.port";
+  std::ostringstream serve_out;
+  std::ostringstream serve_err;
+  int serve_rc = -1;
+  std::thread server([&] {
+    serve_rc = run({"serve", "--model", model, "--max-reports", "3",
+                    "--port-file", port_file, "--duration-s", "30"},
+                   serve_out, serve_err);
+  });
+
+  std::string port;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (std::chrono::steady_clock::now() < deadline) {
+    std::ifstream f(port_file);
+    if (f >> port && !port.empty()) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_FALSE(port.empty()) << "serve never wrote its port file";
+
+  const int report_rc =
+      run_cli({"report", "--connect", "127.0.0.1:" + port, files[0],
+               files[1], files[2]});
+  server.join();
+
+  EXPECT_EQ(report_rc, 0) << err_.str();
+  EXPECT_NE(out_.str().find("acknowledged 3 reports"), std::string::npos)
+      << out_.str();
+  EXPECT_EQ(serve_rc, 0) << serve_err.str();
+  EXPECT_NE(serve_out.str().find("processed 3 reports"), std::string::npos)
+      << serve_out.str();
+  EXPECT_NE(serve_out.str().find("discover"), std::string::npos)
+      << serve_out.str();
+}
+
+TEST_F(CliTest, ServeRejectsMissingBound) {
+  EXPECT_EQ(run_cli({"serve", "--model", dir_ + "/m.praxi"}), 2);
+  EXPECT_EQ(run_cli({"report", "some-file"}), 2);  // missing --connect
 }
 
 TEST_F(CliTest, PredictRejectsCorruptModel) {

@@ -11,6 +11,8 @@
 #   tools/check.sh --format    verify formatting (no rewrite)
 #   tools/check.sh --tsan-obs  ThreadSanitizer pass over the metrics
 #                              registry's concurrency tests (needs clang)
+#   tools/check.sh --tsan-net  ThreadSanitizer pass over the socket
+#                              transport's concurrency tests (needs clang)
 #
 # Lanes that need a tool the machine lacks (clang-tidy, clang-format) are
 # SKIPPED with a notice, not failed — the configs are checked in so any
@@ -65,7 +67,7 @@ run_fuzz() {
   cmake -B build -S . >/dev/null
   cmake --build build -j "$JOBS" --target \
     fuzz_prx1 fuzz_poa1 fuzz_pcs2 fuzz_pcs1 fuzz_ptg1 fuzz_pts1 \
-    fuzz_pds1 fuzz_pw2v fuzz_psv1 fuzz_prpt fuzz_tokenizer
+    fuzz_pds1 fuzz_pw2v fuzz_psv1 fuzz_prpt fuzz_frame fuzz_tokenizer
   ctest --test-dir build -R '^fuzz_smoke_' --output-on-failure -j "$JOBS"
 }
 
@@ -87,6 +89,22 @@ run_tsan_obs() {
   ./build-tsan-obs/tests/obs_test
 }
 
+run_tsan_net() {
+  # The socket server runs one reader thread per connection plus an accept
+  # loop, all draining into one bounded queue while clients hammer it from
+  # their own threads; net_test's end-to-end case is exactly the workload
+  # where a data race would hide. Same clang-only policy as tsan-obs.
+  if ! command -v clang++ >/dev/null; then
+    skip "clang++ not installed (tsan-net lane; gcc tier-1 still runs net_test)"
+    return 0
+  fi
+  note "ThreadSanitizer: net_test (socket transport concurrency)"
+  cmake -B build-tsan-net -S . -DPRAXI_SANITIZE=thread \
+    -DCMAKE_CXX_COMPILER=clang++ -DCMAKE_C_COMPILER=clang >/dev/null
+  cmake --build build-tsan-net -j "$JOBS" --target net_test
+  ./build-tsan-net/tests/net_test
+}
+
 run_format() {
   if ! command -v clang-format >/dev/null; then
     skip "clang-format not installed (config: .clang-format)"
@@ -105,8 +123,9 @@ case "${1:-all}" in
   --fuzz)   run_fuzz ;;
   --format) run_format ;;
   --tsan-obs) run_tsan_obs ;;
-  all)      run_tier1; run_werror; run_tidy; run_lint; run_tsan_obs; run_format ;;
-  *) echo "usage: tools/check.sh [--tier1|--werror|--tidy|--lint|--fuzz|--format|--tsan-obs]" >&2
+  --tsan-net) run_tsan_net ;;
+  all)      run_tier1; run_werror; run_tidy; run_lint; run_tsan_obs; run_tsan_net; run_format ;;
+  *) echo "usage: tools/check.sh [--tier1|--werror|--tidy|--lint|--fuzz|--format|--tsan-obs|--tsan-net]" >&2
      exit 2 ;;
 esac
 

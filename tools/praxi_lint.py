@@ -43,6 +43,15 @@ Plus the observability invariants from the instrumented-API PR
                    none of these hides failures from operators. Escape
                    hatch: `// praxi-lint: allow(data-plane-catch: why)`.
 
+And the transport invariant from the socket-transport PR (docs/SERVICE.md):
+
+  blocking-socket  Raw socket syscalls (::socket, ::connect, ::send, ...)
+                   are allowed only under src/net/, whose TcpStream /
+                   TcpListener wrappers bound every operation with a
+                   timeout. A syscall elsewhere can block a data-plane
+                   thread forever on a dead peer. Escape hatch:
+                   `// praxi-lint: allow(blocking-socket: why)`.
+
 Usage:
   praxi_lint.py [--root REPO_ROOT]   lint <root>/src, report, exit 1 on hits
   praxi_lint.py --self-test          seed one violation per rule into a temp
@@ -92,6 +101,18 @@ CATCH_BLOCK_RE = re.compile(r"\bcatch\s*\(")
 # exception for later, recording to a metrics instrument, or reporting to
 # a stream. Heuristic, like the rest of this linter.
 CATCH_HANDLES_RE = re.compile(r"\bthrow\b|current_exception|\binc\s*\(|<<")
+
+# Raw socket syscalls, allowed only under src/net/ (docs/SERVICE.md). The
+# qualified form (`::send(...)`) is how the sanctioned wrappers call them;
+# the lookbehind keeps `SocketClient::send(` (a method definition) out. The
+# bare form lists only names that collide with nothing in this codebase.
+BLOCKING_SOCKET_EXEMPT_PREFIX = "src/net/"
+SOCKET_QUALIFIED_RE = re.compile(
+    r"(?<![\w>])::(?:socket|bind|listen|accept4?|connect|recv|send|"
+    r"recvfrom|sendto|shutdown|setsockopt|getsockopt|getsockname|poll)\s*\(")
+SOCKET_BARE_RE = re.compile(
+    r"(?<![\w:.])(?:accept4|recvfrom|sendto|setsockopt|getsockopt|"
+    r"getsockname)\s*\(")
 
 
 class Violation:
@@ -157,6 +178,14 @@ def check_file(root: pathlib.Path, path: pathlib.Path) -> list[Violation]:
         scan("raw-write", RAW_WRITE_RE,
              "bare write_file() bypasses write_file_atomic(); snapshots "
              "must be crash-safe (or annotate: praxi-lint: allow(raw-write))")
+
+    if not rel.startswith(BLOCKING_SOCKET_EXEMPT_PREFIX):
+        socket_message = (
+            "raw socket syscall outside src/net/; use the bounded "
+            "TcpStream/TcpListener wrappers (docs/SERVICE.md) or annotate: "
+            "praxi-lint: allow(blocking-socket)")
+        scan("blocking-socket", SOCKET_QUALIFIED_RE, socket_message)
+        scan("blocking-socket", SOCKET_BARE_RE, socket_message)
 
     scan("iostream-in-library", IOSTREAM_RE,
          "library code must take std::ostream&, not include <iostream>")
@@ -359,6 +388,8 @@ SELFTEST_VIOLATIONS = {
         "  } catch (const SerializeError&) {\n"
         "  }\n"
         "}\n"),
+    "blocking-socket": (
+        "int f(int fd) { return ::connect(fd, nullptr, 0); }\n"),
 }
 
 
