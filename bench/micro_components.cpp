@@ -53,6 +53,47 @@ void BM_FrequencyTrieInsert(benchmark::State& state) {
 }
 BENCHMARK(BM_FrequencyTrieInsert);
 
+void BM_ArenaTrieInsert(benchmark::State& state) {
+  std::vector<std::string> tokens;
+  Rng rng(1);
+  for (int i = 0; i < 256; ++i) {
+    tokens.push_back("token-" + std::to_string(rng.below(64)) + "-suffix");
+  }
+  columbus::ArenaTrie trie;  // reused: clear() keeps the node pool warm
+  for (auto _ : state) {
+    trie.clear();
+    for (const auto& token : tokens) trie.insert(token);
+    benchmark::DoNotOptimize(trie.token_count());
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * 256);
+}
+BENCHMARK(BM_ArenaTrieInsert);
+
+void BM_Tokenize(benchmark::State& state) {
+  const columbus::Tokenizer tokenizer;
+  const std::string path = "/usr/lib/Python3/dist-packages/NumPy/core.py";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tokenizer.tokenize(path));
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()));
+}
+BENCHMARK(BM_Tokenize);
+
+void BM_TokenizeViews(benchmark::State& state) {
+  const columbus::Tokenizer tokenizer;
+  const std::string path = "/usr/lib/Python3/dist-packages/NumPy/core.py";
+  columbus::CharArena arena;
+  std::vector<std::string_view> tokens;
+  for (auto _ : state) {
+    arena.clear();
+    tokens.clear();
+    tokenizer.tokenize_views(path, arena, tokens);
+    benchmark::DoNotOptimize(tokens.size());
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()));
+}
+BENCHMARK(BM_TokenizeViews);
+
 void BM_ColumbusExtract(benchmark::State& state) {
   const auto& cs = corpus().changesets.front();
   columbus::Columbus columbus;
@@ -63,6 +104,19 @@ void BM_ColumbusExtract(benchmark::State& state) {
                           int64_t(cs.records().size()));
 }
 BENCHMARK(BM_ColumbusExtract);
+
+// The pre-arena pipeline, kept runnable so the speedup and the memory
+// accounting fix stay visible in one run (tags are bit-identical).
+void BM_ColumbusExtractLegacy(benchmark::State& state) {
+  const auto& cs = corpus().changesets.front();
+  columbus::Columbus columbus;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(columbus.extract_reference(cs));
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) *
+                          int64_t(cs.records().size()));
+}
+BENCHMARK(BM_ColumbusExtractLegacy);
 
 void BM_PraxiLearnOne(benchmark::State& state) {
   core::Praxi model;

@@ -1,0 +1,39 @@
+// Fuzz harness: the full arena extraction pipeline (tokenize_views →
+// intern → arena tries → rank → merge) against the legacy reference
+// pipeline. Input is newline-separated paths; a line's length parity
+// decides its executable flag so FT_exec gets adversarial coverage too.
+// Any divergence in the ranked tagsets is an invariant violation — the
+// refactor's contract is bit-identical output.
+#include "fuzz_entry.hpp"
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "columbus/columbus.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  static const praxi::columbus::Columbus columbus;
+  static praxi::columbus::ExtractionScratch scratch;
+
+  std::vector<std::string> paths;
+  std::vector<bool> executable;
+  std::string_view rest = praxi::fuzz::as_view(data, size);
+  while (!rest.empty()) {
+    const auto newline = rest.find('\n');
+    const std::string_view path =
+        newline == std::string_view::npos ? rest : rest.substr(0, newline);
+    paths.emplace_back(path);
+    executable.push_back(path.size() % 2 == 1);
+    if (newline == std::string_view::npos) break;
+    rest.remove_prefix(newline + 1);
+  }
+
+  const praxi::columbus::TagSet arena =
+      columbus.extract_from_paths(paths, executable, scratch);
+  const praxi::columbus::TagSet reference =
+      columbus.extract_from_paths_reference(paths, executable);
+  if (arena.tags != reference.tags) __builtin_trap();
+  return 0;
+}

@@ -1,24 +1,43 @@
 // Fuzz harness: Columbus path tokenizer. Input is newline-separated paths;
 // tokenize() takes untrusted agent-reported paths and must never throw or
 // index out of bounds, whatever bytes (embedded NUL, non-UTF8, absurdly
-// long segments) the path carries.
+// long segments) the path carries. The zero-copy tokenize_views() surface
+// is driven over the same input and must agree token-for-token with the
+// legacy allocating form — the two implementations check each other.
 #include "fuzz_entry.hpp"
 
+#include <string>
 #include <string_view>
+#include <vector>
 
+#include "columbus/char_arena.hpp"
 #include "columbus/tokenizer.hpp"
 
 extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
                                       std::size_t size) {
   static const praxi::columbus::Tokenizer tokenizer;
+  static praxi::columbus::CharArena arena;
+  static std::vector<std::string_view> views;
+
   std::string_view rest = praxi::fuzz::as_view(data, size);
   while (!rest.empty()) {
     const auto newline = rest.find('\n');
     const std::string_view path =
         newline == std::string_view::npos ? rest : rest.substr(0, newline);
-    for (const auto& token : tokenizer.tokenize(path)) {
+
+    const std::vector<std::string> owned = tokenizer.tokenize(path);
+    for (const auto& token : owned) {
       (void)tokenizer.is_system_token(token);
     }
+
+    arena.clear();
+    views.clear();
+    tokenizer.tokenize_views(path, arena, views);
+    if (views.size() != owned.size()) __builtin_trap();
+    for (std::size_t i = 0; i < owned.size(); ++i) {
+      if (views[i] != owned[i]) __builtin_trap();
+    }
+
     if (newline == std::string_view::npos) break;
     rest.remove_prefix(newline + 1);
   }

@@ -169,6 +169,22 @@ int main(int argc, char** argv) {
        "/var/lib/dpkg/info/libssl3:amd64.list\n"
        "relative/path with spaces/x.so.1.2.3\n//../..//.hidden\n");
 
+  // Differential arena-vs-reference pipeline harness: path lists heavy on
+  // the shapes that stress tokenize_views/intern/arena-trie (case folds,
+  // shared-prefix floods, 1-char segments, duplicates, empties).
+  emit("columbus_arena", "paths",
+       "/usr/sbin/nginx\n/usr/sbin/nginx\n/ETC/MySQL/Conf.d/MySQLd.cnf\n"
+       "/a/b/c\n////\n\n/opt/tool-1/leaf\n/opt/tool-2/leaf\n"
+       "/opt/tool-3/leaf\nrelative/no-slash\n");
+  emit("columbus_arena", "flood", [] {
+    std::string lines;
+    for (int i = 0; i < 24; ++i) {
+      lines += "/srv/shared-prefix/depth-" + std::to_string(i % 5) +
+               "/leaf-" + std::to_string(i) + "\n";
+    }
+    return lines;
+  }());
+
   std::cout << "seed corpora written under " << g_root.string() << "\n";
   return 0;
 }

@@ -1,0 +1,49 @@
+#include "columbus/char_arena.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstring>
+
+namespace praxi::columbus {
+
+char* CharArena::alloc(std::size_t n) {
+  // Advance past retained chunks that cannot fit `n` (possible when a
+  // smaller chunk precedes an oversized one); append a fresh chunk only
+  // when every retained one is exhausted.
+  while (chunk_ < chunks_.size() && chunks_[chunk_].size() - used_ < n) {
+    ++chunk_;
+    used_ = 0;
+  }
+  if (chunk_ == chunks_.size()) {
+    chunks_.emplace_back(std::max(kChunkBytes, n));
+    used_ = 0;
+  }
+  char* out = chunks_[chunk_].data() + used_;
+  used_ += n;
+  return out;
+}
+
+std::string_view CharArena::store(std::string_view s) {
+  if (s.empty()) return {};
+  char* dst = alloc(s.size());
+  std::memcpy(dst, s.data(), s.size());
+  return {dst, s.size()};
+}
+
+std::string_view CharArena::store_lower(std::string_view s) {
+  if (s.empty()) return {};
+  char* dst = alloc(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    dst[i] = static_cast<char>(
+        std::tolower(static_cast<unsigned char>(s[i])));
+  }
+  return {dst, s.size()};
+}
+
+std::size_t CharArena::capacity_bytes() const {
+  std::size_t total = 0;
+  for (const auto& chunk : chunks_) total += chunk.size();
+  return total;
+}
+
+}  // namespace praxi::columbus

@@ -1,0 +1,42 @@
+// Chunked character arena for the zero-copy Columbus extraction pipeline
+// (docs/ALGORITHMS.md). Owns stable byte storage for case-folded path
+// segments and extracted tag texts: returned views never move, clear()
+// retains every chunk, so after a warmup extraction the arena hands out
+// storage without touching the allocator again.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+namespace praxi::columbus {
+
+class CharArena {
+ public:
+  /// Copies `s` into the arena; the returned view is valid until clear().
+  std::string_view store(std::string_view s);
+
+  /// Copies `s` lower-cased (ASCII, same transform as praxi::to_lower).
+  std::string_view store_lower(std::string_view s);
+
+  /// Logically drops all stored bytes. Chunks are retained, so subsequent
+  /// stores up to the high-water mark perform no allocation.
+  void clear() {
+    chunk_ = 0;
+    used_ = 0;
+  }
+
+  /// Total bytes of chunk storage owned (the reuse/footprint metric).
+  std::size_t capacity_bytes() const;
+
+ private:
+  char* alloc(std::size_t n);
+
+  static constexpr std::size_t kChunkBytes = 64 * 1024;
+
+  std::vector<std::vector<char>> chunks_;
+  std::size_t chunk_ = 0;  ///< index of the chunk currently being filled
+  std::size_t used_ = 0;   ///< bytes consumed in chunks_[chunk_]
+};
+
+}  // namespace praxi::columbus

@@ -79,15 +79,28 @@ std::vector<Tag> FrequencyTrie::extract_tags(std::size_t min_length,
 }
 
 std::size_t FrequencyTrie::memory_bytes() const {
+  // Each child edge is one red-black tree node on the heap: the pair
+  // payload plus the _Rb_tree_node_base header (color word + three
+  // pointers), plus the allocator's per-block bookkeeping. The flat 48 this
+  // used to charge covered only the rb-node itself and undercounted every
+  // edge by the malloc header — the arena trie reports its exact
+  // capacity()*sizeof(Node), so the legacy estimate has to be honest for
+  // the before/after comparison in bench/fig1_trie to mean anything.
+  constexpr std::size_t kMallocHeader = 2 * sizeof(void*);
+  constexpr std::size_t kEdgeBytes =
+      sizeof(std::pair<const char, std::unique_ptr<Node>>) +
+      4 * sizeof(void*) +  // rb-tree node header (color + 3 links)
+      kMallocHeader;
   std::size_t bytes = 0;
   std::vector<const Node*> stack{&root_};
   while (!stack.empty()) {
     const Node* node = stack.back();
     stack.pop_back();
-    bytes += sizeof(Node) + node->children.size() * 48;  // map node overhead
+    bytes += sizeof(Node) + kMallocHeader + node->children.size() * kEdgeBytes;
     for (const auto& [c, child] : node->children) stack.push_back(child.get());
   }
-  return bytes;
+  // The root lives inline in the trie, not on the heap.
+  return bytes - kMallocHeader;
 }
 
 }  // namespace praxi::columbus

@@ -1,0 +1,61 @@
+#include "columbus/interner.hpp"
+
+#include <algorithm>
+
+#include "common/hash.hpp"
+
+namespace praxi::columbus {
+
+namespace {
+constexpr std::size_t kInitialSlots = 64;  // power of two
+}  // namespace
+
+std::uint32_t SegmentInterner::intern(std::string_view segment) {
+  // Keep the load factor under 3/4 so probe chains stay short.
+  if (slots_.empty() || (texts_.size() + 1) * 4 > slots_.size() * 3) grow();
+
+  const std::uint32_t hash = murmur3_32(segment);
+  const std::size_t mask = slots_.size() - 1;
+  std::size_t i = hash & mask;
+  while (true) {
+    Slot& slot = slots_[i];
+    if (slot.id_plus_one == 0) {
+      const auto id = static_cast<std::uint32_t>(texts_.size());
+      texts_.push_back(segment);
+      hashes_.push_back(hash);
+      slot.hash = hash;
+      slot.id_plus_one = id + 1;
+      return id;
+    }
+    if (slot.hash == hash && texts_[slot.id_plus_one - 1] == segment) {
+      return slot.id_plus_one - 1;
+    }
+    i = (i + 1) & mask;
+  }
+}
+
+void SegmentInterner::grow() {
+  const std::size_t new_size =
+      slots_.empty() ? kInitialSlots : slots_.size() * 2;
+  slots_.assign(new_size, Slot{});
+  const std::size_t mask = new_size - 1;
+  for (std::uint32_t id = 0; id < texts_.size(); ++id) {
+    std::size_t i = hashes_[id] & mask;
+    while (slots_[i].id_plus_one != 0) i = (i + 1) & mask;
+    slots_[i] = Slot{hashes_[id], id + 1};
+  }
+}
+
+void SegmentInterner::clear() {
+  std::fill(slots_.begin(), slots_.end(), Slot{});
+  texts_.clear();
+  hashes_.clear();
+}
+
+std::size_t SegmentInterner::capacity_bytes() const {
+  return slots_.capacity() * sizeof(Slot) +
+         texts_.capacity() * sizeof(std::string_view) +
+         hashes_.capacity() * sizeof(std::uint32_t);
+}
+
+}  // namespace praxi::columbus

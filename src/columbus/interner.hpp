@@ -1,0 +1,51 @@
+// Segment interner for the zero-copy Columbus extraction pipeline
+// (docs/ALGORITHMS.md). Maps path-segment views to dense uint32 ids via an
+// open-addressing table so a segment repeated across a changeset's paths is
+// hashed and compared once, and downstream frequency accounting is a flat
+// array indexed by id instead of a string map.
+//
+// The interner stores *views*: the caller guarantees the underlying bytes
+// (the path buffers and the extraction CharArena) outlive the extraction.
+// clear() empties the table but keeps every allocation, so a reused
+// interner is allocation-free up to its high-water segment count.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace praxi::columbus {
+
+class SegmentInterner {
+ public:
+  /// Dense id for `segment`, assigned in first-seen order starting at 0.
+  std::uint32_t intern(std::string_view segment);
+
+  /// The segment text for a previously returned id.
+  std::string_view text(std::uint32_t id) const { return texts_[id]; }
+
+  /// Number of distinct segments interned since the last clear().
+  std::uint32_t size() const {
+    return static_cast<std::uint32_t>(texts_.size());
+  }
+
+  /// Drops every entry; slot and id storage are retained.
+  void clear();
+
+  /// Bytes of table + id storage owned (the reuse/footprint metric).
+  std::size_t capacity_bytes() const;
+
+ private:
+  struct Slot {
+    std::uint32_t hash = 0;
+    std::uint32_t id_plus_one = 0;  ///< 0 = empty
+  };
+
+  void grow();
+
+  std::vector<Slot> slots_;  ///< power-of-two sized, linear probing
+  std::vector<std::string_view> texts_;   ///< id -> segment view
+  std::vector<std::uint32_t> hashes_;     ///< id -> hash (for rehash on grow)
+};
+
+}  // namespace praxi::columbus

@@ -91,8 +91,10 @@ TagSet TagSet::from_text(std::string_view text) {
   if (lines.empty() || lines[0].rfind("labels=", 0) != 0)
     throw std::invalid_argument("tagset text missing labels header");
   const std::string label_csv = lines[0].substr(7);
+  // praxi-lint: allow(columbus-hot-alloc: text-format decoder, not hot path)
   if (!label_csv.empty()) ts.labels = split(label_csv, ',');
   if (lines.size() > 1) {
+    // praxi-lint: allow(columbus-hot-alloc: text-format decoder, not hot path)
     for (const auto& field : split(lines[1], ' ')) {
       const auto colon = field.rfind(':');
       if (colon == std::string::npos)

@@ -35,6 +35,16 @@ bool all_digits_or_punct(std::string_view token) {
   return true;
 }
 
+/// True when case folding would change any byte — i.e. the segment cannot
+/// be viewed in place.
+bool needs_fold(std::string_view segment) {
+  for (char c : segment) {
+    const auto uc = static_cast<unsigned char>(c);
+    if (std::tolower(uc) != static_cast<int>(uc)) return true;
+  }
+  return false;
+}
+
 }  // namespace
 
 Tokenizer::Tokenizer() : Tokenizer(default_system_tokens()) {}
@@ -45,20 +55,47 @@ Tokenizer::Tokenizer(std::vector<std::string> system_tokens)
 }
 
 bool Tokenizer::is_system_token(std::string_view token) const {
-  return std::binary_search(system_tokens_.begin(), system_tokens_.end(),
-                            token);
+  const auto it = std::lower_bound(
+      system_tokens_.begin(), system_tokens_.end(), token,
+      [](const std::string& entry, std::string_view probe) {
+        return std::string_view(entry) < probe;
+      });
+  return it != system_tokens_.end() && std::string_view(*it) == token;
 }
 
+// praxi-lint: allow(columbus-hot-alloc: legacy owned-token surface)
 std::vector<std::string> Tokenizer::tokenize(std::string_view path) const {
   std::vector<std::string> tokens;
+  // praxi-lint: allow(columbus-hot-alloc: legacy owned-token surface)
   for (auto& segment : split(path, '/')) {
     if (segment.size() < 2) continue;           // single chars carry no signal
     if (all_digits_or_punct(segment)) continue;  // versions, PIDs, hex blobs
+    // praxi-lint: allow(columbus-hot-alloc: legacy owned-token surface)
     std::string lowered = to_lower(segment);
     if (is_system_token(lowered)) continue;
     tokens.push_back(std::move(lowered));
   }
   return tokens;
+}
+
+void Tokenizer::tokenize_views(std::string_view path, CharArena& arena,
+                               std::vector<std::string_view>& out) const {
+  // Same split-drop-empties walk as praxi::split, without materializing
+  // the field vector.
+  std::size_t start = 0;
+  while (start <= path.size()) {
+    std::size_t end = path.find('/', start);
+    if (end == std::string_view::npos) end = path.size();
+    if (end > start) {
+      const std::string_view segment = path.substr(start, end - start);
+      if (segment.size() >= 2 && !all_digits_or_punct(segment)) {
+        const std::string_view lowered =
+            needs_fold(segment) ? arena.store_lower(segment) : segment;
+        if (!is_system_token(lowered)) out.push_back(lowered);
+      }
+    }
+    start = end + 1;
+  }
 }
 
 }  // namespace praxi::columbus

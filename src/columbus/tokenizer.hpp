@@ -3,11 +3,21 @@
 // Each filepath is tokenized into its directory and file-name segments
 // ("/etc/mysql/conf.d" -> ["etc", "mysql", "conf.d"]); common system tokens
 // (etc, usr, ...) are removed; the surviving tokens feed the frequency trie.
+//
+// Two surfaces share the filter rules:
+//   * tokenize()       — legacy, one owned std::string per token. Retained
+//                        for the reference extraction path and callers that
+//                        need owned tokens.
+//   * tokenize_views() — the hot path: string_view spans over the caller's
+//                        path buffer (or over a CharArena when a segment
+//                        needed case folding), no per-segment allocation.
 #pragma once
 
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "columbus/char_arena.hpp"
 
 namespace praxi::columbus {
 
@@ -21,9 +31,22 @@ class Tokenizer {
   explicit Tokenizer(std::vector<std::string> system_tokens);
 
   /// Splits a path into segments and drops system tokens, pure numbers, and
-  /// single-character segments.
+  /// single-character segments. Legacy allocating form; token-for-token
+  /// identical to tokenize_views().
+  // praxi-lint: allow(columbus-hot-alloc: legacy owned-token surface)
   std::vector<std::string> tokenize(std::string_view path) const;
 
+  /// Zero-copy form: appends the surviving lower-cased segments to `out` as
+  /// views. A segment that is already lower-case is viewed in place inside
+  /// `path`; otherwise its folded copy lives in `arena`. Views are valid
+  /// until the arena is cleared or the path buffer dies. `out` is NOT
+  /// cleared (callers batch several paths into one buffer).
+  void tokenize_views(std::string_view path, CharArena& arena,
+                      std::vector<std::string_view>& out) const;
+
+  /// Membership test against the sorted filter list. Heterogeneous
+  /// std::lower_bound compare: the probe stays a string_view end to end,
+  /// no owned-string construction per lookup.
   bool is_system_token(std::string_view token) const;
 
  private:

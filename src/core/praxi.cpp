@@ -69,7 +69,10 @@ void Praxi::set_runtime(const common::RuntimeConfig& runtime) {
 }
 
 columbus::TagSet Praxi::extract_tags(const fs::Changeset& changeset) const {
-  return columbus_.extract(changeset);
+  // Explicitly route through the calling thread's reusable scratch: repeat
+  // callers (the serving loop) pay zero pipeline allocations after their
+  // first extraction on this thread.
+  return columbus_.extract(changeset, columbus::tls_extraction_scratch());
 }
 
 std::vector<columbus::TagSet> Praxi::extract_tags(

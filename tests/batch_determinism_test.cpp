@@ -8,6 +8,8 @@
 #include <span>
 #include <vector>
 
+#include "columbus/columbus.hpp"
+#include "common/thread_pool.hpp"
 #include "core/praxi.hpp"
 #include "eval/method.hpp"
 #include "pkg/dataset.hpp"
@@ -52,6 +54,81 @@ pkg::Dataset* BatchDeterminismTest::dirty_ = nullptr;
 pkg::Dataset* BatchDeterminismTest::multi_ = nullptr;
 
 const std::size_t kThreadCounts[] = {1, 2, 8};
+
+// The arena extraction pipeline must reproduce the legacy pointer-trie
+// pipeline byte for byte, on real corpora at every thread count.
+TEST_F(BatchDeterminismTest, ArenaPipelineMatchesLegacyReference) {
+  columbus::Columbus columbus;
+  for (const pkg::Dataset* dataset : {dirty_, multi_}) {
+    std::vector<const fs::Changeset*> batch;
+    for (const auto& cs : dataset->changesets) batch.push_back(&cs);
+    std::vector<columbus::TagSet> expected;
+    for (const fs::Changeset* cs : batch) {
+      expected.push_back(columbus.extract_reference(*cs));
+    }
+    for (const std::size_t threads : kThreadCounts) {
+      ThreadPool pool(threads);
+      EXPECT_EQ(columbus.extract(batch, threads == 1 ? nullptr : &pool),
+                expected)
+          << "num_threads=" << threads;
+    }
+  }
+}
+
+// Adversarial path shapes exercise every tokenizer/trie edge case: empty
+// paths, shared-prefix floods, single-char segments, duplicates, case
+// folds, and system-token-only paths.
+TEST_F(BatchDeterminismTest, ArenaPipelineMatchesReferenceOnAdversarialPaths) {
+  std::vector<std::string> paths = {
+      "",
+      "/",
+      "////",
+      "/a/b/c",                       // all 1-char segments drop
+      "/usr/bin/x",                   // system tokens + 1-char
+      "/USR/BIN/MySQLd",              // case folding
+      "/1234/5678/9.0.1",             // digits/punct-only segments drop
+      "no-leading-slash/trailing/",
+      "/etc/mysql/conf.d/mysqld.cnf",
+      "/etc/mysql/conf.d/mysqld.cnf",  // exact duplicate
+  };
+  for (int i = 0; i < 48; ++i) {
+    paths.push_back("/opt/shared-prefix-flood/depth-" + std::to_string(i % 7) +
+                    "/leaf-" + std::to_string(i));
+  }
+  std::vector<bool> executable(paths.size());
+  for (std::size_t i = 0; i < paths.size(); ++i) executable[i] = i % 3 == 0;
+
+  columbus::Columbus columbus;
+  const auto expected = columbus.extract_from_paths_reference(paths, executable);
+  EXPECT_EQ(columbus.extract_from_paths(paths, executable), expected);
+  // Short executable flags (the documented "unknown" form) must agree too.
+  EXPECT_EQ(columbus.extract_from_paths(paths, {}),
+            columbus.extract_from_paths_reference(paths, {}));
+}
+
+// A scratch reused across many extractions must behave exactly like a fresh
+// one — and must stop growing once warm (the zero-allocation steady state).
+TEST_F(BatchDeterminismTest, ReusedScratchMatchesFreshAndStopsGrowing) {
+  columbus::Columbus columbus;
+  columbus::ExtractionScratch reused;
+  std::size_t warm_footprint = 0;
+  for (std::size_t i = 0; i < dirty_->changesets.size(); ++i) {
+    const auto& cs = dirty_->changesets[i];
+    columbus::ExtractionScratch fresh;
+    EXPECT_EQ(columbus.extract(cs, reused), columbus.extract(cs, fresh))
+        << "changeset " << i;
+    if (i + 1 == dirty_->changesets.size() / 2) {
+      warm_footprint = reused.capacity_bytes();
+    }
+  }
+  // One pass over the corpus warms every buffer; a second pass over the
+  // same data must not grow the scratch at all.
+  ASSERT_GT(warm_footprint, 0u);
+  for (const auto& cs : dirty_->changesets) columbus.extract(cs, reused);
+  const std::size_t second_pass = reused.capacity_bytes();
+  for (const auto& cs : dirty_->changesets) columbus.extract(cs, reused);
+  EXPECT_EQ(reused.capacity_bytes(), second_pass);
+}
 
 TEST_F(BatchDeterminismTest, ExtractTagsBatchMatchesSequential) {
   const auto batch = split(*dirty_, 4, true);

@@ -1,11 +1,35 @@
-// Tests for the Columbus frequency trie (columbus/frequency_trie.hpp),
-// including the paper's Fig. 1 worked example.
+// Tests for the Columbus frequency tries: the legacy pointer trie
+// (columbus/frequency_trie.hpp) including the paper's Fig. 1 worked
+// example, the flat arena trie (columbus/arena_trie.hpp), and the
+// old-vs-new equivalence suite proving their outputs bit-identical.
 #include "columbus/frequency_trie.hpp"
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
+#include "columbus/arena_trie.hpp"
+#include "common/rng.hpp"
+
 namespace praxi::columbus {
 namespace {
+
+/// Runs ArenaTrie::extract_tags with throwaway scratch and converts the
+/// TagViews to owned Tags so suites can compare against FrequencyTrie.
+std::vector<Tag> arena_tags(const ArenaTrie& trie, std::size_t min_length,
+                            std::uint32_t min_frequency, std::size_t top_k) {
+  CharArena arena;
+  TagWalkScratch walk;
+  std::vector<TagView> views;
+  trie.extract_tags(min_length, min_frequency, top_k, arena, walk, views);
+  std::vector<Tag> tags;
+  tags.reserve(views.size());
+  for (const TagView& v : views) {
+    tags.push_back(Tag{std::string(v.text), v.frequency});
+  }
+  return tags;
+}
 
 TEST(FrequencyTrie, Fig1Example) {
   FrequencyTrie trie;
@@ -141,6 +165,155 @@ TEST_P(SharedPrefixSweep, SharedPrefixWins) {
 
 INSTANTIATE_TEST_SUITE_P(Sizes, SharedPrefixSweep,
                          ::testing::Values(2, 3, 5, 10, 50));
+
+// ---------------------------------------------------------------------------
+// ArenaTrie: the flat index-linked replacement used on the hot path.
+// ---------------------------------------------------------------------------
+
+TEST(ArenaTrie, Fig1Example) {
+  ArenaTrie trie;
+  for (const char* token :
+       {"man", "mysqld", "mysqldb", "mysqldump", "mysqladmin"}) {
+    trie.insert(token);
+  }
+  EXPECT_EQ(trie.token_count(), 5u);
+  EXPECT_EQ(trie.prefix_frequency("m"), 5u);
+  EXPECT_EQ(trie.prefix_frequency("mysql"), 4u);
+  EXPECT_EQ(trie.prefix_frequency("mysqld"), 3u);
+  EXPECT_EQ(trie.prefix_frequency("mysqla"), 1u);
+  EXPECT_EQ(trie.prefix_frequency("zzz"), 0u);
+  EXPECT_EQ(trie.prefix_frequency(""), 0u);  // root is never a prefix hit
+
+  const auto tags = arena_tags(trie, 3, 2, 0);
+  ASSERT_EQ(tags.size(), 2u);
+  EXPECT_EQ(tags[0], (Tag{"mysql", 4}));
+  EXPECT_EQ(tags[1], (Tag{"mysqld", 3}));
+}
+
+TEST(ArenaTrie, WeightedInsertEqualsRepeatedInserts) {
+  ArenaTrie repeated, weighted;
+  for (int i = 0; i < 7; ++i) repeated.insert("redis");
+  for (int i = 0; i < 3; ++i) repeated.insert("redis-server");
+  weighted.insert("redis", 7);
+  weighted.insert("redis-server", 3);
+  EXPECT_EQ(repeated.token_count(), weighted.token_count());
+  EXPECT_EQ(repeated.node_count(), weighted.node_count());
+  EXPECT_EQ(arena_tags(repeated, 3, 2, 0), arena_tags(weighted, 3, 2, 0));
+}
+
+TEST(ArenaTrie, ClearRetainsCapacityAndResetsContent) {
+  ArenaTrie trie;
+  for (int i = 0; i < 50; ++i) trie.insert("token" + std::to_string(i));
+  const std::size_t grown = trie.memory_bytes();
+  ASSERT_GT(trie.node_count(), 1u);
+  trie.clear();
+  EXPECT_EQ(trie.node_count(), 1u);  // just the root
+  EXPECT_EQ(trie.token_count(), 0u);
+  EXPECT_EQ(trie.prefix_frequency("token1"), 0u);
+  EXPECT_EQ(trie.memory_bytes(), grown);  // node pool retained
+  // Rebuild into the retained pool works and is clean of stale state.
+  trie.insert("nginx", 2);
+  const auto tags = arena_tags(trie, 3, 2, 0);
+  ASSERT_EQ(tags.size(), 1u);
+  EXPECT_EQ(tags[0], (Tag{"nginx", 2}));
+}
+
+TEST(ArenaTrie, EmptyAndZeroCountInsertsIgnored) {
+  ArenaTrie trie;
+  trie.insert("");
+  trie.insert("nginx", 0);
+  EXPECT_EQ(trie.token_count(), 0u);
+  EXPECT_EQ(trie.node_count(), 1u);
+  EXPECT_TRUE(arena_tags(trie, 1, 1, 0).empty());
+}
+
+TEST(ArenaTrie, MemoryBytesIsExactNodePool) {
+  ArenaTrie trie;
+  trie.insert("abc");
+  // The contract: exact owned allocation, no estimation involved.
+  EXPECT_EQ(trie.memory_bytes() % sizeof(ArenaTrie::Node), 0u);
+  EXPECT_GE(trie.memory_bytes(), trie.node_count() * sizeof(ArenaTrie::Node));
+}
+
+TEST(ArenaTrie, FlatNodesBeatPointerTrieFootprint) {
+  // Same content in both tries: the arena's 20-byte nodes must undercut the
+  // legacy rb-tree edges (whose honest accounting this PR fixed).
+  FrequencyTrie legacy;
+  ArenaTrie arena;
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const std::string token = "pkg-" + std::to_string(rng.below(64)) + "-lib";
+    legacy.insert(token);
+    arena.insert(token);
+  }
+  EXPECT_LT(arena.memory_bytes(), legacy.memory_bytes());
+}
+
+// ---------------------------------------------------------------------------
+// Old-vs-new equivalence: for any token multiset and any extraction
+// parameters the two tries must produce byte-identical ranked tag lists.
+// ---------------------------------------------------------------------------
+
+std::vector<Tag> legacy_tags(const std::vector<std::string>& tokens,
+                             std::size_t min_length,
+                             std::uint32_t min_frequency, std::size_t top_k) {
+  FrequencyTrie trie;
+  for (const auto& token : tokens) trie.insert(token);
+  return trie.extract_tags(min_length, min_frequency, top_k);
+}
+
+std::vector<Tag> flat_tags(const std::vector<std::string>& tokens,
+                           std::size_t min_length, std::uint32_t min_frequency,
+                           std::size_t top_k) {
+  ArenaTrie trie;
+  for (const auto& token : tokens) trie.insert(token);
+  return arena_tags(trie, min_length, min_frequency, top_k);
+}
+
+void expect_equivalent(const std::vector<std::string>& tokens) {
+  for (const std::size_t min_length : {std::size_t{1}, std::size_t{3}}) {
+    for (const std::uint32_t min_frequency : {1u, 2u}) {
+      for (const std::size_t top_k : {std::size_t{0}, std::size_t{5}}) {
+        EXPECT_EQ(legacy_tags(tokens, min_length, min_frequency, top_k),
+                  flat_tags(tokens, min_length, min_frequency, top_k))
+            << "min_length=" << min_length
+            << " min_frequency=" << min_frequency << " top_k=" << top_k;
+      }
+    }
+  }
+}
+
+TEST(TrieEquivalence, AdversarialTokenSets) {
+  expect_equivalent({});
+  expect_equivalent({""});
+  expect_equivalent({"a", "b", "a"});  // 1-char tokens
+  expect_equivalent({"same", "same", "same", "same"});
+  expect_equivalent({"prefix", "prefixes", "prefixed", "prefix-free"});
+  // Shared-prefix flood: one deep chain with a fan-out at every depth.
+  std::vector<std::string> flood;
+  for (int i = 0; i < 64; ++i) {
+    flood.push_back("shared-prefix-flood-" + std::to_string(i));
+    flood.push_back(flood.back().substr(0, static_cast<std::size_t>(7 + i % 13)));
+  }
+  expect_equivalent(flood);
+}
+
+TEST(TrieEquivalence, RandomCorpusSweep) {
+  Rng rng(17);
+  for (int round = 0; round < 20; ++round) {
+    std::vector<std::string> tokens;
+    const std::size_t n = 1 + rng.below(120);
+    for (std::size_t i = 0; i < n; ++i) {
+      std::string token;
+      const std::size_t len = 1 + rng.below(12);
+      for (std::size_t j = 0; j < len; ++j) {
+        token.push_back(static_cast<char>('a' + rng.below(5)));
+      }
+      tokens.push_back(std::move(token));
+    }
+    expect_equivalent(tokens);
+  }
+}
 
 }  // namespace
 }  // namespace praxi::columbus

@@ -8,6 +8,9 @@
 #   tools/check.sh --tidy      clang-tidy over the compile database
 #   tools/check.sh --lint      tools/praxi_lint.py + its self-test
 #   tools/check.sh --fuzz      fuzz smoke tests only (already in tier-1)
+#   tools/check.sh --bench-smoke  build + one tiny pass of the Columbus
+#                              micro-benches (build-rot canary, not a
+#                              measurement)
 #   tools/check.sh --format    verify formatting (no rewrite)
 #   tools/check.sh --tsan-obs  ThreadSanitizer pass over the metrics
 #                              registry's concurrency tests (needs clang)
@@ -67,8 +70,20 @@ run_fuzz() {
   cmake -B build -S . >/dev/null
   cmake --build build -j "$JOBS" --target \
     fuzz_prx1 fuzz_poa1 fuzz_pcs2 fuzz_pcs1 fuzz_ptg1 fuzz_pts1 \
-    fuzz_pds1 fuzz_pw2v fuzz_psv1 fuzz_prpt fuzz_frame fuzz_tokenizer
+    fuzz_pds1 fuzz_pw2v fuzz_psv1 fuzz_prpt fuzz_frame fuzz_tokenizer \
+    fuzz_columbus_arena
   ctest --test-dir build -R '^fuzz_smoke_' --output-on-failure -j "$JOBS"
+}
+
+run_bench_smoke() {
+  # One tiny pass of the component micro-benches: proves the bench binary
+  # still builds and runs (numbers from a smoke pass are noise — use a
+  # dedicated quiet machine for real measurements).
+  note "bench smoke: micro_components (minimal iterations, not a measurement)"
+  cmake -B build -S . >/dev/null
+  cmake --build build -j "$JOBS" --target micro_components
+  ./build/bench/micro_components --benchmark_min_time=0.01 \
+    --benchmark_filter='BM_(FrequencyTrieInsert|ArenaTrieInsert|Tokenize|TokenizeViews|ColumbusExtract|ColumbusExtractLegacy)$'
 }
 
 run_tsan_obs() {
@@ -121,11 +136,12 @@ case "${1:-all}" in
   --tidy)   run_tidy ;;
   --lint)   run_lint ;;
   --fuzz)   run_fuzz ;;
+  --bench-smoke) run_bench_smoke ;;
   --format) run_format ;;
   --tsan-obs) run_tsan_obs ;;
   --tsan-net) run_tsan_net ;;
-  all)      run_tier1; run_werror; run_tidy; run_lint; run_tsan_obs; run_tsan_net; run_format ;;
-  *) echo "usage: tools/check.sh [--tier1|--werror|--tidy|--lint|--fuzz|--format|--tsan-obs|--tsan-net]" >&2
+  all)      run_tier1; run_werror; run_tidy; run_lint; run_bench_smoke; run_tsan_obs; run_tsan_net; run_format ;;
+  *) echo "usage: tools/check.sh [--tier1|--werror|--tidy|--lint|--fuzz|--bench-smoke|--format|--tsan-obs|--tsan-net]" >&2
      exit 2 ;;
 esac
 

@@ -52,6 +52,21 @@ And the transport invariant from the socket-transport PR (docs/SERVICE.md):
                    thread forever on a dead peer. Escape hatch:
                    `// praxi-lint: allow(blocking-socket: why)`.
 
+And the hot-path invariant from the arena-extraction PR
+(docs/ALGORITHMS.md):
+
+  columbus-hot-alloc
+                   src/columbus/ hot-path files must not reintroduce
+                   per-token heap allocation: no std::map<char,...> child
+                   tables, no make_unique node allocation, and no calls to
+                   the allocating split()/to_lower()/tokenize() helpers —
+                   the arena pipeline (tokenize_views + SegmentInterner +
+                   ArenaTrie) is the steady-state-zero-allocation
+                   replacement for all of them. The legacy FrequencyTrie
+                   translation unit is exempt (it IS the documented
+                   allocating baseline). Escape hatch:
+                   `// praxi-lint: allow(columbus-hot-alloc: why)`.
+
 Usage:
   praxi_lint.py [--root REPO_ROOT]   lint <root>/src, report, exit 1 on hits
   praxi_lint.py --self-test          seed one violation per rule into a temp
@@ -113,6 +128,17 @@ SOCKET_QUALIFIED_RE = re.compile(
 SOCKET_BARE_RE = re.compile(
     r"(?<![\w:.])(?:accept4|recvfrom|sendto|setsockopt|getsockopt|"
     r"getsockname)\s*\(")
+
+# Columbus hot-path allocation primitives (docs/ALGORITHMS.md). The legacy
+# trie's own translation unit is the allocating baseline and stays exempt;
+# everything else under src/columbus/ must use the arena pipeline. Note
+# `tokenize(` deliberately does NOT match `tokenize_views(`.
+COLUMBUS_HOT_PREFIX = "src/columbus/"
+COLUMBUS_HOT_EXEMPT = {"src/columbus/frequency_trie.cpp",
+                       "src/columbus/frequency_trie.hpp"}
+COLUMBUS_ALLOC_RE = re.compile(
+    r"std::map\s*<\s*char|make_unique\s*<|(?<![\w_])to_lower\s*\(|"
+    r"(?<![\w_])tokenize\s*\(|(?<![\w_:.])split\s*\(")
 
 
 class Violation:
@@ -186,6 +212,12 @@ def check_file(root: pathlib.Path, path: pathlib.Path) -> list[Violation]:
             "praxi-lint: allow(blocking-socket)")
         scan("blocking-socket", SOCKET_QUALIFIED_RE, socket_message)
         scan("blocking-socket", SOCKET_BARE_RE, socket_message)
+
+    if rel.startswith(COLUMBUS_HOT_PREFIX) and rel not in COLUMBUS_HOT_EXEMPT:
+        scan("columbus-hot-alloc", COLUMBUS_ALLOC_RE,
+             "per-token heap allocation primitive on the Columbus hot path; "
+             "use the arena pipeline (tokenize_views + SegmentInterner + "
+             "ArenaTrie) or annotate: praxi-lint: allow(columbus-hot-alloc)")
 
     scan("iostream-in-library", IOSTREAM_RE,
          "library code must take std::ostream&, not include <iostream>")
@@ -392,6 +424,26 @@ SELFTEST_VIOLATIONS = {
         "int f(int fd) { return ::connect(fd, nullptr, 0); }\n"),
 }
 
+# Rules scoped to a subtree need their seed planted there; everything else
+# lands directly under src/.
+SELFTEST_SEED_DIRS = {
+    "columbus-hot-alloc": "src/columbus",
+}
+SELFTEST_VIOLATIONS["columbus-hot-alloc"] = (
+    "#include <map>\n"
+    "struct Node { std::map<char, Node*> children; };\n")
+
+# A columbus file whose only allocation primitive carries the allow
+# annotation must stay clean — this pins the escape hatch open.
+SELFTEST_COLUMBUS_CLEAN = """\
+namespace praxi::columbus {
+void legacy_shim(const Tokenizer& tokenizer, std::string_view path) {
+  // praxi-lint: allow(columbus-hot-alloc: equivalence-test baseline)
+  (void)tokenizer.tokenize(path);
+}
+}  // namespace praxi::columbus
+"""
+
 
 def self_test() -> int:
     failures = []
@@ -403,12 +455,17 @@ def self_test() -> int:
             'Documented magics: "PGO1".\n')
 
         (root / "src" / "clean.cpp").write_text(SELFTEST_CLEAN)
+        (root / "src" / "columbus").mkdir()
+        (root / "src" / "columbus" / "clean_columbus.cpp").write_text(
+            SELFTEST_COLUMBUS_CLEAN)
         clean_hits = lint(root)
         if clean_hits:
             failures.append(f"clean tree reported: {list(map(str, clean_hits))}")
 
         for rule, snippet in SELFTEST_VIOLATIONS.items():
-            seeded = root / "src" / f"seed_{rule.replace('-', '_')}.cpp"
+            seed_dir = root / SELFTEST_SEED_DIRS.get(rule, "src")
+            seed_dir.mkdir(parents=True, exist_ok=True)
+            seeded = seed_dir / f"seed_{rule.replace('-', '_')}.cpp"
             seeded.write_text(snippet)
             fired = {v.rule for v in lint(root)}
             seeded.unlink()
