@@ -1,0 +1,26 @@
+// Fuzz harness: WAL segment replay ("PWAL", docs/DURABILITY.md). Replay is
+// the recovery path — it runs on whatever bytes a crash left behind, so it
+// must hold the SerializeError contract on arbitrary input in BOTH modes:
+// last-segment (where a torn tail is tolerated and reported, not thrown)
+// and mid-log (where any truncation is corruption). The first input byte
+// selects the mode; the rest is the segment.
+#include "fuzz_entry.hpp"
+
+#include "common/serialize.hpp"
+#include "service/wal.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size == 0) return 0;
+  const bool last_segment = (data[0] & 1) != 0;
+  const auto bytes = praxi::fuzz::as_view(data + 1, size - 1);
+  praxi::service::WalState state;
+  try {
+    (void)praxi::service::replay_wal_segment(bytes, last_segment,
+                                             /*max_record_bytes=*/1u << 20,
+                                             state);
+  } catch (const praxi::SerializeError&) {
+    // Expected for arbitrary bytes; anything else escapes and is a finding.
+  }
+  return 0;
+}

@@ -24,6 +24,7 @@
 #include "net/frame.hpp"
 #include "pkg/dataset.hpp"
 #include "service/transport.hpp"
+#include "service/wal.hpp"
 
 namespace {
 
@@ -147,6 +148,36 @@ int main(int argc, char** argv) {
   report.sequence = 7;
   report.changeset = corpus[1];
   emit("prpt", "vm042", report.to_wire());
+
+  // WAL segment seeds (fuzz_wal.cpp): first byte = mode flags (bit0 =
+  // last-segment), then a record stream. One settle run, one snapshot that
+  // replaces it, and one last-segment stream with a torn tail.
+  {
+    std::string settled;
+    settled.push_back('\x01');  // last segment
+    settled += service::encode_wal_settle("vm-042", 0,
+                                          service::SettleOutcome::kProcessed);
+    settled += service::encode_wal_settle("vm-042", 2,
+                                          service::SettleOutcome::kProcessed);
+    settled += service::encode_wal_settle("vm-042", 1,
+                                          service::SettleOutcome::kProcessed);
+    emit("wal", "settles", settled);
+
+    service::WalState state;
+    state["vm-042"].floor = 3;
+    state["vm-7"].floor = 0;
+    state["vm-7"].held = {2, 5};
+    std::string compacted;
+    compacted.push_back('\x00');  // mid-log segment
+    compacted += service::encode_wal_snapshot(state);
+    compacted += service::encode_wal_settle(
+        "vm-7", 0, service::SettleOutcome::kProcessed);
+    emit("wal", "snapshot", compacted);
+
+    std::string torn = settled;
+    torn.resize(torn.size() - 7);  // tear the final record mid-payload
+    emit("wal", "torn_tail", torn);
+  }
 
   // Frame seeds: first byte = chunk size selector (fuzz_frame.cpp), then a
   // frame stream. One realistic session (hello, data, ack) and one lone ack.

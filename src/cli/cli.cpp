@@ -70,6 +70,7 @@ int usage(std::ostream& err) {
          "        [FILE...]\n"
          "  serve --model M (--max-reports N | --duration-s S) [--port P]\n"
          "        [--port-file F] [--queue-bound N] [--threads N]\n"
+         "        [--wal-dir D]\n"
          "  report --connect HOST:PORT [--agent ID] [--timeout-ms N]\n"
          "        FILE...\n"
          "--threads: batch-engine workers (0 = all hardware threads,\n"
@@ -80,7 +81,9 @@ int usage(std::ostream& err) {
          "       files it runs the predict pipeline first so every stage\n"
          "       instrument carries data (docs/OBSERVABILITY.md)\n"
          "serve: loopback discovery service (docs/SERVICE.md); --port 0\n"
-         "       picks an ephemeral port, written to --port-file\n"
+         "       picks an ephemeral port, written to --port-file; --wal-dir\n"
+         "       makes exactly-once ingest survive restarts by write-ahead\n"
+         "       logging settled reports there (docs/DURABILITY.md)\n"
          "report: ship changeset files to a running serve instance\n";
   return 2;
 }
@@ -315,6 +318,10 @@ int cmd_serve(const Options& options, std::ostream& out, std::ostream& err) {
   config.runtime = runtime_from_options(options);
   config.transport.queue_bound = std::stoul(
       options.get("queue-bound", std::to_string(config.transport.queue_bound)));
+  config.wal_dir = options.get("wal-dir", "");
+  // Constructing the server replays the WAL (when --wal-dir is set), so
+  // every agent's dedup floor is restored strictly BEFORE the listener
+  // below starts accepting frames (docs/DURABILITY.md).
   service::DiscoveryServer server(load_model(options.get("model", "")),
                                   config);
 

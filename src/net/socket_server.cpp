@@ -201,12 +201,32 @@ bool SocketServer::handle_frame(Connection& conn, Frame& frame) {
           // Bounded-queue overload: refuse BEFORE touching the tracker so
           // the client's resend is not mistaken for a duplicate later.
           verdict = Verdict::kBusy;
-        } else if (!trackers_[conn.client_id].accept(frame.sequence)) {
-          verdict = Verdict::kDuplicate;
         } else {
-          queue_.push_back(std::move(frame.payload));
-          instruments_->queue_depth->set(static_cast<double>(queue_.size()));
-          verdict = Verdict::kEnqueued;
+          auto tracker = trackers_.find(conn.client_id);
+          if (tracker == trackers_.end()) {
+            tracker = trackers_
+                          .emplace(conn.client_id,
+                                   service::SequenceTracker(
+                                       config_.transport.max_held_sequences))
+                          .first;
+          }
+          switch (tracker->second.admit(frame.sequence)) {
+            case service::SequenceTracker::Admit::kDuplicate:
+              verdict = Verdict::kDuplicate;
+              break;
+            case service::SequenceTracker::Admit::kReject:
+              // Held-set cap reached (docs/DURABILITY.md): the frame was
+              // never settled, so kBusy — NOT an ack — makes the client
+              // hold off and resend once the window drains.
+              verdict = Verdict::kBusy;
+              break;
+            case service::SequenceTracker::Admit::kAccept:
+              queue_.push_back(std::move(frame.payload));
+              instruments_->queue_depth->set(
+                  static_cast<double>(queue_.size()));
+              verdict = Verdict::kEnqueued;
+              break;
+          }
         }
       }
 

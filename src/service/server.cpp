@@ -43,6 +43,31 @@ DiscoveryServer::DiscoveryServer(core::Praxi model, ServerConfig config)
       "praxi_server_discoveries_total",
       "Discoveries committed to the fleet inventory",
       {{"server", server_label_}});
+  agents_gauge_ =
+      &registry.gauge("praxi_server_agents",
+                      "Resident per-agent dedup trackers (after eviction)",
+                      {{"server", server_label_}});
+  held_gauge_ = &registry.gauge(
+      "praxi_server_held_sequences",
+      "Out-of-order sequences held above the dedup floors, fleet-wide",
+      {{"server", server_label_}});
+
+  // Durable ingest (docs/DURABILITY.md): replay happens HERE, inside the
+  // constructor, so by the time the host can open a transport listener the
+  // dedup floor of every agent is already restored.
+  if (!config_.wal_dir.empty()) {
+    WalConfig wal_config;
+    wal_config.dir = config_.wal_dir;
+    wal_config.segment_bytes = config_.wal_segment_bytes;
+    wal_config.server_label = server_label_;
+    wal_ = std::make_unique<WriteAheadLog>(wal_config);
+    for (const auto& [agent_id, tracker] : wal_->restored()) {
+      sequences_.emplace(agent_id,
+                         SequenceTracker(tracker.floor, tracker.held,
+                                         config_.transport.max_held_sequences));
+    }
+  }
+  update_state_gauges();
 }
 
 DiscoveryServer::AgentCounters& DiscoveryServer::counters_for(
@@ -65,7 +90,61 @@ DiscoveryServer::AgentCounters& DiscoveryServer::counters_for(
       "praxi_server_reports_total", kReportsHelp, labels("version_mismatch"));
   counters.duplicate = &registry.counter("praxi_server_reports_total",
                                          kReportsHelp, labels("duplicate"));
+  counters.overflow = &registry.counter("praxi_server_reports_total",
+                                        kReportsHelp, labels("overflow"));
   return agent_counters_.emplace(agent_id, counters).first->second;
+}
+
+SequenceTracker& DiscoveryServer::tracker_for(const std::string& agent_id) {
+  auto it = sequences_.find(agent_id);
+  if (it != sequences_.end()) return it->second;
+  const auto evicted = evicted_floors_.find(agent_id);
+  if (evicted != evicted_floors_.end()) {
+    SequenceTracker restored(evicted->second, {},
+                             config_.transport.max_held_sequences);
+    evicted_floors_.erase(evicted);
+    return sequences_.emplace(agent_id, std::move(restored)).first->second;
+  }
+  return sequences_
+      .emplace(agent_id,
+               SequenceTracker(config_.transport.max_held_sequences))
+      .first->second;
+}
+
+WalState DiscoveryServer::current_wal_state() const {
+  WalState state;
+  for (const auto& [agent_id, floor] : evicted_floors_) {
+    state[agent_id].floor = floor;
+  }
+  for (const auto& [agent_id, tracker] : sequences_) {
+    WalTrackerState& entry = state[agent_id];
+    entry.floor = tracker.floor();
+    entry.held = tracker.held_sequences();
+  }
+  return state;
+}
+
+void DiscoveryServer::evict_idle_agents(
+    const std::set<std::string>& active_agents) {
+  const std::size_t bound = config_.max_resident_agents;
+  if (bound == 0) return;
+  for (auto it = sequences_.begin();
+       it != sequences_.end() && sequences_.size() > bound;) {
+    // Only idle, gap-free trackers fold losslessly to their floor.
+    if (it->second.held() > 0 || active_agents.count(it->first) > 0) {
+      ++it;
+      continue;
+    }
+    if (it->second.floor() > 0) evicted_floors_[it->first] = it->second.floor();
+    it = sequences_.erase(it);
+  }
+}
+
+void DiscoveryServer::update_state_gauges() {
+  std::size_t held = 0;
+  for (const auto& [agent_id, tracker] : sequences_) held += tracker.held();
+  agents_gauge_->set(static_cast<double>(sequences_.size()));
+  held_gauge_->set(static_cast<double>(held));
 }
 
 DiscoveryServer::AgentCounters& DiscoveryServer::counters_for_wire(
@@ -107,6 +186,14 @@ std::uint64_t DiscoveryServer::duplicates() const {
   return total;
 }
 
+std::uint64_t DiscoveryServer::overflows() const {
+  std::uint64_t total = 0;
+  for (const auto& [agent, counters] : agent_counters_) {
+    total += counters.overflow->value();
+  }
+  return total;
+}
+
 std::map<std::string, AgentIngestStats> DiscoveryServer::ingest_stats() const {
   std::map<std::string, AgentIngestStats> stats;
   for (const auto& [agent, counters] : agent_counters_) {
@@ -115,6 +202,7 @@ std::map<std::string, AgentIngestStats> DiscoveryServer::ingest_stats() const {
     s.malformed = counters.malformed->value();
     s.version_mismatch = counters.version_mismatch->value();
     s.duplicate = counters.duplicate->value();
+    s.overflow = counters.overflow->value();
   }
   return stats;
 }
@@ -124,19 +212,31 @@ std::vector<Discovery> DiscoveryServer::process(Transport& transport) {
 
   // Phase 1 (sequential): parse + screen. Quantity inference is cheap
   // relative to classification, so only the survivors go into the batch.
+  // Acceptance is only *previewed* here — the tracker is mutated at settle
+  // time (phase 3) — so a throw during classification leaves no trace and
+  // the unacked frames' resends are processed fresh (docs/DURABILITY.md).
   struct PendingReport {
     Discovery discovery;
     fs::Changeset changeset;
+    const std::string* wire = nullptr;
     std::size_t n = 1;
+    bool classify = false;     ///< non-empty, non-noise: goes into the batch
+    std::size_t batch_index = 0;  ///< position among classified items
   };
   std::vector<PendingReport> pending;
   const std::vector<std::string> wires = transport.drain();
   // Frames to settle with transport.ack() once the batch commits. Every
-  // disposition settles EXCEPT malformed: a mangled frame may be a damaged
+  // disposition settles EXCEPT malformed (a mangled frame may be a damaged
   // copy of a report whose intact resend must still be accepted, so only
-  // the transport's own dedup — not this ack — may suppress it.
+  // the transport's own dedup — not this ack — may suppress it) and
+  // held-set overflow (never settled, so the wire redelivers it).
   std::vector<const std::string*> settled;
   settled.reserve(wires.size());
+  // Identities staged this batch, to catch within-batch redelivery while
+  // the trackers stay untouched.
+  std::set<std::pair<std::string, std::uint64_t>> staged;
+  // Agents that showed up in this batch — exempt from idle eviction below.
+  std::set<std::string> active_agents;
   for (const std::string& wire : wires) {
     ChangesetReport report;
     try {
@@ -152,7 +252,10 @@ std::vector<Discovery> DiscoveryServer::process(Transport& transport) {
       counters_for_wire(wire).malformed->inc();
       continue;
     }
-    if (!sequences_[report.agent_id].accept(report.sequence)) {
+    active_agents.insert(report.agent_id);
+    const auto verdict = tracker_for(report.agent_id).preview(report.sequence);
+    if (verdict == SequenceTracker::Admit::kDuplicate ||
+        staged.count({report.agent_id, report.sequence}) > 0) {
       // At-least-once wire redelivered a report this server already
       // processed (retry after a lost ack, a duplicating network, or an
       // agent restart replaying its journal). Exactly-once processing:
@@ -161,27 +264,33 @@ std::vector<Discovery> DiscoveryServer::process(Transport& transport) {
       settled.push_back(&wire);
       continue;
     }
-    counters_for(report.agent_id).processed->inc();
-    settled.push_back(&wire);
-
-    Discovery discovery;
-    discovery.agent_id = report.agent_id;
-    discovery.sequence = report.sequence;
-    discovery.open_time_ms = report.changeset.open_time_ms();
-    discovery.close_time_ms = report.changeset.close_time_ms();
-    discovery.record_count = report.changeset.size();
-    if (report.changeset.empty()) continue;
-
-    discovery.inferred_quantity = core::DiscoveryService::infer_quantity(
-        report.changeset, config_.quantity);
-    if (discovery.inferred_quantity == 0) continue;  // background noise only
+    if (verdict == SequenceTracker::Admit::kReject) {
+      // The agent's held-set cap is full (badly reordering or adversarial
+      // wire). The frame is NOT settled — no ack — so it is redelivered
+      // once the out-of-order window drains.
+      counters_for(report.agent_id).overflow->inc();
+      continue;
+    }
+    staged.insert({report.agent_id, report.sequence});
 
     PendingReport item;
-    item.discovery = std::move(discovery);
-    item.n = model_.mode() == core::LabelMode::kSingleLabel
-                 ? 1
-                 : item.discovery.inferred_quantity;
-    item.changeset = std::move(report.changeset);
+    item.wire = &wire;
+    item.discovery.agent_id = report.agent_id;
+    item.discovery.sequence = report.sequence;
+    item.discovery.open_time_ms = report.changeset.open_time_ms();
+    item.discovery.close_time_ms = report.changeset.close_time_ms();
+    item.discovery.record_count = report.changeset.size();
+    if (!report.changeset.empty()) {
+      item.discovery.inferred_quantity = core::DiscoveryService::infer_quantity(
+          report.changeset, config_.quantity);
+      if (item.discovery.inferred_quantity > 0) {  // not background noise
+        item.classify = true;
+        item.n = model_.mode() == core::LabelMode::kSingleLabel
+                     ? 1
+                     : item.discovery.inferred_quantity;
+        item.changeset = std::move(report.changeset);
+      }
+    }
     pending.push_back(std::move(item));
   }
 
@@ -192,7 +301,9 @@ std::vector<Discovery> DiscoveryServer::process(Transport& transport) {
   std::vector<std::size_t> counts;
   changesets.reserve(pending.size());
   counts.reserve(pending.size());
-  for (const auto& item : pending) {
+  for (auto& item : pending) {
+    if (!item.classify) continue;
+    item.batch_index = changesets.size();
     changesets.push_back(&item.changeset);
     counts.push_back(item.n);
   }
@@ -201,21 +312,54 @@ std::vector<Discovery> DiscoveryServer::process(Transport& transport) {
   auto predictions = model_.predict_tags(
       std::span<const columbus::TagSet>(tagsets), core::TopN(counts));
 
-  // Phase 3 (sequential): commit results in arrival order so the store and
-  // inventory are deterministic regardless of thread count.
+  if (testhooks::simulate_crash_before_commit) {
+    throw std::runtime_error(
+        "simulated crash between classification and settle commit");
+  }
+
+  // Phase 3 (sequential): settle in arrival order so the store and
+  // inventory are deterministic regardless of thread count. Only now is
+  // acceptance recorded (tracker + WAL), so everything before this line is
+  // retryable.
   std::vector<Discovery> discoveries;
   discoveries.reserve(pending.size());
-  for (std::size_t i = 0; i < pending.size(); ++i) {
-    Discovery discovery = std::move(pending[i].discovery);
-    discovery.applications = std::move(predictions[i]);
-    store_.add(std::move(tagsets[i]));
+  for (auto& item : pending) {
+    const std::string& agent_id = item.discovery.agent_id;
+    if (tracker_for(agent_id).admit(item.discovery.sequence) !=
+        SequenceTracker::Admit::kAccept) {
+      // Out-of-order admissions earlier in this batch filled the held-set
+      // cap after this frame was screened; same policy as a phase-1
+      // reject: no ack, the wire redelivers.
+      counters_for(agent_id).overflow->inc();
+      continue;
+    }
+    if (wal_) {
+      wal_->append(agent_id, item.discovery.sequence,
+                   SettleOutcome::kProcessed);
+    }
+    counters_for(agent_id).processed->inc();
+    settled.push_back(item.wire);
+    if (!item.classify) continue;
+    Discovery discovery = std::move(item.discovery);
+    discovery.applications = std::move(predictions[item.batch_index]);
+    store_.add(std::move(tagsets[item.batch_index]));
     for (const auto& app : discovery.applications) {
       inventory_[discovery.agent_id].insert(app);
     }
     discoveries.push_back(std::move(discovery));
   }
   discoveries_total_->inc(discoveries.size());
+
+  // Settle-order contract (docs/DURABILITY.md): process → WAL append → ONE
+  // batched fsync → ack. A crash before commit() leaves every frame of the
+  // batch unacked (redelivered and deduplicated by the durable floor); a
+  // crash after it finds them durably settled.
+  if (wal_) wal_->commit();
   for (const std::string* wire : settled) transport.ack(*wire);
+
+  evict_idle_agents(active_agents);
+  update_state_gauges();
+  if (wal_ && wal_->wants_compaction()) wal_->compact(current_wal_state());
   return discoveries;
 }
 

@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <set>
 #include <string>
 #include <string_view>
@@ -25,6 +26,7 @@
 #include "core/tagset_store.hpp"
 #include "obs/metrics.hpp"
 #include "service/transport.hpp"
+#include "service/wal.hpp"
 
 namespace praxi::service {
 
@@ -42,6 +44,21 @@ struct ServerConfig {
   /// constructs the endpoint (e.g. cli `serve` builds a net::SocketServer
   /// from them); precedence follows docs/API.md — defaults < host < CLI.
   TransportConfig transport;
+  /// Durable ingest (docs/DURABILITY.md): when non-empty, a WriteAheadLog
+  /// in this directory is replayed at construction — BEFORE the host opens
+  /// any transport listener — restoring every agent's dedup floor, and each
+  /// settled report is logged + fsynced before its frame is acknowledged.
+  /// Empty (the default) keeps the dedup state in-memory only.
+  std::string wal_dir;
+  /// WAL segment size that triggers snapshot+truncate compaction.
+  std::size_t wal_segment_bytes = 4u << 20;
+  /// Soft bound on resident per-agent SequenceTrackers (0 = unbounded).
+  /// When exceeded after a process() call, trackers of agents that were
+  /// idle this batch and hold no out-of-order sequences are folded down to
+  /// their floor (a single u64 per agent — the irreducible dedup state,
+  /// which can never be dropped without re-admitting duplicates) and
+  /// restored transparently when the agent reappears.
+  std::size_t max_resident_agents = 0;
 };
 
 /// Per-agent ingest health: how many reports an agent delivered cleanly vs
@@ -60,6 +77,8 @@ struct AgentIngestStats {
   std::uint64_t malformed = 0;         ///< corrupt frames (checksum, bounds…)
   std::uint64_t version_mismatch = 0;  ///< structurally valid, wrong version
   std::uint64_t duplicate = 0;  ///< redelivered (agent, sequence), skipped
+  std::uint64_t overflow = 0;   ///< held-set cap reached; frame NOT settled,
+                                ///< left for the wire to redeliver
 };
 
 /// One processed report.
@@ -89,8 +108,18 @@ class DiscoveryServer {
   /// method makes processing exactly-once by tracking each agent's report
   /// sequence — a redelivered (agent, sequence) is counted as outcome
   /// "duplicate" and skipped. Every dispositioned frame is settled with
-  /// transport.ack() EXCEPT malformed ones: a mangled frame may be a
-  /// damaged copy of a report whose intact resend must still be accepted.
+  /// transport.ack() EXCEPT malformed ones (a mangled frame may be a
+  /// damaged copy of a report whose intact resend must still be accepted)
+  /// and held-set overflow rejections (counted as outcome "overflow" and
+  /// left unacked for redelivery once the window drains).
+  ///
+  /// Settle order (docs/DURABILITY.md): a report's acceptance is recorded —
+  /// tracker mutation, WAL append — only at commit time, after
+  /// classification succeeded; the batch is then fsynced (one fsync per
+  /// call when a WAL is configured) before any frame is acknowledged. A
+  /// crash at any point therefore either leaves a frame unacked (its
+  /// redelivery is deduplicated by the durable floor) or finds it settled —
+  /// never both-lost and re-learned.
   std::vector<Discovery> process(Transport& transport);
 
   /// Fleet inventory: applications discovered per agent so far.
@@ -112,6 +141,12 @@ class DiscoveryServer {
   std::uint64_t malformed() const;
   std::uint64_t version_mismatched() const;
   std::uint64_t duplicates() const;
+  std::uint64_t overflows() const;
+
+  /// The durable log, when ServerConfig::wal_dir is set (else nullptr).
+  const WriteAheadLog* wal() const { return wal_.get(); }
+  /// Resident per-agent dedup trackers (mirrors praxi_server_agents).
+  std::size_t resident_agents() const { return sequences_.size(); }
 
   /// Ingest health per agent, read out of the metrics registry (returns a
   /// snapshot by value). Frames too corrupt to attribute are charged to
@@ -131,10 +166,19 @@ class DiscoveryServer {
     obs::Counter* malformed = nullptr;
     obs::Counter* version_mismatch = nullptr;
     obs::Counter* duplicate = nullptr;
+    obs::Counter* overflow = nullptr;
   };
 
   AgentCounters& counters_for(const std::string& agent_id);
   AgentCounters& counters_for_wire(std::string_view wire);
+  /// The agent's tracker, creating it (restored from its evicted floor if
+  /// one exists) on first use.
+  SequenceTracker& tracker_for(const std::string& agent_id);
+  /// Full durable dedup state — resident trackers plus evicted floors —
+  /// for WAL compaction snapshots.
+  WalState current_wal_state() const;
+  void evict_idle_agents(const std::set<std::string>& active_agents);
+  void update_state_gauges();
 
   core::Praxi model_;
   ServerConfig config_;
@@ -145,8 +189,23 @@ class DiscoveryServer {
   /// Exactly-once processing over an at-least-once wire: one tracker per
   /// agent, keyed by the report's own sequence field.
   std::map<std::string, SequenceTracker> sequences_;
+  /// Floors of evicted idle agents (ServerConfig::max_resident_agents):
+  /// one u64 per agent instead of a whole tracker.
+  std::map<std::string, std::uint64_t> evicted_floors_;
+  std::unique_ptr<WriteAheadLog> wal_;
   obs::Histogram* process_seconds_ = nullptr;
   obs::Counter* discoveries_total_ = nullptr;
+  obs::Gauge* agents_gauge_ = nullptr;
+  obs::Gauge* held_gauge_ = nullptr;
 };
+
+namespace testhooks {
+/// When true, process() throws after classification but before ANY settle
+/// effect (tracker mutation, WAL append, store/inventory commit, ack) —
+/// simulating a crash in the worst window. Drained-but-unacked frames are
+/// redelivered by the at-least-once wire and must then process cleanly,
+/// exactly once.
+inline bool simulate_crash_before_commit = false;
+}  // namespace testhooks
 
 }  // namespace praxi::service

@@ -118,6 +118,11 @@ struct TransportConfig {
   std::size_t queue_bound = 1024;  ///< server ingest queue, frames
   std::size_t resend_buffer_bound = 4096;  ///< client unacked frames
   std::size_t max_frame_bytes = 16 * 1024 * 1024;
+  /// Out-of-order sequences a SequenceTracker may hold above its floor
+  /// before rejecting further gaps (0 = unbounded). Rejected frames are NOT
+  /// settled — no ack — so the at-least-once wire redelivers them once the
+  /// window drains (docs/DURABILITY.md).
+  std::size_t max_held_sequences = 4096;
 };
 
 /// One end of the collection wire. An endpoint is either a producer (agents
@@ -153,28 +158,84 @@ class Transport {
 /// sequence numbers. Remembers every accepted sequence with bounded memory
 /// under (mostly) in-order delivery: a contiguous prefix [0, floor) is
 /// compacted to a single counter and only out-of-order sequences above the
-/// floor are held individually. Used by net::SocketServer (per-connection
-/// frame sequences) and DiscoveryServer (per-agent report sequences).
+/// floor are held individually. The held set is capped (`max_held`): once
+/// full, gap-creating sequences are *rejected* — distinct from duplicates —
+/// and must not be acknowledged, so the at-least-once wire redelivers them
+/// after the window drains (docs/DURABILITY.md). Used by net::SocketServer
+/// (per-connection frame sequences) and DiscoveryServer (per-agent report
+/// sequences).
 class SequenceTracker {
  public:
-  /// True exactly once per distinct sequence value; false on redelivery.
-  bool accept(std::uint64_t sequence) {
-    if (sequence < floor_ || seen_.count(sequence) > 0) return false;
-    seen_.insert(sequence);
-    while (seen_.count(floor_) > 0) {
-      seen_.erase(floor_);
-      ++floor_;
+  SequenceTracker() = default;
+
+  /// `max_held` = 0 means unbounded (the pre-cap behavior).
+  explicit SequenceTracker(std::size_t max_held) : max_held_(max_held) {}
+
+  /// Restores a tracker from durable state (WAL replay / compaction
+  /// snapshot): every sequence below `floor` plus each entry of `held` has
+  /// been accepted.
+  SequenceTracker(std::uint64_t floor, const std::vector<std::uint64_t>& held,
+                  std::size_t max_held)
+      : floor_(floor), max_held_(max_held) {
+    for (const std::uint64_t sequence : held) {
+      if (sequence < floor_) continue;  // already inside the compacted prefix
+      seen_.insert(sequence);
     }
-    return true;
+    compact_floor();
+  }
+
+  /// Tri-state admission verdict. kDuplicate frames were already settled
+  /// (safe to re-acknowledge); kReject frames were never settled (must NOT
+  /// be acknowledged — the sender will redeliver).
+  enum class Admit : std::uint8_t { kAccept, kDuplicate, kReject };
+
+  /// Records `sequence` as settled iff the verdict is kAccept.
+  Admit admit(std::uint64_t sequence) {
+    const Admit verdict = preview(sequence);
+    if (verdict != Admit::kAccept) return verdict;
+    seen_.insert(sequence);
+    compact_floor();
+    return Admit::kAccept;
+  }
+
+  /// The verdict admit() would return, without recording anything. Lets a
+  /// consumer screen a frame early and defer the state mutation to settle
+  /// time, so a crash between screening and commit leaves no trace.
+  Admit preview(std::uint64_t sequence) const {
+    if (sequence < floor_ || seen_.count(sequence) > 0)
+      return Admit::kDuplicate;
+    if (max_held_ != 0 && sequence != floor_ && seen_.size() >= max_held_)
+      return Admit::kReject;
+    return Admit::kAccept;
+  }
+
+  /// True exactly once per distinct sequence value; false on redelivery.
+  /// Convenience wrapper over admit() for callers that never configure a
+  /// held-set cap (with a cap, use admit() — a kReject also returns false
+  /// here and must not be conflated with a duplicate).
+  bool accept(std::uint64_t sequence) {
+    return admit(sequence) == Admit::kAccept;
   }
 
   /// Every sequence below this has been accepted.
   std::uint64_t floor() const { return floor_; }
   /// Out-of-order sequences held above the floor (memory bound indicator).
   std::size_t held() const { return seen_.size(); }
+  /// The held out-of-order sequences, ascending (for durable snapshots).
+  std::vector<std::uint64_t> held_sequences() const {
+    return std::vector<std::uint64_t>(seen_.begin(), seen_.end());
+  }
 
  private:
+  void compact_floor() {
+    while (seen_.count(floor_) > 0) {
+      seen_.erase(floor_);
+      ++floor_;
+    }
+  }
+
   std::uint64_t floor_ = 0;
+  std::size_t max_held_ = 0;
   std::set<std::uint64_t> seen_;
 };
 

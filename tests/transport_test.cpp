@@ -9,6 +9,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <filesystem>
+#include <memory>
 #include <string>
 #include <tuple>
 #include <vector>
@@ -185,6 +187,67 @@ TEST(SequenceTrackerTest, RejectsBelowFloorForever) {
     EXPECT_FALSE(tracker.accept(seq));
   }
   EXPECT_TRUE(tracker.accept(10));
+}
+
+TEST(SequenceTrackerTest, HeldSetCapRejectsWithoutPoisoning) {
+  using Admit = SequenceTracker::Admit;
+  SequenceTracker tracker(/*max_held=*/2);
+  EXPECT_EQ(tracker.admit(5), Admit::kAccept);
+  EXPECT_EQ(tracker.admit(7), Admit::kAccept);
+  EXPECT_EQ(tracker.held(), 2u);
+
+  // At the cap a further out-of-order sequence is rejected — and crucially
+  // NOT recorded, so it is a distinct verdict from kDuplicate and its later
+  // redelivery (after the window drains) can still be accepted.
+  EXPECT_EQ(tracker.admit(9), Admit::kReject);
+  EXPECT_EQ(tracker.held(), 2u);
+  EXPECT_EQ(tracker.admit(9), Admit::kReject);
+
+  // The floor sequence is always admissible: it shrinks (never grows) the
+  // held window, so a full window can always drain.
+  EXPECT_EQ(tracker.admit(0), Admit::kAccept);
+  EXPECT_EQ(tracker.floor(), 1u);
+  for (std::uint64_t seq = 1; seq <= 4; ++seq) {
+    EXPECT_EQ(tracker.admit(seq), Admit::kAccept) << seq;
+  }
+  // 0..5 and 7 settled: floor folded through 5, one slot free again.
+  EXPECT_EQ(tracker.floor(), 6u);
+  EXPECT_EQ(tracker.held(), 1u);
+  EXPECT_EQ(tracker.admit(9), Admit::kAccept);
+  EXPECT_EQ(tracker.admit(5), Admit::kDuplicate);  // below floor: duplicate
+}
+
+TEST(SequenceTrackerTest, PreviewScreensWithoutRecording) {
+  using Admit = SequenceTracker::Admit;
+  SequenceTracker tracker(/*max_held=*/1);
+  EXPECT_EQ(tracker.preview(3), Admit::kAccept);
+  EXPECT_EQ(tracker.held(), 0u);  // preview must not mutate
+  EXPECT_EQ(tracker.admit(3), Admit::kAccept);
+  EXPECT_EQ(tracker.preview(3), Admit::kDuplicate);
+  EXPECT_EQ(tracker.preview(4), Admit::kReject);
+  EXPECT_EQ(tracker.preview(0), Admit::kAccept);  // floor always admissible
+}
+
+TEST(SequenceTrackerTest, RestoreRoundTripsFloorAndHeld) {
+  using Admit = SequenceTracker::Admit;
+  SequenceTracker original(/*max_held=*/4);
+  for (const std::uint64_t seq : {0ull, 1ull, 3ull, 6ull}) original.admit(seq);
+  EXPECT_EQ(original.floor(), 2u);
+
+  SequenceTracker restored(original.floor(), original.held_sequences(),
+                           /*max_held=*/4);
+  EXPECT_EQ(restored.floor(), 2u);
+  EXPECT_EQ(restored.held_sequences(), original.held_sequences());
+  EXPECT_EQ(restored.admit(3), Admit::kDuplicate);
+  EXPECT_EQ(restored.admit(6), Admit::kDuplicate);
+  EXPECT_EQ(restored.admit(2), Admit::kAccept);  // folds through held 3
+  EXPECT_EQ(restored.floor(), 4u);
+
+  // A held set that already contains the floor compacts on restore, and
+  // entries below the floor are ignored rather than trusted.
+  SequenceTracker folded(2, {1, 2, 4}, 0);
+  EXPECT_EQ(folded.floor(), 3u);
+  EXPECT_EQ(folded.held_sequences(), (std::vector<std::uint64_t>{4}));
 }
 
 // --------------------------------------------------------- peek_identity --
@@ -469,6 +532,87 @@ TEST_F(FaultMatrixTest, LossyWiresConvergeToCleanRunExactly) {
     EXPECT_EQ(outcome.discoveries, reference.discoveries);
     EXPECT_EQ(outcome.processed, reports.size());
   }
+}
+
+TEST_F(FaultMatrixTest, ServerRestartsMidStreamOverLossyWire) {
+  const auto reports = make_reports(3, 10);
+
+  MessageBus clean_bus;
+  const Outcome reference = run_to_completion(reports, clean_bus, clean_bus);
+  ASSERT_EQ(reference.processed, reports.size());
+
+  const std::string wal_dir =
+      (std::filesystem::temp_directory_path() / "praxi_wal_midstream")
+          .string();
+  std::filesystem::remove_all(wal_dir);
+
+  FaultPlan plan;
+  plan.seed = 4242;
+  plan.drop_rate = 0.15;
+  plan.duplicate_rate = 0.15;
+  plan.truncate_rate = 0.1;
+  plan.delay_rate = 0.1;
+  plan.delay_drains = 2;
+  MessageBus bus;
+  FaultyTransport faulty(bus, plan);
+
+  service::ServerConfig config;
+  config.runtime.num_threads = 1;
+  config.wal_dir = wal_dir;
+
+  std::vector<std::string> wires;
+  wires.reserve(reports.size());
+  for (const auto& report : reports) wires.push_back(report.to_wire());
+
+  const auto resend_unacked = [&] {
+    bool all_acked = true;
+    for (std::size_t i = 0; i < reports.size(); ++i) {
+      if (bus.acknowledged(reports[i].agent_id, reports[i].sequence)) continue;
+      all_acked = false;
+      faulty.send(wires[i]);
+    }
+    return all_acked;
+  };
+
+  Outcome combined;
+  const auto collect = [&](std::vector<service::Discovery> discoveries) {
+    for (auto& d : discoveries) {
+      combined.discoveries.emplace_back(d.agent_id, d.sequence,
+                                        std::move(d.applications));
+    }
+  };
+
+  // First life: a few resend rounds over the lossy wire, then the server
+  // dies mid-stream. Its in-memory dedup state dies with it; the WAL does
+  // not. (The broker — bus + delay queue — survives, as brokers do.)
+  auto server = std::make_unique<service::DiscoveryServer>(*model_, config);
+  for (int round = 0; round < 3; ++round) {
+    resend_unacked();
+    collect(server->process(faulty));
+  }
+  const std::uint64_t processed_first = server->processed();
+  ASSERT_GT(processed_first, 0u);
+  server.reset();  // crash
+
+  // Second life: replay restores every settled (agent, sequence); agents
+  // keep resending everything unacked until done.
+  server = std::make_unique<service::DiscoveryServer>(*model_, config);
+  ASSERT_NE(server->wal(), nullptr);
+  EXPECT_EQ(server->wal()->replayed_records(), processed_first);
+  for (int round = 0; round < 60; ++round) {
+    if (resend_unacked()) break;
+    collect(server->process(faulty));
+  }
+  for (int round = 0; round < 4; ++round) collect(server->process(faulty));
+  std::sort(combined.discoveries.begin(), combined.discoveries.end());
+
+  // Exactly-once across the crash: the two lives together processed every
+  // report exactly once (zero duplicate learns), and the combined
+  // discoveries match the uninterrupted run bit for bit.
+  EXPECT_EQ(combined.discoveries, reference.discoveries);
+  EXPECT_EQ(processed_first + server->processed(), reports.size());
+
+  std::filesystem::remove_all(wal_dir);
 }
 
 TEST_F(FaultMatrixTest, DuplicatesAreCountedNotReprocessed) {

@@ -70,8 +70,8 @@ run_fuzz() {
   cmake -B build -S . >/dev/null
   cmake --build build -j "$JOBS" --target \
     fuzz_prx1 fuzz_poa1 fuzz_pcs2 fuzz_pcs1 fuzz_ptg1 fuzz_pts1 \
-    fuzz_pds1 fuzz_pw2v fuzz_psv1 fuzz_prpt fuzz_frame fuzz_tokenizer \
-    fuzz_columbus_arena
+    fuzz_pds1 fuzz_pw2v fuzz_psv1 fuzz_prpt fuzz_wal fuzz_frame \
+    fuzz_tokenizer fuzz_columbus_arena
   ctest --test-dir build -R '^fuzz_smoke_' --output-on-failure -j "$JOBS"
 }
 
