@@ -1,0 +1,74 @@
+// Portable Clang Thread Safety Analysis annotations (docs/CONCURRENCY.md).
+//
+// Clang's -Wthread-safety turns locking contracts into compile-time proofs:
+// a field marked PRAXI_GUARDED_BY(mu) cannot be touched unless the compiler
+// can see `mu` held on every path, a method marked PRAXI_REQUIRES(mu) cannot
+// be called without it, and a PRAXI_ACQUIRE method cannot be entered with it
+// already held. The macros below expand to the underlying attributes under
+// clang and to nothing elsewhere, so GCC builds are unaffected and the whole
+// tree stays annotatable. tools/check.sh --tsa builds with the warnings
+// promoted to errors; PRAXI_WERROR folds them in whenever the compiler is
+// clang.
+//
+// Use these only through src/common/sync.hpp's Mutex/CondVar/LockGuard —
+// the praxi_lint naked-mutex rule bans raw std::mutex outside that wrapper,
+// because an unannotated lock is invisible to the analysis.
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define PRAXI_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#if !defined(PRAXI_THREAD_ANNOTATION)
+#define PRAXI_THREAD_ANNOTATION(x)  // not clang (or too old): expands away
+#endif
+
+/// Marks a type as a named capability ("mutex" in every praxi use).
+#define PRAXI_CAPABILITY(x) PRAXI_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII type whose constructor acquires and destructor releases.
+#define PRAXI_SCOPED_CAPABILITY PRAXI_THREAD_ANNOTATION(scoped_lockable)
+
+/// Field may only be read or written while holding `x`.
+#define PRAXI_GUARDED_BY(x) PRAXI_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer field whose *pointee* is protected by `x` (the pointer itself is
+/// not).
+#define PRAXI_PT_GUARDED_BY(x) PRAXI_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Caller must hold every listed capability before calling.
+#define PRAXI_REQUIRES(...) \
+  PRAXI_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function acquires the capability (held on return, not on entry). With no
+/// argument it refers to `this` (a Mutex's own lock()).
+#define PRAXI_ACQUIRE(...) \
+  PRAXI_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases the capability (held on entry, not on return).
+#define PRAXI_RELEASE(...) \
+  PRAXI_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function acquires the capability iff it returns `result`.
+#define PRAXI_TRY_ACQUIRE(result, ...) \
+  PRAXI_THREAD_ANNOTATION(try_acquire_capability(result, __VA_ARGS__))
+
+/// Caller must NOT hold the capability (self-deadlock proof for public
+/// methods that lock internally).
+#define PRAXI_EXCLUDES(...) \
+  PRAXI_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function returns a reference to the capability protecting its result.
+#define PRAXI_RETURN_CAPABILITY(x) \
+  PRAXI_THREAD_ANNOTATION(lock_returned(x))
+
+/// Tells the analysis the capability is held without acquiring it (used by
+/// assertions that abort when it is not).
+#define PRAXI_ASSERT_CAPABILITY(x) \
+  PRAXI_THREAD_ANNOTATION(assert_capability(x))
+
+/// Escape hatch: the definition is not analyzed. Reserve for code whose
+/// safety argument genuinely cannot be expressed (document why at the site).
+#define PRAXI_NO_THREAD_SAFETY_ANALYSIS \
+  PRAXI_THREAD_ANNOTATION(no_thread_safety_analysis)

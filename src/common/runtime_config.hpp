@@ -9,6 +9,15 @@
 // effect — so a DiscoveryServer's ServerConfig::runtime overrides whatever
 // the wrapped model was built with, and a praxi-cli --threads/--metrics
 // flag overrides both.
+//
+// Thread-compatibility contract (docs/CONCURRENCY.md): this is a plain
+// value type with no lock of its own — it carries no mutable shared state.
+// Apply it at configuration time, from one thread, before the configured
+// component is shared; the components it configures (ThreadPool,
+// MetricsRegistry) are themselves internally synchronized on the annotated
+// primitives in common/sync.hpp. Fields read on hot paths after that
+// (metrics_enabled) are copied into atomics by their owners, never read
+// back from this struct concurrently.
 #pragma once
 
 #include <cstddef>

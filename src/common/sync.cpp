@@ -1,0 +1,131 @@
+#include "common/sync.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace praxi::common {
+
+namespace {
+
+#if defined(PRAXI_LOCK_RANK_CHECKS)
+
+// Per-thread stack of held locks, in acquisition order. Fixed capacity:
+// the rank table has 8 layers, so a thread can legally hold at most 8
+// locks; 32 leaves room for future layers without heap traffic in the
+// lock path.
+constexpr std::size_t kMaxHeld = 32;
+
+struct HeldStack {
+  const Mutex* held[kMaxHeld];
+  std::size_t depth = 0;
+};
+
+thread_local HeldStack tls_held;
+
+[[noreturn]] void die(const char* fmt, const char* a_name, int a_rank,
+                      const char* b_name, int b_rank) {
+  std::fprintf(stderr, fmt, a_name, a_rank, b_name, b_rank);
+  std::fflush(stderr);
+  std::abort();
+}
+
+// Runs BEFORE the underlying mutex is locked so an inversion aborts with
+// a diagnostic instead of (maybe, eventually) deadlocking.
+void note_acquire(const Mutex& m) {
+  HeldStack& s = tls_held;
+  for (std::size_t i = 0; i < s.depth; ++i) {
+    const Mutex& held = *s.held[i];
+    if (m.rank() <= held.rank()) {
+      die(
+          "praxi sync: lock-rank inversion: acquiring \"%s\" (rank %d) "
+          "while holding \"%s\" (rank %d); locks must be taken in "
+          "strictly increasing rank order (src/common/sync.hpp)\n",
+          m.name(), static_cast<int>(m.rank()), held.name(),
+          static_cast<int>(held.rank()));
+    }
+  }
+  if (s.depth == kMaxHeld) {
+    std::fprintf(stderr,
+                 "praxi sync: held-lock stack overflow acquiring \"%s\"\n",
+                 m.name());
+    std::fflush(stderr);
+    std::abort();
+  }
+  s.held[s.depth++] = &m;
+}
+
+void note_release(const Mutex& m) {
+  HeldStack& s = tls_held;
+  // Scan from the top: releases are LIFO in practice, but the checker
+  // tolerates out-of-order release (it constrains the held *set*).
+  for (std::size_t i = s.depth; i > 0; --i) {
+    if (s.held[i - 1] == &m) {
+      for (std::size_t j = i - 1; j + 1 < s.depth; ++j) {
+        s.held[j] = s.held[j + 1];
+      }
+      --s.depth;
+      return;
+    }
+  }
+  std::fprintf(
+      stderr,
+      "praxi sync: releasing \"%s\" which this thread does not hold\n",
+      m.name());
+  std::fflush(stderr);
+  std::abort();
+}
+
+#endif  // PRAXI_LOCK_RANK_CHECKS
+
+}  // namespace
+
+// The bodies work on the unannotated raw std::mutex, which the analysis
+// cannot see — exclude them (the ACQUIRE/RELEASE contracts on the
+// declarations still bind every caller).
+void Mutex::lock() PRAXI_NO_THREAD_SAFETY_ANALYSIS {
+#if defined(PRAXI_LOCK_RANK_CHECKS)
+  note_acquire(*this);
+#endif
+  raw_.lock();
+}
+
+void Mutex::unlock() PRAXI_NO_THREAD_SAFETY_ANALYSIS {
+  raw_.unlock();
+#if defined(PRAXI_LOCK_RANK_CHECKS)
+  note_release(*this);
+#endif
+}
+
+void CondVar::wait(LockGuard& guard) {
+  // Adopt the already-held raw mutex for the duration of the wait, then
+  // hand ownership back to the guard. The rank-checker entry stays in
+  // place across the block: the thread still logically holds the lock
+  // (it reacquires it before making progress, and acquires nothing else
+  // while blocked).
+  // praxi-lint: allow(naked-mutex: the wrapper itself)
+  std::unique_lock<std::mutex> relock(guard.mutex_.raw_, std::adopt_lock);
+  raw_.wait(relock);
+  relock.release();
+}
+
+bool lock_rank_checks_enabled() noexcept {
+#if defined(PRAXI_LOCK_RANK_CHECKS)
+  return true;
+#else
+  return false;
+#endif
+}
+
+namespace testhooks {
+
+std::size_t held_lock_count() noexcept {
+#if defined(PRAXI_LOCK_RANK_CHECKS)
+  return tls_held.depth;
+#else
+  return 0;
+#endif
+}
+
+}  // namespace testhooks
+
+}  // namespace praxi::common

@@ -49,7 +49,7 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::LockGuard lock(mutex_);
     stopping_ = true;
   }
   cv_.notify_all();
@@ -58,7 +58,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::enqueue(std::function<void()> job) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::LockGuard lock(mutex_);
     queue_.push_back(std::move(job));
   }
   queue_depth_gauge().add(1.0);
@@ -69,8 +69,10 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> job;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      common::LockGuard lock(mutex_);
+      // Condition inline, not in a wait-predicate lambda: TSA analyzes
+      // lambdas as separate functions that do not hold mutex_.
+      while (!stopping_ && queue_.empty()) cv_.wait(lock);
       if (queue_.empty()) return;  // stopping_ and drained
       job = std::move(queue_.front());
       queue_.pop_front();

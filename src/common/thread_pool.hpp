@@ -9,16 +9,17 @@
 // sequential loop.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <exception>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <vector>
+
+#include "common/annotations.hpp"
+#include "common/sync.hpp"
 
 namespace praxi {
 
@@ -52,13 +53,13 @@ class ThreadPool {
   static std::size_t resolve_threads(std::size_t num_threads);
 
  private:
-  void enqueue(std::function<void()> job);
-  void worker_loop();
+  void enqueue(std::function<void()> job) PRAXI_EXCLUDES(mutex_);
+  void worker_loop() PRAXI_EXCLUDES(mutex_);
 
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  bool stopping_ = false;
+  common::Mutex mutex_{"thread_pool", common::LockRank::kThreadPool};
+  common::CondVar cv_;
+  std::deque<std::function<void()>> queue_ PRAXI_GUARDED_BY(mutex_);
+  bool stopping_ PRAXI_GUARDED_BY(mutex_) = false;
   std::vector<std::thread> workers_;
 };
 

@@ -5,21 +5,59 @@
 
 namespace praxi::core {
 
+TagsetStore::TagsetStore(const TagsetStore& other) {
+  common::LockGuard lock(other.mutex_);
+  tagsets_ = other.tagsets_;
+}
+
+TagsetStore::TagsetStore(TagsetStore&& other) noexcept {
+  common::LockGuard lock(other.mutex_);
+  tagsets_ = std::move(other.tagsets_);
+}
+
+TagsetStore& TagsetStore::operator=(const TagsetStore& other) {
+  if (this == &other) return *this;
+  std::vector<columbus::TagSet> snapshot;
+  {
+    common::LockGuard lock(other.mutex_);
+    snapshot = other.tagsets_;
+  }
+  common::LockGuard lock(mutex_);
+  tagsets_ = std::move(snapshot);
+  return *this;
+}
+
+TagsetStore& TagsetStore::operator=(TagsetStore&& other) noexcept {
+  if (this == &other) return *this;
+  std::vector<columbus::TagSet> snapshot;
+  {
+    common::LockGuard lock(other.mutex_);
+    snapshot = std::move(other.tagsets_);
+  }
+  common::LockGuard lock(mutex_);
+  tagsets_ = std::move(snapshot);
+  return *this;
+}
+
 void TagsetStore::add(columbus::TagSet tagset) {
+  common::LockGuard lock(mutex_);
   tagsets_.push_back(std::move(tagset));
 }
 
 void TagsetStore::add_all(std::vector<columbus::TagSet> tagsets) {
+  common::LockGuard lock(mutex_);
   for (auto& ts : tagsets) tagsets_.push_back(std::move(ts));
 }
 
 std::size_t TagsetStore::total_bytes() const {
+  common::LockGuard lock(mutex_);
   std::size_t total = 0;
   for (const auto& ts : tagsets_) total += ts.size_bytes();
   return total;
 }
 
 std::string TagsetStore::to_text() const {
+  common::LockGuard lock(mutex_);
   std::string out;
   for (const auto& ts : tagsets_) {
     out += ts.to_text();
@@ -54,6 +92,7 @@ constexpr std::uint32_t kStoreVersion = 1;
 }  // namespace
 
 std::string TagsetStore::to_binary() const {
+  common::LockGuard lock(mutex_);
   BinaryWriter w;
   w.put<std::uint64_t>(tagsets_.size());
   for (const auto& ts : tagsets_) w.put_string(ts.to_binary());
@@ -70,12 +109,14 @@ TagsetStore TagsetStore::from_binary(std::string_view bytes) {
     throw SerializeError("tagset store entry count out of range",
                          r.position());
   }
-  TagsetStore store;
-  store.tagsets_.reserve(count);
+  std::vector<columbus::TagSet> tagsets;
+  tagsets.reserve(count);
   for (std::uint64_t i = 0; i < count; ++i) {
-    store.tagsets_.push_back(columbus::TagSet::from_binary(r.get_string()));
+    tagsets.push_back(columbus::TagSet::from_binary(r.get_string()));
   }
   r.require_end("tagset store");
+  TagsetStore store;
+  store.add_all(std::move(tagsets));
   return store;
 }
 

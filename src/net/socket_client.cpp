@@ -99,6 +99,7 @@ std::chrono::milliseconds SocketClient::next_backoff() {
 }
 
 void SocketClient::send(std::string wire_bytes) {
+  common::LockGuard lock(mutex_);
   if (closed_) throw TransportError("send() on a closed SocketClient");
   if (unacked_.size() >= config_.transport.resend_buffer_bound) {
     throw TransportError(
@@ -117,10 +118,12 @@ void SocketClient::send(std::string wire_bytes) {
 }
 
 bool SocketClient::flush(std::uint32_t timeout_ms) {
+  common::LockGuard lock(mutex_);
   return pump(Clock::now() + std::chrono::milliseconds(timeout_ms));
 }
 
 void SocketClient::close() {
+  common::LockGuard lock(mutex_);
   if (closed_) return;
   pump(Clock::now() + std::chrono::milliseconds(config_.transport.io_timeout_ms));
   disconnect();

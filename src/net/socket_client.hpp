@@ -17,8 +17,9 @@
 //   * a kBusy response (server ingest queue full) backs off before
 //     resending — graceful degradation instead of a retry storm.
 //
-// Single-threaded by design: the owning agent's thread drives all IO via
-// send()/flush(). stats() alone is safe to call from other threads.
+// Internally serialized: send()/flush()/close() take the client mutex, so
+// any thread may drive the client (one at a time makes progress; IO waits
+// happen under the lock). stats() stays lock-free via atomics.
 #pragma once
 
 #include <atomic>
@@ -31,7 +32,9 @@
 #include <string_view>
 #include <vector>
 
+#include "common/annotations.hpp"
 #include "common/rng.hpp"
+#include "common/sync.hpp"
 #include "net/frame.hpp"
 #include "net/socket.hpp"
 #include "obs/metrics.hpp"
@@ -91,7 +94,7 @@ class SocketClient final : public service::Transport {
 
   /// Pumps until every buffered frame is acknowledged or timeout_ms
   /// elapses. Returns true when the buffer drained empty.
-  bool flush(std::uint32_t timeout_ms);
+  bool flush(std::uint32_t timeout_ms) PRAXI_EXCLUDES(mutex_);
 
   std::size_t unacked() const {
     return pending_count_.load(std::memory_order_relaxed);
@@ -110,30 +113,36 @@ class SocketClient final : public service::Transport {
     bool written = false;
   };
 
-  bool pump(Clock::time_point deadline);
-  void try_connect();
-  void disconnect();
+  bool pump(Clock::time_point deadline) PRAXI_REQUIRES(mutex_);
+  void try_connect() PRAXI_REQUIRES(mutex_);
+  void disconnect() PRAXI_REQUIRES(mutex_);
   /// Writes unwritten pending frames, at most one bounded burst per call so
   /// the pump interleaves ack reads under a deep backlog.
-  void write_pass();
-  void read_replies(std::uint32_t timeout_ms);
-  void handle_reply(const Frame& frame);
-  void check_ack_timeouts();
-  std::chrono::milliseconds next_backoff();
+  void write_pass() PRAXI_REQUIRES(mutex_);
+  void read_replies(std::uint32_t timeout_ms) PRAXI_REQUIRES(mutex_);
+  void handle_reply(const Frame& frame) PRAXI_REQUIRES(mutex_);
+  void check_ack_timeouts() PRAXI_REQUIRES(mutex_);
+  std::chrono::milliseconds next_backoff() PRAXI_REQUIRES(mutex_);
+
+  /// Serializes the whole connection/resend-buffer state machine.
+  mutable common::Mutex mutex_{"socket_client",
+                               common::LockRank::kSocketClient};
 
   SocketClientConfig config_;
-  TcpStream stream_;
-  FrameDecoder decoder_;
-  Rng jitter_;
-  double backoff_ms_;
-  Clock::time_point next_connect_attempt_{};
-  Clock::time_point busy_until_{};
-  std::deque<PendingFrame> unacked_;
-  std::uint64_t next_sequence_ = 0;
-  std::uint64_t write_index_ = 0;
-  std::uint64_t connect_attempts_ = 0;
-  bool ever_connected_ = false;
-  bool closed_ = false;
+  TcpStream stream_ PRAXI_GUARDED_BY(mutex_);
+  FrameDecoder decoder_ PRAXI_GUARDED_BY(mutex_);
+  Rng jitter_ PRAXI_GUARDED_BY(mutex_);
+  double backoff_ms_ PRAXI_GUARDED_BY(mutex_);
+  Clock::time_point next_connect_attempt_ PRAXI_GUARDED_BY(mutex_) =
+      Clock::time_point{};
+  Clock::time_point busy_until_ PRAXI_GUARDED_BY(mutex_) =
+      Clock::time_point{};
+  std::deque<PendingFrame> unacked_ PRAXI_GUARDED_BY(mutex_);
+  std::uint64_t next_sequence_ PRAXI_GUARDED_BY(mutex_) = 0;
+  std::uint64_t write_index_ PRAXI_GUARDED_BY(mutex_) = 0;
+  std::uint64_t connect_attempts_ PRAXI_GUARDED_BY(mutex_) = 0;
+  bool ever_connected_ PRAXI_GUARDED_BY(mutex_) = false;
+  bool closed_ PRAXI_GUARDED_BY(mutex_) = false;
 
   // Cross-thread-readable totals (stats()).
   std::atomic<std::size_t> pending_count_{0};

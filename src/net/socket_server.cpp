@@ -113,7 +113,7 @@ void SocketServer::accept_loop() {
     open_connections_.fetch_add(1, std::memory_order_relaxed);
     instruments_->connections->add(1.0);
     raw->reader = std::thread([this, raw] { reader_loop(*raw); });
-    std::lock_guard<std::mutex> lock(connections_mutex_);
+    common::LockGuard lock(connections_mutex_);
     connections_.push_back(std::move(conn));
   }
 }
@@ -121,7 +121,7 @@ void SocketServer::accept_loop() {
 void SocketServer::reap_connections(bool join_all) {
   std::vector<std::unique_ptr<Connection>> finished;
   {
-    std::lock_guard<std::mutex> lock(connections_mutex_);
+    common::LockGuard lock(connections_mutex_);
     auto split = std::stable_partition(
         connections_.begin(), connections_.end(), [&](const auto& conn) {
           return !join_all && !conn->done.load(std::memory_order_acquire);
@@ -196,7 +196,7 @@ bool SocketServer::handle_frame(Connection& conn, Frame& frame) {
       enum class Verdict { kEnqueued, kDuplicate, kBusy };
       Verdict verdict = Verdict::kBusy;
       {
-        std::lock_guard<std::mutex> lock(state_mutex_);
+        common::LockGuard lock(state_mutex_);
         if (queue_.size() >= config_.transport.queue_bound) {
           // Bounded-queue overload: refuse BEFORE touching the tracker so
           // the client's resend is not mistaken for a duplicate later.
@@ -261,7 +261,7 @@ bool SocketServer::handle_frame(Connection& conn, Frame& frame) {
 std::vector<std::string> SocketServer::drain() {
   std::vector<std::string> out;
   {
-    std::lock_guard<std::mutex> lock(state_mutex_);
+    common::LockGuard lock(state_mutex_);
     out.assign(std::make_move_iterator(queue_.begin()),
                std::make_move_iterator(queue_.end()));
     queue_.clear();
@@ -305,7 +305,7 @@ service::TransportStats SocketServer::stats() const {
 }
 
 std::size_t SocketServer::queue_depth() const {
-  std::lock_guard<std::mutex> lock(state_mutex_);
+  common::LockGuard lock(state_mutex_);
   return queue_.size();
 }
 

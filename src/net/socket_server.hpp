@@ -24,12 +24,13 @@
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <thread>
 #include <vector>
 
+#include "common/annotations.hpp"
+#include "common/sync.hpp"
 #include "net/frame.hpp"
 #include "net/socket.hpp"
 #include "obs/metrics.hpp"
@@ -99,12 +100,19 @@ class SocketServer final : public service::Transport {
   std::atomic<bool> stopping_{false};
   std::atomic<bool> closed_{false};
 
-  mutable std::mutex state_mutex_;  ///< guards queue_ + trackers_
-  std::deque<std::string> queue_;
-  std::map<std::string, service::SequenceTracker> trackers_;
+  mutable common::Mutex state_mutex_{
+      "socket_server_state", common::LockRank::kSocketServerState};
+  std::deque<std::string> queue_ PRAXI_GUARDED_BY(state_mutex_);
+  std::map<std::string, service::SequenceTracker> trackers_
+      PRAXI_GUARDED_BY(state_mutex_);
 
-  std::mutex connections_mutex_;  ///< accept thread + close()
-  std::vector<std::unique_ptr<Connection>> connections_;
+  /// Accept thread + close(); innermost rank so either may hold it while
+  /// the reader threads work under state_mutex_.
+  common::Mutex connections_mutex_{
+      "socket_server_connections",
+      common::LockRank::kSocketServerConnections};
+  std::vector<std::unique_ptr<Connection>> connections_
+      PRAXI_GUARDED_BY(connections_mutex_);
   std::atomic<std::size_t> open_connections_{0};
 
   // Lifetime totals (stats() + mirrored into praxi_net_* instruments).

@@ -132,14 +132,14 @@ MetricsRegistry::Series& MetricsRegistry::series_for(
 
 Counter& MetricsRegistry::counter(std::string_view name, std::string_view help,
                                   const Labels& labels) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::LockGuard lock(mutex_);
   Family& family = family_for(name, help, InstrumentKind::kCounter, nullptr);
   return *series_for(family, labels, nullptr).counter;
 }
 
 Gauge& MetricsRegistry::gauge(std::string_view name, std::string_view help,
                               const Labels& labels) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::LockGuard lock(mutex_);
   Family& family = family_for(name, help, InstrumentKind::kGauge, nullptr);
   return *series_for(family, labels, nullptr).gauge;
 }
@@ -152,7 +152,7 @@ Histogram& MetricsRegistry::histogram(std::string_view name,
     throw std::logic_error("histogram '" + std::string(name) +
                            "': buckets must ascend");
   }
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::LockGuard lock(mutex_);
   Family& family =
       family_for(name, help, InstrumentKind::kHistogram, &upper_bounds);
   return *series_for(family, labels, &upper_bounds).histogram;
@@ -160,7 +160,7 @@ Histogram& MetricsRegistry::histogram(std::string_view name,
 
 std::uint64_t MetricsRegistry::counter_value(std::string_view name,
                                              const Labels& labels) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::LockGuard lock(mutex_);
   auto it = families_.find(name);
   if (it == families_.end() || it->second->kind != InstrumentKind::kCounter) {
     return 0;
@@ -171,7 +171,7 @@ std::uint64_t MetricsRegistry::counter_value(std::string_view name,
 }
 
 std::vector<FamilySnapshot> MetricsRegistry::collect() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::LockGuard lock(mutex_);
   std::vector<FamilySnapshot> out;
   out.reserve(families_.size());
   for (const auto& [name, family] : families_) {
@@ -209,7 +209,7 @@ std::vector<FamilySnapshot> MetricsRegistry::collect() const {
 }
 
 void MetricsRegistry::reset_values() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::LockGuard lock(mutex_);
   for (auto& [name, family] : families_) {
     for (auto& [key, series] : family->series) {
       if (series.counter) series.counter->clear();

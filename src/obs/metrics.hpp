@@ -33,11 +33,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
+
+#include "common/annotations.hpp"
+#include "common/sync.hpp"
 
 namespace praxi::obs {
 
@@ -236,12 +238,16 @@ class MetricsRegistry {
   struct Series;
   struct Family;
   Family& family_for(std::string_view name, std::string_view help,
-                     InstrumentKind kind, const std::vector<double>* bounds);
+                     InstrumentKind kind, const std::vector<double>* bounds)
+      PRAXI_REQUIRES(mutex_);
   Series& series_for(Family& family, const Labels& labels,
-                     const std::vector<double>* bounds);
+                     const std::vector<double>* bounds)
+      PRAXI_REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Family>, std::less<>> families_;
+  mutable common::Mutex mutex_{"metrics_registry",
+                               common::LockRank::kMetricsRegistry};
+  std::map<std::string, std::unique_ptr<Family>, std::less<>> families_
+      PRAXI_GUARDED_BY(mutex_);
   std::atomic<bool> enabled_{true};
 };
 

@@ -55,6 +55,7 @@ DiscoveryServer::DiscoveryServer(core::Praxi model, ServerConfig config)
   // Durable ingest (docs/DURABILITY.md): replay happens HERE, inside the
   // constructor, so by the time the host can open a transport listener the
   // dedup floor of every agent is already restored.
+  common::LockGuard lock(state_mutex_);
   if (!config_.wal_dir.empty()) {
     WalConfig wal_config;
     wal_config.dir = config_.wal_dir;
@@ -155,6 +156,7 @@ DiscoveryServer::AgentCounters& DiscoveryServer::counters_for_wire(
 }
 
 std::uint64_t DiscoveryServer::processed() const {
+  common::LockGuard lock(state_mutex_);
   std::uint64_t total = 0;
   for (const auto& [agent, counters] : agent_counters_) {
     total += counters.processed->value();
@@ -163,6 +165,7 @@ std::uint64_t DiscoveryServer::processed() const {
 }
 
 std::uint64_t DiscoveryServer::malformed() const {
+  common::LockGuard lock(state_mutex_);
   std::uint64_t total = 0;
   for (const auto& [agent, counters] : agent_counters_) {
     total += counters.malformed->value();
@@ -171,6 +174,7 @@ std::uint64_t DiscoveryServer::malformed() const {
 }
 
 std::uint64_t DiscoveryServer::version_mismatched() const {
+  common::LockGuard lock(state_mutex_);
   std::uint64_t total = 0;
   for (const auto& [agent, counters] : agent_counters_) {
     total += counters.version_mismatch->value();
@@ -179,6 +183,7 @@ std::uint64_t DiscoveryServer::version_mismatched() const {
 }
 
 std::uint64_t DiscoveryServer::duplicates() const {
+  common::LockGuard lock(state_mutex_);
   std::uint64_t total = 0;
   for (const auto& [agent, counters] : agent_counters_) {
     total += counters.duplicate->value();
@@ -187,6 +192,7 @@ std::uint64_t DiscoveryServer::duplicates() const {
 }
 
 std::uint64_t DiscoveryServer::overflows() const {
+  common::LockGuard lock(state_mutex_);
   std::uint64_t total = 0;
   for (const auto& [agent, counters] : agent_counters_) {
     total += counters.overflow->value();
@@ -195,6 +201,7 @@ std::uint64_t DiscoveryServer::overflows() const {
 }
 
 std::map<std::string, AgentIngestStats> DiscoveryServer::ingest_stats() const {
+  common::LockGuard lock(state_mutex_);
   std::map<std::string, AgentIngestStats> stats;
   for (const auto& [agent, counters] : agent_counters_) {
     AgentIngestStats& s = stats[agent];
@@ -209,6 +216,10 @@ std::map<std::string, AgentIngestStats> DiscoveryServer::ingest_stats() const {
 
 std::vector<Discovery> DiscoveryServer::process(Transport& transport) {
   obs::ScopedTimer process_timer(*process_seconds_);
+  // Outermost lock (rank kServerState): held for the whole
+  // drain-classify-commit cycle; every deeper lock (store, pool, registry,
+  // WAL, transport) nests beneath it. docs/CONCURRENCY.md.
+  common::LockGuard lock(state_mutex_);
 
   // Phase 1 (sequential): parse + screen. Quantity inference is cheap
   // relative to classification, so only the survivors go into the batch.
@@ -365,6 +376,7 @@ std::vector<Discovery> DiscoveryServer::process(Transport& transport) {
 
 std::vector<std::string> DiscoveryServer::agents_running(
     const std::string& application) const {
+  common::LockGuard lock(state_mutex_);
   std::vector<std::string> agents;
   for (const auto& [agent_id, apps] : inventory_) {
     if (apps.count(application) > 0) agents.push_back(agent_id);
@@ -373,6 +385,7 @@ std::vector<std::string> DiscoveryServer::agents_running(
 }
 
 void DiscoveryServer::learn_feedback(const fs::Changeset& labeled_changeset) {
+  common::LockGuard lock(state_mutex_);
   const auto& labels = labeled_changeset.labels();
   if (labels.empty())
     throw std::invalid_argument(

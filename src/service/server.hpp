@@ -20,7 +20,9 @@
 #include <string_view>
 #include <vector>
 
+#include "common/annotations.hpp"
 #include "common/runtime_config.hpp"
+#include "common/sync.hpp"
 #include "core/discovery_service.hpp"
 #include "core/praxi.hpp"
 #include "core/tagset_store.hpp"
@@ -120,38 +122,52 @@ class DiscoveryServer {
   /// crash at any point therefore either leaves a frame unacked (its
   /// redelivery is deduplicated by the durable floor) or finds it settled —
   /// never both-lost and re-learned.
-  std::vector<Discovery> process(Transport& transport);
+  std::vector<Discovery> process(Transport& transport)
+      PRAXI_EXCLUDES(state_mutex_);
 
-  /// Fleet inventory: applications discovered per agent so far.
-  const std::map<std::string, std::set<std::string>>& inventory() const {
+  /// Fleet inventory: applications discovered per agent so far. By value:
+  /// a reference could not outlive the state lock.
+  std::map<std::string, std::set<std::string>> inventory() const
+      PRAXI_EXCLUDES(state_mutex_) {
+    common::LockGuard lock(state_mutex_);
     return inventory_;
   }
 
   /// Agents on which `application` has been discovered (compliance query).
-  std::vector<std::string> agents_running(const std::string& application) const;
+  std::vector<std::string> agents_running(const std::string& application) const
+      PRAXI_EXCLUDES(state_mutex_);
 
   /// Operator feedback: a labeled changeset improves the model online —
   /// new applications become discoverable without any retraining.
-  void learn_feedback(const fs::Changeset& labeled_changeset);
+  void learn_feedback(const fs::Changeset& labeled_changeset)
+      PRAXI_EXCLUDES(state_mutex_);
 
+  /// Model/store references. Mutations happen under the state lock inside
+  /// process()/learn_feedback(); callers of these accessors must be
+  /// quiescent with respect to those (the store is additionally internally
+  /// locked, so reading it concurrently is safe).
   const core::Praxi& model() const { return model_; }
   const core::TagsetStore& store() const { return store_; }
   /// Fleet-wide totals, summed over the per-agent counters.
-  std::uint64_t processed() const;
-  std::uint64_t malformed() const;
-  std::uint64_t version_mismatched() const;
-  std::uint64_t duplicates() const;
-  std::uint64_t overflows() const;
+  std::uint64_t processed() const PRAXI_EXCLUDES(state_mutex_);
+  std::uint64_t malformed() const PRAXI_EXCLUDES(state_mutex_);
+  std::uint64_t version_mismatched() const PRAXI_EXCLUDES(state_mutex_);
+  std::uint64_t duplicates() const PRAXI_EXCLUDES(state_mutex_);
+  std::uint64_t overflows() const PRAXI_EXCLUDES(state_mutex_);
 
   /// The durable log, when ServerConfig::wal_dir is set (else nullptr).
   const WriteAheadLog* wal() const { return wal_.get(); }
   /// Resident per-agent dedup trackers (mirrors praxi_server_agents).
-  std::size_t resident_agents() const { return sequences_.size(); }
+  std::size_t resident_agents() const PRAXI_EXCLUDES(state_mutex_) {
+    common::LockGuard lock(state_mutex_);
+    return sequences_.size();
+  }
 
   /// Ingest health per agent, read out of the metrics registry (returns a
   /// snapshot by value). Frames too corrupt to attribute are charged to
   /// kUnattributedAgent.
-  std::map<std::string, AgentIngestStats> ingest_stats() const;
+  std::map<std::string, AgentIngestStats> ingest_stats() const
+      PRAXI_EXCLUDES(state_mutex_);
   static constexpr const char* kUnattributedAgent = "(unattributed)";
 
   /// Label distinguishing this server's series in the process-global
@@ -169,29 +185,45 @@ class DiscoveryServer {
     obs::Counter* overflow = nullptr;
   };
 
-  AgentCounters& counters_for(const std::string& agent_id);
-  AgentCounters& counters_for_wire(std::string_view wire);
+  AgentCounters& counters_for(const std::string& agent_id)
+      PRAXI_REQUIRES(state_mutex_);
+  AgentCounters& counters_for_wire(std::string_view wire)
+      PRAXI_REQUIRES(state_mutex_);
   /// The agent's tracker, creating it (restored from its evicted floor if
   /// one exists) on first use.
-  SequenceTracker& tracker_for(const std::string& agent_id);
+  SequenceTracker& tracker_for(const std::string& agent_id)
+      PRAXI_REQUIRES(state_mutex_);
   /// Full durable dedup state — resident trackers plus evicted floors —
   /// for WAL compaction snapshots.
-  WalState current_wal_state() const;
-  void evict_idle_agents(const std::set<std::string>& active_agents);
-  void update_state_gauges();
+  WalState current_wal_state() const PRAXI_REQUIRES(state_mutex_);
+  void evict_idle_agents(const std::set<std::string>& active_agents)
+      PRAXI_REQUIRES(state_mutex_);
+  void update_state_gauges() PRAXI_REQUIRES(state_mutex_);
+
+  /// Outermost lock of the whole hierarchy (rank kServerState): held across
+  /// a full process()/learn_feedback() body, i.e. while the thread pool,
+  /// metrics registry, tagset store, WAL, and transport locks are taken
+  /// beneath it (docs/CONCURRENCY.md). Serializes ingest state AND
+  /// model_/store_ mutation.
+  mutable common::Mutex state_mutex_{"server_state",
+                                     common::LockRank::kServerState};
 
   core::Praxi model_;
   ServerConfig config_;
   core::TagsetStore store_;
-  std::map<std::string, std::set<std::string>> inventory_;
+  std::map<std::string, std::set<std::string>> inventory_
+      PRAXI_GUARDED_BY(state_mutex_);
   std::string server_label_;
-  std::map<std::string, AgentCounters> agent_counters_;
+  std::map<std::string, AgentCounters> agent_counters_
+      PRAXI_GUARDED_BY(state_mutex_);
   /// Exactly-once processing over an at-least-once wire: one tracker per
   /// agent, keyed by the report's own sequence field.
-  std::map<std::string, SequenceTracker> sequences_;
+  std::map<std::string, SequenceTracker> sequences_
+      PRAXI_GUARDED_BY(state_mutex_);
   /// Floors of evicted idle agents (ServerConfig::max_resident_agents):
   /// one u64 per agent instead of a whole tracker.
-  std::map<std::string, std::uint64_t> evicted_floors_;
+  std::map<std::string, std::uint64_t> evicted_floors_
+      PRAXI_GUARDED_BY(state_mutex_);
   std::unique_ptr<WriteAheadLog> wal_;
   obs::Histogram* process_seconds_ = nullptr;
   obs::Counter* discoveries_total_ = nullptr;

@@ -372,11 +372,17 @@ void WriteAheadLog::open_live(std::uint64_t index, std::size_t existing_bytes) {
 
 void WriteAheadLog::append(std::string_view agent_id, std::uint64_t sequence,
                            SettleOutcome outcome) {
+  common::LockGuard lock(mutex_);
   pending_ += encode_wal_settle(agent_id, sequence, outcome);
   ++pending_records_;
 }
 
 void WriteAheadLog::commit() {
+  common::LockGuard lock(mutex_);
+  commit_locked();
+}
+
+void WriteAheadLog::commit_locked() {
   if (pending_.empty()) return;
 #if !defined(_WIN32)
   const char* p = pending_.data();
@@ -416,7 +422,8 @@ void WriteAheadLog::commit() {
 }
 
 void WriteAheadLog::compact(const WalState& state) {
-  commit();  // nothing buffered may be lost by the rotation
+  common::LockGuard lock(mutex_);
+  commit_locked();  // nothing buffered may be lost by the rotation
   const std::uint64_t next_index = live_index_ + 1;
   const std::string snapshot = encode_wal_snapshot(state);
   // Publish the snapshot segment atomically FIRST. A crash anywhere after

@@ -23,7 +23,10 @@
 //     older segments. A snapshot record RESETS replay state, so a crash
 //     between publish and delete only leaves superseded segments behind.
 //
-// Not thread-safe: owned and driven by the (single-threaded) consumer loop.
+// Thread-safe: append/commit/compact and the size accessors serialize on an
+// internal mutex (rank kWal — acquired under the server state lock on the
+// settle path; see docs/CONCURRENCY.md). Startup replay happens in the
+// constructor, before the object is shared.
 #pragma once
 
 #include <cstdint>
@@ -32,6 +35,9 @@
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "common/annotations.hpp"
+#include "common/sync.hpp"
 
 namespace praxi::service {
 
@@ -115,46 +121,64 @@ class WriteAheadLog {
 
   /// Buffers one settle record. Not durable until commit().
   void append(std::string_view agent_id, std::uint64_t sequence,
-              SettleOutcome outcome);
+              SettleOutcome outcome) PRAXI_EXCLUDES(mutex_);
 
   /// Writes the buffered batch to the live segment and fsyncs it — ONE
   /// fsync per process() batch, the settle-order contract's durability
   /// point. No-op when nothing is buffered. Throws SerializeError on IO
   /// failure (the caller must not acknowledge the batch's frames).
-  void commit();
+  void commit() PRAXI_EXCLUDES(mutex_);
 
   /// True once the live segment has reached config.segment_bytes.
-  bool wants_compaction() const { return live_bytes_ >= config_.segment_bytes; }
+  bool wants_compaction() const PRAXI_EXCLUDES(mutex_) {
+    common::LockGuard lock(mutex_);
+    return live_bytes_ >= config_.segment_bytes;
+  }
 
   /// Publishes `state` as the single snapshot record of a fresh segment
   /// (write_file_atomic), then deletes every older segment. Call with the
   /// consumer's full current tracker state; nothing may be buffered
   /// (commit() first).
-  void compact(const WalState& state);
+  void compact(const WalState& state) PRAXI_EXCLUDES(mutex_);
 
   /// Segments currently on disk (1 after compaction settles; more only in
   /// the crash window between snapshot publish and old-segment deletion).
+  /// Pure directory scan — no lock.
   std::size_t segment_count() const;
 
   /// Bytes in the live segment (mirrors the praxi_wal_segment_bytes gauge).
-  std::size_t live_bytes() const { return live_bytes_; }
+  std::size_t live_bytes() const PRAXI_EXCLUDES(mutex_) {
+    common::LockGuard lock(mutex_);
+    return live_bytes_;
+  }
 
-  /// Path of the live segment (diagnostics/tests).
-  const std::string& live_segment_path() const { return live_path_; }
+  /// Path of the live segment (diagnostics/tests). By value: the path
+  /// changes under the lock when the log rotates.
+  std::string live_segment_path() const PRAXI_EXCLUDES(mutex_) {
+    common::LockGuard lock(mutex_);
+    return live_path_;
+  }
 
  private:
-  void open_live(std::uint64_t index, std::size_t existing_bytes);
+  /// Body of commit(); split out so compact() can commit while already
+  /// holding the lock (the rank checker rejects same-rank re-entry).
+  void commit_locked() PRAXI_REQUIRES(mutex_);
+  void open_live(std::uint64_t index, std::size_t existing_bytes)
+      PRAXI_REQUIRES(mutex_);
   std::string segment_path(std::uint64_t index) const;
 
+  mutable common::Mutex mutex_{"wal", common::LockRank::kWal};
+
   WalConfig config_;
-  WalState restored_;
-  std::size_t replayed_records_ = 0;
-  std::uint64_t live_index_ = 1;
-  std::string live_path_;
-  std::size_t live_bytes_ = 0;
-  int fd_ = -1;
-  std::string pending_;             ///< encoded records awaiting commit()
-  std::uint64_t pending_records_ = 0;
+  WalState restored_;                  ///< const after the constructor
+  std::size_t replayed_records_ = 0;   ///< const after the constructor
+  std::uint64_t live_index_ PRAXI_GUARDED_BY(mutex_) = 1;
+  std::string live_path_ PRAXI_GUARDED_BY(mutex_);
+  std::size_t live_bytes_ PRAXI_GUARDED_BY(mutex_) = 0;
+  int fd_ PRAXI_GUARDED_BY(mutex_) = -1;
+  /// Encoded records awaiting commit().
+  std::string pending_ PRAXI_GUARDED_BY(mutex_);
+  std::uint64_t pending_records_ PRAXI_GUARDED_BY(mutex_) = 0;
   struct Instruments;               ///< praxi_wal_* handles (impl detail)
   std::unique_ptr<Instruments> instruments_;
 };

@@ -1,0 +1,156 @@
+// Tests for the annotated synchronization primitives and the lock-rank
+// deadlock checker (common/sync.hpp, docs/CONCURRENCY.md).
+//
+// The rank checker's whole contract is "a rank inversion aborts the
+// process with both lock names", so the interesting cases are death
+// tests. They are gated on lock_rank_checks_enabled(): a build with
+// PRAXI_LOCK_RANK_CHECKS=OFF compiles the checker out entirely, and the
+// death tests skip rather than report a false failure.
+#include "common/sync.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+#include "common/annotations.hpp"
+
+namespace praxi::common {
+namespace {
+
+TEST(LockRankTest, OrderedAcquisitionPasses) {
+  Mutex outer("ordered_outer", LockRank::kServerState);
+  Mutex inner("ordered_inner", LockRank::kWal);
+  {
+    LockGuard a(outer);
+    LockGuard b(inner);
+    if (lock_rank_checks_enabled()) {
+      EXPECT_EQ(testhooks::held_lock_count(), 2u);
+    }
+  }
+  if (lock_rank_checks_enabled()) {
+    EXPECT_EQ(testhooks::held_lock_count(), 0u);
+  }
+}
+
+// Rank order constrains locks held SIMULTANEOUSLY, not the order a thread
+// touches locks over its lifetime: dropping a high-rank lock and then
+// taking a low-rank one is fine.
+TEST(LockRankTest, SequentialAcquisitionIgnoresRankOrder) {
+  Mutex high("sequential_high", LockRank::kWal);
+  Mutex low("sequential_low", LockRank::kServerState);
+  { LockGuard a(high); }
+  { LockGuard b(low); }
+  if (lock_rank_checks_enabled()) {
+    EXPECT_EQ(testhooks::held_lock_count(), 0u);
+  }
+}
+
+// The held-rank stack is thread-local: another thread's held locks never
+// constrain this thread's acquisition order.
+TEST(LockRankTest, HeldStackIsPerThread) {
+  Mutex outer("per_thread_outer", LockRank::kServerState);
+  Mutex inner("per_thread_inner", LockRank::kWal);
+  LockGuard hold(inner);
+  std::thread other([&outer] {
+    LockGuard lock(outer);  // would invert if the stack were global
+    if (lock_rank_checks_enabled()) {
+      EXPECT_EQ(testhooks::held_lock_count(), 1u);
+    }
+  });
+  other.join();
+}
+
+TEST(LockRankDeathTest, InversionAbortsWithBothLockNames) {
+  if (!lock_rank_checks_enabled()) {
+    GTEST_SKIP() << "built with PRAXI_LOCK_RANK_CHECKS=OFF";
+  }
+  Mutex low("inversion_low", LockRank::kServerState);
+  Mutex high("inversion_high", LockRank::kWal);
+  EXPECT_DEATH(
+      {
+        LockGuard a(high);
+        LockGuard b(low);
+      },
+      "lock-rank inversion.*\"inversion_low\".*\"inversion_high\"");
+}
+
+// Strictly increasing means same-rank nesting is rejected too — that is
+// what makes recursive locking and the ABBA pattern between two same-rank
+// locks impossible, not just unlikely.
+TEST(LockRankDeathTest, SameRankNestingAborts) {
+  if (!lock_rank_checks_enabled()) {
+    GTEST_SKIP() << "built with PRAXI_LOCK_RANK_CHECKS=OFF";
+  }
+  Mutex first("same_rank_first", LockRank::kWal);
+  Mutex second("same_rank_second", LockRank::kWal);
+  EXPECT_DEATH(
+      {
+        LockGuard a(first);
+        LockGuard b(second);
+      },
+      "lock-rank inversion.*\"same_rank_second\".*\"same_rank_first\"");
+}
+
+// Bypass TSA deliberately: releasing a lock this thread does not hold is
+// exactly what the runtime checker must catch, but TSA would (correctly)
+// reject the call at compile time under the --tsa lane.
+void release_unheld(Mutex& mutex) PRAXI_NO_THREAD_SAFETY_ANALYSIS {
+  mutex.unlock();
+}
+
+TEST(LockRankDeathTest, ReleasingUnheldLockAborts) {
+  if (!lock_rank_checks_enabled()) {
+    GTEST_SKIP() << "built with PRAXI_LOCK_RANK_CHECKS=OFF";
+  }
+  Mutex mutex("unheld_release", LockRank::kWal);
+  EXPECT_DEATH(release_unheld(mutex), "\"unheld_release\".*does not hold");
+}
+
+TEST(CondVarTest, WaitReleasesLockAndWakesOnNotify) {
+  Mutex mutex("condvar_mutex", LockRank::kThreadPool);
+  CondVar cv;
+  bool ready = false;
+  // The worker can only take the lock because wait() releases it while
+  // blocked; if wait() held on, this test would deadlock (and time out).
+  std::thread worker([&] {
+    LockGuard lock(mutex);
+    ready = true;
+    cv.notify_one();
+  });
+  {
+    LockGuard lock(mutex);
+    while (!ready) cv.wait(lock);
+    EXPECT_TRUE(ready);
+    if (lock_rank_checks_enabled()) {
+      // wait() reacquired the lock: still held from the checker's view.
+      EXPECT_EQ(testhooks::held_lock_count(), 1u);
+    }
+  }
+  worker.join();
+}
+
+// The negative-compile contract of the --tsa lane, runnable as a plain
+// unit test wherever clang is installed: the unguarded read in
+// tsa_negcompile.cpp must be rejected, and its locked variant (the
+// positive control) must be accepted. Skips — like the lane itself —
+// when clang++ is absent.
+TEST(TsaNegativeCompile, UnguardedAccessRejectedLockedControlAccepted) {
+  if (std::system("command -v clang++ >/dev/null 2>&1") != 0) {
+    GTEST_SKIP() << "clang++ not installed (the --tsa lane runs this "
+                    "check on machines that have it)";
+  }
+  const std::string root = PRAXI_SOURCE_DIR;
+  const std::string compile = "clang++ -std=c++20 -fsyntax-only -I" + root +
+                              "/src -Wthread-safety -Werror=thread-safety " +
+                              root + "/tests/tsa_negcompile.cpp";
+  EXPECT_NE(std::system((compile + " 2>/dev/null").c_str()), 0)
+      << "unguarded access to a PRAXI_GUARDED_BY field compiled — Thread "
+         "Safety Analysis is not enforcing";
+  EXPECT_EQ(std::system((compile + " -DPRAXI_NEGCOMPILE_LOCKED").c_str()), 0)
+      << "the locked positive control failed to compile";
+}
+
+}  // namespace
+}  // namespace praxi::common

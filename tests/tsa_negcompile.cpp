@@ -1,0 +1,37 @@
+// Negative-compile seed for the Thread Safety Analysis lane
+// (tools/check.sh --tsa, docs/CONCURRENCY.md).
+//
+// This file is NOT part of any build target. The --tsa lane (and
+// sync_test's TsaNegativeCompile case) compiles it standalone with
+// `clang++ -fsyntax-only -Werror=thread-safety`, twice:
+//
+//   * without PRAXI_NEGCOMPILE_LOCKED the guarded field is read with no
+//     lock held, and the compile MUST FAIL — proving the analysis
+//     actually rejects violations (a lane that only ever sees clean code
+//     proves nothing);
+//   * with PRAXI_NEGCOMPILE_LOCKED the same read happens under a
+//     LockGuard and the compile MUST SUCCEED — the positive control that
+//     the failure above is the TSA diagnostic, not an unrelated error.
+#include "common/annotations.hpp"
+#include "common/sync.hpp"
+
+namespace praxi {
+
+class NegCompileSeed {
+ public:
+  int read_guarded() const PRAXI_EXCLUDES(mutex_) {
+#if defined(PRAXI_NEGCOMPILE_LOCKED)
+    common::LockGuard lock(mutex_);
+#endif
+    return value_;  // unguarded read: -Werror=thread-safety rejects this
+  }
+
+ private:
+  mutable common::Mutex mutex_{"negcompile_seed",
+                               common::LockRank::kThreadPool};
+  int value_ PRAXI_GUARDED_BY(mutex_) = 0;
+};
+
+int touch_seed() { return NegCompileSeed{}.read_guarded(); }
+
+}  // namespace praxi

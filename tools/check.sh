@@ -1,10 +1,18 @@
 #!/usr/bin/env bash
 # Static-analysis gate entry point (docs/STATIC_ANALYSIS.md).
 #
-#   tools/check.sh             run every lane below, in order
+#   tools/check.sh             run every lane below in order, stopping at
+#                              the first failure
+#   tools/check.sh --all       run every lane, KEEP GOING past failures,
+#                              exit non-zero if any lane failed
 #   tools/check.sh --tier1     tier-1 build + full ctest (includes fuzz
 #                              smoke + praxi_lint)
 #   tools/check.sh --werror    strict-warnings build (PRAXI_WERROR=ON)
+#   tools/check.sh --tsa       clang Thread Safety Analysis as errors
+#                              (PRAXI_TSA=ON) + the negative-compile check
+#                              that proves the analysis actually rejects a
+#                              guarded-field access without its lock
+#                              (docs/CONCURRENCY.md; needs clang)
 #   tools/check.sh --tidy      clang-tidy over the compile database
 #   tools/check.sh --lint      tools/praxi_lint.py + its self-test
 #   tools/check.sh --fuzz      fuzz smoke tests only (already in tier-1)
@@ -16,11 +24,18 @@
 #                              registry's concurrency tests (needs clang)
 #   tools/check.sh --tsan-net  ThreadSanitizer pass over the socket
 #                              transport's concurrency tests (needs clang)
+#   tools/check.sh --tsan-wal  ThreadSanitizer pass over the WAL and the
+#                              server restart/ingest concurrency tests
+#                              (needs clang)
 #
-# Lanes that need a tool the machine lacks (clang-tidy, clang-format) are
-# SKIPPED with a notice, not failed — the configs are checked in so any
-# machine that has the tools enforces them. Everything else failing fails
-# the script (set -e).
+# Lane flags can be combined (e.g. `--lint --tsa`). Every run ends with a
+# summary table: which lanes ran, which were skipped, which failed.
+#
+# Lanes that need a tool the machine lacks (clang, clang-tidy,
+# clang-format) are SKIPPED with a notice, not failed — the configs are
+# checked in so any machine that has the tools enforces them. A lane
+# signals the skip by exiting its subshell with 77 (the conventional
+# automake SKIP code); any other non-zero exit is a failure.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -28,7 +43,9 @@ ROOT=$PWD
 JOBS=$(nproc 2>/dev/null || echo 4)
 
 note()  { printf '\n== %s\n' "$*"; }
-skip()  { printf '\n== SKIPPED: %s\n' "$*"; }
+# Called from inside a lane: prints the notice and exits the lane's
+# subshell with the SKIP code so the driver records "skipped", not "ran".
+skip()  { printf '\n== SKIPPED: %s\n' "$*"; exit 77; }
 
 run_tier1() {
   note "tier-1: build + ctest (unit, persistence, fuzz smoke, praxi_lint)"
@@ -39,15 +56,51 @@ run_tier1() {
 
 run_werror() {
   note "strict warnings: PRAXI_WERROR=ON (-Wconversion -Wsign-conversion \
--Wshadow -Wnon-virtual-dtor -Wold-style-cast -Werror)"
+-Wshadow -Wnon-virtual-dtor -Wold-style-cast -Werror; +-Wthread-safety \
+under clang)"
   cmake -B build-werror -S . -DPRAXI_WERROR=ON >/dev/null
   cmake --build build-werror -j "$JOBS"
+}
+
+run_tsa() {
+  # Compile-time concurrency proofs (docs/CONCURRENCY.md): every lock in
+  # src/ is an annotated common::Mutex, so clang's Thread Safety Analysis
+  # can verify — at compile time — that guarded fields are only touched
+  # with their lock held. gcc parses the annotations as unknown attributes
+  # and proves nothing, so this lane insists on clang and skips otherwise
+  # (the lock-rank runtime checker still runs everywhere).
+  if ! command -v clang++ >/dev/null; then
+    skip "clang++ not installed (tsa lane: -Werror=thread-safety needs \
+clang's Thread Safety Analysis; the configs are checked in)"
+  fi
+  note "thread safety analysis: PRAXI_TSA=ON (-Werror=thread-safety)"
+  cmake -B build-tsa -S . -DPRAXI_TSA=ON \
+    -DCMAKE_CXX_COMPILER=clang++ -DCMAKE_C_COMPILER=clang >/dev/null
+  cmake --build build-tsa -j "$JOBS"
+
+  # Negative-compile check: a guarded-field access without the lock MUST
+  # be rejected, or the lane is proving nothing. tsa_negcompile.cpp reads
+  # a PRAXI_GUARDED_BY field with no lock held; compiling the same file
+  # with -DPRAXI_NEGCOMPILE_LOCKED takes the lock first and must succeed —
+  # the positive control that guards against the violation "failing" due
+  # to an unrelated compile error.
+  note "tsa negative-compile: unguarded access must fail, locked control \
+must pass"
+  local negsrc=tests/tsa_negcompile.cpp
+  local flags=(-std=c++20 -fsyntax-only -Isrc
+               -Wthread-safety -Werror=thread-safety)
+  if clang++ "${flags[@]}" "$negsrc" 2>/dev/null; then
+    echo "ERROR: $negsrc compiled without holding the lock — Thread" \
+         "Safety Analysis is not enforcing PRAXI_GUARDED_BY" >&2
+    exit 1
+  fi
+  clang++ "${flags[@]}" -DPRAXI_NEGCOMPILE_LOCKED "$negsrc"
+  echo "negative-compile check ok: violation rejected, control accepted"
 }
 
 run_tidy() {
   if ! command -v clang-tidy >/dev/null; then
     skip "clang-tidy not installed (config: .clang-tidy)"
-    return 0
   fi
   note "clang-tidy over the compile database"
   cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
@@ -95,7 +148,6 @@ run_tsan_obs() {
   # distros, so this lane insists on clang and skips otherwise.
   if ! command -v clang++ >/dev/null; then
     skip "clang++ not installed (tsan-obs lane; gcc tier-1 still runs obs_test)"
-    return 0
   fi
   note "ThreadSanitizer: obs_test (metrics registry concurrency)"
   cmake -B build-tsan-obs -S . -DPRAXI_SANITIZE=thread \
@@ -111,7 +163,6 @@ run_tsan_net() {
   # where a data race would hide. Same clang-only policy as tsan-obs.
   if ! command -v clang++ >/dev/null; then
     skip "clang++ not installed (tsan-net lane; gcc tier-1 still runs net_test)"
-    return 0
   fi
   note "ThreadSanitizer: net_test (socket transport concurrency)"
   cmake -B build-tsan-net -S . -DPRAXI_SANITIZE=thread \
@@ -120,29 +171,100 @@ run_tsan_net() {
   ./build-tsan-net/tests/net_test
 }
 
+run_tsan_wal() {
+  # The WAL settle path takes the deepest lock nesting in the tree —
+  # server state -> tagset store -> pool -> registry -> WAL
+  # (docs/CONCURRENCY.md) — and transport_test's FaultMatrixTest drives it
+  # through restarts and at-least-once redelivery, where a race would
+  # corrupt the exactly-once guarantee silently. wal_test covers the log
+  # itself. Same clang-only policy as the other tsan lanes.
+  if ! command -v clang++ >/dev/null; then
+    skip "clang++ not installed (tsan-wal lane; gcc tier-1 still runs \
+wal_test + transport_test)"
+  fi
+  note "ThreadSanitizer: wal_test + transport_test FaultMatrix (WAL and \
+restart/ingest concurrency)"
+  cmake -B build-tsan-wal -S . -DPRAXI_SANITIZE=thread \
+    -DCMAKE_CXX_COMPILER=clang++ -DCMAKE_C_COMPILER=clang >/dev/null
+  cmake --build build-tsan-wal -j "$JOBS" --target wal_test transport_test
+  ./build-tsan-wal/tests/wal_test
+  ./build-tsan-wal/tests/transport_test --gtest_filter='FaultMatrixTest.*'
+}
+
 run_format() {
   if ! command -v clang-format >/dev/null; then
     skip "clang-format not installed (config: .clang-format)"
-    return 0
   fi
   note "format check (dry run, no rewrite)"
   find src fuzz tests bench examples tools -name '*.cpp' -o -name '*.hpp' |
     xargs clang-format --dry-run --Werror
 }
 
-case "${1:-all}" in
-  --tier1)  run_tier1 ;;
-  --werror) run_werror ;;
-  --tidy)   run_tidy ;;
-  --lint)   run_lint ;;
-  --fuzz)   run_fuzz ;;
-  --bench-smoke) run_bench_smoke ;;
-  --format) run_format ;;
-  --tsan-obs) run_tsan_obs ;;
-  --tsan-net) run_tsan_net ;;
-  all)      run_tier1; run_werror; run_tidy; run_lint; run_bench_smoke; run_tsan_obs; run_tsan_net; run_format ;;
-  *) echo "usage: tools/check.sh [--tier1|--werror|--tidy|--lint|--fuzz|--bench-smoke|--format|--tsan-obs|--tsan-net]" >&2
-     exit 2 ;;
-esac
+# ---------------------------------------------------------------------------
+# Lane driver: each lane runs in its own subshell so one lane's failure (or
+# skip via exit 77) never tears down the driver; results accumulate into the
+# end-of-run summary table.
 
+ALL_LANES=(tier1 werror tsa tidy lint bench-smoke tsan-obs tsan-net
+           tsan-wal format)
+LANES_RAN=()
+LANES_SKIPPED=()
+LANES_FAILED=()
+KEEP_GOING=0
+
+summary() {
+  printf '\n== lane summary (%d ran, %d skipped, %d failed)\n' \
+    "${#LANES_RAN[@]}" "${#LANES_SKIPPED[@]}" "${#LANES_FAILED[@]}"
+  local name
+  for name in "${LANES_RAN[@]}";     do printf '   ran      %s\n' "$name"; done
+  for name in "${LANES_SKIPPED[@]}"; do printf '   skipped  %s\n' "$name"; done
+  for name in "${LANES_FAILED[@]}";  do printf '   FAILED   %s\n' "$name"; done
+}
+
+run_lane() {
+  local name=$1 fn status=0
+  fn="run_${name//-/_}"
+  ( set -euo pipefail; "$fn" ) || status=$?
+  if [ "$status" -eq 0 ]; then
+    LANES_RAN+=("$name")
+  elif [ "$status" -eq 77 ]; then
+    LANES_SKIPPED+=("$name")
+  else
+    LANES_FAILED+=("$name")
+    printf '\n== FAILED: %s lane (exit %d)\n' "$name" "$status"
+    if [ "$KEEP_GOING" -ne 1 ]; then
+      summary
+      exit "$status"
+    fi
+  fi
+}
+
+usage() {
+  echo "usage: tools/check.sh [--all] [--tier1|--werror|--tsa|--tidy|" \
+       "--lint|--fuzz|--bench-smoke|--format|--tsan-obs|--tsan-net|" \
+       "--tsan-wal]..." >&2
+}
+
+SELECTED=()
+for arg in "$@"; do
+  case "$arg" in
+    --all) KEEP_GOING=1 ;;
+    --tier1|--werror|--tsa|--tidy|--lint|--fuzz|--bench-smoke|--format|--tsan-obs|--tsan-net|--tsan-wal)
+      SELECTED+=("${arg#--}") ;;
+    *) usage; exit 2 ;;
+  esac
+done
+if [ "${#SELECTED[@]}" -eq 0 ]; then
+  SELECTED=("${ALL_LANES[@]}")
+fi
+
+for name in "${SELECTED[@]}"; do
+  run_lane "$name"
+done
+
+summary
+if [ "${#LANES_FAILED[@]}" -gt 0 ]; then
+  printf '\ncheck.sh: %d lane(s) FAILED\n' "${#LANES_FAILED[@]}"
+  exit 1
+fi
 printf '\ncheck.sh: all requested lanes green\n'

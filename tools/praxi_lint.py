@@ -67,6 +67,18 @@ And the hot-path invariant from the arena-extraction PR
                    allocating baseline). Escape hatch:
                    `// praxi-lint: allow(columbus-hot-alloc: why)`.
 
+And the concurrency invariant from the thread-safety-annotations PR
+(docs/CONCURRENCY.md):
+
+  naked-mutex      std::mutex / std::lock_guard / std::unique_lock /
+                   std::condition_variable and friends are banned in src/
+                   outside common/sync.hpp: an unannotated lock is
+                   invisible to clang Thread Safety Analysis AND skips the
+                   lock-rank deadlock checker. Use common::Mutex /
+                   common::LockGuard / common::CondVar. Escape hatch (used
+                   by the wrapper itself):
+                   `// praxi-lint: allow(naked-mutex: why)`.
+
 Usage:
   praxi_lint.py [--root REPO_ROOT]   lint <root>/src, report, exit 1 on hits
   praxi_lint.py --self-test          seed one violation per rule into a temp
@@ -139,6 +151,15 @@ COLUMBUS_HOT_EXEMPT = {"src/columbus/frequency_trie.cpp",
 COLUMBUS_ALLOC_RE = re.compile(
     r"std::map\s*<\s*char|make_unique\s*<|(?<![\w_])to_lower\s*\(|"
     r"(?<![\w_])tokenize\s*\(|(?<![\w_:.])split\s*\(")
+
+# Raw standard-library synchronization primitives (docs/CONCURRENCY.md).
+# Only the common/sync.hpp wrappers may touch them (via the allow()
+# escape); everything else in src/ uses the annotated, rank-carrying
+# common::Mutex/LockGuard/CondVar so both proof systems see every lock.
+NAKED_MUTEX_RE = re.compile(
+    r"\bstd::(?:recursive_|timed_|recursive_timed_|shared_)?mutex\b|"
+    r"\bstd::(?:lock_guard|unique_lock|scoped_lock|shared_lock)\b|"
+    r"\bstd::condition_variable(?:_any)?\b")
 
 
 class Violation:
@@ -218,6 +239,11 @@ def check_file(root: pathlib.Path, path: pathlib.Path) -> list[Violation]:
              "per-token heap allocation primitive on the Columbus hot path; "
              "use the arena pipeline (tokenize_views + SegmentInterner + "
              "ArenaTrie) or annotate: praxi-lint: allow(columbus-hot-alloc)")
+
+    scan("naked-mutex", NAKED_MUTEX_RE,
+         "raw std:: synchronization primitive; use the annotated "
+         "common::Mutex/LockGuard/CondVar (common/sync.hpp, "
+         "docs/CONCURRENCY.md) or annotate: praxi-lint: allow(naked-mutex)")
 
     scan("iostream-in-library", IOSTREAM_RE,
          "library code must take std::ostream&, not include <iostream>")
@@ -387,6 +413,11 @@ void forensics() {
   } catch (...) {  // praxi-lint: allow(data-plane-catch: best effort)
   }
 }
+void wrapper_internals() {
+  // praxi-lint: allow(naked-mutex: the wrapper itself)
+  static std::mutex raw;
+  (void)raw;
+}
 }  // namespace praxi
 """
 
@@ -422,6 +453,9 @@ SELFTEST_VIOLATIONS = {
         "}\n"),
     "blocking-socket": (
         "int f(int fd) { return ::connect(fd, nullptr, 0); }\n"),
+    "naked-mutex": (
+        "#include <mutex>\n"
+        "void f() { std::mutex m; (void)m; }\n"),
 }
 
 # Rules scoped to a subtree need their seed planted there; everything else
