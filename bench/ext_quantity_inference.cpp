@@ -97,7 +97,7 @@ int main(int argc, char** argv) {
       std::sort(chosen.begin(), chosen.end());
       truths.push_back(chosen);
       predictions.push_back(
-          model.predict(cs, std::max<std::size_t>(inferred, 1)));
+          model.snapshot()->predict(cs, std::max<std::size_t>(inferred, 1)));
     }
 
     table.add_row({std::to_string(k),

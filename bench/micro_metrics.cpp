@@ -114,8 +114,9 @@ void BM_PredictTags(benchmark::State& state) {
   const auto tagsets = model.extract_tags(pointers);
 
   obs::MetricsRegistry::global().set_enabled(enabled);
+  const auto snap = model.snapshot();
   for (auto _ : state) {
-    benchmark::DoNotOptimize(model.predict_tags(tagsets, core::TopN(1)));
+    benchmark::DoNotOptimize(snap->predict_tags(tagsets, core::TopN(1)));
   }
   obs::MetricsRegistry::global().set_enabled(true);
   state.SetItemsProcessed(int64_t(state.iterations()) *

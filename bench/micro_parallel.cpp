@@ -68,8 +68,9 @@ void BM_PredictBatch(benchmark::State& state) {
   core::Praxi model = trained_model();
   model.set_num_threads(static_cast<std::size_t>(state.range(0)));
   const std::vector<std::size_t> counts(batch.size(), 1);
+  const auto snap = model.snapshot();
   for (auto _ : state) {
-    benchmark::DoNotOptimize(model.predict(batch, counts));
+    benchmark::DoNotOptimize(snap->predict(batch, counts, model.pool()));
   }
   state.SetItemsProcessed(int64_t(state.iterations()) * int64_t(batch.size()));
 }

@@ -75,8 +75,9 @@ int main(int argc, char** argv) {
   const double praxi_train_s = sw.elapsed_s();
 
   sw.reset();
+  const auto praxi_snap = praxi_model.snapshot();
   for (const fs::Changeset* cs : test) {
-    (void)praxi_model.predict(*cs, cs->labels().size());
+    (void)praxi_snap->predict(*cs, cs->labels().size());
   }
   const double praxi_eval_s = sw.elapsed_s();
 

@@ -75,7 +75,7 @@ int main(int argc, char** argv) {
     // The auditor replays the instance's history through the model.
     std::set<std::string> discovered;
     for (const auto& cs : history) {
-      discovered.insert(model.predict(cs).front());
+      discovered.insert(model.snapshot()->predict(cs).front());
     }
 
     const bool is_infected = truth.count(blacklisted) > 0;

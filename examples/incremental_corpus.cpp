@@ -80,7 +80,7 @@ int main(int argc, char** argv) {
       std::vector<std::vector<std::string>> truths, predictions;
       for (const fs::Changeset* cs : cumulative_test) {
         truths.push_back(cs->labels());
-        predictions.push_back(model.predict(*cs));
+        predictions.push_back(model.snapshot()->predict(*cs));
       }
       return eval::evaluate(truths, predictions).weighted_f1();
     };

@@ -65,7 +65,7 @@ int main(int argc, char** argv) {
   }
   std::cout << "...\n";
 
-  const auto verdict = model.predict(observed);
+  const auto verdict = model.snapshot()->predict(observed);
   std::cout << "\nPraxi says: " << verdict.front() << "\n";
   std::cout << "Truth:      " << mystery << "\n";
   return verdict.front() == mystery ? 0 : 1;

@@ -63,18 +63,23 @@ int usage(std::ostream& err) {
          "commands:\n"
          "  demo-corpus --out DIR [--apps N] [--samples N] [--seed N]\n"
          "  tags FILE...\n"
-         "  train --model OUT [--multi] [--append] [--threads N] FILE...\n"
+         "  train --model OUT [--multi] [--append] [--threads N]\n"
+         "        [--snapshot-every N] FILE...\n"
          "  predict --model M [-n N] [--threads N] FILE...\n"
          "  inspect --model M\n"
          "  stats [--model M] [--format prom|json] [-n N] [--threads N]\n"
          "        [FILE...]\n"
          "  serve --model M (--max-reports N | --duration-s S) [--port P]\n"
          "        [--port-file F] [--queue-bound N] [--threads N]\n"
-         "        [--wal-dir D]\n"
+         "        [--snapshot-every N] [--wal-dir D]\n"
          "  report --connect HOST:PORT [--agent ID] [--timeout-ms N]\n"
          "        FILE...\n"
          "--threads: batch-engine workers (0 = all hardware threads,\n"
          "           1 = sequential; default 1)\n"
+         "--snapshot-every: publish a fresh prediction snapshot after\n"
+         "           every N online updates (1 = every update, the\n"
+         "           default; 0 = only at train/restore boundaries;\n"
+         "           common/runtime_config.hpp precedence applies)\n"
          "--metrics-out FILE: after any command, dump the metrics registry\n"
          "           (.json -> JSON, otherwise Prometheus text)\n"
          "stats: renders the metrics registry; given --model and changeset\n"
@@ -99,6 +104,8 @@ std::string render_registry(bool json) {
 common::RuntimeConfig runtime_from_options(const Options& options) {
   common::RuntimeConfig runtime;
   runtime.num_threads = std::stoul(options.get("threads", "1"));
+  runtime.snapshot_publish_every = std::stoul(options.get(
+      "snapshot-every", std::to_string(runtime.snapshot_publish_every)));
   return runtime;
 }
 
@@ -238,8 +245,10 @@ int cmd_predict(const Options& options, std::ostream& out,
   std::vector<const fs::Changeset*> batch;
   batch.reserve(changesets.size());
   for (const auto& cs : changesets) batch.push_back(&cs);
-  const auto predicted = model.predict(
-      std::span<const fs::Changeset* const>(batch), core::TopN(n));
+  // Snapshot-handle surface (docs/API.md): pin one epoch for the batch.
+  const auto predicted = model.snapshot()->predict(
+      std::span<const fs::Changeset* const>(batch), core::TopN(n),
+      model.pool());
   for (std::size_t i = 0; i < batch.size(); ++i) {
     out << options.positional[i] << ": " << join(predicted[i], " ") << "\n";
   }
@@ -271,8 +280,8 @@ int cmd_stats(const Options& options, std::ostream& out, std::ostream& err) {
     std::vector<const fs::Changeset*> batch;
     batch.reserve(changesets.size());
     for (const auto& cs : changesets) batch.push_back(&cs);
-    model.predict(std::span<const fs::Changeset* const>(batch),
-                  core::TopN(n));
+    model.snapshot()->predict(std::span<const fs::Changeset* const>(batch),
+                              core::TopN(n), model.pool());
   }
   out << render_registry(format == "json");
   return 0;

@@ -36,6 +36,18 @@ struct RuntimeConfig {
   /// Enabled by default — the instruments cost one relaxed atomic op per
   /// event (bench/micro_metrics measures the end-to-end overhead at <2%).
   bool metrics_enabled = true;
+
+  /// How often online learning publishes a fresh prediction snapshot
+  /// (core/model_snapshot.hpp): a new epoch is published after every N
+  /// learn_one() calls. 1 (the default) publishes after every update, so
+  /// predictions through Praxi::snapshot() always see the latest weights —
+  /// bit-identical to the pre-snapshot behavior. Larger values amortize the
+  /// copy-on-write freeze across N updates (readers serve a model at most
+  /// N-1 updates stale); 0 publishes only at train()/reset()/restore
+  /// boundaries and on explicit Praxi::publish() calls. train() and
+  /// reset() always publish regardless of this value. Precedence follows
+  /// the rule above: defaults < host < CLI (--snapshot-every).
+  std::size_t snapshot_publish_every = 1;
 };
 
 }  // namespace praxi::common

@@ -45,6 +45,12 @@ enum class LockRank : int {
   /// ThreadPool queue. Acquired by submit()/parallel_for under
   /// kServerState (batch classification inside process()).
   kThreadPool = 30,
+  /// Praxi model-snapshot publisher (core/model_snapshot.hpp): serializes
+  /// freeze-and-swap between concurrent publishers. Acquired under
+  /// kServerState (learn_feedback publishes) but never under the pool lock
+  /// (freezing spawns no tasks) and never while holding the WAL or any
+  /// deeper lock. Readers never take it — snapshot() is one atomic load.
+  kModelPublish = 40,
   /// WriteAheadLog append buffer + live segment. Acquired under
   /// kServerState on the settle path (docs/DURABILITY.md).
   kWal = 50,

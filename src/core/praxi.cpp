@@ -1,6 +1,5 @@
 #include "core/praxi.hpp"
 
-#include <cmath>
 #include <stdexcept>
 
 #include "common/serialize.hpp"
@@ -21,24 +20,42 @@ obs::Histogram& train_seconds() {
   return h;
 }
 
-obs::Histogram& predict_seconds() {
-  static obs::Histogram& h = obs::MetricsRegistry::global().histogram(
-      "praxi_engine_predict_seconds",
-      "Latency of one single-item prediction (tags -> features -> scorer)",
-      obs::latency_buckets());
-  return h;
+
+/// Serve-while-learn instruments (docs/API.md): the publish path is the
+/// only writer of all four, always under the publish lock.
+struct SnapshotInstruments {
+  obs::Histogram& publish_seconds;
+  obs::Counter& publishes;
+  obs::Gauge& epoch;
+  obs::Gauge& stale_updates;
+  obs::Gauge& retired_refs;
+
+  SnapshotInstruments()
+      : publish_seconds(obs::MetricsRegistry::global().histogram(
+            "praxi_ml_snapshot_publish_seconds",
+            "Latency of one snapshot freeze-and-swap (copy-on-write publish)",
+            obs::latency_buckets())),
+        publishes(obs::MetricsRegistry::global().counter(
+            "praxi_ml_snapshot_publishes_total",
+            "Model snapshot epochs published")),
+        epoch(obs::MetricsRegistry::global().gauge(
+            "praxi_ml_snapshot_epoch",
+            "Epoch counter of the most recently published snapshot")),
+        stale_updates(obs::MetricsRegistry::global().gauge(
+            "praxi_ml_snapshot_stale_updates",
+            "SGD updates applied since the last snapshot publish")),
+        retired_refs(obs::MetricsRegistry::global().gauge(
+            "praxi_ml_snapshot_retired_refs",
+            "Reader handles still pinning the epoch retired by the last "
+            "publish")) {}
+};
+
+SnapshotInstruments& snapshot_instruments() {
+  static SnapshotInstruments instruments;
+  return instruments;
 }
 
 }  // namespace
-
-void TopN::check(std::size_t items, const char* what) const {
-  if (per_item_mode_ && per_item_.size() != items) {
-    throw std::invalid_argument(
-        std::string(what) + ": per-item TopN must carry one entry per item (" +
-        std::to_string(per_item_.size()) + " for " + std::to_string(items) +
-        " items)");
-  }
-}
 
 Praxi::Praxi(PraxiConfig config)
     : config_(config),
@@ -49,6 +66,69 @@ Praxi::Praxi(PraxiConfig config)
   if (config_.runtime.num_threads != 1) {
     pool_ = std::make_shared<ThreadPool>(config_.runtime.num_threads);
   }
+  // snapshot() must never observe null: epoch 1 is the (untrained) state at
+  // construction. Predicting through it throws the documented logic_error.
+  publish_snapshot();
+}
+
+Praxi::Praxi(const Praxi& other)
+    : config_(other.config_),
+      columbus_(other.columbus_),
+      hasher_(other.hasher_),
+      oaa_(other.oaa_),
+      csoaa_(other.csoaa_),
+      overhead_(other.overhead_),
+      trained_(other.trained_),
+      pool_(other.pool_),
+      snapshot_(other.snapshot()),
+      epoch_(other.epoch()),
+      updates_since_publish_(other.updates_since_publish_) {}
+
+Praxi& Praxi::operator=(const Praxi& other) {
+  if (this == &other) return *this;
+  config_ = other.config_;
+  columbus_ = other.columbus_;
+  hasher_ = other.hasher_;
+  oaa_ = other.oaa_;
+  csoaa_ = other.csoaa_;
+  overhead_ = other.overhead_;
+  trained_ = other.trained_;
+  pool_ = other.pool_;
+  // The published epoch is immutable, so copies share it until one of them
+  // publishes again; each instance keeps its own mutex and cell.
+  snapshot_.store(other.snapshot(), std::memory_order_release);
+  epoch_.store(other.epoch(), std::memory_order_relaxed);
+  updates_since_publish_ = other.updates_since_publish_;
+  return *this;
+}
+
+Praxi::Praxi(Praxi&& other)
+    : config_(std::move(other.config_)),
+      columbus_(std::move(other.columbus_)),
+      hasher_(other.hasher_),
+      oaa_(std::move(other.oaa_)),
+      csoaa_(std::move(other.csoaa_)),
+      overhead_(other.overhead_),
+      trained_(other.trained_),
+      pool_(std::move(other.pool_)),
+      snapshot_(other.snapshot()),
+      epoch_(other.epoch()),
+      updates_since_publish_(other.updates_since_publish_) {}
+
+Praxi& Praxi::operator=(Praxi&& other) {
+  if (this == &other) return *this;
+  config_ = std::move(other.config_);
+  columbus_ = std::move(other.columbus_);
+  hasher_ = other.hasher_;
+  oaa_ = std::move(other.oaa_);
+  csoaa_ = std::move(other.csoaa_);
+  overhead_ = other.overhead_;
+  trained_ = other.trained_;
+  pool_ = std::move(other.pool_);
+  snapshot_.store(other.snapshot(), std::memory_order_release);
+  epoch_.store(other.epoch(), std::memory_order_relaxed);
+  updates_since_publish_ = other.updates_since_publish_;
+  return *this;
 }
 
 void Praxi::set_num_threads(std::size_t num_threads) {
@@ -65,6 +145,7 @@ void Praxi::set_num_threads(std::size_t num_threads) {
 void Praxi::set_runtime(const common::RuntimeConfig& runtime) {
   set_num_threads(runtime.num_threads);
   config_.runtime.metrics_enabled = runtime.metrics_enabled;
+  config_.runtime.snapshot_publish_every = runtime.snapshot_publish_every;
   obs::MetricsRegistry::global().set_enabled(runtime.metrics_enabled);
 }
 
@@ -81,18 +162,60 @@ std::vector<columbus::TagSet> Praxi::extract_tags(
 }
 
 ml::FeatureVector Praxi::features_of(const columbus::TagSet& tagset) const {
-  std::vector<std::pair<std::string, float>> tokens;
-  tokens.reserve(tagset.tags.size());
-  for (const auto& tag : tagset.tags) {
-    // log1p damping: a single huge-frequency tag (e.g. a build tree's
-    // random-named root directory) must not drown the informative tags
-    // after L2 normalization.
-    tokens.emplace_back(tag.text,
-                        std::log1p(static_cast<float>(tag.frequency)));
+  return hash_tagset_features(hasher_, tagset);
+}
+
+ModelSnapshotPtr Praxi::publish_snapshot() {
+  // Serializes concurrent publishers (rank kModelPublish). The freeze is
+  // the copy-on-write half: labels + the whole weight table are deep-copied
+  // so readers of older epochs are untouched; the swap is one atomic
+  // release exchange — readers pin epochs wait-free throughout.
+  common::LockGuard lock(publish_mutex_);
+  Stopwatch timer;
+  ml::LearnerSnapshot learner = config_.mode == LabelMode::kSingleLabel
+                                    ? oaa_.freeze()
+                                    : csoaa_.freeze();
+  const std::uint64_t epoch = epoch_.load(std::memory_order_relaxed) + 1;
+  auto snap = std::make_shared<const ModelSnapshot>(
+      epoch, config_.mode, trained_, columbus_, hasher_, std::move(learner));
+  ModelSnapshotPtr retired =
+      snapshot_.exchange(snap, std::memory_order_acq_rel);
+  epoch_.store(epoch, std::memory_order_relaxed);
+  updates_since_publish_ = 0;
+
+  auto& instruments = snapshot_instruments();
+  instruments.publish_seconds.observe(timer.elapsed_s());
+  instruments.publishes.inc();
+  instruments.epoch.set(static_cast<double>(epoch));
+  instruments.stale_updates.set(0.0);
+  // use_count() counts our local handle too; readers = the rest. A stale
+  // approximation by the time anyone reads it, like every refcount gauge.
+  instruments.retired_refs.set(
+      retired ? static_cast<double>(retired.use_count() - 1) : 0.0);
+
+  // The learner maintains the occupancy gauges incrementally under
+  // learn_one(); restore/rollover paths bypass that, so every publish
+  // re-syncs them from the table's ground truth — the gauges can never
+  // drift across an epoch swap (docs/OBSERVABILITY.md).
+  if (config_.mode == LabelMode::kSingleLabel) {
+    oaa_.sync_occupancy_gauges();
+  } else {
+    csoaa_.sync_occupancy_gauges();
   }
-  auto features = hasher_.hash(tokens);
-  ml::l2_normalize(features);
-  return features;
+  return snap;
+}
+
+ModelSnapshotPtr Praxi::publish() { return publish_snapshot(); }
+
+void Praxi::maybe_publish_after_update() {
+  ++updates_since_publish_;
+  const std::size_t every = config_.runtime.snapshot_publish_every;
+  if (every != 0 && updates_since_publish_ >= every) {
+    publish_snapshot();
+  } else {
+    snapshot_instruments().stale_updates.set(
+        static_cast<double>(updates_since_publish_));
+  }
 }
 
 void Praxi::train(const std::vector<columbus::TagSet>& tagsets) {
@@ -126,6 +249,9 @@ void Praxi::train(const std::vector<columbus::TagSet>& tagsets) {
   overhead_.train_s += timer.elapsed_s();
   overhead_.model_bytes = model_bytes();
   trained_ = true;
+  // A batch boundary always publishes: whatever the learn_one cadence says,
+  // a completed train() must be visible to the next snapshot() caller.
+  publish_snapshot();
 }
 
 void Praxi::train_changesets(const std::vector<const fs::Changeset*>& corpus) {
@@ -155,68 +281,49 @@ void Praxi::learn_one(const columbus::TagSet& tagset) {
   }
   overhead_.tagset_bytes += tagset.size_bytes();
   trained_ = true;
+  maybe_publish_after_update();
 }
+
+// Shim definitions for the deprecated direct-predict surface. The pragma
+// covers the definitions themselves, not callers — every in-tree caller has
+// migrated; external callers get the deprecation warning until removal.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 
 std::vector<std::string> Praxi::predict(const fs::Changeset& changeset,
                                         std::size_t n) const {
-  return predict_tags(extract_tags(changeset), n);
+  return snapshot()->predict(changeset, n);
 }
 
 std::vector<std::string> Praxi::predict_tags(const columbus::TagSet& tagset,
                                              std::size_t n) const {
-  if (!trained_) throw std::logic_error("Praxi: predict before train");
-  obs::ScopedTimer timer(predict_seconds());
-  const auto features = features_of(tagset);
-  if (config_.mode == LabelMode::kSingleLabel) {
-    return {oaa_.predict(features)};
-  }
-  return csoaa_.predict_top_n(features, n);
+  return snapshot()->predict_tags(tagset, n);
 }
 
 std::vector<std::vector<std::string>> Praxi::predict(
     std::span<const fs::Changeset* const> changesets, TopN n) const {
-  if (!trained_) throw std::logic_error("Praxi: predict before train");
-  n.check(changesets.size(), "Praxi::predict");
-  std::vector<std::vector<std::string>> out(changesets.size());
-  // One task per item covers the whole chain (tokenize -> trie -> features
-  // -> scorer); everything it touches is const, so items never contend.
-  parallel_for(pool_.get(), changesets.size(), [&](std::size_t i) {
-    out[i] = predict_tags(extract_tags(*changesets[i]), n.at(i));
-  });
-  return out;
+  return snapshot()->predict(changesets, n, pool_.get());
 }
 
 std::vector<std::vector<std::string>> Praxi::predict_tags(
     std::span<const columbus::TagSet> tagsets, TopN n) const {
-  if (!trained_) throw std::logic_error("Praxi: predict before train");
-  n.check(tagsets.size(), "Praxi::predict_tags");
-  std::vector<std::vector<std::string>> out(tagsets.size());
-  parallel_for(pool_.get(), tagsets.size(), [&](std::size_t i) {
-    out[i] = predict_tags(tagsets[i], n.at(i));
-  });
-  return out;
+  return snapshot()->predict_tags(tagsets, n, pool_.get());
 }
 
 std::vector<std::pair<std::string, float>> Praxi::ranked(
     const columbus::TagSet& tagset) const {
-  if (!trained_) throw std::logic_error("Praxi: ranked before train");
-  const auto features = features_of(tagset);
-  if (config_.mode == LabelMode::kSingleLabel) {
-    return oaa_.scores(features);
-  }
-  // CSOAA costs ascend; flip sign so "higher is more likely" holds.
-  auto costs = csoaa_.costs(features);
-  std::vector<std::pair<std::string, float>> out;
-  out.reserve(costs.size());
-  for (auto& [label, cost] : costs) out.emplace_back(std::move(label), -cost);
-  return out;
+  return snapshot()->ranked(tagset);
 }
+
+#pragma GCC diagnostic pop
 
 void Praxi::reset() {
   oaa_.reset();
   csoaa_.reset();
   overhead_ = PraxiOverhead{};
   trained_ = false;
+  // Readers must not keep serving the discarded model: retire it now.
+  publish_snapshot();
 }
 
 const ml::LabelSpace& Praxi::labels() const {
@@ -290,6 +397,10 @@ Praxi Praxi::from_binary(std::string_view bytes) {
     Praxi model(config);
     model.oaa_ = std::move(oaa);
     model.trained_ = trained;
+    // The classifier assignment above bypassed the learn path; publish so
+    // snapshot() serves the restored weights (and the occupancy gauges
+    // re-sync from the restored table).
+    model.publish_snapshot();
     return model;
   }
   auto csoaa = ml::CsoaaClassifier::from_binary(inner);
@@ -300,6 +411,7 @@ Praxi Praxi::from_binary(std::string_view bytes) {
   Praxi model(config);
   model.csoaa_ = std::move(csoaa);
   model.trained_ = trained;
+  model.publish_snapshot();
   return model;
 }
 

@@ -11,8 +11,18 @@
 //   * kSingleLabel — one application per changeset (OAA classifier, §V-A);
 //   * kMultiLabel  — 2..5 applications per changeset (CSOAA, §V-B), where
 //     prediction takes the known or inferred application count n.
+//
+// Serve-while-learn (docs/API.md, docs/CONCURRENCY.md): prediction goes
+// through immutable, refcounted ModelSnapshots. Every learn batch ends by
+// publishing a new epoch — build a frozen copy of the model, swap one
+// atomic shared_ptr (RCU-style). snapshot() pins the current epoch with a
+// single acquire load, so any number of predict threads read a consistent
+// model with zero locks on the hot path while learn_one()/train() keep
+// mutating the live weights. The direct predict members below remain as
+// [[deprecated]] bit-exact shims over snapshot() for one PR.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -23,61 +33,28 @@
 
 #include "columbus/columbus.hpp"
 #include "common/runtime_config.hpp"
+#include "common/sync.hpp"
 #include "common/thread_pool.hpp"
+#include "core/model_snapshot.hpp"
+#include "core/top_n.hpp"
 #include "fs/changeset.hpp"
 #include "ml/features.hpp"
 #include "ml/online_learner.hpp"
 
 namespace praxi::core {
 
-enum class LabelMode : std::uint8_t {
-  kSingleLabel = 0,
-  kMultiLabel = 1,
-};
-
 struct PraxiConfig {
   LabelMode mode = LabelMode::kSingleLabel;
   columbus::ColumbusConfig columbus;
   ml::OnlineLearnerConfig learner;
   /// Cross-cutting runtime knobs (worker threads for the batch APIs,
-  /// metrics on/off). See common/runtime_config.hpp for the precedence
-  /// rule: whoever applies a RuntimeConfig last wins, and embedding hosts
-  /// (DiscoveryServer, the CLI) re-apply theirs after constructing the
-  /// engine. Batch results are identical for every num_threads value —
-  /// threading only changes wall-clock time.
+  /// metrics on/off, snapshot publish cadence). See
+  /// common/runtime_config.hpp for the precedence rule: whoever applies a
+  /// RuntimeConfig last wins, and embedding hosts (DiscoveryServer, the
+  /// CLI) re-apply theirs after constructing the engine. Batch results are
+  /// identical for every num_threads value — threading only changes
+  /// wall-clock time.
   common::RuntimeConfig runtime;
-};
-
-/// Per-item prediction-count request for the batch prediction surface:
-/// either one uniform n for every item (implicit from an integer) or one
-/// entry per item (implicit from a span/vector, sized by the caller to
-/// match the batch). Holds a view, not a copy — per-item counts must
-/// outlive the call, which every call-shaped usage satisfies.
-class TopN {
- public:
-  /// Uniform 1 — the single-label default.
-  TopN() = default;
-  /// Uniform: the same n for every item.
-  TopN(std::size_t uniform) : uniform_(uniform) {}  // NOLINT(implicit)
-  /// Per-item: entry i is the count for item i.
-  TopN(std::span<const std::size_t> per_item)  // NOLINT(implicit)
-      : per_item_(per_item), per_item_mode_(true) {}
-  /// Per-item from a vector. Needed because vector -> span -> TopN would be
-  /// two user-defined conversions, which overload resolution never does.
-  TopN(const std::vector<std::size_t>& per_item)  // NOLINT(implicit)
-      : TopN(std::span<const std::size_t>(per_item)) {}
-
-  bool per_item() const { return per_item_mode_; }
-  std::size_t at(std::size_t i) const {
-    return per_item_mode_ ? per_item_[i] : uniform_;
-  }
-  /// Throws std::invalid_argument unless this request fits `items` items.
-  void check(std::size_t items, const char* what) const;
-
- private:
-  std::span<const std::size_t> per_item_{};
-  std::size_t uniform_ = 1;
-  bool per_item_mode_ = false;
 };
 
 /// Wall-clock and storage accounting for the most recent train()/predict
@@ -92,6 +69,16 @@ struct PraxiOverhead {
 class Praxi {
  public:
   explicit Praxi(PraxiConfig config = {});
+
+  /// Copying a trained Praxi copies the model (and shares the thread pool);
+  /// the copy starts at the source's current epoch and publishes
+  /// independently from there. Hand-written because the snapshot cell
+  /// (atomic) and the publish mutex are not copyable themselves.
+  Praxi(const Praxi& other);
+  Praxi& operator=(const Praxi& other);
+  Praxi(Praxi&& other);
+  Praxi& operator=(Praxi&& other);
+  ~Praxi() = default;
 
   // -- Feature path --------------------------------------------------------
 
@@ -112,38 +99,77 @@ class Praxi {
   /// Trains on labeled tagsets. Calling train() again CONTINUES from the
   /// current model (incremental / online training); call reset() first for
   /// a from-scratch run. Tagsets must carry exactly one label in
-  /// kSingleLabel mode, one-or-more in kMultiLabel mode.
+  /// kSingleLabel mode, one-or-more in kMultiLabel mode. Always publishes a
+  /// new snapshot epoch when done, regardless of snapshot_publish_every.
   void train(const std::vector<columbus::TagSet>& tagsets);
 
   /// Convenience: Columbus + train over raw changesets.
   void train_changesets(const std::vector<const fs::Changeset*>& corpus);
 
-  /// One online update from a single labeled tagset.
+  /// One online update from a single labeled tagset. Publishes a new epoch
+  /// every RuntimeConfig::snapshot_publish_every updates (default 1 = after
+  /// every update; 0 = only at train()/reset()/publish() boundaries).
   void learn_one(const columbus::TagSet& tagset);
 
-  // -- Prediction ----------------------------------------------------------
+  // -- Prediction (the snapshot surface, docs/API.md) ----------------------
+
+  /// Pins the current published epoch: one atomic acquire load, no lock.
+  /// Predict through the returned handle — everything it answers comes from
+  /// exactly that epoch, no matter how much learning happens meanwhile.
+  ModelSnapshotPtr snapshot() const {
+    return snapshot_.load(std::memory_order_acquire);
+  }
+
+  /// Freezes the live model into a new epoch and swaps it in, immediately.
+  /// Usually implicit (train()/learn_one() publish per the cadence knob);
+  /// explicit calls serve snapshot_publish_every == 0 flows. Returns the
+  /// published handle. Thread-safe against concurrent publishers (rank
+  /// kModelPublish) but NOT against concurrent model mutation — learning
+  /// and publishing belong to the same logical writer, like every other
+  /// non-const member.
+  ModelSnapshotPtr publish();
+
+  /// Epoch counter of the most recently published snapshot (0 = never — not
+  /// observable in practice: construction publishes epoch 1).
+  std::uint64_t epoch() const { return epoch_.load(std::memory_order_relaxed); }
+
+  /// SGD updates applied since the last publish (staleness of the current
+  /// snapshot relative to the live weights).
+  std::uint64_t updates_since_publish() const {
+    return updates_since_publish_;
+  }
+
+  /// The engine's batch-API worker pool (nullptr when num_threads == 1).
+  /// Pass it to the snapshot batch predict/extract calls to keep the
+  /// configured parallelism on the snapshot surface.
+  ThreadPool* pool() const { return pool_.get(); }
+
+  // -- Deprecated direct-predict shims (one PR, docs/API.md) ---------------
+  // Bit-exact forwards to snapshot(); migrate to
+  // `auto snap = model.snapshot();` + the same calls on `snap`.
 
   /// Top-n application labels (n is ignored and treated as 1 in single-label
   /// mode).
+  [[deprecated("predict through Praxi::snapshot() (docs/API.md)")]]
   std::vector<std::string> predict(const fs::Changeset& changeset,
                                    std::size_t n = 1) const;
+  [[deprecated("predict through Praxi::snapshot() (docs/API.md)")]]
   std::vector<std::string> predict_tags(const columbus::TagSet& tagset,
                                         std::size_t n = 1) const;
 
-  /// Batch prediction over raw changesets: tag extraction, feature hashing,
-  /// and classifier scoring all run concurrently per item on the configured
-  /// pool; results come back in input order, label-for-label identical to
-  /// the sequential loop. This is the unified batch surface (docs/API.md):
-  /// `n` accepts a single count for every item or one count per changeset.
+  /// Batch prediction over raw changesets, input order preserved.
+  [[deprecated("predict through Praxi::snapshot() (docs/API.md)")]]
   std::vector<std::vector<std::string>> predict(
       std::span<const fs::Changeset* const> changesets, TopN n = {}) const;
 
   /// Batch prediction over pre-extracted tagsets (the §V-C path: tagsets
   /// are generated once and never regenerated).
+  [[deprecated("predict through Praxi::snapshot() (docs/API.md)")]]
   std::vector<std::vector<std::string>> predict_tags(
       std::span<const columbus::TagSet> tagsets, TopN n = {}) const;
 
   /// Ranked (label, confidence) pairs; higher is more likely in both modes.
+  [[deprecated("predict through Praxi::snapshot() (docs/API.md)")]]
   std::vector<std::pair<std::string, float>> ranked(
       const columbus::TagSet& tagset) const;
 
@@ -158,10 +184,10 @@ class Praxi {
   void set_num_threads(std::size_t num_threads);
   std::size_t num_threads() const { return config_.runtime.num_threads; }
 
-  /// Applies a whole RuntimeConfig (threads + metrics toggle). Per the
-  /// precedence rule in common/runtime_config.hpp the caller that applies
-  /// last wins — embedding hosts call this after construction to override
-  /// whatever the model snapshot or defaults said.
+  /// Applies a whole RuntimeConfig (threads + metrics toggle + snapshot
+  /// cadence). Per the precedence rule in common/runtime_config.hpp the
+  /// caller that applies last wins — embedding hosts call this after
+  /// construction to override whatever the model snapshot or defaults said.
   void set_runtime(const common::RuntimeConfig& runtime);
   const common::RuntimeConfig& runtime() const { return config_.runtime; }
   const ml::LabelSpace& labels() const;
@@ -172,6 +198,13 @@ class Praxi {
   static Praxi from_binary(std::string_view bytes);
 
  private:
+  /// Freeze + atomic swap under the publish lock; updates the
+  /// praxi_ml_snapshot_* instruments and re-syncs the learner occupancy
+  /// gauges so they cannot drift across epoch swaps.
+  ModelSnapshotPtr publish_snapshot();
+  /// learn_one()'s publish cadence (snapshot_publish_every).
+  void maybe_publish_after_update();
+
   PraxiConfig config_;
   columbus::Columbus columbus_;
   ml::FeatureHasher hasher_;
@@ -182,6 +215,16 @@ class Praxi {
   /// Lives only when num_threads != 1; shared so copies of a model reuse
   /// one pool instead of spawning workers per copy.
   std::shared_ptr<ThreadPool> pool_;
+
+  /// The RCU cell. Writers (publish_snapshot) store with release under
+  /// publish_mutex_; readers (snapshot()) acquire-load with no lock.
+  std::atomic<ModelSnapshotPtr> snapshot_;
+  /// Serializes publishers only — never taken on the predict path
+  /// (docs/CONCURRENCY.md, rank kModelPublish).
+  mutable common::Mutex publish_mutex_{"model_publish",
+                                       common::LockRank::kModelPublish};
+  std::atomic<std::uint64_t> epoch_{0};
+  std::uint64_t updates_since_publish_ = 0;
 };
 
 }  // namespace praxi::core

@@ -1,0 +1,54 @@
+// TopN: per-item prediction-count request for the batch prediction surface
+// (docs/API.md). Lives in its own header so both the live engine
+// (core/praxi.hpp) and the immutable snapshot surface
+// (core/model_snapshot.hpp) can take it without including each other.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace praxi::core {
+
+/// Either one uniform n for every item (implicit from an integer) or one
+/// entry per item (implicit from a span/vector, sized by the caller to
+/// match the batch). Holds a view, not a copy — per-item counts must
+/// outlive the call, which every call-shaped usage satisfies.
+class TopN {
+ public:
+  /// Uniform 1 — the single-label default.
+  TopN() = default;
+  /// Uniform: the same n for every item.
+  TopN(std::size_t uniform) : uniform_(uniform) {}  // NOLINT(implicit)
+  /// Per-item: entry i is the count for item i.
+  TopN(std::span<const std::size_t> per_item)  // NOLINT(implicit)
+      : per_item_(per_item), per_item_mode_(true) {}
+  /// Per-item from a vector. Needed because vector -> span -> TopN would be
+  /// two user-defined conversions, which overload resolution never does.
+  TopN(const std::vector<std::size_t>& per_item)  // NOLINT(implicit)
+      : TopN(std::span<const std::size_t>(per_item)) {}
+
+  bool per_item() const { return per_item_mode_; }
+  std::size_t at(std::size_t i) const {
+    return per_item_mode_ ? per_item_[i] : uniform_;
+  }
+  /// Throws std::invalid_argument unless this request fits `items` items.
+  void check(std::size_t items, const char* what) const {
+    if (per_item_mode_ && per_item_.size() != items) {
+      throw std::invalid_argument(
+          std::string(what) +
+          ": per-item TopN must carry one entry per item (" +
+          std::to_string(per_item_.size()) + " for " + std::to_string(items) +
+          " items)");
+    }
+  }
+
+ private:
+  std::span<const std::size_t> per_item_{};
+  std::size_t uniform_ = 1;
+  bool per_item_mode_ = false;
+};
+
+}  // namespace praxi::core

@@ -39,13 +39,15 @@ void PraxiMethod::train_incremental(
 
 std::vector<std::string> PraxiMethod::predict(const fs::Changeset& changeset,
                                               std::size_t n) const {
-  return model_.predict(changeset, n);
+  return model_.snapshot()->predict(changeset, n);
 }
 
 std::vector<std::vector<std::string>> PraxiMethod::predict(
     std::span<const fs::Changeset* const> changesets, core::TopN n) const {
   n.check(changesets.size(), "PraxiMethod::predict");
-  return model_.predict(changesets, n);
+  // One pinned epoch answers the whole batch (docs/API.md) — training on
+  // another thread cannot tear a harness run.
+  return model_.snapshot()->predict(changesets, n, model_.pool());
 }
 
 // ---------------------------------------------------------------------------

@@ -33,8 +33,9 @@ class DiscoveryMethod {
   /// Batch prediction on the unified span surface (docs/API.md), input
   /// order preserved; `n` supplies the application count per item. The
   /// default implementation is the sequential predict() loop; methods with
-  /// a parallel engine (Praxi) override it. Results must be identical to
-  /// the sequential loop either way.
+  /// a parallel engine (Praxi, which routes the whole batch through one
+  /// pinned model snapshot) override it. Results must be identical to the
+  /// sequential loop either way.
   virtual std::vector<std::vector<std::string>> predict(
       std::span<const fs::Changeset* const> changesets, core::TopN n) const;
 

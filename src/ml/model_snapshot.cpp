@@ -1,0 +1,61 @@
+#include "ml/model_snapshot.hpp"
+
+#include "obs/metrics.hpp"
+
+namespace praxi::ml {
+
+namespace {
+
+/// Snapshot predictions count into the same praxi_ml_predictions_total
+/// family the live classifiers feed (the registry hands back the same
+/// instrument for an identical name + label set), so the series measures
+/// rankings computed regardless of which path served them. Counter bumps
+/// are relaxed atomics — the snapshot hot path stays lock-free.
+obs::Counter& predictions_counter(Reduction reduction) {
+  static obs::Counter& oaa = obs::MetricsRegistry::global().counter(
+      "praxi_ml_predictions_total", "Score/cost rankings computed",
+      {{"reduction", "oaa"}});
+  static obs::Counter& csoaa = obs::MetricsRegistry::global().counter(
+      "praxi_ml_predictions_total", "Score/cost rankings computed",
+      {{"reduction", "csoaa"}});
+  return reduction == Reduction::kOaa ? oaa : csoaa;
+}
+
+}  // namespace
+
+std::string LearnerSnapshot::predict(const FeatureVector& features) const {
+  predictions_counter(reduction_).inc();
+  return detail::oaa_argmax(table_, labels_, features);
+}
+
+std::vector<std::pair<std::string, float>> LearnerSnapshot::scores(
+    const FeatureVector& features) const {
+  predictions_counter(reduction_).inc();
+  return detail::oaa_scores(table_, labels_, features);
+}
+
+std::vector<std::string> LearnerSnapshot::predict_top_n(
+    const FeatureVector& features, std::size_t n) const {
+  predictions_counter(reduction_).inc();
+  return detail::csoaa_top_n(table_, labels_, features, n);
+}
+
+std::vector<std::pair<std::string, float>> LearnerSnapshot::costs(
+    const FeatureVector& features) const {
+  predictions_counter(reduction_).inc();
+  return detail::csoaa_costs(table_, labels_, features);
+}
+
+// freeze() lives here (not in online_learner.cpp) so the learner
+// translation unit never needs the snapshot type complete — the classifiers
+// only forward-declare it.
+
+LearnerSnapshot OaaClassifier::freeze() const {
+  return LearnerSnapshot(Reduction::kOaa, labels_, table_, update_count_);
+}
+
+LearnerSnapshot CsoaaClassifier::freeze() const {
+  return LearnerSnapshot(Reduction::kCsoaa, labels_, table_, update_count_);
+}
+
+}  // namespace praxi::ml

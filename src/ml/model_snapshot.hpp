@@ -1,0 +1,79 @@
+// Immutable, frozen learner state — the ML half of the RCU snapshot
+// publish path (docs/API.md, docs/CONCURRENCY.md).
+//
+// A LearnerSnapshot is a deep copy of one classifier's weight table and
+// label space taken at a publish point (OaaClassifier::freeze() /
+// CsoaaClassifier::freeze()). After construction nothing mutates it, so any
+// number of threads may predict through it concurrently with zero
+// synchronization while the live learner keeps applying SGD updates to its
+// own table. Predictions route through the same detail:: scoring kernels
+// the live classifiers use, so a snapshot of update t is bit-identical to
+// the live model at update t — guaranteed by shared code, not by parallel
+// maintenance.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ml/features.hpp"
+#include "ml/online_learner.hpp"
+
+namespace praxi::ml {
+
+/// Which VW-style reduction produced a snapshot (and therefore which of its
+/// prediction verbs are meaningful).
+enum class Reduction : std::uint8_t {
+  kOaa = 0,    ///< single-label one-against-all
+  kCsoaa = 1,  ///< cost-sensitive OAA (multi-label)
+};
+
+/// Frozen (weights, labels) pair. Copyable but never mutated after
+/// construction; share it via LearnerSnapshotPtr.
+class LearnerSnapshot {
+ public:
+  LearnerSnapshot(Reduction reduction, LabelSpace labels,
+                  detail::WeightTable table, std::uint64_t update_count)
+      : reduction_(reduction),
+        labels_(std::move(labels)),
+        table_(std::move(table)),
+        update_count_(update_count) {}
+
+  Reduction reduction() const { return reduction_; }
+  const LabelSpace& labels() const { return labels_; }
+  /// SGD updates the source classifier had absorbed at freeze time.
+  std::uint64_t update_count() const { return update_count_; }
+  /// LabelSpace::version() at freeze time (did the label set grow since?).
+  std::uint64_t label_version() const { return labels_.version(); }
+  std::size_t size_bytes() const { return table_.size_bytes(); }
+
+  // -- OAA surface ---------------------------------------------------------
+
+  /// Highest-scoring label; empty string if no class registered.
+  std::string predict(const FeatureVector& features) const;
+  /// All (label, raw margin) pairs, descending score.
+  std::vector<std::pair<std::string, float>> scores(
+      const FeatureVector& features) const;
+
+  // -- CSOAA surface -------------------------------------------------------
+
+  /// The n labels with the lowest predicted cost.
+  std::vector<std::string> predict_top_n(const FeatureVector& features,
+                                         std::size_t n) const;
+  /// All (label, predicted cost) pairs, ascending cost.
+  std::vector<std::pair<std::string, float>> costs(
+      const FeatureVector& features) const;
+
+ private:
+  Reduction reduction_;
+  LabelSpace labels_;
+  detail::WeightTable table_;
+  std::uint64_t update_count_;
+};
+
+using LearnerSnapshotPtr = std::shared_ptr<const LearnerSnapshot>;
+
+}  // namespace praxi::ml

@@ -56,6 +56,7 @@ std::uint32_t LabelSpace::intern(const std::string& label) {
   const auto id = static_cast<std::uint32_t>(names_.size());
   names_.push_back(label);
   ids_.emplace(label, id);
+  ++version_;
   return id;
 }
 
@@ -114,6 +115,60 @@ void WeightTable::set_raw(std::vector<float> weights) {
   nonzero_ = static_cast<std::size_t>(
       std::count_if(weights_.begin(), weights_.end(),
                     [](float w) { return w != 0.0f; }));
+}
+
+std::string oaa_argmax(const WeightTable& table, const LabelSpace& labels,
+                       const FeatureVector& features) {
+  if (labels.size() == 0) return {};
+  std::uint32_t best = 0;
+  float best_score = table.score(features, 0);
+  for (std::uint32_t c = 1; c < labels.size(); ++c) {
+    const float s = table.score(features, c);
+    if (s > best_score) {
+      best_score = s;
+      best = c;
+    }
+  }
+  return labels.name(best);
+}
+
+std::vector<std::pair<std::string, float>> oaa_scores(
+    const WeightTable& table, const LabelSpace& labels,
+    const FeatureVector& features) {
+  std::vector<std::pair<std::string, float>> out;
+  out.reserve(labels.size());
+  for (std::uint32_t c = 0; c < labels.size(); ++c) {
+    out.emplace_back(labels.name(c), table.score(features, c));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  return out;
+}
+
+std::vector<std::pair<std::string, float>> csoaa_costs(
+    const WeightTable& table, const LabelSpace& labels,
+    const FeatureVector& features) {
+  std::vector<std::pair<std::string, float>> out;
+  out.reserve(labels.size());
+  for (std::uint32_t c = 0; c < labels.size(); ++c) {
+    out.emplace_back(labels.name(c), table.score(features, c));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.second < b.second; });
+  return out;
+}
+
+std::vector<std::string> csoaa_top_n(const WeightTable& table,
+                                     const LabelSpace& labels,
+                                     const FeatureVector& features,
+                                     std::size_t n) {
+  auto ranked = csoaa_costs(table, labels, features);
+  std::vector<std::string> out;
+  out.reserve(std::min(n, ranked.size()));
+  for (std::size_t i = 0; i < ranked.size() && i < n; ++i) {
+    out.push_back(std::move(ranked[i].first));
+  }
+  return out;
 }
 
 }  // namespace detail
@@ -253,30 +308,19 @@ void OaaClassifier::train(const std::vector<Example>& examples) {
 
 std::string OaaClassifier::predict(const FeatureVector& features) const {
   oaa_instruments().predictions.inc();
-  if (labels_.size() == 0) return {};
-  std::uint32_t best = 0;
-  float best_score = table_.score(features, 0);
-  for (std::uint32_t c = 1; c < labels_.size(); ++c) {
-    const float s = table_.score(features, c);
-    if (s > best_score) {
-      best_score = s;
-      best = c;
-    }
-  }
-  return labels_.name(best);
+  return detail::oaa_argmax(table_, labels_, features);
 }
 
 std::vector<std::pair<std::string, float>> OaaClassifier::scores(
     const FeatureVector& features) const {
   oaa_instruments().predictions.inc();
-  std::vector<std::pair<std::string, float>> out;
-  out.reserve(labels_.size());
-  for (std::uint32_t c = 0; c < labels_.size(); ++c) {
-    out.emplace_back(labels_.name(c), table_.score(features, c));
-  }
-  std::sort(out.begin(), out.end(),
-            [](const auto& a, const auto& b) { return a.second > b.second; });
-  return out;
+  return detail::oaa_scores(table_, labels_, features);
+}
+
+void OaaClassifier::sync_occupancy_gauges() const {
+  auto& instruments = oaa_instruments();
+  instruments.used_slots.set(static_cast<double>(table_.occupancy()));
+  instruments.total_slots.set(static_cast<double>(table_.slots()));
 }
 
 void OaaClassifier::reset() {
@@ -358,25 +402,19 @@ void CsoaaClassifier::train(const std::vector<MultiExample>& examples) {
 std::vector<std::pair<std::string, float>> CsoaaClassifier::costs(
     const FeatureVector& features) const {
   csoaa_instruments().predictions.inc();
-  std::vector<std::pair<std::string, float>> out;
-  out.reserve(labels_.size());
-  for (std::uint32_t c = 0; c < labels_.size(); ++c) {
-    out.emplace_back(labels_.name(c), table_.score(features, c));
-  }
-  std::sort(out.begin(), out.end(),
-            [](const auto& a, const auto& b) { return a.second < b.second; });
-  return out;
+  return detail::csoaa_costs(table_, labels_, features);
 }
 
 std::vector<std::string> CsoaaClassifier::predict_top_n(
     const FeatureVector& features, std::size_t n) const {
-  auto ranked = costs(features);
-  std::vector<std::string> out;
-  out.reserve(std::min(n, ranked.size()));
-  for (std::size_t i = 0; i < ranked.size() && i < n; ++i) {
-    out.push_back(std::move(ranked[i].first));
-  }
-  return out;
+  csoaa_instruments().predictions.inc();
+  return detail::csoaa_top_n(table_, labels_, features, n);
+}
+
+void CsoaaClassifier::sync_occupancy_gauges() const {
+  auto& instruments = csoaa_instruments();
+  instruments.used_slots.set(static_cast<double>(table_.occupancy()));
+  instruments.total_slots.set(static_cast<double>(table_.slots()));
 }
 
 void CsoaaClassifier::reset() {

@@ -48,9 +48,15 @@ class LabelSpace {
   std::uint32_t size() const { return static_cast<std::uint32_t>(names_.size()); }
   const std::vector<std::string>& names() const { return names_; }
 
+  /// Monotone counter bumped every time intern() registers a NEW label.
+  /// Process-local (not serialized): snapshot consumers compare versions to
+  /// tell whether the label space grew between two epochs.
+  std::uint64_t version() const { return version_; }
+
  private:
   std::unordered_map<std::string, std::uint32_t> ids_;
   std::vector<std::string> names_;
+  std::uint64_t version_ = 0;
 };
 
 namespace detail {
@@ -90,7 +96,31 @@ class WeightTable {
   std::size_t nonzero_ = 0;
 };
 
+// Shared prediction kernels over a (table, labels) pair. The live
+// classifiers below AND the frozen ml::LearnerSnapshot call these same
+// functions, so the snapshot prediction path is bit-identical to the
+// legacy in-place path by construction, not by parallel maintenance.
+
+/// Highest-scoring label; empty string if no class registered yet (OAA).
+std::string oaa_argmax(const WeightTable& table, const LabelSpace& labels,
+                       const FeatureVector& features);
+/// All (label, raw margin) pairs, descending score (OAA).
+std::vector<std::pair<std::string, float>> oaa_scores(
+    const WeightTable& table, const LabelSpace& labels,
+    const FeatureVector& features);
+/// All (label, predicted cost) pairs, ascending cost (CSOAA).
+std::vector<std::pair<std::string, float>> csoaa_costs(
+    const WeightTable& table, const LabelSpace& labels,
+    const FeatureVector& features);
+/// The n labels with the lowest predicted cost (CSOAA).
+std::vector<std::string> csoaa_top_n(const WeightTable& table,
+                                     const LabelSpace& labels,
+                                     const FeatureVector& features,
+                                     std::size_t n);
+
 }  // namespace detail
+
+class LearnerSnapshot;  // ml/model_snapshot.hpp
 
 /// Labeled sparse example (single label).
 struct Example {
@@ -127,6 +157,19 @@ class OaaClassifier {
 
   const LabelSpace& labels() const { return labels_; }
   std::size_t size_bytes() const { return table_.size_bytes(); }
+  std::uint64_t update_count() const { return update_count_; }
+
+  /// Deep-copies the current weights + label space into an immutable
+  /// LearnerSnapshot (ml/model_snapshot.hpp) — the copy-on-write half of
+  /// the RCU publish path. Defined in model_snapshot.cpp.
+  LearnerSnapshot freeze() const;
+
+  /// Re-syncs the occupancy gauges (praxi_ml_used_weight_slots /
+  /// praxi_ml_weight_slots) from the table's ground truth. learn_one()
+  /// maintains them incrementally; restore paths (from_binary) and the
+  /// snapshot publisher call this so the gauges can never drift across an
+  /// epoch swap (docs/OBSERVABILITY.md).
+  void sync_occupancy_gauges() const;
 
   std::string to_binary() const;
   static OaaClassifier from_binary(std::string_view bytes);
@@ -164,6 +207,13 @@ class CsoaaClassifier {
 
   const LabelSpace& labels() const { return labels_; }
   std::size_t size_bytes() const { return table_.size_bytes(); }
+  std::uint64_t update_count() const { return update_count_; }
+
+  /// See OaaClassifier::freeze(). Defined in model_snapshot.cpp.
+  LearnerSnapshot freeze() const;
+
+  /// See OaaClassifier::sync_occupancy_gauges().
+  void sync_occupancy_gauges() const;
 
   std::string to_binary() const;
   static CsoaaClassifier from_binary(std::string_view bytes);

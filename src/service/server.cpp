@@ -51,6 +51,11 @@ DiscoveryServer::DiscoveryServer(core::Praxi model, ServerConfig config)
       "praxi_server_held_sequences",
       "Out-of-order sequences held above the dedup floors, fleet-wide",
       {{"server", server_label_}});
+  model_epoch_gauge_ = &registry.gauge(
+      "praxi_server_model_epoch",
+      "Snapshot epoch the server most recently classified against",
+      {{"server", server_label_}});
+  model_epoch_gauge_->set(static_cast<double>(model_.epoch()));
 
   // Durable ingest (docs/DURABILITY.md): replay happens HERE, inside the
   // constructor, so by the time the host can open a transport listener the
@@ -221,6 +226,13 @@ std::vector<Discovery> DiscoveryServer::process(Transport& transport) {
   // WAL, transport) nests beneath it. docs/CONCURRENCY.md.
   common::LockGuard lock(state_mutex_);
 
+  // Pin ONE model epoch for the whole batch (docs/API.md): every report in
+  // this cycle is classified against the same immutable snapshot and
+  // settled carrying its epoch number, so a batch is internally consistent
+  // no matter what publishes while it is in flight.
+  const core::ModelSnapshotPtr snap = model_.snapshot();
+  model_epoch_gauge_->set(static_cast<double>(snap->epoch()));
+
   // Phase 1 (sequential): parse + screen. Quantity inference is cheap
   // relative to classification, so only the survivors go into the batch.
   // Acceptance is only *previewed* here — the tracker is mutated at settle
@@ -291,12 +303,13 @@ std::vector<Discovery> DiscoveryServer::process(Transport& transport) {
     item.discovery.open_time_ms = report.changeset.open_time_ms();
     item.discovery.close_time_ms = report.changeset.close_time_ms();
     item.discovery.record_count = report.changeset.size();
+    item.discovery.model_epoch = snap->epoch();
     if (!report.changeset.empty()) {
       item.discovery.inferred_quantity = core::DiscoveryService::infer_quantity(
           report.changeset, config_.quantity);
       if (item.discovery.inferred_quantity > 0) {  // not background noise
         item.classify = true;
-        item.n = model_.mode() == core::LabelMode::kSingleLabel
+        item.n = snap->mode() == core::LabelMode::kSingleLabel
                      ? 1
                      : item.discovery.inferred_quantity;
         item.changeset = std::move(report.changeset);
@@ -318,10 +331,11 @@ std::vector<Discovery> DiscoveryServer::process(Transport& transport) {
     changesets.push_back(&item.changeset);
     counts.push_back(item.n);
   }
-  auto tagsets =
-      model_.extract_tags(std::span<const fs::Changeset* const>(changesets));
-  auto predictions = model_.predict_tags(
-      std::span<const columbus::TagSet>(tagsets), core::TopN(counts));
+  auto tagsets = snap->extract_tags(
+      std::span<const fs::Changeset* const>(changesets), model_.pool());
+  auto predictions =
+      snap->predict_tags(std::span<const columbus::TagSet>(tagsets),
+                         core::TopN(counts), model_.pool());
 
   if (testhooks::simulate_crash_before_commit) {
     throw std::runtime_error(
@@ -402,6 +416,9 @@ void DiscoveryServer::learn_feedback(const fs::Changeset& labeled_changeset) {
   const auto tagset = model_.extract_tags(labeled_changeset);
   model_.learn_one(tagset);
   store_.add(tagset);
+  // learn_one publishes per the snapshot_publish_every cadence; reflect
+  // whatever epoch is now current (unchanged when the cadence batches).
+  model_epoch_gauge_->set(static_cast<double>(model_.epoch()));
 }
 
 }  // namespace praxi::service

@@ -92,6 +92,11 @@ struct Discovery {
   std::size_t record_count = 0;
   std::size_t inferred_quantity = 0;
   std::vector<std::string> applications;
+  /// Snapshot epoch that classified this report (docs/API.md): the whole
+  /// batch it arrived in was classified against this one pinned epoch, so
+  /// operators can attribute every discovery to a named model version even
+  /// while learn_feedback() keeps publishing newer ones.
+  std::uint64_t model_epoch = 0;
 };
 
 class DiscoveryServer {
@@ -104,6 +109,10 @@ class DiscoveryServer {
   /// made (one per non-noise window), in arrival order. Malformed messages
   /// are counted and skipped, never fatal. Each report's tags are extracted
   /// exactly once and reused for both prediction and the tagset store.
+  /// The whole batch is classified against ONE pinned model snapshot
+  /// (core/model_snapshot.hpp) whose epoch every returned Discovery
+  /// carries, so a batch is internally consistent and WAL-settled against
+  /// a named model version.
   ///
   /// Works against any Transport (the in-memory MessageBus or a
   /// net::SocketServer). The transport may deliver at-least-once; this
@@ -229,6 +238,7 @@ class DiscoveryServer {
   obs::Counter* discoveries_total_ = nullptr;
   obs::Gauge* agents_gauge_ = nullptr;
   obs::Gauge* held_gauge_ = nullptr;
+  obs::Gauge* model_epoch_gauge_ = nullptr;
 };
 
 namespace testhooks {

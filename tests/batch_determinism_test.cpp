@@ -153,8 +153,9 @@ TEST_F(BatchDeterminismTest, PredictBatchMatchesSequentialLoop) {
   Praxi sequential;
   sequential.train_changesets(train);
   std::vector<std::vector<std::string>> expected;
+  const auto sequential_snap = sequential.snapshot();
   for (const fs::Changeset* cs : test) {
-    expected.push_back(sequential.predict(*cs));
+    expected.push_back(sequential_snap->predict(*cs));
   }
 
   for (const std::size_t threads : kThreadCounts) {
@@ -163,7 +164,8 @@ TEST_F(BatchDeterminismTest, PredictBatchMatchesSequentialLoop) {
     Praxi model(config);
     // Thread-pooled training: parallel tag extraction, sequential SGD.
     model.train_changesets(train);
-    EXPECT_EQ(model.predict(test), expected) << "num_threads=" << threads;
+    EXPECT_EQ(model.snapshot()->predict(test, {}, model.pool()), expected)
+        << "num_threads=" << threads;
   }
 }
 
@@ -179,8 +181,9 @@ TEST_F(BatchDeterminismTest, MultiLabelPredictBatchMatchesSequentialLoop) {
   Praxi sequential(sequential_config);
   sequential.train_changesets(train);
   std::vector<std::vector<std::string>> expected;
+  const auto sequential_snap = sequential.snapshot();
   for (std::size_t i = 0; i < test.size(); ++i) {
-    expected.push_back(sequential.predict(*test[i], counts[i]));
+    expected.push_back(sequential_snap->predict(*test[i], counts[i]));
   }
 
   for (const std::size_t threads : kThreadCounts) {
@@ -189,12 +192,13 @@ TEST_F(BatchDeterminismTest, MultiLabelPredictBatchMatchesSequentialLoop) {
     config.runtime.num_threads = threads;
     Praxi model(config);
     model.train_changesets(train);
-    EXPECT_EQ(model.predict(test, counts), expected)
+    const auto snap = model.snapshot();
+    EXPECT_EQ(snap->predict(test, counts, model.pool()), expected)
         << "num_threads=" << threads;
     // The pre-extracted-tagset path must agree with the changeset path.
-    const auto tagsets = model.extract_tags(test);
-    EXPECT_EQ(model.predict_tags(std::span<const columbus::TagSet>(tagsets),
-                                 TopN(counts)),
+    const auto tagsets = snap->extract_tags(test, model.pool());
+    EXPECT_EQ(snap->predict_tags(std::span<const columbus::TagSet>(tagsets),
+                                 TopN(counts), model.pool()),
               expected)
         << "num_threads=" << threads;
   }
@@ -205,23 +209,26 @@ TEST_F(BatchDeterminismTest, SetNumThreadsRetunesALiveModel) {
   const auto test = split(*dirty_, 6, true);
   Praxi model;
   model.train_changesets(train);
-  const auto expected = model.predict(test);
+  const auto expected = model.snapshot()->predict(test, {}, model.pool());
   for (const std::size_t threads : kThreadCounts) {
     model.set_num_threads(threads);
     EXPECT_EQ(model.num_threads(), threads);
-    EXPECT_EQ(model.predict(test), expected) << "num_threads=" << threads;
+    EXPECT_EQ(model.snapshot()->predict(test, {}, model.pool()), expected)
+        << "num_threads=" << threads;
   }
 }
 
 TEST_F(BatchDeterminismTest, PredictBatchValidatesInputs) {
   Praxi untrained;
-  EXPECT_THROW(untrained.predict(split(*dirty_, 6, true)), std::logic_error);
+  EXPECT_THROW(untrained.snapshot()->predict(split(*dirty_, 6, true)),
+               std::logic_error);
 
   Praxi model;
   model.train_changesets(split(*dirty_, 6, false));
   const auto test = split(*dirty_, 6, true);
   EXPECT_THROW(
-      model.predict(test, std::vector<std::size_t>(test.size() + 1, 1)),
+      model.snapshot()->predict(
+          test, std::vector<std::size_t>(test.size() + 1, 1), model.pool()),
       std::invalid_argument);
 }
 

@@ -108,8 +108,9 @@ TEST_F(EndToEndTest, ModelSurvivesSerializationMidStream) {
   loaded.train_changesets(second);
 
   int correct = 0;
+  const auto snap = loaded.snapshot();
   for (const auto& cs : dirty_->changesets) {
-    correct += loaded.predict(cs).front() == cs.labels().front();
+    correct += snap->predict(cs).front() == cs.labels().front();
   }
   EXPECT_GT(double(correct) / double(dirty_->size()), 0.9);
 }
@@ -169,10 +170,11 @@ TEST_F(EndToEndTest, MultiLabelPipeline) {
   model.train_changesets(train);
 
   std::vector<std::vector<std::string>> truths, predictions;
+  const auto snap = model.snapshot();
   for (std::size_t i = 40; i < multi.size(); ++i) {
     const auto& cs = multi.changesets[i];
     truths.push_back(cs.labels());
-    predictions.push_back(model.predict(cs, cs.labels().size()));
+    predictions.push_back(snap->predict(cs, cs.labels().size()));
   }
   EXPECT_GT(eval::evaluate(truths, predictions).weighted_f1(), 0.85);
 }
@@ -183,8 +185,9 @@ TEST_F(EndToEndTest, CleanTrainingGeneralizesToDirtyTesting) {
   core::Praxi model;
   model.train_changesets(eval::pointers(*clean_));
   int correct = 0;
+  const auto snap = model.snapshot();
   for (const auto& cs : dirty_->changesets) {
-    correct += model.predict(cs).front() == cs.labels().front();
+    correct += snap->predict(cs).front() == cs.labels().front();
   }
   EXPECT_GT(double(correct) / double(dirty_->size()), 0.8);
 }

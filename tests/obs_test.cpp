@@ -376,6 +376,27 @@ TEST_F(ObsIntegrationTest, ServerProcessAdvancesStageInstruments) {
   EXPECT_EQ(stats.at("vm-obs").processed, 3u);
 }
 
+TEST_F(ObsIntegrationTest, SnapshotPublishResyncsOccupancyGauges) {
+  // The learner maintains praxi_ml_used_weight_slots incrementally; a
+  // snapshot publish must re-sync it from the weight table so the gauge
+  // cannot drift across epoch swaps. Poison the gauge, publish, and it must
+  // come back to the same model-determined value every time.
+  Gauge& used = MetricsRegistry::global().gauge(
+      "praxi_ml_used_weight_slots", "Nonzero weight-table slots",
+      {{"reduction", "oaa"}});
+  used.set(-1.0);
+
+  // from_binary ends with a publish (docs/API.md), which re-syncs.
+  core::Praxi restored = core::Praxi::from_binary(model_->to_binary());
+  const double synced = used.value();
+  EXPECT_GT(synced, 0.0) << "publish must overwrite the poisoned gauge";
+
+  used.set(1e9);  // drift again, no model change in between
+  restored.publish();
+  EXPECT_DOUBLE_EQ(used.value(), synced)
+      << "publish must re-derive the gauge from the weight table";
+}
+
 TEST_F(ObsIntegrationTest, MlAndEngineInstrumentsCarryData) {
   // The fixture already trained and the test above predicted, so the
   // learner/engine families must exist with nonzero activity.

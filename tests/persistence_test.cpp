@@ -358,10 +358,13 @@ TEST_P(SaveLoadLearnEquivalence, ReloadedModelLearnsIdentically) {
   reloaded.learn_one(reloaded.extract_tags(feedback));
 
   const auto probes = training_corpus();
+  const auto original_snap = original.snapshot();
+  const auto reloaded_snap = reloaded.snapshot();
   for (const auto& cs : probes) {
-    EXPECT_EQ(original.predict(cs, 2), reloaded.predict(cs, 2));
+    EXPECT_EQ(original_snap->predict(cs, 2), reloaded_snap->predict(cs, 2));
   }
-  EXPECT_EQ(original.predict(feedback, 1), reloaded.predict(feedback, 1));
+  EXPECT_EQ(original_snap->predict(feedback, 1),
+            reloaded_snap->predict(feedback, 1));
   EXPECT_EQ(original.to_binary(), reloaded.to_binary());
 }
 

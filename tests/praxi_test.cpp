@@ -52,8 +52,9 @@ TEST_F(PraxiTest, SingleLabelEndToEnd) {
   EXPECT_TRUE(model.trained());
   int correct = 0;
   const auto test = split(*dirty_, 6, true);
+  const auto snap = model.snapshot();
   for (const fs::Changeset* cs : test) {
-    correct += model.predict(*cs).front() == cs->labels().front();
+    correct += snap->predict(*cs).front() == cs->labels().front();
   }
   EXPECT_GT(double(correct) / double(test.size()), 0.9);
 }
@@ -69,8 +70,9 @@ TEST_F(PraxiTest, MultiLabelEndToEnd) {
 
   const auto test = split(*multi_, 5, true);
   int hits = 0, total = 0;
+  const auto snap = model.snapshot();
   for (const fs::Changeset* cs : test) {
-    const auto predicted = model.predict(*cs, cs->labels().size());
+    const auto predicted = snap->predict(*cs, cs->labels().size());
     EXPECT_EQ(predicted.size(), cs->labels().size());
     for (const auto& label : cs->labels()) {
       ++total;
@@ -117,8 +119,9 @@ TEST_F(PraxiTest, IncrementalTrainingKeepsOldKnowledge) {
   EXPECT_GT(model.labels().size(), before);
 
   int correct = 0;
+  const auto snap = model.snapshot();
   for (const fs::Changeset* cs : first) {
-    correct += model.predict(*cs).front() == cs->labels().front();
+    correct += snap->predict(*cs).front() == cs->labels().front();
   }
   EXPECT_GT(double(correct) / double(first.size()), 0.8)
       << "incremental update forgot the original labels";
@@ -129,14 +132,15 @@ TEST_F(PraxiTest, ResetForgets) {
   model.train_changesets(split(*dirty_, 6, false));
   model.reset();
   EXPECT_FALSE(model.trained());
-  EXPECT_THROW(model.predict(dirty_->changesets.front()), std::logic_error);
+  EXPECT_THROW(model.snapshot()->predict(dirty_->changesets.front()),
+               std::logic_error);
 }
 
 TEST_F(PraxiTest, RankedReturnsAllLabelsHighFirst) {
   Praxi model;
   model.train_changesets(split(*dirty_, 6, false));
   const auto tags = model.extract_tags(dirty_->changesets.front());
-  const auto ranked = model.ranked(tags);
+  const auto ranked = model.snapshot()->ranked(tags);
   EXPECT_EQ(ranked.size(), model.labels().size());
   for (std::size_t i = 1; i < ranked.size(); ++i) {
     EXPECT_GE(ranked[i - 1].second, ranked[i].second);
@@ -150,7 +154,7 @@ TEST_F(PraxiTest, BinaryRoundTripPredictsIdentically) {
   const Praxi loaded = Praxi::from_binary(model.to_binary());
   EXPECT_TRUE(loaded.trained());
   for (const fs::Changeset* cs : split(*dirty_, 6, true)) {
-    EXPECT_EQ(loaded.predict(*cs), model.predict(*cs));
+    EXPECT_EQ(loaded.snapshot()->predict(*cs), model.snapshot()->predict(*cs));
   }
 }
 
@@ -162,7 +166,8 @@ TEST_F(PraxiTest, MultiLabelRoundTrip) {
   const Praxi loaded = Praxi::from_binary(model.to_binary());
   EXPECT_EQ(loaded.mode(), LabelMode::kMultiLabel);
   const auto& probe = multi_->changesets.front();
-  EXPECT_EQ(loaded.predict(probe, 3), model.predict(probe, 3));
+  EXPECT_EQ(loaded.snapshot()->predict(probe, 3),
+            model.snapshot()->predict(probe, 3));
 }
 
 TEST_F(PraxiTest, OverheadAccountingPopulated) {
@@ -205,8 +210,9 @@ TEST(Praxi, LearnOneSupportsPureOnlineUse) {
     model.learn_one(a);
     model.learn_one(b);
   }
-  EXPECT_EQ(model.predict_tags(a).front(), "alpha");
-  EXPECT_EQ(model.predict_tags(b).front(), "beta");
+  const auto snap = model.snapshot();
+  EXPECT_EQ(snap->predict_tags(a).front(), "alpha");
+  EXPECT_EQ(snap->predict_tags(b).front(), "beta");
 }
 
 TEST(Praxi, FromBinaryRejectsGarbage) {

@@ -27,6 +27,10 @@
 #   tools/check.sh --tsan-wal  ThreadSanitizer pass over the WAL and the
 #                              server restart/ingest concurrency tests
 #                              (needs clang)
+#   tools/check.sh --tsan-ml   ThreadSanitizer pass over the serve-while-
+#                              learn snapshot tests: predict threads hammer
+#                              snapshot() while a trainer streams SGD and
+#                              publishes epochs (needs clang)
 #
 # Lane flags can be combined (e.g. `--lint --tsa`). Every run ends with a
 # summary table: which lanes ran, which were skipped, which failed.
@@ -191,6 +195,26 @@ restart/ingest concurrency)"
   ./build-tsan-wal/tests/transport_test --gtest_filter='FaultMatrixTest.*'
 }
 
+run_tsan_ml() {
+  # The serve-while-learn contract (docs/API.md): predict threads read
+  # frozen ModelSnapshots through one atomic shared_ptr while the trainer
+  # mutates the live weights and publishes new epochs — zero locks on the
+  # hot path, so TSan is the only tool that can prove the absence of a
+  # data race there (snapshot_test's concurrency case only proves the
+  # absence of wrong answers). Same clang-only policy as the other tsan
+  # lanes.
+  if ! command -v clang++ >/dev/null; then
+    skip "clang++ not installed (tsan-ml lane; gcc tier-1 still runs \
+snapshot_test)"
+  fi
+  note "ThreadSanitizer: snapshot_test (RCU snapshot publish/predict \
+concurrency)"
+  cmake -B build-tsan-ml -S . -DPRAXI_SANITIZE=thread \
+    -DCMAKE_CXX_COMPILER=clang++ -DCMAKE_C_COMPILER=clang >/dev/null
+  cmake --build build-tsan-ml -j "$JOBS" --target snapshot_test
+  ./build-tsan-ml/tests/snapshot_test
+}
+
 run_format() {
   if ! command -v clang-format >/dev/null; then
     skip "clang-format not installed (config: .clang-format)"
@@ -206,7 +230,7 @@ run_format() {
 # end-of-run summary table.
 
 ALL_LANES=(tier1 werror tsa tidy lint bench-smoke tsan-obs tsan-net
-           tsan-wal format)
+           tsan-wal tsan-ml format)
 LANES_RAN=()
 LANES_SKIPPED=()
 LANES_FAILED=()
@@ -242,14 +266,14 @@ run_lane() {
 usage() {
   echo "usage: tools/check.sh [--all] [--tier1|--werror|--tsa|--tidy|" \
        "--lint|--fuzz|--bench-smoke|--format|--tsan-obs|--tsan-net|" \
-       "--tsan-wal]..." >&2
+       "--tsan-wal|--tsan-ml]..." >&2
 }
 
 SELECTED=()
 for arg in "$@"; do
   case "$arg" in
     --all) KEEP_GOING=1 ;;
-    --tier1|--werror|--tsa|--tidy|--lint|--fuzz|--bench-smoke|--format|--tsan-obs|--tsan-net|--tsan-wal)
+    --tier1|--werror|--tsa|--tidy|--lint|--fuzz|--bench-smoke|--format|--tsan-obs|--tsan-net|--tsan-wal|--tsan-ml)
       SELECTED+=("${arg#--}") ;;
     *) usage; exit 2 ;;
   esac

@@ -79,6 +79,18 @@ And the concurrency invariant from the thread-safety-annotations PR
                    by the wrapper itself):
                    `// praxi-lint: allow(naked-mutex: why)`.
 
+And the serve-while-learn invariant from the snapshot-API PR
+(docs/API.md, docs/CONCURRENCY.md):
+
+  weight-table-mutation
+                   ml::detail::WeightTable belongs to the learner and the
+                   snapshot publisher alone: predict paths read immutable
+                   ModelSnapshots, so a WeightTable reference (or an
+                   .update()/.set_raw() call on a table) anywhere else in
+                   src/ would reopen the torn-read window the RCU snapshot
+                   design closed. Escape hatch:
+                   `// praxi-lint: allow(weight-table-mutation: why)`.
+
 Usage:
   praxi_lint.py [--root REPO_ROOT]   lint <root>/src, report, exit 1 on hits
   praxi_lint.py --self-test          seed one violation per rule into a temp
@@ -151,6 +163,15 @@ COLUMBUS_HOT_EXEMPT = {"src/columbus/frequency_trie.cpp",
 COLUMBUS_ALLOC_RE = re.compile(
     r"std::map\s*<\s*char|make_unique\s*<|(?<![\w_])to_lower\s*\(|"
     r"(?<![\w_])tokenize\s*\(|(?<![\w_:.])split\s*\(")
+
+# The only translation units allowed to touch ml::detail::WeightTable: the
+# learner that trains it and the snapshot publisher that freezes it
+# (docs/API.md). Everyone else predicts through immutable ModelSnapshots.
+WEIGHT_TABLE_EXEMPT = {"src/ml/online_learner.hpp", "src/ml/online_learner.cpp",
+                       "src/ml/model_snapshot.hpp", "src/ml/model_snapshot.cpp"}
+WEIGHT_TABLE_RE = re.compile(r"\bWeightTable\b")
+WEIGHT_TABLE_MUTATE_RE = re.compile(
+    r"\w*[tT]able\w*\s*\.\s*(?:update|set_raw)\s*\(")
 
 # Raw standard-library synchronization primitives (docs/CONCURRENCY.md).
 # Only the common/sync.hpp wrappers may touch them (via the allow()
@@ -239,6 +260,15 @@ def check_file(root: pathlib.Path, path: pathlib.Path) -> list[Violation]:
              "per-token heap allocation primitive on the Columbus hot path; "
              "use the arena pipeline (tokenize_views + SegmentInterner + "
              "ArenaTrie) or annotate: praxi-lint: allow(columbus-hot-alloc)")
+
+    if rel not in WEIGHT_TABLE_EXEMPT:
+        weight_table_message = (
+            "WeightTable mutation outside the learner/snapshot publisher; "
+            "predict through an immutable ModelSnapshot (docs/API.md) or "
+            "annotate: praxi-lint: allow(weight-table-mutation)")
+        scan("weight-table-mutation", WEIGHT_TABLE_RE, weight_table_message)
+        scan("weight-table-mutation", WEIGHT_TABLE_MUTATE_RE,
+             weight_table_message)
 
     scan("naked-mutex", NAKED_MUTEX_RE,
          "raw std:: synchronization primitive; use the annotated "
@@ -456,6 +486,10 @@ SELFTEST_VIOLATIONS = {
     "naked-mutex": (
         "#include <mutex>\n"
         "void f() { std::mutex m; (void)m; }\n"),
+    "weight-table-mutation": (
+        "void f(praxi::ml::detail::WeightTable& table) {\n"
+        "  table.update(x, 0, 0.1f, 0.0f);\n"
+        "}\n"),
 }
 
 # Rules scoped to a subtree need their seed planted there; everything else
