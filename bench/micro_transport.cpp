@@ -69,7 +69,7 @@ void BM_SocketRoundTrip(benchmark::State& state) {
 
   for (auto _ : state) {
     client.send(wire);
-    while (client.unacked() > 0) {
+    while (client.stats().pending_frames > 0) {
       for (const auto& delivered : server.drain()) server.ack(delivered);
       client.flush(100);
     }
@@ -97,7 +97,7 @@ void BM_SocketBatch64(benchmark::State& state) {
 
   for (auto _ : state) {
     for (int i = 0; i < kBatch; ++i) client.send(wire);
-    while (client.unacked() > 0) {
+    while (client.stats().pending_frames > 0) {
       for (const auto& delivered : server.drain()) server.ack(delivered);
       client.flush(100);
     }

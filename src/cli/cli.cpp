@@ -8,6 +8,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "cluster/shard_router.hpp"
 #include "common/runtime_config.hpp"
 #include "common/serialize.hpp"
 #include "common/strings.hpp"
@@ -72,6 +73,10 @@ int usage(std::ostream& err) {
          "  serve --model M (--max-reports N | --duration-s S) [--port P]\n"
          "        [--port-file F] [--queue-bound N] [--threads N]\n"
          "        [--snapshot-every N] [--wal-dir D]\n"
+         "  cluster --model M [--shards N] (--max-reports N |\n"
+         "        --duration-s S) [--port P] [--port-file F]\n"
+         "        [--queue-bound N] [--threads N] [--snapshot-every N]\n"
+         "        [--wal-root D] [--merge-every N]\n"
          "  report --connect HOST:PORT [--agent ID] [--timeout-ms N]\n"
          "        FILE...\n"
          "--threads: batch-engine workers (0 = all hardware threads,\n"
@@ -89,6 +94,11 @@ int usage(std::ostream& err) {
          "       picks an ephemeral port, written to --port-file; --wal-dir\n"
          "       makes exactly-once ingest survive restarts by write-ahead\n"
          "       logging settled reports there (docs/DURABILITY.md)\n"
+         "cluster: sharded discovery service (docs/CLUSTER.md): agents\n"
+         "       are consistent-hashed onto N DiscoveryServer shards that\n"
+         "       classify concurrently, each write-ahead logging under\n"
+         "       --wal-root/shard-<i>; prints the merged inventory with\n"
+         "       shard and model-epoch attribution\n"
          "report: ship changeset files to a running serve instance\n";
   return 2;
 }
@@ -380,6 +390,97 @@ int cmd_serve(const Options& options, std::ostream& out, std::ostream& err) {
   return 0;
 }
 
+/// `cluster`: N DiscoveryServer shards behind a consistent-hash ShardRouter,
+/// fed by one frontend SocketServer — agents connect exactly as they connect
+/// to `serve`, but classification fans out across shards (docs/CLUSTER.md).
+int cmd_cluster(const Options& options, std::ostream& out, std::ostream& err) {
+  if (!options.has("model")) {
+    err << "cluster: --model M required\n";
+    return 2;
+  }
+  const bool has_max = options.has("max-reports");
+  const bool has_duration = options.has("duration-s");
+  if (!has_max && !has_duration) {
+    err << "cluster: a stop bound is required: --max-reports N or "
+           "--duration-s S\n";
+    return 2;
+  }
+
+  cluster::ClusterConfig config;
+  config.shards = std::stoul(options.get("shards", "2"));
+  if (config.shards == 0) {
+    err << "cluster: --shards must be >= 1\n";
+    return 2;
+  }
+  config.server.runtime = runtime_from_options(options);
+  config.server.transport.queue_bound = std::stoul(options.get(
+      "queue-bound", std::to_string(config.server.transport.queue_bound)));
+  config.wal_root = options.get("wal-root", "");
+  config.merge_every =
+      std::stoul(options.get("merge-every", std::to_string(config.merge_every)));
+  // Constructing the router replays every shard's WAL (when --wal-root is
+  // set) strictly BEFORE the frontend below starts accepting frames, the
+  // same ordering contract as `serve` (docs/DURABILITY.md).
+  cluster::ShardRouter router(load_model(options.get("model", "")), config);
+
+  net::SocketServerConfig socket_config;
+  socket_config.port =
+      static_cast<std::uint16_t>(std::stoul(options.get("port", "0")));
+  socket_config.transport = config.server.transport;
+  net::SocketServer frontend(socket_config);
+
+  if (options.has("port-file")) {
+    // Ephemeral rendezvous file; regenerable, torn writes are harmless.
+    // praxi-lint: allow(raw-write)
+    write_file(options.get("port-file", ""),
+               std::to_string(frontend.port()) + "\n");
+  }
+  out << router.shard_count() << "-shard cluster listening on 127.0.0.1:"
+      << frontend.port() << "\n";
+
+  const auto processed = [&router] {
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < router.shard_count(); ++i) {
+      total += router.shard(i).processed();
+    }
+    return total;
+  };
+  const std::uint64_t max_reports =
+      has_max ? std::stoull(options.get("max-reports", "0")) : 0;
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(static_cast<std::int64_t>(
+          std::stod(options.get("duration-s", "0")) * 1e3));
+  std::size_t discoveries = 0;
+  while (true) {
+    discoveries += router.process(frontend).size();
+    if (has_max && processed() >= max_reports) break;
+    if (has_duration && std::chrono::steady_clock::now() >= deadline) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  frontend.close();
+  // Settle anything that arrived while shutting down.
+  discoveries += router.process(frontend).size();
+
+  const auto stats = router.stats();
+  const auto merged = router.merge_now();
+  out << "processed " << processed() << " reports across "
+      << router.shard_count() << " shards; " << discoveries << " discoveries";
+  if (stats.duplicates > 0)
+    out << " (" << stats.duplicates << " duplicates skipped)";
+  if (stats.malformed_frames > 0)
+    out << " (" << stats.malformed_frames << " malformed)";
+  out << "\n";
+  for (const auto& [agent_id, row] : merged.agents) {
+    out << "  " << agent_id << " [shard " << row.shard << ", epoch "
+        << row.model_epoch << "]: "
+        << join({row.applications.begin(), row.applications.end()}, " ")
+        << "\n";
+  }
+  router.close();
+  return 0;
+}
+
 /// Ships changeset files to a running `serve` instance over a SocketClient,
 /// one ChangesetReport per file, and waits for every ack.
 int cmd_report(const Options& options, std::ostream& out, std::ostream& err) {
@@ -415,7 +516,7 @@ int cmd_report(const Options& options, std::ostream& out, std::ostream& err) {
   }
   const bool settled = client.flush(timeout_ms);
   if (!settled) {
-    err << "report: " << client.unacked() << " of "
+    err << "report: " << client.stats().pending_frames << " of "
         << options.positional.size() << " reports unacknowledged after "
         << timeout_ms << " ms\n";
     client.close();
@@ -443,6 +544,7 @@ int run(const std::vector<std::string>& argv, std::ostream& out,
     if (command == "inspect") rc = cmd_inspect(options, out, err);
     if (command == "stats") rc = cmd_stats(options, out, err);
     if (command == "serve") rc = cmd_serve(options, out, err);
+    if (command == "cluster") rc = cmd_cluster(options, out, err);
     if (command == "report") rc = cmd_report(options, out, err);
     if (rc >= 0) {
       if (rc == 0) maybe_dump_metrics(options);

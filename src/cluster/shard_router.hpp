@@ -1,0 +1,212 @@
+// Sharded discovery cluster behind the Transport API (docs/CLUSTER.md).
+//
+// One SocketServer on one port is the single-server ceiling; the ROADMAP's
+// "heavy traffic from millions of users" needs the discovery tier to scale
+// out. The workload shards cleanly by agent — every exactly-once structure
+// (SequenceTracker, WAL, inventory) is keyed by agent_id — so the cluster
+// is N fully independent DiscoveryServer shards, each with its own model
+// snapshot cell, ingest queue, and WAL directory, behind a ShardRouter
+// that consistent-hashes agent_id onto shards via a HashRing.
+//
+// The router is itself just another `service::Transport`: agents send the
+// same wire frames they would send to a single server, drain/ack work for
+// any upstream ingress (a frontend net::SocketServer, the in-memory
+// MessageBus, or a FaultyTransport wrapping either), and acknowledgments
+// flow back ONLY after the owning shard settled the frame — per-shard
+// exactly-once/dedup state is untouched, so the cluster inherits the
+// single-server durability contract shard by shard (docs/DURABILITY.md).
+//
+// Concurrency model (docs/CONCURRENCY.md): one persistent worker thread
+// per shard, coordinated round-by-round. process() routes the drained
+// ingress batch into the owning shards' queues, wakes exactly the shards
+// with work, and waits for all of them — shards classify concurrently on
+// separate cores, each inside its own DiscoveryServer::process() (rank
+// kServerState) against its own ShardTransport (rank kClusterShardQueue).
+// The router's coordination mutex (rank kClusterRouter, outermost) is only
+// ever held around flag flips, never across shard code. After the barrier
+// the router thread sweeps each shard's in-flight table: settled frames
+// are acknowledged upstream and recorded; unsettled frames (malformed,
+// held-window overflow) are dropped for the at-least-once wire to
+// redeliver — exactly the MessageBus disposition, one layer up.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "cluster/hash_ring.hpp"
+#include "common/annotations.hpp"
+#include "common/sync.hpp"
+#include "core/praxi.hpp"
+#include "obs/metrics.hpp"
+#include "service/server.hpp"
+#include "service/transport.hpp"
+
+namespace praxi::cluster {
+
+namespace detail {
+class ShardTransport;  // the per-shard queue + in-flight table (cpp-local)
+}  // namespace detail
+
+struct ClusterConfig {
+  /// Shard count; the ring is pre-populated with shards 0..shards-1.
+  std::size_t shards = 2;
+  HashRingConfig ring;
+  /// Per-shard DiscoveryServer template. `server.wal_dir` is ignored —
+  /// shard WAL directories derive from `wal_root` so two shards can never
+  /// share a log (docs/DURABILITY.md).
+  service::ServerConfig server;
+  /// When non-empty, shard i logs to `<wal_root>/shard-<i>` and replays it
+  /// on (re)construction. Empty keeps every shard's dedup state in-memory.
+  std::string wal_root;
+  /// Refresh the merged inventory every N process() rounds (0 = only on
+  /// explicit merge_now()).
+  std::size_t merge_every = 8;
+};
+
+/// One agent's row in the merged fleet inventory, with cluster attribution:
+/// which shard owns the agent and which model epoch that shard was serving
+/// when the merge ran (epochs advance independently per shard).
+struct MergedAgent {
+  std::uint32_t shard = 0;
+  std::uint64_t model_epoch = 0;
+  std::set<std::string> applications;
+};
+
+struct MergedInventory {
+  std::uint64_t round = 0;  ///< router round the merge observed
+  std::map<std::string, MergedAgent> agents;
+};
+
+class ShardRouter final : public service::Transport {
+ public:
+  /// Builds `config.shards` DiscoveryServer shards, each owning a copy of
+  /// `model`, replaying its WAL (if any) before the first frame routes.
+  explicit ShardRouter(const core::Praxi& model, ClusterConfig config = {});
+  ~ShardRouter() override;
+
+  ShardRouter(const ShardRouter&) = delete;
+  ShardRouter& operator=(const ShardRouter&) = delete;
+
+  // --- service::Transport (the agent-facing end) ---
+
+  /// Routes one wire frame straight into its owning shard's queue (the
+  /// in-memory agent path; socket agents go through an ingress transport
+  /// passed to process() instead). Thread-safe. Throws TransportError
+  /// after close().
+  void send(std::string wire_bytes) override;
+
+  /// The router consumes frames internally; nothing to drain upstream.
+  std::vector<std::string> drain() override { return {}; }
+
+  /// No-op: the router acknowledges through its shards, not its caller.
+  void ack(std::string_view wire_bytes) override;
+
+  /// Stops and joins every shard worker; idempotent. Shard servers stay
+  /// readable (inventory/stats) after close.
+  void close() override;
+
+  /// Cluster-wide totals: routed/settled/rejected frames plus the summed
+  /// shard-server counters (duplicates, malformed, overflow rejects) and
+  /// current queue depths. Safe to call concurrently.
+  service::TransportStats stats() const override;
+
+  // --- Cluster operation (router thread) ---
+
+  /// One routing + processing round: drains `ingress` (when given), routes
+  /// each frame to its owning shard, runs every shard with work on its own
+  /// worker thread, then acknowledges settled frames back on `ingress`.
+  /// Returns this round's discoveries (shard-major, arrival order within
+  /// a shard). Call from one thread at a time.
+  std::vector<service::Discovery> process(service::Transport* ingress);
+  std::vector<service::Discovery> process(service::Transport& ingress) {
+    return process(&ingress);
+  }
+  std::vector<service::Discovery> process() { return process(nullptr); }
+
+  /// Has any shard settled a frame carrying this (agent, sequence)?
+  /// Includes identities restored from shard WAL replay after
+  /// restart_shard(). Router-thread view (call between rounds).
+  bool acknowledged(std::string_view agent_id, std::uint64_t sequence) const;
+
+  /// The cached merged inventory (refreshed every merge_every rounds).
+  MergedInventory merged_inventory() const { return merged_; }
+  /// Pulls every shard's inventory now and refreshes the cached merge.
+  MergedInventory merge_now();
+
+  /// Simulates a shard crash + restart between rounds: the shard's
+  /// in-memory dedup state and queued-but-unprocessed frames die with it;
+  /// its WAL (when configured) replays into the replacement server, so
+  /// previously settled identities stay settled. Router-thread only.
+  void restart_shard(std::size_t shard);
+
+  std::size_t shard_count() const { return shards_.size(); }
+  std::uint32_t shard_for(std::string_view agent_id) const {
+    return ring_.shard_for(agent_id);
+  }
+  const HashRing& ring() const { return ring_; }
+  /// The shard's server, for tests and the merged-inventory CLI view.
+  /// Quiescence rules follow DiscoveryServer's accessor contract.
+  const service::DiscoveryServer& shard(std::size_t i) const {
+    return *shards_.at(i)->server;
+  }
+
+ private:
+  struct Shard {
+    std::unique_ptr<detail::ShardTransport> transport;
+    std::unique_ptr<service::DiscoveryServer> server;
+    std::thread worker;
+    /// Written by the worker at round end (under coord_), consumed by the
+    /// router thread after the round barrier.
+    std::vector<service::Discovery> round_discoveries;
+  };
+
+  void worker_loop(std::size_t index);
+  std::unique_ptr<service::DiscoveryServer> make_server(std::size_t index);
+  std::string shard_wal_dir(std::size_t index) const;
+  /// Routes one frame into its owning shard's queue.
+  void route(std::string wire_bytes, bool from_ingress);
+
+  ClusterConfig config_;
+  HashRing ring_;
+  core::Praxi model_;  ///< pristine copy for shard (re)construction
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  /// Round coordination only (rank kClusterRouter, outermost): guards the
+  /// run flags and the running count; NEVER held while a shard processes.
+  mutable common::Mutex coord_{"cluster_router_coord",
+                               common::LockRank::kClusterRouter};
+  common::CondVar work_cv_;
+  common::CondVar done_cv_;
+  std::vector<std::uint8_t> run_ PRAXI_GUARDED_BY(coord_);
+  std::size_t running_ PRAXI_GUARDED_BY(coord_) = 0;
+  bool stop_ PRAXI_GUARDED_BY(coord_) = false;
+
+  std::atomic<bool> closed_{false};
+  std::uint64_t round_ = 0;  ///< router thread only
+
+  /// Settled (agent, sequence) identities, cluster-wide. Router thread
+  /// only: workers report settles through their ShardTransport; the router
+  /// folds them in during the post-round sweep.
+  std::set<std::pair<std::string, std::uint64_t>> acked_;
+  MergedInventory merged_;  ///< router thread only
+
+  // Lifetime totals (stats(); mirrored into praxi_cluster_* instruments).
+  std::atomic<std::uint64_t> routed_frames_{0};
+  std::atomic<std::uint64_t> routed_bytes_{0};
+  std::atomic<std::uint64_t> settled_frames_{0};
+  std::atomic<std::uint64_t> unsettled_frames_{0};
+  std::atomic<std::uint64_t> shard_restarts_{0};
+
+  obs::Gauge* imbalance_gauge_ = nullptr;
+  obs::Counter* restarts_total_ = nullptr;
+};
+
+}  // namespace praxi::cluster

@@ -35,6 +35,13 @@ namespace praxi::common {
 /// of rank R may only acquire locks of rank strictly greater than R.
 /// Values are spaced so future locks can slot between existing layers.
 enum class LockRank : int {
+  /// ShardRouter round coordination (cluster/shard_router.hpp): the flags
+  /// and condition variables that hand a processing round to the shard
+  /// worker threads. Outermost of the whole hierarchy — a worker releases
+  /// it BEFORE running its shard's process() (which acquires kServerState
+  /// and everything beneath), so it is only ever held around flag flips,
+  /// never across component code.
+  kClusterRouter = 5,
   /// DiscoveryServer ingest state: dedup trackers, inventory, per-agent
   /// counters. Outermost — held across a whole process()/learn_feedback()
   /// call while every deeper layer (store, pool, registry, WAL, transport)
@@ -57,6 +64,12 @@ enum class LockRank : int {
   /// SocketClient connection + resend-buffer state (serializes
   /// send/flush/close).
   kSocketClient = 60,
+  /// Per-shard ingest queue + in-flight table inside the cluster router's
+  /// inner ShardTransport (cluster/shard_router.hpp). Above kServerState
+  /// because the shard's DiscoveryServer calls drain()/ack() on it while
+  /// holding its own state lock — the same shape as kSocketServerState,
+  /// which the router-facing SocketServer keeps for the frontend.
+  kClusterShardQueue = 65,
   /// SocketServer ingest queue + per-client sequence trackers. Acquired
   /// under kServerState via Transport::drain()/ack().
   kSocketServerState = 70,

@@ -284,39 +284,6 @@ void Praxi::learn_one(const columbus::TagSet& tagset) {
   maybe_publish_after_update();
 }
 
-// Shim definitions for the deprecated direct-predict surface. The pragma
-// covers the definitions themselves, not callers — every in-tree caller has
-// migrated; external callers get the deprecation warning until removal.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-
-std::vector<std::string> Praxi::predict(const fs::Changeset& changeset,
-                                        std::size_t n) const {
-  return snapshot()->predict(changeset, n);
-}
-
-std::vector<std::string> Praxi::predict_tags(const columbus::TagSet& tagset,
-                                             std::size_t n) const {
-  return snapshot()->predict_tags(tagset, n);
-}
-
-std::vector<std::vector<std::string>> Praxi::predict(
-    std::span<const fs::Changeset* const> changesets, TopN n) const {
-  return snapshot()->predict(changesets, n, pool_.get());
-}
-
-std::vector<std::vector<std::string>> Praxi::predict_tags(
-    std::span<const columbus::TagSet> tagsets, TopN n) const {
-  return snapshot()->predict_tags(tagsets, n, pool_.get());
-}
-
-std::vector<std::pair<std::string, float>> Praxi::ranked(
-    const columbus::TagSet& tagset) const {
-  return snapshot()->ranked(tagset);
-}
-
-#pragma GCC diagnostic pop
-
 void Praxi::reset() {
   oaa_.reset();
   csoaa_.reset();

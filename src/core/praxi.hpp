@@ -18,8 +18,8 @@
 // atomic shared_ptr (RCU-style). snapshot() pins the current epoch with a
 // single acquire load, so any number of predict threads read a consistent
 // model with zero locks on the hot path while learn_one()/train() keep
-// mutating the live weights. The direct predict members below remain as
-// [[deprecated]] bit-exact shims over snapshot() for one PR.
+// mutating the live weights. All prediction goes through snapshot() — the
+// deprecated direct-predict shims from PR 9 are gone (docs/API.md).
 #pragma once
 
 #include <atomic>
@@ -143,35 +143,6 @@ class Praxi {
   /// Pass it to the snapshot batch predict/extract calls to keep the
   /// configured parallelism on the snapshot surface.
   ThreadPool* pool() const { return pool_.get(); }
-
-  // -- Deprecated direct-predict shims (one PR, docs/API.md) ---------------
-  // Bit-exact forwards to snapshot(); migrate to
-  // `auto snap = model.snapshot();` + the same calls on `snap`.
-
-  /// Top-n application labels (n is ignored and treated as 1 in single-label
-  /// mode).
-  [[deprecated("predict through Praxi::snapshot() (docs/API.md)")]]
-  std::vector<std::string> predict(const fs::Changeset& changeset,
-                                   std::size_t n = 1) const;
-  [[deprecated("predict through Praxi::snapshot() (docs/API.md)")]]
-  std::vector<std::string> predict_tags(const columbus::TagSet& tagset,
-                                        std::size_t n = 1) const;
-
-  /// Batch prediction over raw changesets, input order preserved.
-  [[deprecated("predict through Praxi::snapshot() (docs/API.md)")]]
-  std::vector<std::vector<std::string>> predict(
-      std::span<const fs::Changeset* const> changesets, TopN n = {}) const;
-
-  /// Batch prediction over pre-extracted tagsets (the §V-C path: tagsets
-  /// are generated once and never regenerated).
-  [[deprecated("predict through Praxi::snapshot() (docs/API.md)")]]
-  std::vector<std::vector<std::string>> predict_tags(
-      std::span<const columbus::TagSet> tagsets, TopN n = {}) const;
-
-  /// Ranked (label, confidence) pairs; higher is more likely in both modes.
-  [[deprecated("predict through Praxi::snapshot() (docs/API.md)")]]
-  std::vector<std::pair<std::string, float>> ranked(
-      const columbus::TagSet& tagset) const;
 
   // -- Lifecycle -----------------------------------------------------------
 

@@ -1,6 +1,7 @@
 #include "net/socket_client.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <thread>
 #include <utility>
 
@@ -147,7 +148,16 @@ bool SocketClient::pump(Clock::time_point deadline) {
       }
     }
     if (stream_.valid() && Clock::now() >= busy_until_) write_pass();
-    if (stream_.valid()) read_replies(kReplySliceMs);
+    if (stream_.valid()) {
+      // Clamp the read slice to the pump deadline: send()'s opportunistic
+      // pass (deadline already reached) must poll, not sleep 5ms per frame
+      // — that block was the whole-fleet send ceiling (~200 frames/s per
+      // agent) before bench/load_cluster measured it.
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline - Clock::now());
+      read_replies(static_cast<std::uint32_t>(std::clamp<std::int64_t>(
+          left.count(), 0, kReplySliceMs)));
+    }
     check_ack_timeouts();
 
     if (unacked_.empty()) return true;
@@ -350,6 +360,9 @@ service::TransportStats SocketClient::stats() const {
   s.retransmits = retransmits_.load(std::memory_order_relaxed);
   s.reconnects = reconnects_.load(std::memory_order_relaxed);
   s.overloads = busy_received_.load(std::memory_order_relaxed);
+  // Each busy reply is one of this client's frames the server refused
+  // without settling (it stays buffered here until re-accepted).
+  s.rejected_frames = s.overloads;
   s.malformed_frames = connect_failures_.load(std::memory_order_relaxed);
   s.pending_frames = pending_count_.load(std::memory_order_relaxed);
   return s;

@@ -96,10 +96,6 @@ class SocketClient final : public service::Transport {
   /// elapses. Returns true when the buffer drained empty.
   bool flush(std::uint32_t timeout_ms) PRAXI_EXCLUDES(mutex_);
 
-  std::size_t unacked() const {
-    return pending_count_.load(std::memory_order_relaxed);
-  }
-
  private:
   using Clock = std::chrono::steady_clock;
 

@@ -197,36 +197,43 @@ bool SocketServer::handle_frame(Connection& conn, Frame& frame) {
       Verdict verdict = Verdict::kBusy;
       {
         common::LockGuard lock(state_mutex_);
-        if (queue_.size() >= config_.transport.queue_bound) {
-          // Bounded-queue overload: refuse BEFORE touching the tracker so
-          // the client's resend is not mistaken for a duplicate later.
-          verdict = Verdict::kBusy;
-        } else {
-          auto tracker = trackers_.find(conn.client_id);
-          if (tracker == trackers_.end()) {
-            tracker = trackers_
-                          .emplace(conn.client_id,
-                                   service::SequenceTracker(
-                                       config_.transport.max_held_sequences))
-                          .first;
-          }
-          switch (tracker->second.admit(frame.sequence)) {
-            case service::SequenceTracker::Admit::kDuplicate:
-              verdict = Verdict::kDuplicate;
-              break;
-            case service::SequenceTracker::Admit::kReject:
-              // Held-set cap reached (docs/DURABILITY.md): the frame was
-              // never settled, so kBusy — NOT an ack — makes the client
-              // hold off and resend once the window drains.
+        auto tracker = trackers_.find(conn.client_id);
+        if (tracker == trackers_.end()) {
+          tracker = trackers_
+                        .emplace(conn.client_id,
+                                 service::SequenceTracker(
+                                     config_.transport.max_held_sequences))
+                        .first;
+        }
+        // Screen with preview() BEFORE the queue-bound check: a duplicate
+        // was already settled, so it must be re-acked even while the queue
+        // is full — re-acking needs no queue space, and bouncing it would
+        // stall the client's resend loop on a frame this server already
+        // owns. preview() mutates nothing, so a frame refused below leaves
+        // no trace and its eventual resend is judged fresh.
+        switch (tracker->second.preview(frame.sequence)) {
+          case service::SequenceTracker::Admit::kDuplicate:
+            verdict = Verdict::kDuplicate;
+            break;
+          case service::SequenceTracker::Admit::kReject:
+            // Held-set cap reached (docs/DURABILITY.md): the frame was
+            // never settled, so kBusy — NOT an ack — makes the client
+            // hold off and resend once the window drains.
+            verdict = Verdict::kBusy;
+            break;
+          case service::SequenceTracker::Admit::kAccept:
+            if (queue_.size() >= config_.transport.queue_bound) {
+              // Bounded-queue overload: refuse without touching the
+              // tracker so the resend is not mistaken for a duplicate.
               verdict = Verdict::kBusy;
-              break;
-            case service::SequenceTracker::Admit::kAccept:
+            } else {
+              tracker->second.admit(frame.sequence);
               queue_.push_back(std::move(frame.payload));
               instruments_->queue_depth->set(
                   static_cast<double>(queue_.size()));
               verdict = Verdict::kEnqueued;
-              break;
-          }
+            }
+            break;
         }
       }
 
@@ -296,17 +303,17 @@ service::TransportStats SocketServer::stats() const {
   s.overloads = overloads_.load(std::memory_order_relaxed);
   s.duplicates = duplicates_.load(std::memory_order_relaxed);
   s.malformed_frames = protocol_errors_.load(std::memory_order_relaxed);
-  s.pending_frames = queue_depth();
+  // Every busy bounce refused an intact frame without settling it.
+  s.rejected_frames = s.overloads;
+  {
+    common::LockGuard lock(state_mutex_);
+    s.pending_frames = queue_.size();
+  }
   // The server never sends reports, but rx totals are useful under the
   // shared names: count what arrived as "sent to us".
   s.sent_frames = rx_frames_.load(std::memory_order_relaxed);
   s.sent_bytes = rx_bytes_.load(std::memory_order_relaxed);
   return s;
-}
-
-std::size_t SocketServer::queue_depth() const {
-  common::LockGuard lock(state_mutex_);
-  return queue_.size();
 }
 
 }  // namespace praxi::net

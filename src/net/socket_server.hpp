@@ -17,6 +17,9 @@
 //   * When the queue is full the server answers kBusy instead of buffering
 //     without bound: the client backs off and resends, and the tracker is
 //     left untouched so the resend is not mistaken for a duplicate.
+//     Dedup is screened BEFORE the bound, so a redelivered frame is
+//     re-acked (it needs no queue space) even while the queue is full —
+//     overload must never bounce a frame the server already settled.
 #pragma once
 
 #include <atomic>
@@ -72,7 +75,6 @@ class SocketServer final : public service::Transport {
 
   service::TransportStats stats() const override;
 
-  std::size_t queue_depth() const;
   /// Connections currently open (accept-thread view; approximate).
   std::size_t connections() const {
     return open_connections_.load(std::memory_order_relaxed);

@@ -18,6 +18,35 @@ std::vector<double> count_buckets() {
   return {1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0};
 }
 
+double histogram_quantile(const Histogram& histogram, double q) {
+  const std::uint64_t total = histogram.count();
+  if (total == 0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  const double target = q * static_cast<double>(total);
+  const auto& bounds = histogram.upper_bounds();
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i <= bounds.size(); ++i) {
+    const std::uint64_t in_bucket = histogram.bucket_count(i);
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(cumulative + in_bucket) < target) {
+      cumulative += in_bucket;
+      continue;
+    }
+    if (i == bounds.size()) {
+      // +Inf bucket: no upper edge to interpolate toward; report the
+      // highest finite bound the layout can resolve.
+      return bounds.empty() ? 0.0 : bounds.back();
+    }
+    const double lower = i == 0 ? 0.0 : bounds[i - 1];
+    const double upper = bounds[i];
+    const double into =
+        (target - static_cast<double>(cumulative)) /
+        static_cast<double>(in_bucket);
+    return lower + (upper - lower) * std::min(1.0, std::max(0.0, into));
+  }
+  return bounds.empty() ? 0.0 : bounds.back();
+}
+
 // ---------------------------------------------------------------------------
 // Registry internals
 // ---------------------------------------------------------------------------

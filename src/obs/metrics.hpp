@@ -156,6 +156,15 @@ class Histogram {
   const std::atomic<bool>* enabled_;
 };
 
+/// Estimated q-quantile (0 <= q <= 1) of a histogram's distribution,
+/// Prometheus-style: find the bucket where the cumulative count crosses
+/// q * count, then interpolate linearly inside it. Observations in the
+/// +Inf bucket clamp to the highest finite bound (the histogram cannot
+/// resolve beyond its layout). Returns 0 when the histogram is empty.
+/// Used by bench/load_cluster to report p50/p95/p99 settle latency from
+/// praxi_cluster_settle_seconds (docs/CLUSTER.md).
+double histogram_quantile(const Histogram& histogram, double q);
+
 /// Default bucket layouts for the three distribution shapes the pipeline
 /// reports. Log-spaced latency buckets cover 1µs..10s — tokenizing one
 /// changeset sits near the bottom, a full cold train() near the top.

@@ -100,6 +100,11 @@ struct TransportStats {
   std::uint64_t overloads = 0;         ///< busy responses (bounded queue full)
   std::uint64_t duplicates = 0;        ///< redeliveries suppressed by dedup
   std::uint64_t malformed_frames = 0;  ///< framing-protocol violations
+  /// Frames refused WITHOUT settling — busy bounces at a full queue,
+  /// held-window rejects swept for redelivery. Distinct from duplicates
+  /// (already settled) and malformed (never settleable): a rejected frame
+  /// is intact and must be redelivered by the at-least-once wire.
+  std::uint64_t rejected_frames = 0;
   std::uint64_t pending_frames = 0;    ///< queued (server) / unacked (client)
 };
 
@@ -264,10 +269,6 @@ class MessageBus final : public Transport {
 
   /// Has ack() been called for a frame carrying this (agent, sequence)?
   bool acknowledged(std::string_view agent_id, std::uint64_t sequence) const;
-
-  std::size_t pending() const { return queue_.size(); }
-  std::uint64_t total_messages() const { return total_; }
-  std::uint64_t total_bytes() const { return total_bytes_; }
 
  private:
   std::deque<std::string> queue_;

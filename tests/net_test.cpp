@@ -133,7 +133,7 @@ TEST(SocketProtocol, DataBeforeHelloDropsConnection) {
         return raw.read_some(sink, 256, 50) == IoStatus::kClosed;
       },
       std::chrono::milliseconds(5000)));
-  EXPECT_EQ(server.queue_depth(), 0u);
+  EXPECT_EQ(server.stats().pending_frames, 0u);
   server.close();
 }
 
@@ -210,7 +210,7 @@ TEST(SocketOverload, BusyWhenQueueFullThenRecovers) {
         return server.stats().overloads >= 1;
       },
       std::chrono::milliseconds(5000)));
-  EXPECT_LE(server.queue_depth(), 2u);
+  EXPECT_LE(server.stats().pending_frames, 2u);
 
   // Once the consumer drains, backed-off clients get everything through —
   // each payload exactly once.
@@ -227,6 +227,74 @@ TEST(SocketOverload, BusyWhenQueueFullThenRecovers) {
   EXPECT_EQ(got, sent);
   EXPECT_GE(client.stats().overloads, 1u) << "client observed kBusy";
   client.close();
+  server.close();
+}
+
+TEST(SocketOverload, DuplicateDuringOverflowIsReAckedNotBounced) {
+  // Regression: the server used to check the queue bound BEFORE dedup, so a
+  // redelivered frame arriving while the queue was full was answered kBusy
+  // — bouncing a frame the server had already settled, which kept the
+  // client resending forever and (worse) broke "an ack means settled".
+  // Dedup must screen first: a duplicate needs no queue space.
+  SocketServerConfig server_config;
+  server_config.transport.queue_bound = 1;
+  SocketServer server(server_config);
+
+  auto raw = TcpStream::connect("127.0.0.1", server.port(), 1000);
+  ASSERT_TRUE(raw.valid());
+  raw.write_all(encode_frame(FrameType::kHello, 0, "dup-overflow"), 1000);
+
+  FrameDecoder decoder;
+  std::string buffer;
+  // Reads replies off the raw stream until one for `sequence` shows up.
+  const auto next_reply_for = [&](std::uint64_t sequence) {
+    Frame reply;
+    const bool got = wait_until(
+        [&] {
+          buffer.clear();
+          if (raw.read_some(buffer, 256, 50) == IoStatus::kOk) {
+            decoder.feed(buffer);
+          }
+          while (auto frame = decoder.next()) {
+            if (frame->sequence == sequence) {
+              reply = *frame;
+              return true;
+            }
+          }
+          return false;
+        },
+        std::chrono::milliseconds(5000));
+    EXPECT_TRUE(got) << "no reply for sequence " << sequence;
+    return reply;
+  };
+
+  const std::string first = encode_frame(FrameType::kData, 0, "first");
+  raw.write_all(first, 1000);
+  EXPECT_EQ(next_reply_for(0).type, FrameType::kAck);
+  // Nothing drains, so "first" now occupies the whole bounded queue.
+
+  // Redelivery of the settled frame while the queue is full: must be
+  // re-acked (and counted as a duplicate), never bounced as busy.
+  raw.write_all(first, 1000);
+  EXPECT_EQ(next_reply_for(0).type, FrameType::kAck);
+  EXPECT_EQ(server.stats().duplicates, 1u);
+  EXPECT_EQ(server.stats().overloads, 0u)
+      << "a duplicate must not trip the overload path";
+
+  // A genuinely new frame still bounces — the bound is intact.
+  raw.write_all(encode_frame(FrameType::kData, 1, "second"), 1000);
+  EXPECT_EQ(next_reply_for(1).type, FrameType::kBusy);
+  EXPECT_GE(server.stats().overloads, 1u);
+
+  // Queue drains exactly one copy; the bounced frame lands on resend.
+  auto drained = server.drain();
+  ASSERT_EQ(drained.size(), 1u);
+  EXPECT_EQ(drained[0], "first");
+  raw.write_all(encode_frame(FrameType::kData, 1, "second"), 1000);
+  EXPECT_EQ(next_reply_for(1).type, FrameType::kAck);
+  drained = server.drain();
+  ASSERT_EQ(drained.size(), 1u);
+  EXPECT_EQ(drained[0], "second");
   server.close();
 }
 

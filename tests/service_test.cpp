@@ -49,14 +49,14 @@ TEST(MessageBus, FifoAndAccounting) {
   MessageBus bus;
   bus.send("first");
   bus.send("second-longer");
-  EXPECT_EQ(bus.pending(), 2u);
-  EXPECT_EQ(bus.total_messages(), 2u);
-  EXPECT_EQ(bus.total_bytes(), 5u + 13u);
+  EXPECT_EQ(bus.stats().pending_frames, 2u);
+  EXPECT_EQ(bus.stats().sent_frames, 2u);
+  EXPECT_EQ(bus.stats().sent_bytes, 5u + 13u);
   const auto drained = bus.drain();
   ASSERT_EQ(drained.size(), 2u);
   EXPECT_EQ(drained[0], "first");
   EXPECT_EQ(drained[1], "second-longer");
-  EXPECT_EQ(bus.pending(), 0u);
+  EXPECT_EQ(bus.stats().pending_frames, 0u);
   EXPECT_TRUE(bus.drain().empty());
 }
 
@@ -102,13 +102,13 @@ TEST_F(ServiceTest, AgentShipsWindowsOnInterval) {
   instance.create_file("/opt/x/file");
   clock->advance_s(61.0);
   EXPECT_TRUE(agent.poll());
-  EXPECT_EQ(bus.pending(), 1u);
+  EXPECT_EQ(bus.stats().pending_frames, 1u);
   EXPECT_EQ(agent.shipped(), 1u);
 
   // Quiet window: nothing shipped.
   clock->advance_s(61.0);
   EXPECT_FALSE(agent.poll());
-  EXPECT_EQ(bus.pending(), 1u);
+  EXPECT_EQ(bus.stats().pending_frames, 1u);
 }
 
 TEST_F(ServiceTest, AgentGuardHoldsDenseActivity) {

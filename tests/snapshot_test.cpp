@@ -190,25 +190,6 @@ class SnapshotDeterminismTest : public ::testing::Test {
 
 pkg::Dataset* SnapshotDeterminismTest::dirty_ = nullptr;
 
-TEST_F(SnapshotDeterminismTest, SnapshotPathIsBitExactWithTheLegacyShims) {
-  Praxi model;
-  model.train_changesets(split(4, false));
-  const auto test = split(4, true);
-  const auto snap = model.snapshot();
-  const auto tags = model.extract_tags(*test.front());
-// The deprecated shims stay bit-exact forwards for one PR (docs/API.md);
-// this is the test that holds them to it.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  for (const fs::Changeset* cs : test) {
-    EXPECT_EQ(snap->predict(*cs), model.predict(*cs));
-  }
-  EXPECT_EQ(snap->predict_tags(tags, 2), model.predict_tags(tags, 2));
-  EXPECT_EQ(snap->ranked(tags), model.ranked(tags));
-  EXPECT_EQ(snap->predict(test, {}, model.pool()), model.predict(test));
-#pragma GCC diagnostic pop
-}
-
 TEST_F(SnapshotDeterminismTest, PublishCadenceNeverChangesTheModel) {
   // Two identical training streams under different publish cadences must
   // end at byte-identical models: the cadence only bounds reader staleness.

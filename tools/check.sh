@@ -31,6 +31,10 @@
 #                              learn snapshot tests: predict threads hammer
 #                              snapshot() while a trainer streams SGD and
 #                              publishes epochs (needs clang)
+#   tools/check.sh --tsan-cluster  ThreadSanitizer pass over the sharded
+#                              cluster tests: concurrent agent senders
+#                              against the ShardRouter's per-shard worker
+#                              threads and round barrier (needs clang)
 #
 # Lane flags can be combined (e.g. `--lint --tsa`). Every run ends with a
 # summary table: which lanes ran, which were skipped, which failed.
@@ -138,9 +142,12 @@ run_bench_smoke() {
   # dedicated quiet machine for real measurements).
   note "bench smoke: micro_components (minimal iterations, not a measurement)"
   cmake -B build -S . >/dev/null
-  cmake --build build -j "$JOBS" --target micro_components
+  cmake --build build -j "$JOBS" --target micro_components load_cluster
   ./build/bench/micro_components --benchmark_min_time=0.01 \
     --benchmark_filter='BM_(FrequencyTrieInsert|ArenaTrieInsert|Tokenize|TokenizeViews|ColumbusExtract|ColumbusExtractLegacy)$'
+  # Tiny cluster load-generator pass: proves the sharded socket path still
+  # builds, routes, settles, and emits its JSON (docs/CLUSTER.md).
+  ./build/bench/load_cluster --smoke
 }
 
 run_tsan_obs() {
@@ -215,6 +222,26 @@ concurrency)"
   ./build-tsan-ml/tests/snapshot_test
 }
 
+run_tsan_cluster() {
+  # The ShardRouter runs one worker thread per shard against a round
+  # barrier while agent threads push through send(); the sweep then moves
+  # settled frames back to the router thread. A race anywhere in that
+  # hand-off would silently break the cluster's ack-after-settle contract,
+  # so TSan proves its absence over the concurrent-senders and
+  # restart-mid-stream cases. Same clang-only policy as the other tsan
+  # lanes.
+  if ! command -v clang++ >/dev/null; then
+    skip "clang++ not installed (tsan-cluster lane; gcc tier-1 still runs \
+cluster_test)"
+  fi
+  note "ThreadSanitizer: cluster_test (shard router round/worker \
+concurrency)"
+  cmake -B build-tsan-cluster -S . -DPRAXI_SANITIZE=thread \
+    -DCMAKE_CXX_COMPILER=clang++ -DCMAKE_C_COMPILER=clang >/dev/null
+  cmake --build build-tsan-cluster -j "$JOBS" --target cluster_test
+  ./build-tsan-cluster/tests/cluster_test --gtest_filter='ShardRouterTest.*'
+}
+
 run_format() {
   if ! command -v clang-format >/dev/null; then
     skip "clang-format not installed (config: .clang-format)"
@@ -230,7 +257,7 @@ run_format() {
 # end-of-run summary table.
 
 ALL_LANES=(tier1 werror tsa tidy lint bench-smoke tsan-obs tsan-net
-           tsan-wal tsan-ml format)
+           tsan-wal tsan-ml tsan-cluster format)
 LANES_RAN=()
 LANES_SKIPPED=()
 LANES_FAILED=()
@@ -266,14 +293,14 @@ run_lane() {
 usage() {
   echo "usage: tools/check.sh [--all] [--tier1|--werror|--tsa|--tidy|" \
        "--lint|--fuzz|--bench-smoke|--format|--tsan-obs|--tsan-net|" \
-       "--tsan-wal|--tsan-ml]..." >&2
+       "--tsan-wal|--tsan-ml|--tsan-cluster]..." >&2
 }
 
 SELECTED=()
 for arg in "$@"; do
   case "$arg" in
     --all) KEEP_GOING=1 ;;
-    --tier1|--werror|--tsa|--tidy|--lint|--fuzz|--bench-smoke|--format|--tsan-obs|--tsan-net|--tsan-wal|--tsan-ml)
+    --tier1|--werror|--tsa|--tidy|--lint|--fuzz|--bench-smoke|--format|--tsan-obs|--tsan-net|--tsan-wal|--tsan-ml|--tsan-cluster)
       SELECTED+=("${arg#--}") ;;
     *) usage; exit 2 ;;
   esac

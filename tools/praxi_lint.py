@@ -91,6 +91,16 @@ And the serve-while-learn invariant from the snapshot-API PR
                    design closed. Escape hatch:
                    `// praxi-lint: allow(weight-table-mutation: why)`.
 
+And the routing invariant from the sharded-cluster PR (docs/CLUSTER.md):
+
+  ad-hoc-sharding  agent_id -> shard mapping must go through the
+                   consistent-hash ring (cluster::HashRing): a `% shards`
+                   style modulo mapping reshuffles nearly every key when
+                   the shard count changes, orphaning per-agent dedup and
+                   WAL state. Modulo-over-a-shard-count is banned in src/
+                   outside src/cluster/ (the ring's own implementation).
+                   Escape hatch: `// praxi-lint: allow(ad-hoc-sharding: why)`.
+
 Usage:
   praxi_lint.py [--root REPO_ROOT]   lint <root>/src, report, exit 1 on hits
   praxi_lint.py --self-test          seed one violation per rule into a temp
@@ -172,6 +182,14 @@ WEIGHT_TABLE_EXEMPT = {"src/ml/online_learner.hpp", "src/ml/online_learner.cpp",
 WEIGHT_TABLE_RE = re.compile(r"\bWeightTable\b")
 WEIGHT_TABLE_MUTATE_RE = re.compile(
     r"\w*[tT]able\w*\s*\.\s*(?:update|set_raw)\s*\(")
+
+# Ad-hoc shard mapping (docs/CLUSTER.md): any modulo over a shard count
+# (`hash % shards`, `id % num_shards_`, `% ring.shard_count()`) outside the
+# ring's own implementation. Consistent hashing is the one sanctioned
+# agent_id -> shard mapping; modulo reshuffles ~all keys on membership
+# change, orphaning per-agent dedup/WAL state.
+ADHOC_SHARDING_EXEMPT_PREFIX = "src/cluster/"
+ADHOC_SHARDING_RE = re.compile(r"%\s*[\w.>()\[\]-]*shard", re.IGNORECASE)
 
 # Raw standard-library synchronization primitives (docs/CONCURRENCY.md).
 # Only the common/sync.hpp wrappers may touch them (via the allow()
@@ -269,6 +287,12 @@ def check_file(root: pathlib.Path, path: pathlib.Path) -> list[Violation]:
         scan("weight-table-mutation", WEIGHT_TABLE_RE, weight_table_message)
         scan("weight-table-mutation", WEIGHT_TABLE_MUTATE_RE,
              weight_table_message)
+
+    if not rel.startswith(ADHOC_SHARDING_EXEMPT_PREFIX):
+        scan("ad-hoc-sharding", ADHOC_SHARDING_RE,
+             "modulo over a shard count reshuffles ~all keys on membership "
+             "change; map agent_id -> shard through cluster::HashRing "
+             "(docs/CLUSTER.md) or annotate: praxi-lint: allow(ad-hoc-sharding)")
 
     scan("naked-mutex", NAKED_MUTEX_RE,
          "raw std:: synchronization primitive; use the annotated "
@@ -489,6 +513,10 @@ SELFTEST_VIOLATIONS = {
     "weight-table-mutation": (
         "void f(praxi::ml::detail::WeightTable& table) {\n"
         "  table.update(x, 0, 0.1f, 0.0f);\n"
+        "}\n"),
+    "ad-hoc-sharding": (
+        "std::uint32_t owner(std::uint64_t hash, std::size_t num_shards) {\n"
+        "  return static_cast<std::uint32_t>(hash % num_shards);\n"
         "}\n"),
 }
 
